@@ -1,0 +1,63 @@
+//===- bench/BenchCommon.h - Shared figure-bench helpers --------*- C++ -*-===//
+//
+// Shared between the Figure 6-9 bench binaries: calibrate the machine
+// model and measure per-workload cost models from real executions.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_BENCH_BENCHCOMMON_H
+#define PRIVATEER_BENCH_BENCHCOMMON_H
+
+#include "perfmodel/PerfModel.h"
+#include "workloads/Workload.h"
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace privateer {
+
+struct MeasuredModels {
+  MachineModel Machine;
+  std::vector<WorkloadModel> Workloads;
+};
+
+inline MeasuredModels measureAllModels(Workload::Scale Scale) {
+  MeasuredModels Out;
+  std::fprintf(stderr, "calibrating machine model (fork/join latency)...\n");
+  Out.Machine = MachineModel::calibrate();
+  std::fprintf(stderr,
+               "  spawn=%.2fms+%.2fms/worker  privCall=%.1fns  "
+               "privByte r/w=%.2f/%.2fns\n",
+               Out.Machine.SpawnBaseSec * 1e3,
+               Out.Machine.SpawnPerWorkerSec * 1e3,
+               Out.Machine.PrivCallSec * 1e9,
+               Out.Machine.PrivReadByteSec * 1e9,
+               Out.Machine.PrivWriteByteSec * 1e9);
+  for (auto &W : allWorkloads(Scale)) {
+    std::fprintf(stderr, "measuring cost model: %s...\n", W->name());
+    WorkloadModel M = WorkloadModel::measure(*W);
+    std::fprintf(stderr,
+                 "  iter=%.2fus  privR=%.0fB/%.1fcalls  privW=%.0fB/"
+                 "%.1fcalls  merge=%.1fus/period  scale %llu->%llu iters\n",
+                 M.SeqIterSec * 1e6, M.PrivReadBytesPerIter,
+                 M.PrivReadCallsPerIter, M.PrivWriteBytesPerIter,
+                 M.PrivWriteCallsPerIter, M.MergeSecPerPeriod * 1e6,
+                 static_cast<unsigned long long>(M.MeasuredIters),
+                 static_cast<unsigned long long>(M.ItersPerInvocation *
+                                                 M.Invocations));
+    Out.Workloads.push_back(std::move(M));
+  }
+  return Out;
+}
+
+inline double geomean(const std::vector<double> &Xs) {
+  double LogSum = 0;
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+} // namespace privateer
+
+#endif // PRIVATEER_BENCH_BENCHCOMMON_H

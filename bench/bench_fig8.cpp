@@ -1,0 +1,61 @@
+//===- bench/bench_fig8.cpp - Paper Figure 8 ------------------------------===//
+//
+// Regenerates Figure 8: breakdown of overheads on parallel performance at
+// 4-24 worker processes, normalized to the total computational capacity
+// (CPU-seconds) of the parallel region — "the number of processor cores
+// times the duration of the parallel invocation.  In these units, perfect
+// utilization would be represented as 100% useful work."  Categories are
+// the paper's: Useful Work, Private Read, Private Write, Checkpoint, and
+// Spawn/Join (imbalance + fork/join latency).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "support/TableWriter.h"
+
+using namespace privateer;
+
+int main() {
+  MeasuredModels Models = measureAllModels(Workload::Scale::Full);
+  const unsigned Counts[] = {4, 8, 12, 16, 20, 24};
+
+  std::printf("Figure 8: Breakdown of overheads on parallel performance\n");
+  std::printf("(percent of computational capacity = workers x wall "
+              "duration)\n\n");
+
+  TableWriter T({"Program", "Workers", "Useful%", "PrivRead%", "PrivWrite%",
+                 "Checkpoint%", "Spawn/Join%"});
+
+  unsigned UsefulLargest = 0;
+  for (const WorkloadModel &WM : Models.Workloads) {
+    for (unsigned W : Counts) {
+      SimOptions Opt;
+      Opt.Workers = W;
+      SimBreakdown B = simulatePrivateer(Models.Machine, WM, Opt);
+      double Cap = B.capacitySec(W);
+      auto Pct = [&](double S) { return 100.0 * S / Cap; };
+      T.addRow({WM.Name, TableWriter::cell(static_cast<uint64_t>(W)),
+                TableWriter::cell(Pct(B.UsefulSec), 1),
+                TableWriter::cell(Pct(B.PrivReadSec), 1),
+                TableWriter::cell(Pct(B.PrivWriteSec), 1),
+                TableWriter::cell(Pct(B.CheckpointSec), 1),
+                TableWriter::cell(Pct(B.SpawnJoinSec), 1)});
+      if (W == 24 && B.UsefulSec >= B.PrivReadSec &&
+          B.UsefulSec >= B.PrivWriteSec && B.UsefulSec >= B.CheckpointSec &&
+          B.UsefulSec >= B.SpawnJoinSec)
+        ++UsefulLargest;
+    }
+  }
+  T.print();
+
+  std::printf("\npaper shape: \"parallelized applications utilize most of "
+              "the parallel resources for useful work\" (alvinn and "
+              "dijkstra additionally \"waste a significant amount of time "
+              "joining their workers\"); privacy validation's share stays "
+              "roughly constant in worker count.\n");
+  bool Pass = UsefulLargest >= 4;
+  std::printf("shape check: useful work is the largest capacity category "
+              "at 24 workers for %u/5 programs (need >=4): %s\n",
+              UsefulLargest, Pass ? "PASS" : "FAIL");
+  return Pass ? 0 : 1;
+}

@@ -1,0 +1,137 @@
+//===- bench/bench_runtime_micro.cpp - Runtime primitive costs -----------===//
+//
+// Google-benchmark microbenchmarks of the validation primitives whose
+// costs drive the paper's overhead story: Table 2 shadow transitions,
+// separation checks (one AND + compare), shadow-address computation (one
+// OR), logical-heap allocation, checkpoint-merge scanning, and reduction
+// combining.  These are the constants the perfmodel consumes indirectly
+// through measured workload runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Privateer.h"
+#include "runtime/ShadowMetadata.h"
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+using namespace privateer;
+
+namespace {
+
+void BM_ShadowReadTransition(benchmark::State &State) {
+  std::vector<uint8_t> Meta(4096, shadow::kLiveIn);
+  uint8_t Ts = shadow::timestampFor(5, 0);
+  for (auto _ : State) {
+    for (uint8_t &M : Meta) {
+      shadow::Transition T = shadow::applyRead(M, Ts);
+      M = T.After;
+      benchmark::DoNotOptimize(T.Misspec);
+    }
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Meta.size()));
+}
+BENCHMARK(BM_ShadowReadTransition);
+
+void BM_ShadowWriteTransition(benchmark::State &State) {
+  std::vector<uint8_t> Meta(4096, shadow::kLiveIn);
+  uint8_t Ts = shadow::timestampFor(5, 0);
+  for (auto _ : State) {
+    for (uint8_t &M : Meta) {
+      shadow::Transition T = shadow::applyWrite(M, Ts);
+      M = T.After;
+      benchmark::DoNotOptimize(T.Misspec);
+    }
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Meta.size()));
+}
+BENCHMARK(BM_ShadowWriteTransition);
+
+void BM_SeparationCheck(benchmark::State &State) {
+  uint64_t Addr = heapBase(HeapKind::Private) + 0x1000;
+  for (auto _ : State) {
+    for (int I = 0; I < 1024; ++I) {
+      bool Ok = addressInHeap(Addr + I, HeapKind::Private);
+      benchmark::DoNotOptimize(Ok);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_SeparationCheck);
+
+void BM_ShadowAddressComputation(benchmark::State &State) {
+  uint64_t Addr = heapBase(HeapKind::Private) + 0x1000;
+  for (auto _ : State) {
+    for (int I = 0; I < 1024; ++I) {
+      uint64_t S = shadowAddress(Addr + I);
+      benchmark::DoNotOptimize(S);
+    }
+  }
+  State.SetItemsProcessed(State.iterations() * 1024);
+}
+BENCHMARK(BM_ShadowAddressComputation);
+
+void BM_HeapAllocFree(benchmark::State &State) {
+  Runtime &Rt = Runtime::get();
+  for (auto _ : State) {
+    void *P = Rt.heapAlloc(64, HeapKind::ShortLived);
+    benchmark::DoNotOptimize(P);
+    Rt.heapDealloc(P, HeapKind::ShortLived);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_HeapAllocFree);
+
+void BM_CheckpointMetaScan(benchmark::State &State) {
+  // The worker-merge scan over shadow bytes (codes >= 2 are interesting).
+  std::vector<uint8_t> Meta(1u << 20, shadow::kLiveIn);
+  for (size_t I = 0; I < Meta.size(); I += 97)
+    Meta[I] = shadow::timestampFor(3, 0);
+  for (auto _ : State) {
+    uint64_t Hot = 0;
+    for (uint8_t M : Meta)
+      Hot += M >= shadow::kReadLiveIn;
+    benchmark::DoNotOptimize(Hot);
+  }
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(Meta.size()));
+}
+BENCHMARK(BM_CheckpointMetaScan);
+
+void BM_ReductionCombine(benchmark::State &State) {
+  Runtime &Rt = Runtime::get();
+  constexpr size_t N = 4096;
+  auto *A = static_cast<int64_t *>(
+      Rt.heapAlloc(N * sizeof(int64_t), HeapKind::Redux));
+  std::vector<int64_t> B(N, 3);
+  ReductionRegistry Reg;
+  Reg.registerObject(A, N * sizeof(int64_t), ReduxElem::I64, ReduxOp::Add);
+  int64_t Bias = reinterpret_cast<int64_t>(B.data()) -
+                 reinterpret_cast<int64_t>(A);
+  for (auto _ : State)
+    Reg.combine(0, Bias);
+  State.SetBytesProcessed(State.iterations() *
+                          static_cast<int64_t>(N * sizeof(int64_t)));
+  Rt.heapDealloc(A, HeapKind::Redux);
+}
+BENCHMARK(BM_ReductionCombine);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RuntimeConfig C;
+  C.PrivateBytes = 1u << 20;
+  C.ReadOnlyBytes = 1u << 16;
+  C.ReduxBytes = 1u << 20;
+  C.ShortLivedBytes = 1u << 20;
+  C.UnrestrictedBytes = 1u << 16;
+  Runtime::get().initialize(C);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Runtime::get().shutdown();
+  return 0;
+}

@@ -1,0 +1,85 @@
+//===- examples/quickstart.cpp - Privatize a reuse-limited loop ----------===//
+//
+// The smallest end-to-end use of the Privateer runtime API: a loop whose
+// iterations are conceptually independent but reuse one scratch buffer (a
+// false dependence), privatized by hand exactly as the compiler would
+// emit it (paper Figure 2b), then executed speculatively across forked
+// worker processes.
+//
+// Build & run:  ./build/examples/example_quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Privateer.h"
+
+#include <cstdio>
+
+using namespace privateer;
+
+int main() {
+  Runtime &Rt = Runtime::get();
+  Rt.initialize(); // Maps the five logical heaps at their tagged addresses.
+
+  constexpr uint64_t NumTasks = 400;
+  constexpr int Width = 256;
+
+  // The reused scratch buffer: every iteration overwrites it, so the loop
+  // carries false (anti/output) dependences -- the privatization target.
+  auto *Scratch =
+      static_cast<long *>(h_alloc(Width * sizeof(long), HeapKind::Private));
+  // Results are live-out, one slot per iteration.
+  auto *Result =
+      static_cast<long *>(h_alloc(NumTasks * sizeof(long), HeapKind::Private));
+
+  auto Body = [&](uint64_t Task) {
+    // Privatized iteration: ranged privacy checks around the accesses,
+    // exactly what the transformation inserts.
+    private_write(Scratch, Width * sizeof(long));
+    for (int I = 0; I < Width; ++I)
+      Scratch[I] = static_cast<long>(Task) * I + I / 3;
+    private_read(Scratch, Width * sizeof(long));
+    long Best = Scratch[0];
+    for (int I = 1; I < Width; ++I)
+      if (Scratch[I] % 17 > Best % 17)
+        Best = Scratch[I];
+    private_write(&Result[Task], sizeof(long));
+    Result[Task] = Best;
+  };
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 32;
+  InvocationStats Stats = Rt.runParallel(NumTasks, Opt, Body);
+
+  // Verify against plain sequential execution of the same body.
+  long Expected[NumTasks];
+  for (uint64_t T = 0; T < NumTasks; ++T) {
+    long Row[Width];
+    for (int I = 0; I < Width; ++I)
+      Row[I] = static_cast<long>(T) * I + I / 3;
+    long Best = Row[0];
+    for (int I = 1; I < Width; ++I)
+      if (Row[I] % 17 > Best % 17)
+        Best = Row[I];
+    Expected[T] = Best;
+  }
+  unsigned Mismatches = 0;
+  for (uint64_t T = 0; T < NumTasks; ++T)
+    if (Result[T] != Expected[T])
+      ++Mismatches;
+
+  std::printf("quickstart: %llu iterations on %u workers\n",
+              static_cast<unsigned long long>(Stats.Iterations),
+              Opt.NumWorkers);
+  std::printf("  checkpoints committed : %llu\n",
+              static_cast<unsigned long long>(Stats.Checkpoints));
+  std::printf("  misspeculations       : %llu\n",
+              static_cast<unsigned long long>(Stats.Misspecs));
+  std::printf("  private bytes written : %llu\n",
+              static_cast<unsigned long long>(Stats.PrivateWriteBytes));
+  std::printf("  result mismatches     : %u (%s)\n", Mismatches,
+              Mismatches == 0 ? "exact" : "BROKEN");
+
+  Rt.shutdown();
+  return Mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,54 @@
+//===- analysis/CallGraph.cpp ---------------------------------------------===//
+
+#include "analysis/CallGraph.h"
+
+using namespace privateer;
+using namespace privateer::analysis;
+using namespace privateer::ir;
+
+CallGraph::CallGraph(const Module &M) {
+  for (const auto &F : M.functions()) {
+    auto &Out = Callees[F.get()];
+    for (const auto &B : F->blocks())
+      for (const auto &I : B->instructions())
+        if (I->opcode() == Opcode::Call)
+          Out.insert(I->callee());
+  }
+}
+
+const std::set<Function *> &CallGraph::callees(const Function *F) const {
+  static const std::set<Function *> Empty;
+  auto It = Callees.find(F);
+  return It == Callees.end() ? Empty : It->second;
+}
+
+std::set<Function *> CallGraph::reachableFromBlocks(
+    const std::set<BasicBlock *> &Blocks) const {
+  std::set<Function *> Out;
+  std::vector<Function *> Work;
+  for (BasicBlock *B : Blocks)
+    for (const auto &I : B->instructions())
+      if (I->opcode() == Opcode::Call && Out.insert(I->callee()).second)
+        Work.push_back(I->callee());
+  while (!Work.empty()) {
+    Function *F = Work.back();
+    Work.pop_back();
+    for (Function *C : callees(F))
+      if (Out.insert(C).second)
+        Work.push_back(C);
+  }
+  return Out;
+}
+
+std::set<Function *> CallGraph::reachableFrom(Function *F) const {
+  std::set<Function *> Out{F};
+  std::vector<Function *> Work{F};
+  while (!Work.empty()) {
+    Function *Cur = Work.back();
+    Work.pop_back();
+    for (Function *C : callees(Cur))
+      if (Out.insert(C).second)
+        Work.push_back(C);
+  }
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- analysis/CallGraph.h - Call graph ------------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct-call graph over a module.  getFootprint (Algorithm 2) recurses
+/// through calls, and the transformation instruments every function
+/// reachable from a selected loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_ANALYSIS_CALLGRAPH_H
+#define PRIVATEER_ANALYSIS_CALLGRAPH_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace privateer {
+namespace analysis {
+
+class CallGraph {
+public:
+  explicit CallGraph(const ir::Module &M);
+
+  const std::set<ir::Function *> &callees(const ir::Function *F) const;
+
+  /// All functions reachable through calls from the blocks of \p Blocks
+  /// (not including the containing function itself unless it is called).
+  std::set<ir::Function *>
+  reachableFromBlocks(const std::set<ir::BasicBlock *> &Blocks) const;
+
+  /// Transitive closure of callees from \p F, including \p F.
+  std::set<ir::Function *> reachableFrom(ir::Function *F) const;
+
+private:
+  std::map<const ir::Function *, std::set<ir::Function *>> Callees;
+};
+
+} // namespace analysis
+} // namespace privateer
+
+#endif // PRIVATEER_ANALYSIS_CALLGRAPH_H

@@ -1,0 +1,59 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------===//
+
+#include "analysis/Cfg.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace privateer;
+using namespace privateer::analysis;
+using namespace privateer::ir;
+
+Cfg::Cfg(const Function &F) : Func(F) {
+  for (const auto &B : F.blocks()) {
+    Succs[B.get()] = B->successors();
+    for (BasicBlock *S : Succs[B.get()])
+      Preds[S].push_back(B.get());
+  }
+
+  // Iterative post-order DFS from the entry.
+  std::vector<BasicBlock *> PostOrder;
+  std::set<const BasicBlock *> Visited;
+  struct Frame {
+    BasicBlock *Block;
+    size_t NextSucc;
+  };
+  std::vector<Frame> Stack;
+  if (!F.blocks().empty()) {
+    Stack.push_back(Frame{F.entry(), 0});
+    Visited.insert(F.entry());
+  }
+  while (!Stack.empty()) {
+    Frame &Top = Stack.back();
+    const auto &S = Succs[Top.Block];
+    if (Top.NextSucc < S.size()) {
+      BasicBlock *Next = S[Top.NextSucc++];
+      if (Visited.insert(Next).second)
+        Stack.push_back(Frame{Next, 0});
+      continue;
+    }
+    PostOrder.push_back(Top.Block);
+    Stack.pop_back();
+  }
+  Rpo.assign(PostOrder.rbegin(), PostOrder.rend());
+  for (unsigned I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}
+
+const std::vector<BasicBlock *> &
+Cfg::predecessors(const BasicBlock *B) const {
+  static const std::vector<BasicBlock *> Empty;
+  auto It = Preds.find(B);
+  return It == Preds.end() ? Empty : It->second;
+}
+
+const std::vector<BasicBlock *> &Cfg::successors(const BasicBlock *B) const {
+  static const std::vector<BasicBlock *> Empty;
+  auto It = Succs.find(B);
+  return It == Succs.end() ? Empty : It->second;
+}

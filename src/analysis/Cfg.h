@@ -1,0 +1,63 @@
+//===- analysis/Cfg.h - CFG utilities ---------------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predecessor maps and reverse-post-order numbering over a function's
+/// control-flow graph; the substrate for dominators and loop detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_ANALYSIS_CFG_H
+#define PRIVATEER_ANALYSIS_CFG_H
+
+#include "ir/IR.h"
+
+#include <map>
+#include <vector>
+
+namespace privateer {
+namespace analysis {
+
+class Cfg {
+public:
+  explicit Cfg(const ir::Function &F);
+
+  const ir::Function &function() const { return Func; }
+
+  const std::vector<ir::BasicBlock *> &
+  predecessors(const ir::BasicBlock *B) const;
+  const std::vector<ir::BasicBlock *> &
+  successors(const ir::BasicBlock *B) const;
+
+  /// Blocks in reverse post order from the entry; unreachable blocks are
+  /// excluded.
+  const std::vector<ir::BasicBlock *> &reversePostOrder() const {
+    return Rpo;
+  }
+
+  /// RPO index; unreachable blocks report ~0u.
+  unsigned rpoIndex(const ir::BasicBlock *B) const {
+    auto It = RpoIndex.find(B);
+    return It == RpoIndex.end() ? ~0u : It->second;
+  }
+
+  bool isReachable(const ir::BasicBlock *B) const {
+    return RpoIndex.count(B) != 0;
+  }
+
+private:
+  const ir::Function &Func;
+  std::map<const ir::BasicBlock *, std::vector<ir::BasicBlock *>> Preds;
+  std::map<const ir::BasicBlock *, std::vector<ir::BasicBlock *>> Succs;
+  std::vector<ir::BasicBlock *> Rpo;
+  std::map<const ir::BasicBlock *, unsigned> RpoIndex;
+};
+
+} // namespace analysis
+} // namespace privateer
+
+#endif // PRIVATEER_ANALYSIS_CFG_H

@@ -1,0 +1,72 @@
+//===- analysis/Dominators.cpp --------------------------------------------===//
+//
+// "A Simple, Fast Dominance Algorithm" (Cooper, Harvey, Kennedy).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+using namespace privateer;
+using namespace privateer::analysis;
+using namespace privateer::ir;
+
+DominatorTree::DominatorTree(const Cfg &C) : C(C) {
+  const auto &Rpo = C.reversePostOrder();
+  if (Rpo.empty())
+    return;
+  BasicBlock *Entry = Rpo.front();
+  IDom[Entry] = Entry;
+
+  auto Intersect = [&](BasicBlock *A, BasicBlock *B) {
+    while (A != B) {
+      while (C.rpoIndex(A) > C.rpoIndex(B))
+        A = IDom.at(A);
+      while (C.rpoIndex(B) > C.rpoIndex(A))
+        B = IDom.at(B);
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (size_t I = 1; I < Rpo.size(); ++I) {
+      BasicBlock *B = Rpo[I];
+      BasicBlock *NewIDom = nullptr;
+      for (BasicBlock *P : C.predecessors(B)) {
+        if (!IDom.count(P))
+          continue; // Predecessor not yet processed.
+        NewIDom = NewIDom ? Intersect(NewIDom, P) : P;
+      }
+      if (!NewIDom)
+        continue;
+      auto It = IDom.find(B);
+      if (It == IDom.end() || It->second != NewIDom) {
+        IDom[B] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::immediateDominator(const BasicBlock *B) const {
+  auto It = IDom.find(B);
+  if (It == IDom.end() || It->second == B)
+    return nullptr;
+  return It->second;
+}
+
+bool DominatorTree::dominates(const BasicBlock *A,
+                              const BasicBlock *B) const {
+  if (!C.isReachable(A) || !C.isReachable(B))
+    return false;
+  const BasicBlock *Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    auto It = IDom.find(Cur);
+    if (It == IDom.end() || It->second == Cur)
+      return false;
+    Cur = It->second;
+  }
+}

@@ -1,0 +1,40 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooper-Harvey-Kennedy iterative dominator computation over the CFG's
+/// reverse post order.  Natural-loop detection (LoopInfo) builds on this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_ANALYSIS_DOMINATORS_H
+#define PRIVATEER_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+namespace privateer {
+namespace analysis {
+
+class DominatorTree {
+public:
+  explicit DominatorTree(const Cfg &C);
+
+  /// Immediate dominator; null for the entry and unreachable blocks.
+  ir::BasicBlock *immediateDominator(const ir::BasicBlock *B) const;
+
+  /// Does \p A dominate \p B (reflexively)?
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const;
+
+private:
+  const Cfg &C;
+  std::map<const ir::BasicBlock *, ir::BasicBlock *> IDom;
+};
+
+} // namespace analysis
+} // namespace privateer
+
+#endif // PRIVATEER_ANALYSIS_DOMINATORS_H

@@ -1,0 +1,67 @@
+//===- analysis/FunctionAnalyses.h - Per-function analysis cache -*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Owns Cfg, DominatorTree, and LoopInfo for every function of a module;
+/// profilers, classification, and the transformation all share one
+/// instance so Loop pointers stay stable across the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_ANALYSIS_FUNCTIONANALYSES_H
+#define PRIVATEER_ANALYSIS_FUNCTIONANALYSES_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/LoopInfo.h"
+
+#include <memory>
+
+namespace privateer {
+namespace analysis {
+
+class FunctionAnalyses {
+public:
+  explicit FunctionAnalyses(const ir::Module &M) : Callgraph(M) {
+    for (const auto &F : M.functions()) {
+      auto E = std::make_unique<Entry>(*F);
+      Entries[F.get()] = std::move(E);
+    }
+  }
+
+  const Cfg &cfg(const ir::Function *F) const { return Entries.at(F)->C; }
+  const DominatorTree &domTree(const ir::Function *F) const {
+    return Entries.at(F)->DT;
+  }
+  const LoopInfo &loops(const ir::Function *F) const {
+    return Entries.at(F)->LI;
+  }
+  const CallGraph &callGraph() const { return Callgraph; }
+
+  /// Every loop in the module.
+  std::vector<Loop *> allLoops() const {
+    std::vector<Loop *> Out;
+    for (const auto &[F, E] : Entries)
+      for (const auto &L : E->LI.loops())
+        Out.push_back(L.get());
+    return Out;
+  }
+
+private:
+  struct Entry {
+    explicit Entry(const ir::Function &F) : C(F), DT(C), LI(C, DT) {}
+    Cfg C;
+    DominatorTree DT;
+    LoopInfo LI;
+  };
+  std::map<const ir::Function *, std::unique_ptr<Entry>> Entries;
+  CallGraph Callgraph;
+};
+
+} // namespace analysis
+} // namespace privateer
+
+#endif // PRIVATEER_ANALYSIS_FUNCTIONANALYSES_H

@@ -1,0 +1,321 @@
+//===- classify/Classification.cpp ----------------------------------------===//
+
+#include "classify/Classification.h"
+
+#include <algorithm>
+
+using namespace privateer;
+using namespace privateer::classify;
+using namespace privateer::analysis;
+using namespace privateer::profiling;
+using namespace privateer::ir;
+
+namespace {
+
+/// All instructions executed by the loop: its body blocks plus every
+/// function reachable through calls from them ("if I is of the form
+/// r := call f(...) then recur on f", Algorithm 2).
+std::vector<const Instruction *> loopInstructions(const Loop &L,
+                                                  const FunctionAnalyses &FA) {
+  std::vector<const Instruction *> Out;
+  for (BasicBlock *B : L.blocks())
+    for (const auto &I : B->instructions())
+      Out.push_back(I.get());
+  std::set<BasicBlock *> Body(L.blocks().begin(), L.blocks().end());
+  for (Function *F : FA.callGraph().reachableFromBlocks(Body))
+    for (const auto &B : F->blocks())
+      for (const auto &I : B->instructions())
+        Out.push_back(I.get());
+  return Out;
+}
+
+bool isReduxOpcode(Opcode Op) {
+  return Op == Opcode::Add || Op == Opcode::FAdd || Op == Opcode::Mul ||
+         Op == Opcode::FMul;
+}
+
+/// Recognizes the syntactic reduction pattern of Algorithm 2: a store of
+/// `v = op(r, x)` back through the same pointer SSA value a load `r` used,
+/// with an associative and commutative `op`.
+bool isReductionPair(const Instruction *Store, const Instruction **LoadOut) {
+  Value *V = Store->operand(0);
+  Value *P = Store->operand(1);
+  if (V->kind() != ValueKind::Instruction)
+    return false;
+  auto *Op = static_cast<Instruction *>(V);
+  if (!isReduxOpcode(Op->opcode()))
+    return false;
+  for (unsigned A = 0; A < 2; ++A) {
+    Value *Side = Op->operand(A);
+    if (Side->kind() != ValueKind::Instruction)
+      continue;
+    auto *Ld = static_cast<Instruction *>(Side);
+    if (Ld->opcode() == Opcode::Load && Ld->operand(0) == P &&
+        Ld->accessBytes() == Store->accessBytes()) {
+      *LoadOut = Ld;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Instruction-level footprint for the dependence-refinement loop of
+/// Algorithm 1: (Ra, Wa, Xa) of one instruction.
+struct InstFootprint {
+  std::set<ObjectKey> R, W, X;
+};
+
+InstFootprint instFootprint(const Instruction *I, const Footprint &Fp,
+                            const Profile &P) {
+  InstFootprint Out;
+  const std::set<ObjectKey> &Objs = P.objectsAccessedBy(I);
+  if (Fp.ReduxAccesses.count(I)) {
+    Out.X = Objs;
+    return Out;
+  }
+  if (I->opcode() == Opcode::Load)
+    Out.R = Objs;
+  else if (I->opcode() == Opcode::Store)
+    Out.W = Objs;
+  return Out;
+}
+
+std::set<ObjectKey> setUnion(const std::set<ObjectKey> &A,
+                             const std::set<ObjectKey> &B) {
+  std::set<ObjectKey> Out = A;
+  Out.insert(B.begin(), B.end());
+  return Out;
+}
+
+std::set<ObjectKey> setIntersect(const std::set<ObjectKey> &A,
+                                 const std::set<ObjectKey> &B) {
+  std::set<ObjectKey> Out;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::inserter(Out, Out.begin()));
+  return Out;
+}
+
+void setSubtract(std::set<ObjectKey> &A, const std::set<ObjectKey> &B) {
+  for (const ObjectKey &K : B)
+    A.erase(K);
+}
+
+} // namespace
+
+Footprint classify::getFootprint(const Loop &L, const FunctionAnalyses &FA,
+                                 const Profile &P) {
+  Footprint Out;
+  std::vector<const Instruction *> Insts = loopInstructions(L, FA);
+  std::set<const Instruction *> InLoop(Insts.begin(), Insts.end());
+
+  // Recognize reduction pairs first.
+  for (const Instruction *I : Insts) {
+    if (I->opcode() != Opcode::Store)
+      continue;
+    const Instruction *Ld = nullptr;
+    if (isReductionPair(I, &Ld) && InLoop.count(Ld)) {
+      Out.ReduxAccesses.insert(I);
+      Out.ReduxAccesses.insert(Ld);
+      const auto &Objs = P.objectsAccessedBy(I);
+      Out.Redux.insert(Objs.begin(), Objs.end());
+      const auto &LdObjs = P.objectsAccessedBy(Ld);
+      Out.Redux.insert(LdObjs.begin(), LdObjs.end());
+    }
+  }
+  // Remaining accesses populate the read and write footprints.
+  for (const Instruction *I : Insts) {
+    if (Out.ReduxAccesses.count(I))
+      continue;
+    const auto &Objs = P.objectsAccessedBy(I);
+    if (I->opcode() == Opcode::Load)
+      Out.Read.insert(Objs.begin(), Objs.end());
+    else if (I->opcode() == Opcode::Store)
+      Out.Write.insert(Objs.begin(), Objs.end());
+  }
+  return Out;
+}
+
+HeapAssignment classify::classifyLoop(const Loop &L,
+                                      const FunctionAnalyses &FA,
+                                      const Profile &P) {
+  HeapAssignment HA;
+  HA.TheLoop = &L;
+  HA.Fp = getFootprint(L, FA, P);
+  const Footprint &Fp = HA.Fp;
+
+  // Short-lived: allocated and freed within one iteration of L.
+  std::set<ObjectKey> ShortLived;
+  for (const ObjectKey &O : setUnion(Fp.Read, Fp.Write))
+    if (P.isShortLived(O, &L))
+      ShortLived.insert(O);
+  for (const ObjectKey &O : Fp.Redux)
+    if (P.isShortLived(O, &L))
+      ShortLived.insert(O);
+
+  // Reduction heap: objects accessed *only* through reduction operations.
+  // (The paper's Algorithm 1 pseudo-code tests membership in the
+  // read/write footprints, but §4.2's prose — "If the compiler does not
+  // expect an object in the reduction set to be accessed by loads or
+  // stores elsewhere in the loop" — makes the intent clear; the
+  // conference text's condition appears to have lost a negation.)
+  std::set<ObjectKey> Redux;
+  for (const ObjectKey &O : Fp.Redux)
+    if (!Fp.Read.count(O) && !Fp.Write.count(O) && !ShortLived.count(O))
+      Redux.insert(O);
+
+  // Cross-iteration flow dependences: privatization cannot remove them;
+  // value prediction sometimes can (§4.3 refinement, used by dijkstra's
+  // empty-queue speculation).
+  std::set<ObjectKey> Unrestricted;
+  std::map<std::pair<const GlobalVariable *, uint64_t>, ValuePrediction>
+      Preds;
+  for (const FlowDep &D : P.crossIterationFlowDeps(&L)) {
+    InstFootprint A = instFootprint(D.Src, Fp, P);
+    InstFootprint B = instFootprint(D.Dst, Fp, P);
+    std::set<ObjectKey> F = setIntersect(setUnion(A.W, A.X),
+                                         setUnion(B.R, B.X));
+    setSubtract(F, ShortLived);
+    setSubtract(F, Redux);
+    if (F.empty())
+      continue;
+
+    // Value-prediction refinement: if the consuming load's first read per
+    // iteration is a constant at a statically known address, speculate it
+    // and drop the dependence (the runtime still validates).
+    if (const PredictableLoad *PL = P.predictableFirstRead(D.Dst, &L)) {
+      const GlobalVariable *G = nullptr;
+      uint64_t Offset = 0;
+      for (const ObjectKey &O : P.objectsAccessedBy(D.Dst))
+        if (O.Global && PL->Address >= P.globalBase(O.Global) &&
+            PL->Address + PL->Bytes <=
+                P.globalBase(O.Global) + O.Global->sizeBytes()) {
+          G = O.Global;
+          Offset = PL->Address - P.globalBase(O.Global);
+          break;
+        }
+      if (G) {
+        auto [It, Inserted] = Preds.try_emplace(
+            {G, Offset},
+            ValuePrediction{D.Dst, G, Offset, PL->Bytes, PL->Value});
+        if (Inserted || (It->second.Value == PL->Value &&
+                         It->second.Bytes == PL->Bytes)) {
+          HA.Notes.push_back("value-predicted @" + G->name() + "+" +
+                             std::to_string(Offset) + " == " +
+                             std::to_string(PL->Value));
+          continue;
+        }
+      }
+    }
+    Unrestricted.insert(F.begin(), F.end());
+  }
+
+  // Private: everything else written.  Read-only: everything else read.
+  std::set<ObjectKey> Private = Fp.Write;
+  setSubtract(Private, ShortLived);
+  setSubtract(Private, Unrestricted);
+  setSubtract(Private, Redux);
+  std::set<ObjectKey> ReadOnly = Fp.Read;
+  setSubtract(ReadOnly, ShortLived);
+  setSubtract(ReadOnly, Unrestricted);
+  setSubtract(ReadOnly, Redux);
+  setSubtract(ReadOnly, Private);
+
+  for (const ObjectKey &O : ShortLived)
+    HA.ObjectHeaps[O] = HeapKind::ShortLived;
+  for (const ObjectKey &O : Redux)
+    HA.ObjectHeaps[O] = HeapKind::Redux;
+  for (const ObjectKey &O : Unrestricted)
+    HA.ObjectHeaps[O] = HeapKind::Unrestricted;
+  for (const ObjectKey &O : Private)
+    HA.ObjectHeaps[O] = HeapKind::Private;
+  for (const ObjectKey &O : ReadOnly)
+    HA.ObjectHeaps[O] = HeapKind::ReadOnly;
+
+  for (const auto &[GO, Pred] : Preds) {
+    (void)GO;
+    HA.Predictions.push_back(Pred);
+  }
+
+  // Record each reduction object's element type and operator for runtime
+  // registration: taken from the store half of its load-op-store pattern.
+  for (const Instruction *I : Fp.ReduxAccesses) {
+    if (I->opcode() != Opcode::Store)
+      continue;
+    auto *Op = static_cast<const Instruction *>(I->operand(0));
+    bool IsFloat =
+        Op->opcode() == Opcode::FAdd || Op->opcode() == Opcode::FMul;
+    bool IsMul =
+        Op->opcode() == Opcode::Mul || Op->opcode() == Opcode::FMul;
+    ReduxElem Elem = I->accessBytes() == 8
+                         ? (IsFloat ? ReduxElem::F64 : ReduxElem::I64)
+                         : (IsFloat ? ReduxElem::F32 : ReduxElem::I32);
+    ReduxOp ROp = IsMul ? ReduxOp::Mul : ReduxOp::Add;
+    for (const ObjectKey &O : P.objectsAccessedBy(I))
+      if (Redux.count(O))
+        HA.ReduxOps[O] = {Elem, ROp};
+  }
+  HA.Parallelizable = Unrestricted.empty();
+  if (!HA.Parallelizable)
+    HA.Notes.push_back("unrestricted objects remain: " +
+                       std::to_string(Unrestricted.size()));
+  return HA;
+}
+
+std::vector<HeapAssignment>
+classify::selectLoops(const std::vector<HeapAssignment> &Candidates,
+                      const FunctionAnalyses &FA, const Profile &P) {
+  // Heaviest (by profiled weight) parallelizable loops first.
+  std::vector<const HeapAssignment *> Order;
+  for (const HeapAssignment &HA : Candidates)
+    if (HA.Parallelizable)
+      Order.push_back(&HA);
+  std::sort(Order.begin(), Order.end(),
+            [&](const HeapAssignment *A, const HeapAssignment *B) {
+              return P.loopStats(A->TheLoop).Weight >
+                     P.loopStats(B->TheLoop).Weight;
+            });
+
+  auto MayBeSimultaneouslyActive = [&](const Loop *A, const Loop *B) {
+    // Nested in the same function?
+    for (BasicBlock *Blk : A->blocks())
+      if (B->contains(Blk))
+        return true;
+    for (BasicBlock *Blk : B->blocks())
+      if (A->contains(Blk))
+        return true;
+    // Or reachable through calls from the other's body?
+    std::set<BasicBlock *> ABody(A->blocks().begin(), A->blocks().end());
+    for (Function *F : FA.callGraph().reachableFromBlocks(ABody))
+      if (F == B->header()->parent())
+        return true;
+    std::set<BasicBlock *> BBody(B->blocks().begin(), B->blocks().end());
+    for (Function *F : FA.callGraph().reachableFromBlocks(BBody))
+      if (F == A->header()->parent())
+        return true;
+    return false;
+  };
+
+  auto HeapsConflict = [](const HeapAssignment &A, const HeapAssignment &B) {
+    for (const auto &[O, K] : A.ObjectHeaps) {
+      auto It = B.ObjectHeaps.find(O);
+      if (It != B.ObjectHeaps.end() && It->second != K)
+        return true;
+    }
+    return false;
+  };
+
+  std::vector<HeapAssignment> Selected;
+  for (const HeapAssignment *HA : Order) {
+    bool Compatible = true;
+    for (const HeapAssignment &S : Selected) {
+      if (MayBeSimultaneouslyActive(HA->TheLoop, S.TheLoop) ||
+          HeapsConflict(*HA, S)) {
+        Compatible = false;
+        break;
+      }
+    }
+    if (Compatible)
+      Selected.push_back(*HA);
+  }
+  return Selected;
+}

@@ -1,0 +1,95 @@
+//===- classify/Classification.h - Heap assignment --------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §4.2: getFootprint (Algorithm 2) and classify (Algorithm 1),
+/// partitioning a hot loop's memory footprint across the five logical
+/// heaps — private, reduction, short-lived, read-only, unrestricted —
+/// refined by value prediction (§4.3: "dependences are refined with
+/// standard rules for value prediction"), plus the loop selection step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_CLASSIFY_CLASSIFICATION_H
+#define PRIVATEER_CLASSIFY_CLASSIFICATION_H
+
+#include "analysis/FunctionAnalyses.h"
+#include "profiling/Profile.h"
+#include "runtime/Reduction.h"
+
+namespace privateer {
+namespace classify {
+
+/// Per-loop footprints of Algorithm 2, as sets of object names.
+struct Footprint {
+  std::set<profiling::ObjectKey> Read;
+  std::set<profiling::ObjectKey> Write;
+  std::set<profiling::ObjectKey> Redux;
+  /// Loads/stores recognized as parts of reduction (load-op-store)
+  /// patterns; the transformation skips privacy checks for them.
+  std::set<const ir::Instruction *> ReduxAccesses;
+};
+
+/// A value prediction the transformation must install: the first read of
+/// this address each iteration is speculated to be \p Value (Figure 2b
+/// lines 78-80 for dijkstra's empty queue).
+struct ValuePrediction {
+  const ir::Instruction *Load;
+  const ir::GlobalVariable *Global; ///< Base object (statically known).
+  uint64_t Offset;                  ///< Byte offset within the global.
+  uint64_t Bytes;
+  int64_t Value;
+};
+
+/// The result of classify(L) (Algorithm 1): a heap assignment.
+struct HeapAssignment {
+  const analysis::Loop *TheLoop = nullptr;
+  std::map<profiling::ObjectKey, HeapKind> ObjectHeaps;
+  std::vector<ValuePrediction> Predictions;
+  /// Element type and operator of each reduction-heap object, for runtime
+  /// registration (identity init + checkpoint combine).
+  std::map<profiling::ObjectKey, std::pair<ReduxElem, ReduxOp>> ReduxOps;
+  Footprint Fp;
+
+  /// True when no object is unrestricted: every profiled cross-iteration
+  /// dependence was removed by privatization, reduction, short-lived
+  /// lifetime, or value prediction.
+  bool Parallelizable = false;
+  std::vector<std::string> Notes;
+
+  std::set<profiling::ObjectKey> objectsIn(HeapKind K) const {
+    std::set<profiling::ObjectKey> Out;
+    for (const auto &[O, H] : ObjectHeaps)
+      if (H == K)
+        Out.insert(O);
+    return Out;
+  }
+};
+
+/// Algorithm 2 over the loop body and everything reachable through calls.
+Footprint getFootprint(const analysis::Loop &L,
+                       const analysis::FunctionAnalyses &FA,
+                       const profiling::Profile &P);
+
+/// Algorithm 1 plus value-prediction refinement.
+HeapAssignment classifyLoop(const analysis::Loop &L,
+                            const analysis::FunctionAnalyses &FA,
+                            const profiling::Profile &P);
+
+/// §4.3 selection: among \p Candidates, keep parallelizable canonical
+/// loops, drop loops incompatible with a heavier selection (simultaneously
+/// active, or assigning one object to different heaps), and return the
+/// chosen assignments ordered by descending profiled weight.
+std::vector<HeapAssignment>
+selectLoops(const std::vector<HeapAssignment> &Candidates,
+            const analysis::FunctionAnalyses &FA,
+            const profiling::Profile &P);
+
+} // namespace classify
+} // namespace privateer
+
+#endif // PRIVATEER_CLASSIFY_CLASSIFICATION_H

@@ -1,0 +1,462 @@
+//===- interp/Interpreter.cpp ---------------------------------------------===//
+
+#include "interp/Interpreter.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cinttypes>
+
+using namespace privateer;
+using namespace privateer::interp;
+using namespace privateer::ir;
+
+Interpreter::Interpreter(Module &M, MemoryManager &MM, InterpObserver *Obs)
+    : M(M), MM(MM), Obs(Obs) {}
+
+void Interpreter::initializeGlobals() {
+  for (const auto &G : M.globals()) {
+    void *P = MM.allocate(G->sizeBytes(), nullptr, G.get());
+    std::memset(P, 0, G->sizeBytes());
+    GlobalAddrs[G.get()] = reinterpret_cast<uint64_t>(P);
+    if (Obs)
+      Obs->onGlobalAlloc(G.get(), reinterpret_cast<uint64_t>(P),
+                         G->sizeBytes());
+  }
+}
+
+uint64_t Interpreter::globalAddress(const GlobalVariable *G) const {
+  auto It = GlobalAddrs.find(G);
+  if (It == GlobalAddrs.end())
+    reportFatalError("global '" + G->name() + "' not initialized");
+  return It->second;
+}
+
+Cell Interpreter::run(const std::string &Name,
+                      const std::vector<Cell> &Args) {
+  Function *F = M.functionByName(Name);
+  if (!F)
+    reportFatalError("no function named @" + Name);
+  return callFunction(F, Args);
+}
+
+Cell Interpreter::eval(const Value *V, Frame &F) const {
+  switch (V->kind()) {
+  case ValueKind::ConstInt:
+    return Cell::fromInt(static_cast<const ConstantInt *>(V)->value());
+  case ValueKind::ConstFloat:
+    return Cell::fromFloat(static_cast<const ConstantFloat *>(V)->value());
+  case ValueKind::Global:
+    return Cell::fromPtr(
+        globalAddress(static_cast<const GlobalVariable *>(V)));
+  case ValueKind::Argument:
+  case ValueKind::Instruction: {
+    auto It = F.Values.find(V);
+    if (It == F.Values.end())
+      reportFatalError("use of undefined value %" + V->name());
+    return It->second;
+  }
+  }
+  PRIVATEER_UNREACHABLE("bad value kind");
+}
+
+Cell Interpreter::callFunction(Function *F, const std::vector<Cell> &Args) {
+  if (Args.size() != F->arguments().size())
+    reportFatalError("call arity mismatch for @" + F->name());
+  Frame Frm;
+  for (size_t I = 0; I < Args.size(); ++I)
+    Frm.Values[F->arguments()[I].get()] = Args[I];
+  Cell Ret;
+  bool Returned = runBlocks(F->entry(), nullptr, nullptr, Frm, Ret);
+  if (!Returned)
+    reportFatalError("function @" + F->name() + " fell off the end");
+  // §4.4: "a corresponding deallocation is inserted at all function
+  // exits" for replaced stack allocations.
+  for (auto It = Frm.Allocas.rbegin(); It != Frm.Allocas.rend(); ++It)
+    MM.deallocate(*It);
+  return Ret;
+}
+
+bool Interpreter::runBlocks(BasicBlock *Start, const BasicBlock *Prev,
+                            const BasicBlock *StopAt, Frame &F,
+                            Cell &RetValue) {
+  BasicBlock *B = Start;
+  const BasicBlock *From = Prev;
+
+  while (true) {
+    // Speculative-DOALL intercept: entering the planned loop's header
+    // from outside the loop hands all iterations to the runtime.
+    if (Plan && !InParallelBody && B == Plan->TheLoop->header() &&
+        (!From || !Plan->TheLoop->contains(From))) {
+      BasicBlock *Exit = runPlannedLoop(F);
+      From = Plan->TheLoop->header();
+      B = Exit;
+      if (StopAt && B == StopAt)
+        return false;
+      continue;
+    }
+
+    if (Obs)
+      Obs->onBlockEnter(B, From);
+
+    // Phis first, all reading the pre-transfer state.
+    std::vector<std::pair<const Value *, Cell>> PhiUpdates;
+    size_t FirstNonPhi = 0;
+    const auto &Insts = B->instructions();
+    for (; FirstNonPhi < Insts.size(); ++FirstNonPhi) {
+      const Instruction &I = *Insts[FirstNonPhi];
+      if (I.opcode() != Opcode::Phi)
+        break;
+      bool Found = false;
+      for (unsigned A = 0; A < I.numBlockRefs(); ++A) {
+        if (I.blockRef(A) == From) {
+          PhiUpdates.emplace_back(&I, eval(I.operand(A), F));
+          Found = true;
+          break;
+        }
+      }
+      if (!Found)
+        reportFatalError("phi in '" + B->name() +
+                         "' has no arm for predecessor");
+    }
+    for (auto &[V, C] : PhiUpdates)
+      F.Values[V] = C;
+    Executed += PhiUpdates.size();
+
+    for (size_t Idx = FirstNonPhi; Idx < Insts.size(); ++Idx) {
+      const Instruction &I = *Insts[Idx];
+      if (++Executed > Budget)
+        reportFatalError("instruction budget exceeded (runaway loop?)");
+
+      if (I.isTerminator()) {
+        switch (I.opcode()) {
+        case Opcode::Ret:
+          RetValue = I.numOperands() ? eval(I.operand(0), F) : Cell();
+          return true;
+        case Opcode::Br:
+          From = B;
+          B = I.blockRef(0);
+          break;
+        case Opcode::CondBr:
+          From = B;
+          B = eval(I.operand(0), F).asInt() != 0 ? I.blockRef(0)
+                                                 : I.blockRef(1);
+          break;
+        default:
+          PRIVATEER_UNREACHABLE("bad terminator");
+        }
+        break;
+      }
+      Cell Result = execute(I, F);
+      if (I.type() != Type::Void)
+        F.Values[&I] = Result;
+    }
+    if (StopAt && B == StopAt)
+      return false;
+  }
+}
+
+Cell Interpreter::execute(const Instruction &I, Frame &F) {
+  Runtime &Rt = Runtime::get();
+  switch (I.opcode()) {
+  case Opcode::Alloca: {
+    void *P = MM.allocate(I.accessBytes(), &I, nullptr);
+    std::memset(P, 0, I.accessBytes());
+    F.Allocas.push_back(P);
+    if (Obs)
+      Obs->onAlloc(&I, reinterpret_cast<uint64_t>(P), I.accessBytes());
+    return Cell::fromPtr(reinterpret_cast<uint64_t>(P));
+  }
+  case Opcode::Malloc: {
+    uint64_t Bytes = static_cast<uint64_t>(eval(I.operand(0), F).asInt());
+    void *P = MM.allocate(Bytes, &I, nullptr);
+    if (Obs)
+      Obs->onAlloc(&I, reinterpret_cast<uint64_t>(P), Bytes);
+    return Cell::fromPtr(reinterpret_cast<uint64_t>(P));
+  }
+  case Opcode::Free: {
+    uint64_t P = eval(I.operand(0), F).asPtr();
+    if (Obs)
+      Obs->onFree(&I, P);
+    MM.deallocate(reinterpret_cast<void *>(P));
+    return Cell();
+  }
+  case Opcode::Load: {
+    uint64_t Addr = eval(I.operand(0), F).asPtr();
+    uint64_t Bytes = I.accessBytes();
+    if (Obs)
+      Obs->onLoad(&I, Addr, Bytes);
+    if (I.type() == Type::F64) {
+      assert(Bytes == 8 && "f64 load must be 8 bytes");
+      double V;
+      std::memcpy(&V, reinterpret_cast<void *>(Addr), 8);
+      return Cell::fromFloat(V);
+    }
+    // Integer/pointer: sign-extend sub-word loads (C-style int fields).
+    int64_t V = 0;
+    std::memcpy(&V, reinterpret_cast<void *>(Addr), Bytes);
+    if (Bytes < 8 && I.type() == Type::I64) {
+      unsigned Shift = 64 - 8 * Bytes;
+      V = (V << Shift) >> Shift;
+    }
+    return Cell::fromInt(V);
+  }
+  case Opcode::Store: {
+    Cell V = eval(I.operand(0), F);
+    uint64_t Addr = eval(I.operand(1), F).asPtr();
+    uint64_t Bytes = I.accessBytes();
+    if (Obs)
+      Obs->onStore(&I, Addr, Bytes);
+    std::memcpy(reinterpret_cast<void *>(Addr), &V.Raw, Bytes);
+    return Cell();
+  }
+  case Opcode::Gep:
+    return Cell::fromPtr(eval(I.operand(0), F).asPtr() +
+                         static_cast<uint64_t>(eval(I.operand(1), F).asInt()));
+  case Opcode::Add:
+    return Cell::fromInt(eval(I.operand(0), F).asInt() +
+                         eval(I.operand(1), F).asInt());
+  case Opcode::Sub:
+    return Cell::fromInt(eval(I.operand(0), F).asInt() -
+                         eval(I.operand(1), F).asInt());
+  case Opcode::Mul:
+    return Cell::fromInt(eval(I.operand(0), F).asInt() *
+                         eval(I.operand(1), F).asInt());
+  case Opcode::SDiv: {
+    int64_t D = eval(I.operand(1), F).asInt();
+    if (D == 0)
+      reportFatalError("division by zero");
+    return Cell::fromInt(eval(I.operand(0), F).asInt() / D);
+  }
+  case Opcode::SRem: {
+    int64_t D = eval(I.operand(1), F).asInt();
+    if (D == 0)
+      reportFatalError("remainder by zero");
+    return Cell::fromInt(eval(I.operand(0), F).asInt() % D);
+  }
+  case Opcode::And:
+    return Cell::fromInt(eval(I.operand(0), F).asInt() &
+                         eval(I.operand(1), F).asInt());
+  case Opcode::Or:
+    return Cell::fromInt(eval(I.operand(0), F).asInt() |
+                         eval(I.operand(1), F).asInt());
+  case Opcode::Xor:
+    return Cell::fromInt(eval(I.operand(0), F).asInt() ^
+                         eval(I.operand(1), F).asInt());
+  case Opcode::Shl:
+    return Cell::fromInt(eval(I.operand(0), F).asInt()
+                         << (eval(I.operand(1), F).asInt() & 63));
+  case Opcode::Shr:
+    return Cell::fromInt(static_cast<int64_t>(
+        static_cast<uint64_t>(eval(I.operand(0), F).asInt()) >>
+        (eval(I.operand(1), F).asInt() & 63)));
+  case Opcode::FAdd:
+    return Cell::fromFloat(eval(I.operand(0), F).asFloat() +
+                           eval(I.operand(1), F).asFloat());
+  case Opcode::FSub:
+    return Cell::fromFloat(eval(I.operand(0), F).asFloat() -
+                           eval(I.operand(1), F).asFloat());
+  case Opcode::FMul:
+    return Cell::fromFloat(eval(I.operand(0), F).asFloat() *
+                           eval(I.operand(1), F).asFloat());
+  case Opcode::FDiv:
+    return Cell::fromFloat(eval(I.operand(0), F).asFloat() /
+                           eval(I.operand(1), F).asFloat());
+  case Opcode::SiToFp:
+    return Cell::fromFloat(
+        static_cast<double>(eval(I.operand(0), F).asInt()));
+  case Opcode::FpToSi:
+    return Cell::fromInt(
+        static_cast<int64_t>(eval(I.operand(0), F).asFloat()));
+  case Opcode::ICmp: {
+    int64_t A = eval(I.operand(0), F).asInt();
+    int64_t B = eval(I.operand(1), F).asInt();
+    bool R = false;
+    switch (I.cmpPred()) {
+    case CmpPred::Eq:
+      R = A == B;
+      break;
+    case CmpPred::Ne:
+      R = A != B;
+      break;
+    case CmpPred::Lt:
+      R = A < B;
+      break;
+    case CmpPred::Le:
+      R = A <= B;
+      break;
+    case CmpPred::Gt:
+      R = A > B;
+      break;
+    case CmpPred::Ge:
+      R = A >= B;
+      break;
+    }
+    return Cell::fromInt(R ? 1 : 0);
+  }
+  case Opcode::FCmp: {
+    double A = eval(I.operand(0), F).asFloat();
+    double B = eval(I.operand(1), F).asFloat();
+    bool R = false;
+    switch (I.cmpPred()) {
+    case CmpPred::Eq:
+      R = A == B;
+      break;
+    case CmpPred::Ne:
+      R = A != B;
+      break;
+    case CmpPred::Lt:
+      R = A < B;
+      break;
+    case CmpPred::Le:
+      R = A <= B;
+      break;
+    case CmpPred::Gt:
+      R = A > B;
+      break;
+    case CmpPred::Ge:
+      R = A >= B;
+      break;
+    }
+    return Cell::fromInt(R ? 1 : 0);
+  }
+  case Opcode::Select:
+    return eval(I.operand(0), F).asInt() != 0 ? eval(I.operand(1), F)
+                                              : eval(I.operand(2), F);
+  case Opcode::Call: {
+    std::vector<Cell> Args;
+    Args.reserve(I.numOperands());
+    for (unsigned A = 0; A < I.numOperands(); ++A)
+      Args.push_back(eval(I.operand(A), F));
+    if (Obs)
+      Obs->onCall(&I, I.callee());
+    Cell R = callFunction(I.callee(), Args);
+    if (Obs)
+      Obs->onReturn(I.callee());
+    return R;
+  }
+  case Opcode::Print:
+    formatPrint(I, F);
+    return Cell();
+  case Opcode::CheckHeap:
+    Rt.checkHeap(reinterpret_cast<void *>(eval(I.operand(0), F).asPtr()),
+                 I.expectedHeap());
+    return Cell();
+  case Opcode::PrivateRead:
+    Rt.privateRead(reinterpret_cast<void *>(eval(I.operand(0), F).asPtr()),
+                   I.accessBytes());
+    return Cell();
+  case Opcode::PrivateWrite:
+    Rt.privateWrite(reinterpret_cast<void *>(eval(I.operand(0), F).asPtr()),
+                    I.accessBytes());
+    return Cell();
+  case Opcode::SpeculateEq:
+    Rt.speculateTrue(eval(I.operand(0), F).Raw == eval(I.operand(1), F).Raw,
+                     "value prediction failed");
+    return Cell();
+  case Opcode::Phi:
+  case Opcode::Br:
+  case Opcode::CondBr:
+  case Opcode::Ret:
+    break;
+  }
+  PRIVATEER_UNREACHABLE("opcode handled elsewhere");
+}
+
+BasicBlock *Interpreter::runPlannedLoop(Frame &F) {
+  const analysis::Loop::CanonicalIv &Iv = Plan->Iv;
+  int64_t Begin = eval(Iv.Begin, F).asInt();
+  int64_t Bound = eval(Iv.Bound, F).asInt();
+  BasicBlock *Header = Plan->TheLoop->header();
+  BasicBlock *BodyStart = Header->terminator()->blockRef(0);
+  uint64_t N = Bound > Begin ? static_cast<uint64_t>(Bound - Begin) : 0;
+
+  if (N > 0) {
+    InvocationStats S = Runtime::get().runParallel(
+        N, Plan->Options, [&](uint64_t I) {
+          F.Values[Iv.Phi] = Cell::fromInt(Begin + static_cast<int64_t>(I));
+          InParallelBody = true;
+          Cell Ret;
+          bool Returned = runBlocks(BodyStart, Header, Header, F, Ret);
+          InParallelBody = false;
+          if (Returned)
+            reportFatalError(
+                "planned DOALL loop returned out of its body");
+        });
+    Plan->Stats.Iterations += S.Iterations;
+    Plan->Stats.Checkpoints += S.Checkpoints;
+    Plan->Stats.Misspecs += S.Misspecs;
+    Plan->Stats.RecoveredIterations += S.RecoveredIterations;
+    Plan->Stats.Epochs += S.Epochs;
+    Plan->Stats.PrivateReadCalls += S.PrivateReadCalls;
+    Plan->Stats.PrivateReadBytes += S.PrivateReadBytes;
+    Plan->Stats.PrivateWriteCalls += S.PrivateWriteCalls;
+    Plan->Stats.PrivateWriteBytes += S.PrivateWriteBytes;
+    Plan->Stats.SeparationChecks += S.SeparationChecks;
+    if (Plan->Stats.FirstMisspecReason.empty())
+      Plan->Stats.FirstMisspecReason = S.FirstMisspecReason;
+  }
+
+  // After the loop, the IV holds the first value failing the bound check.
+  F.Values[Iv.Phi] = Cell::fromInt(Bound > Begin ? Bound : Begin);
+  return Iv.ExitBlock;
+}
+
+void Interpreter::formatPrint(const Instruction &I, Frame &F) {
+  const std::string &Fmt = I.printFormat();
+  std::string Out;
+  unsigned NextArg = 0;
+  for (size_t P = 0; P < Fmt.size(); ++P) {
+    if (Fmt[P] != '%') {
+      Out += Fmt[P];
+      continue;
+    }
+    if (P + 1 < Fmt.size() && Fmt[P + 1] == '%') {
+      Out += '%';
+      ++P;
+      continue;
+    }
+    // Collect the conversion spec up to its letter.
+    std::string Spec = "%";
+    size_t Q = P + 1;
+    while (Q < Fmt.size() && !std::isalpha(static_cast<unsigned char>(Fmt[Q])))
+      Spec += Fmt[Q++];
+    // Skip length modifiers; we re-add our own.
+    while (Q < Fmt.size() && (Fmt[Q] == 'l' || Fmt[Q] == 'h' || Fmt[Q] == 'z'))
+      ++Q;
+    if (Q >= Fmt.size())
+      break;
+    char Conv = Fmt[Q];
+    P = Q;
+    if (NextArg >= I.numOperands())
+      reportFatalError("print format consumes more arguments than given");
+    Cell Arg = eval(I.operand(NextArg++), F);
+    char Buf[64];
+    switch (Conv) {
+    case 'd':
+    case 'i':
+      std::snprintf(Buf, sizeof(Buf), (Spec + "lld").c_str(),
+                    static_cast<long long>(Arg.asInt()));
+      break;
+    case 'u':
+    case 'x':
+    case 'X':
+      std::snprintf(Buf, sizeof(Buf), (Spec + "ll" + Conv).c_str(),
+                    static_cast<unsigned long long>(Arg.asPtr()));
+      break;
+    case 'f':
+    case 'g':
+    case 'e':
+      std::snprintf(Buf, sizeof(Buf), (Spec + Conv).c_str(), Arg.asFloat());
+      break;
+    case 'c':
+      std::snprintf(Buf, sizeof(Buf), "%c",
+                    static_cast<char>(Arg.asInt()));
+      break;
+    default:
+      reportFatalError(std::string("unsupported print conversion %") +
+                       Conv);
+    }
+    Out += Buf;
+  }
+  Runtime::get().deferPrintf("%s", Out.c_str());
+}

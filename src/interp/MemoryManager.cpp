@@ -1,0 +1,74 @@
+//===- interp/MemoryManager.cpp -------------------------------------------===//
+
+#include "interp/MemoryManager.h"
+
+#include "runtime/Runtime.h"
+#include "support/ErrorHandling.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace privateer;
+using namespace privateer::interp;
+using namespace privateer::ir;
+
+PlainMemoryManager::~PlainMemoryManager() {
+  for (void *P : Live)
+    std::free(P);
+}
+
+void *PlainMemoryManager::allocate(uint64_t Bytes, const Instruction *,
+                                   const GlobalVariable *) {
+  void *P = std::calloc(1, Bytes ? Bytes : 1);
+  if (!P)
+    reportFatalError("interpreter out of memory");
+  Live.insert(P);
+  return P;
+}
+
+void PlainMemoryManager::deallocate(void *P) {
+  if (!P)
+    return;
+  if (!Live.erase(P))
+    reportFatalError("interpreted program freed an unknown pointer");
+  std::free(P);
+}
+
+PrivateerMemoryManager::~PrivateerMemoryManager() {
+  for (void *P : LivePlain)
+    std::free(P);
+}
+
+void *PrivateerMemoryManager::allocate(uint64_t Bytes,
+                                       const Instruction *Site,
+                                       const GlobalVariable *G) {
+  Runtime &Rt = Runtime::get();
+  if (Site && Site->hasAllocHeap())
+    return Rt.heapAlloc(Bytes, Site->allocHeap());
+  if (G && G->hasAssignedHeap()) {
+    void *P = Rt.heapAlloc(Bytes, G->assignedHeap());
+    std::memset(P, 0, Bytes);
+    return P;
+  }
+  void *P = std::calloc(1, Bytes ? Bytes : 1);
+  if (!P)
+    reportFatalError("interpreter out of memory");
+  LivePlain.insert(P);
+  return P;
+}
+
+void PrivateerMemoryManager::deallocate(void *P) {
+  if (!P)
+    return;
+  uint64_t Tag = addressTag(reinterpret_cast<uint64_t>(P));
+  for (unsigned I = 0; I < kNumHeapKinds; ++I) {
+    HeapKind K = static_cast<HeapKind>(I);
+    if (Tag == heapTag(K)) {
+      Runtime::get().heapDealloc(P, K);
+      return;
+    }
+  }
+  if (!LivePlain.erase(P))
+    reportFatalError("privatized program freed an unknown pointer");
+  std::free(P);
+}

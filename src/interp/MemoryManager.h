@@ -1,0 +1,68 @@
+//===- interp/MemoryManager.h - Interpreter memory backends -----*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory backends for the IR interpreter.  Profiling runs use plain host
+/// malloc; privatized (transformed) programs route annotated allocation
+/// sites and heap-assigned globals to the Privateer runtime's logical
+/// heaps — the operational half of §4.4 Replace Allocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_INTERP_MEMORYMANAGER_H
+#define PRIVATEER_INTERP_MEMORYMANAGER_H
+
+#include "ir/IR.h"
+
+#include <set>
+
+namespace privateer {
+namespace interp {
+
+class MemoryManager {
+public:
+  virtual ~MemoryManager() = default;
+
+  /// Allocates storage for an Alloca/Malloc site (\p Site may carry a
+  /// heap assignment) or for a global (\p Site null, \p G set).
+  virtual void *allocate(uint64_t Bytes, const ir::Instruction *Site,
+                         const ir::GlobalVariable *G) = 0;
+  virtual void deallocate(void *P) = 0;
+};
+
+/// Host malloc/free; owns outstanding blocks so leaked program memory is
+/// reclaimed when the manager dies (profiling runs execute buggy-looking
+/// programs on purpose).
+class PlainMemoryManager : public MemoryManager {
+public:
+  ~PlainMemoryManager() override;
+  void *allocate(uint64_t Bytes, const ir::Instruction *Site,
+                 const ir::GlobalVariable *G) override;
+  void deallocate(void *P) override;
+
+private:
+  std::set<void *> Live;
+};
+
+/// Routes heap-assigned sites and globals into the Privateer runtime's
+/// logical heaps; anything unassigned falls back to host malloc.  Frees
+/// dispatch on the pointer's heap tag.
+class PrivateerMemoryManager : public MemoryManager {
+public:
+  ~PrivateerMemoryManager() override;
+  void *allocate(uint64_t Bytes, const ir::Instruction *Site,
+                 const ir::GlobalVariable *G) override;
+  void deallocate(void *P) override;
+
+private:
+  std::set<void *> LivePlain;
+};
+
+} // namespace interp
+} // namespace privateer
+
+#endif // PRIVATEER_INTERP_MEMORYMANAGER_H

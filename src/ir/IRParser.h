@@ -1,0 +1,31 @@
+//===- ir/IRParser.h - Textual IR input -------------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual form produced by IRPrinter.  Returns null and an
+/// error message (with a line number) on malformed input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_IR_IRPARSER_H
+#define PRIVATEER_IR_IRPARSER_H
+
+#include "ir/IR.h"
+
+#include <memory>
+#include <string>
+
+namespace privateer {
+namespace ir {
+
+std::unique_ptr<Module> parseModule(const std::string &Text,
+                                    std::string &Error);
+
+} // namespace ir
+} // namespace privateer
+
+#endif // PRIVATEER_IR_IRPARSER_H

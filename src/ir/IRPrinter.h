@@ -1,0 +1,33 @@
+//===- ir/IRPrinter.h - Textual IR output -----------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints modules in the textual form IRParser reads back (round-trip
+/// tested).  Unnamed instruction results are auto-named %tN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_IR_IRPRINTER_H
+#define PRIVATEER_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace privateer {
+namespace ir {
+
+/// Renders \p M as parseable text.  Assigns fresh %tN names to unnamed
+/// instruction results as a side effect (so printing is stable).
+std::string printModule(Module &M);
+
+std::string printFunction(Function &F);
+
+} // namespace ir
+} // namespace privateer
+
+#endif // PRIVATEER_IR_IRPRINTER_H

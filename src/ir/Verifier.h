@@ -1,0 +1,34 @@
+//===- ir/Verifier.h - IR well-formedness checks ----------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification: every block ends in exactly one terminator,
+/// phis lead their block and cover each predecessor exactly once, operand
+/// types fit their opcode, calls match arity, and memory access sizes are
+/// sane.  Returns all diagnostics rather than stopping at the first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_IR_VERIFIER_H
+#define PRIVATEER_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+#include <string>
+#include <vector>
+
+namespace privateer {
+namespace ir {
+
+std::vector<std::string> verifyModule(const Module &M);
+
+inline bool isWellFormed(const Module &M) { return verifyModule(M).empty(); }
+
+} // namespace ir
+} // namespace privateer
+
+#endif // PRIVATEER_IR_VERIFIER_H

@@ -1,0 +1,229 @@
+//===- profiling/ProfileCollector.cpp -------------------------------------===//
+
+#include "profiling/ProfileCollector.h"
+
+using namespace privateer;
+using namespace privateer::profiling;
+using namespace privateer::analysis;
+using namespace privateer::ir;
+
+std::string ObjectKey::str() const {
+  if (Global)
+    return "@" + Global->name();
+  std::string S = "site:";
+  if (AllocSite) {
+    S += AllocSite->parent()->parent()->name() + "/" +
+         AllocSite->parent()->name() + "/%" + AllocSite->name();
+  }
+  if (!Context.empty())
+    S += " ctx[" + Context + "]";
+  return S;
+}
+
+ProfileCollector::LoopSnapshot ProfileCollector::snapshotActivations() const {
+  LoopSnapshot Out;
+  Out.reserve(ActivationStack.size());
+  for (const Activation &A : ActivationStack)
+    Out.emplace_back(A.L, A.ActivationId, A.Iteration);
+  return Out;
+}
+
+const ProfileCollector::Activation *
+ProfileCollector::currentActivation(const Loop *L) const {
+  for (auto It = ActivationStack.rbegin(); It != ActivationStack.rend();
+       ++It)
+    if (It->L == L)
+      return &*It;
+  return nullptr;
+}
+
+std::string ProfileCollector::contextString() const {
+  // "The dynamic context distinguishes dynamic instances of a static
+  // instruction by listing the function and loop invocations which
+  // enclose that instruction": the call-site chain is the discriminating
+  // part (enqueueQ called at line 60 vs line 74 in Figure 2).
+  std::string Out;
+  for (const Instruction *Site : CallStack) {
+    if (!Out.empty())
+      Out += ">";
+    // Call site identified by caller function and block (most call
+    // instructions have no result name).
+    Out += Site->parent()->parent()->name() + "/" + Site->parent()->name();
+  }
+  return Out;
+}
+
+void ProfileCollector::onGlobalAlloc(const GlobalVariable *G, uint64_t Addr,
+                                     uint64_t Bytes) {
+  ObjectKey K;
+  K.Global = G;
+  P.Objects.insert(K);
+  P.GlobalBases[G] = Addr;
+  AddrMap.insert(Addr, Addr + Bytes, K);
+}
+
+void ProfileCollector::onAlloc(const Instruction *Site, uint64_t Addr,
+                               uint64_t Bytes) {
+  ObjectKey K;
+  K.AllocSite = Site;
+  K.Context = contextString();
+  P.Objects.insert(K);
+  AddrMap.insert(Addr, Addr + (Bytes ? Bytes : 1), K);
+  LiveAllocs[Addr] = LiveAlloc{K, snapshotActivations()};
+}
+
+void ProfileCollector::onFree(const Instruction *, uint64_t Addr) {
+  auto It = LiveAllocs.find(Addr);
+  if (It == LiveAllocs.end())
+    return;
+  // Lifetime verdict per enclosing loop: short-lived iff freed in the
+  // same activation and iteration it was allocated in.
+  for (const auto &[L, Act, Iter] : It->second.AtAlloc) {
+    auto &Counts = P.Lifetime[{It->second.Key, L}];
+    ++Counts.first;
+    const Activation *Cur = currentActivation(L);
+    if (!Cur || Cur->ActivationId != Act || Cur->Iteration != Iter)
+      ++Counts.second;
+  }
+  auto Interval = AddrMap.lookupInterval(Addr);
+  if (Interval)
+    AddrMap.erase(Interval->Lo, Interval->Hi);
+  LiveAllocs.erase(It);
+}
+
+void ProfileCollector::onLoad(const Instruction *I, uint64_t Addr,
+                              uint64_t Bytes) {
+  if (auto K = AddrMap.lookup(Addr))
+    P.InstObjects[I].insert(*K);
+
+  // Memory flow-dependence profiling: does this read observe a value
+  // written in an earlier iteration of some active loop?
+  for (uint64_t B = 0; B < Bytes; ++B) {
+    auto It = LastWriter.find(Addr + B);
+    if (It == LastWriter.end())
+      continue;
+    for (const auto &[L, Act, Iter] : It->second.At) {
+      const Activation *Cur = currentActivation(L);
+      if (Cur && Cur->ActivationId == Act && Cur->Iteration > Iter)
+        P.FlowDeps[L].insert(FlowDep{It->second.Store, I});
+    }
+  }
+
+  // Value-prediction profiling: the first execution of this load in each
+  // iteration of each active loop.
+  uint64_t Raw = 0;
+  std::memcpy(&Raw, reinterpret_cast<const void *>(Addr),
+              std::min<uint64_t>(Bytes, 8));
+  for (const Activation &A : ActivationStack) {
+    PredRec &R = PredState[{I, A.L}];
+    if (R.Unpredictable)
+      continue;
+    if (R.MarkerAct == A.ActivationId && R.MarkerIter == A.Iteration)
+      continue; // Not the first read this iteration.
+    R.MarkerAct = A.ActivationId;
+    R.MarkerIter = A.Iteration;
+    if (!R.Seen) {
+      R.Seen = true;
+      R.Addr = Addr;
+      R.Bytes = Bytes;
+      R.Raw = Raw;
+    } else if (R.Addr != Addr || R.Bytes != Bytes || R.Raw != Raw) {
+      R.Unpredictable = true;
+    }
+  }
+}
+
+void ProfileCollector::onStore(const Instruction *I, uint64_t Addr,
+                               uint64_t Bytes) {
+  if (auto K = AddrMap.lookup(Addr))
+    P.InstObjects[I].insert(*K);
+  LoopSnapshot Snap = snapshotActivations();
+  for (uint64_t B = 0; B < Bytes; ++B)
+    LastWriter[Addr + B] = WriteRec{I, Snap};
+}
+
+void ProfileCollector::onBlockEnter(const BasicBlock *B,
+                                    const BasicBlock *From) {
+  // Branch bias (control-speculation profile).
+  if (From) {
+    const Instruction *T = From->terminator();
+    if (T && T->opcode() == Opcode::CondBr) {
+      auto &C = P.Branches[T];
+      ++C.second;
+      if (T->blockRef(0) == B)
+        ++C.first;
+    }
+  }
+
+  const LoopInfo &LI = FA.loops(B->parent());
+
+  // Leave loops this block is outside of (within the current frame).
+  size_t Base = FrameBases.back();
+  while (ActivationStack.size() > Base &&
+         !ActivationStack.back().L->contains(B))
+    ActivationStack.pop_back();
+
+  // Enter or iterate a loop whose header this is.
+  if (const Loop *L = LI.loopFor(B); L && L->header() == B) {
+    bool BackEdge = !ActivationStack.empty() &&
+                    ActivationStack.size() > Base &&
+                    ActivationStack.back().L == L && From &&
+                    L->contains(From);
+    if (BackEdge) {
+      ++ActivationStack.back().Iteration;
+      ++P.Loops[L].Iterations;
+    } else {
+      ActivationStack.push_back(Activation{L, NextActivationId++, 0});
+      ++P.Loops[L].Invocations;
+      ++P.Loops[L].Iterations;
+    }
+  }
+
+  // Execution weight: this block's work counts toward every active loop,
+  // across frames (callee work accrues to caller loops).
+  uint64_t W = B->instructions().size();
+  for (Activation &A : ActivationStack)
+    P.Loops[A.L].Weight += W;
+}
+
+void ProfileCollector::onCall(const Instruction *Site, const Function *) {
+  CallStack.push_back(Site);
+  FrameBases.push_back(ActivationStack.size());
+}
+
+void ProfileCollector::onReturn(const Function *) {
+  ActivationStack.resize(FrameBases.back());
+  FrameBases.pop_back();
+  CallStack.pop_back();
+}
+
+Profile ProfileCollector::finish() {
+  // Objects never freed are not short-lived for any loop that was active
+  // at their allocation.
+  for (const auto &[Addr, Alloc] : LiveAllocs) {
+    (void)Addr;
+    for (const auto &[L, Act, Iter] : Alloc.AtAlloc) {
+      (void)Act;
+      (void)Iter;
+      auto &Counts = P.Lifetime[{Alloc.Key, L}];
+      ++Counts.first;
+      ++Counts.second;
+    }
+  }
+  LiveAllocs.clear();
+
+  // Materialize surviving value predictions (sign-extended like Load).
+  for (const auto &[Key, R] : PredState) {
+    if (!R.Seen || R.Unpredictable)
+      continue;
+    int64_t V = 0;
+    std::memcpy(&V, &R.Raw, 8);
+    if (R.Bytes < 8) {
+      unsigned Shift = 64 - 8 * static_cast<unsigned>(R.Bytes);
+      V = (V << Shift) >> Shift;
+    }
+    P.Predictables[Key] =
+        PredictableLoad{Key.first, R.Addr, R.Bytes, V};
+  }
+  return std::move(P);
+}

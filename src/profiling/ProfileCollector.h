@@ -1,0 +1,106 @@
+//===- profiling/ProfileCollector.h - Profiling observer --------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumented-training-run half of §4.1, as one InterpObserver.
+/// Maintains "an interval map from ranges of memory addresses to the name
+/// of the memory object which occupies that space", tracks loop activations
+/// (invocation + iteration counters per dynamic loop entry), object
+/// lifetimes, per-byte last writers for memory flow-dependence profiling,
+/// branch bias, per-loop execution weight, and first-read-per-iteration
+/// value predictability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_PROFILING_PROFILECOLLECTOR_H
+#define PRIVATEER_PROFILING_PROFILECOLLECTOR_H
+
+#include "analysis/FunctionAnalyses.h"
+#include "interp/Interpreter.h"
+#include "profiling/Profile.h"
+#include "support/IntervalMap.h"
+
+#include <unordered_map>
+
+namespace privateer {
+namespace profiling {
+
+class ProfileCollector : public interp::InterpObserver {
+public:
+  explicit ProfileCollector(const analysis::FunctionAnalyses &FA) : FA(FA) {}
+
+  // InterpObserver implementation.
+  void onGlobalAlloc(const ir::GlobalVariable *G, uint64_t Addr,
+                     uint64_t Bytes) override;
+  void onAlloc(const ir::Instruction *Site, uint64_t Addr,
+               uint64_t Bytes) override;
+  void onFree(const ir::Instruction *I, uint64_t Addr) override;
+  void onLoad(const ir::Instruction *I, uint64_t Addr,
+              uint64_t Bytes) override;
+  void onStore(const ir::Instruction *I, uint64_t Addr,
+               uint64_t Bytes) override;
+  void onBlockEnter(const ir::BasicBlock *B,
+                    const ir::BasicBlock *From) override;
+  void onCall(const ir::Instruction *Site, const ir::Function *F) override;
+  void onReturn(const ir::Function *F) override;
+
+  /// Finalizes lifetime of still-live objects and value predictability,
+  /// and hands over the accumulated profile.
+  Profile finish();
+
+private:
+  struct Activation {
+    const analysis::Loop *L;
+    uint64_t ActivationId;
+    uint64_t Iteration;
+  };
+  using LoopSnapshot =
+      std::vector<std::tuple<const analysis::Loop *, uint64_t, uint64_t>>;
+
+  LoopSnapshot snapshotActivations() const;
+  const Activation *currentActivation(const analysis::Loop *L) const;
+  std::string contextString() const;
+
+  const analysis::FunctionAnalyses &FA;
+  Profile P;
+
+  std::vector<Activation> ActivationStack;
+  std::vector<size_t> FrameBases{0};
+  std::vector<const ir::Instruction *> CallStack;
+  uint64_t NextActivationId = 1;
+
+  IntervalMap<ObjectKey> AddrMap;
+  struct LiveAlloc {
+    ObjectKey Key;
+    LoopSnapshot AtAlloc;
+  };
+  std::unordered_map<uint64_t, LiveAlloc> LiveAllocs;
+
+  struct WriteRec {
+    const ir::Instruction *Store;
+    LoopSnapshot At;
+  };
+  std::unordered_map<uint64_t, WriteRec> LastWriter;
+
+  struct PredRec {
+    bool Seen = false;
+    bool Unpredictable = false;
+    uint64_t Addr = 0;
+    uint64_t Bytes = 0;
+    uint64_t Raw = 0;
+    uint64_t MarkerAct = ~0ULL;
+    uint64_t MarkerIter = ~0ULL;
+  };
+  std::map<std::pair<const ir::Instruction *, const analysis::Loop *>,
+           PredRec>
+      PredState;
+};
+
+} // namespace profiling
+} // namespace privateer
+
+#endif // PRIVATEER_PROFILING_PROFILECOLLECTOR_H

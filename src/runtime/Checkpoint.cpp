@@ -1,0 +1,194 @@
+//===- runtime/Checkpoint.cpp ---------------------------------------------===//
+
+#include "runtime/Checkpoint.h"
+
+#include "runtime/ShadowMetadata.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <sys/mman.h>
+
+using namespace privateer;
+
+namespace {
+constexpr uint64_t kSlotAlign = 64;
+uint64_t alignUp(uint64_t N) { return (N + kSlotAlign - 1) & ~(kSlotAlign - 1); }
+} // namespace
+
+CheckpointRegion::~CheckpointRegion() { destroy(); }
+
+void CheckpointRegion::create(const Config &C) {
+  assert(!Region && "region already created");
+  assert(C.NumSlots > 0 && C.NumWorkers > 0 && "empty checkpoint region");
+  Cfg = C;
+  SlotStride = alignUp(sizeof(SlotHeader)) + alignUp(C.PrivateBytes) * 2 +
+               alignUp(C.ReduxBytes) + alignUp(C.IoCapacity);
+  RegionBytes = (SlotStride * C.NumSlots + 4095) & ~uint64_t(4095);
+  void *P = mmap(nullptr, RegionBytes, PROT_READ | PROT_WRITE,
+                 MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    reportFatalError(std::string("mmap checkpoint region: ") +
+                     std::strerror(errno));
+  Region = static_cast<uint8_t *>(P);
+  for (uint64_t S = 0; S < C.NumSlots; ++S) {
+    SlotHeader *H = slot(S);
+    new (H) SlotHeader();
+    H->BaseIter = C.BaseIter + S * C.Period;
+    uint64_t End = std::min(C.BaseIter + C.EpochIters,
+                            H->BaseIter + C.Period);
+    H->NumIters = End - H->BaseIter;
+  }
+}
+
+void CheckpointRegion::destroy() {
+  if (!Region)
+    return;
+  munmap(Region, RegionBytes);
+  Region = nullptr;
+}
+
+SlotHeader *CheckpointRegion::slot(uint64_t P) const {
+  assert(P < Cfg.NumSlots && "slot index out of range");
+  return reinterpret_cast<SlotHeader *>(Region + P * SlotStride);
+}
+
+uint8_t *CheckpointRegion::slotMeta(uint64_t P) const {
+  return Region + P * SlotStride + alignUp(sizeof(SlotHeader));
+}
+
+uint8_t *CheckpointRegion::slotValues(uint64_t P) const {
+  return slotMeta(P) + alignUp(Cfg.PrivateBytes);
+}
+
+uint8_t *CheckpointRegion::slotRedux(uint64_t P) const {
+  return slotValues(P) + alignUp(Cfg.PrivateBytes);
+}
+
+uint8_t *CheckpointRegion::slotIo(uint64_t P) const {
+  return slotRedux(P) + alignUp(Cfg.ReduxBytes);
+}
+
+void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
+                                   const uint8_t *LocalPrivate,
+                                   const ReductionRegistry &Redux,
+                                   uint64_t ReduxBase,
+                                   std::vector<IoRecord> &PendingIo,
+                                   bool Executed) {
+  SlotHeader *H = slot(P);
+  H->Lock.lock();
+
+  if (Executed) {
+    // Fold this worker's per-byte facts into the slot alphabet.  Only codes
+    // >= 2 carry period-local information: 0 is untouched, 1 is an old
+    // write already known to the master shadow.
+    uint8_t *Meta = slotMeta(P);
+    uint8_t *Values = slotValues(P);
+    for (uint64_t I = 0; I < Cfg.PrivateBytes; ++I) {
+      uint8_t Local = LocalShadow[I];
+      if (Local < shadow::kReadLiveIn)
+        continue;
+      uint8_t &SlotCode = Meta[I];
+      if (Local == shadow::kReadLiveIn) {
+        if (SlotCode == 0 || SlotCode == shadow::kReadLiveIn)
+          SlotCode = shadow::kReadLiveIn;
+        else
+          SlotCode = kSlotConflict; // Read-live-in meets another's write.
+      } else {
+        // Local is a write timestamp.
+        if (SlotCode == 0) {
+          SlotCode = Local;
+          Values[I] = LocalPrivate[I];
+        } else if (SlotCode == shadow::kReadLiveIn ||
+                   SlotCode == kSlotConflict) {
+          SlotCode = kSlotConflict;
+        } else if (Local >= SlotCode) {
+          // Output dependence between workers: the later iteration's value
+          // survives, exactly as in the sequential program.
+          SlotCode = Local;
+          Values[I] = LocalPrivate[I];
+        }
+      }
+    }
+
+    // Reduction partials: first contributor copies, later ones combine.
+    if (Cfg.ReduxBytes > 0) {
+      int64_t SlotBias = reinterpret_cast<int64_t>(slotRedux(P)) -
+                         static_cast<int64_t>(ReduxBase);
+      if (H->ExecutedMerges == 0)
+        std::memcpy(slotRedux(P), reinterpret_cast<void *>(ReduxBase),
+                    Cfg.ReduxBytes);
+      else
+        Redux.combine(SlotBias, 0);
+    }
+
+    // Deferred output.
+    if (!PendingIo.empty()) {
+      if (!serializeIoRecords(PendingIo, slotIo(P), Cfg.IoCapacity,
+                              H->IoBytes))
+        H->IoOverflow = 1;
+      PendingIo.clear();
+    }
+    ++H->ExecutedMerges;
+  }
+
+  ++H->WorkersMerged;
+  H->Lock.unlock();
+}
+
+CheckpointRegion::CommitStatus CheckpointRegion::commitSlot(
+    uint64_t P, uint8_t *MasterShadow, uint8_t *MasterPrivate,
+    const ReductionRegistry &Redux, uint64_t ReduxBase,
+    std::vector<IoRecord> &OutIo, std::string &MisspecWhy) const {
+  SlotHeader *H = slot(P);
+  if (H->IoOverflow) {
+    MisspecWhy = "deferred-output buffer overflow";
+    return CommitStatus::Misspec;
+  }
+
+  const uint8_t *Meta = slotMeta(P);
+  const uint8_t *Values = slotValues(P);
+
+  // Pass 1: detect phase-2 privacy violations before mutating master state
+  // so a misspeculating slot leaves the committed image untouched.
+  for (uint64_t I = 0; I < Cfg.PrivateBytes; ++I) {
+    uint8_t Code = Meta[I];
+    // kSlotConflict must be tested before the timestamp skip: 255 also
+    // satisfies isTimestamp().
+    if (Code == kSlotConflict) {
+      MisspecWhy = "private byte both read live-in and written within one "
+                   "checkpoint period (conservative)";
+      return CommitStatus::Misspec;
+    }
+    if (Code == 0 || shadow::isTimestamp(Code))
+      continue;
+    assert(Code == shadow::kReadLiveIn && "unexpected slot code");
+    if (MasterShadow[I] == shadow::kOldWrite) {
+      MisspecWhy = "loop-carried flow dependence: read of a value written "
+                   "in an earlier checkpoint period";
+      return CommitStatus::Misspec;
+    }
+  }
+
+  // Pass 2: apply writes (pass 1 guarantees no conflict codes remain).
+  for (uint64_t I = 0; I < Cfg.PrivateBytes; ++I) {
+    if (shadow::isTimestamp(Meta[I]) && Meta[I] != kSlotConflict) {
+      MasterPrivate[I] = Values[I];
+      MasterShadow[I] = shadow::kOldWrite;
+    }
+  }
+
+  // Combine reduction partials into the committed accumulators.  A slot
+  // nobody executed iterations for holds no partial at all.
+  if (Cfg.ReduxBytes > 0 && H->ExecutedMerges > 0) {
+    int64_t SlotBias = reinterpret_cast<int64_t>(slotRedux(P)) -
+                       static_cast<int64_t>(ReduxBase);
+    Redux.combine(0, SlotBias);
+  }
+
+  deserializeIoRecords(slotIo(P), H->IoBytes, OutIo);
+  return CommitStatus::Ok;
+}

@@ -1,0 +1,125 @@
+//===- runtime/Checkpoint.h - Checkpoint objects ----------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint system of paper §5.2.  A parallel epoch owns an array of
+/// checkpoint *slots*, one per checkpoint period of `k` iterations, living
+/// in shared memory created before fork.  "Workers acquire a lock on a
+/// single checkpoint object, not the whole checkpoint system, to avoid
+/// barrier penalties": each worker merges its speculative state (private
+/// values, shadow metadata, reduction partials, deferred output) into the
+/// slot for a period as soon as it finishes its share of that period's
+/// iterations, then keeps running.
+///
+/// Privacy validation is two-phase (§5.1).  Phase 1 is the inline Table 2
+/// test in each worker.  Phase 2 happens here: worker merges record
+/// cross-worker read/write facts per byte, and the main process commits
+/// slots **in iteration order**, checking every read-live-in byte against
+/// the master shadow (was this byte written by any earlier committed
+/// period?) and flagging same-period read+write combinations as the
+/// paper's conservative misspeculation.
+///
+/// Slot metadata alphabet (per private byte):
+///   0          untouched this period
+///   2          read as live-in by >=1 worker
+///   ts >= 3    written; highest iteration timestamp wins, value plane
+///              holds that worker's byte
+///   255        read-live-in and written in the same period -> conservative
+///              misspeculation at commit (mirrors Table 2's write-to-2 rule)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_CHECKPOINT_H
+#define PRIVATEER_RUNTIME_CHECKPOINT_H
+
+#include "runtime/ControlBlock.h"
+#include "runtime/DeferredIO.h"
+#include "runtime/Reduction.h"
+
+#include <string>
+#include <vector>
+
+namespace privateer {
+
+inline constexpr uint8_t kSlotConflict = 255;
+
+/// Header of one checkpoint slot (in shared memory).
+struct SlotHeader {
+  SpinLock Lock;
+  uint32_t WorkersMerged = 0;
+  /// Mergers that actually executed iterations; the first of these
+  /// initializes the slot's reduction partial.
+  uint32_t ExecutedMerges = 0;
+  uint64_t BaseIter = 0;
+  uint64_t NumIters = 0;
+  uint64_t IoBytes = 0;
+  uint32_t IoOverflow = 0;
+};
+
+class CheckpointRegion {
+public:
+  struct Config {
+    uint64_t NumSlots = 0;
+    uint64_t PrivateBytes = 0; ///< Bytes of private heap covered (high water).
+    uint64_t ReduxBytes = 0;   ///< Bytes of redux heap covered.
+    uint64_t IoCapacity = 0;   ///< Per-slot deferred-output capacity.
+    uint64_t BaseIter = 0;     ///< First iteration of the epoch.
+    uint64_t Period = 0;       ///< Checkpoint period k.
+    uint64_t EpochIters = 0;   ///< Iterations in this epoch.
+    unsigned NumWorkers = 0;
+  };
+
+  CheckpointRegion() = default;
+  CheckpointRegion(const CheckpointRegion &) = delete;
+  CheckpointRegion &operator=(const CheckpointRegion &) = delete;
+  ~CheckpointRegion();
+
+  /// Maps the region (MAP_SHARED | MAP_ANONYMOUS); must run before fork.
+  void create(const Config &C);
+  void destroy();
+
+  const Config &config() const { return Cfg; }
+  SlotHeader *slot(uint64_t P) const;
+
+  /// Worker side: merges this worker's period-\p P state into slot P.
+  /// \p LocalShadow / \p LocalPrivate point at the worker's COW views of
+  /// the covered byte range; \p ReduxBase is the redux heap base address.
+  /// \p PendingIo is consumed (moved into the slot).  When \p Executed is
+  /// false the worker ran no iterations of P and only registers presence.
+  void workerMerge(uint64_t P, const uint8_t *LocalShadow,
+                   const uint8_t *LocalPrivate,
+                   const ReductionRegistry &Redux, uint64_t ReduxBase,
+                   std::vector<IoRecord> &PendingIo, bool Executed);
+
+  enum class CommitStatus { Ok, Misspec };
+
+  /// Main-process side: applies slot \p P to the committed master state.
+  /// \p MasterShadow and \p MasterPrivate are the main process's
+  /// MAP_SHARED views of the covered range; redux partials are combined
+  /// into the master redux heap; deferred output is appended to \p OutIo.
+  /// Detects phase-2 privacy violations, reported through \p MisspecWhy.
+  CommitStatus commitSlot(uint64_t P, uint8_t *MasterShadow,
+                          uint8_t *MasterPrivate,
+                          const ReductionRegistry &Redux, uint64_t ReduxBase,
+                          std::vector<IoRecord> &OutIo,
+                          std::string &MisspecWhy) const;
+
+private:
+  uint8_t *slotMeta(uint64_t P) const;
+  uint8_t *slotValues(uint64_t P) const;
+  uint8_t *slotRedux(uint64_t P) const;
+  uint8_t *slotIo(uint64_t P) const;
+
+  Config Cfg;
+  uint8_t *Region = nullptr;
+  uint64_t SlotStride = 0;
+  uint64_t RegionBytes = 0;
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_CHECKPOINT_H

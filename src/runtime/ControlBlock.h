@@ -1,0 +1,87 @@
+//===- runtime/ControlBlock.h - Shared worker coordination ------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-shared state for a parallel invocation: the global
+/// misspeculation flag and earliest-misspeculation record (paper §5.3), a
+/// per-worker progress word, and per-worker statistics feeding Table 3 and
+/// Figure 8.  Lives in a MAP_SHARED|MAP_ANONYMOUS region created before
+/// fork so all workers see one instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_CONTROLBLOCK_H
+#define PRIVATEER_RUNTIME_CONTROLBLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+#include <sched.h>
+
+namespace privateer {
+
+inline constexpr unsigned kMaxWorkers = 64;
+inline constexpr uint64_t kNoMisspec = ~0ULL;
+
+/// A tiny process-shared mutex.  Workers are processes, potentially
+/// timesharing one core, so the slow path yields rather than spinning.
+class SpinLock {
+public:
+  void lock() {
+    while (State.exchange(1, std::memory_order_acquire) != 0)
+      sched_yield();
+  }
+  void unlock() { State.store(0, std::memory_order_release); }
+
+private:
+  std::atomic<uint32_t> State{0};
+};
+
+/// Per-worker counters; each worker writes only its own entry.
+struct WorkerStats {
+  uint64_t Iterations = 0;
+  uint64_t PrivateReadCalls = 0;
+  uint64_t PrivateReadBytes = 0;
+  uint64_t PrivateWriteCalls = 0;
+  uint64_t PrivateWriteBytes = 0;
+  uint64_t SeparationChecks = 0;
+  double UsefulSec = 0;
+  double PrivateReadSec = 0;
+  double PrivateWriteSec = 0;
+  double CheckpointSec = 0;
+  double StartWall = 0;
+  double EndWall = 0;
+};
+
+struct ControlBlock {
+  std::atomic<uint32_t> MisspecFlag{0};
+  std::atomic<uint64_t> EarliestMisspecIter{kNoMisspec};
+  std::atomic<uint64_t> EarliestMisspecPeriod{kNoMisspec};
+  SpinLock ReasonLock;
+  char MisspecReason[160] = {};
+  /// Iteration each worker is currently executing; consulted when a worker
+  /// dies without recording a misspeculation (e.g. a SIGSEGV from the
+  /// write-protected read-only heap).
+  std::atomic<uint64_t> WorkerIter[kMaxWorkers];
+  WorkerStats Stats[kMaxWorkers];
+
+  /// Atomically lowers \p Target to \p Value if smaller.
+  static void storeMin(std::atomic<uint64_t> &Target, uint64_t Value) {
+    uint64_t Cur = Target.load(std::memory_order_relaxed);
+    while (Value < Cur &&
+           !Target.compare_exchange_weak(Cur, Value,
+                                         std::memory_order_acq_rel)) {
+    }
+  }
+};
+
+static_assert(std::atomic<uint64_t>::is_always_lock_free,
+              "control block requires lock-free 64-bit atomics");
+
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_CONTROLBLOCK_H

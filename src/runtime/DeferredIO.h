@@ -1,0 +1,51 @@
+//===- runtime/DeferredIO.h - Iteration-tagged output records ---*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deferred I/O (paper §6.1: "calls to printf ... are deferred into the
+/// speculative system, so that they may issue in any order yet commit
+/// in-order"; "The side effects of stream output functions are issued
+/// through the checkpoint system and take effect only when the checkpoint
+/// is marked non-speculative").  Each record is the formatted text produced
+/// by one deferred call, tagged with its iteration so commits replay
+/// sequential order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_DEFERREDIO_H
+#define PRIVATEER_RUNTIME_DEFERREDIO_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace privateer {
+
+struct IoRecord {
+  uint64_t Iteration;
+  uint32_t Sequence; ///< Order among records of the same iteration.
+  std::string Text;
+};
+
+/// Serializes \p Records into \p Buf (capacity \p Cap) starting at offset
+/// \p Used; returns false if the buffer would overflow.  Wire format per
+/// record: u64 iteration, u32 sequence, u32 length, bytes.
+bool serializeIoRecords(const std::vector<IoRecord> &Records, uint8_t *Buf,
+                        uint64_t Cap, uint64_t &Used);
+
+/// Parses all records out of \p Buf[0, Used) and appends them to \p Out.
+void deserializeIoRecords(const uint8_t *Buf, uint64_t Used,
+                          std::vector<IoRecord> &Out);
+
+/// Orders records by (iteration, sequence) — the order the sequential
+/// program would have produced them in.
+void sortIoRecords(std::vector<IoRecord> &Records);
+
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_DEFERREDIO_H

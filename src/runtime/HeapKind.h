@@ -1,0 +1,117 @@
+//===- runtime/HeapKind.h - Logical heaps and tagged addresses --*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five logical heaps of paper §4.2 and the tagged-address scheme of
+/// §5.1: "Bits 44-46 of the address hold a 3-bit heap tag, allowing the
+/// runtime to quickly determine if a pointer references an address within
+/// the correct heap. ... The bit patterns for the private and shadow heaps
+/// are chosen so they differ by only one bit.  For a byte at address p
+/// within the private heap, the system computes the address of the
+/// corresponding byte of metadata in the shadow heap with a single bit-wise
+/// OR instruction."
+///
+/// Tag assignment (bits 46..44):
+///   0b001 ReadOnly      0b010 Private       0b011 Shadow (= Private|bit44)
+///   0b100 Redux         0b101 ShortLived    0b110 Unrestricted
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_HEAPKIND_H
+#define PRIVATEER_RUNTIME_HEAPKIND_H
+
+#include <cstdint>
+
+namespace privateer {
+
+/// The access-pattern classifications of paper §4.2.  Shadow is an internal
+/// sixth region holding privacy metadata; it is never a classification.
+enum class HeapKind : uint8_t {
+  ReadOnly = 0,
+  Private = 1,
+  Redux = 2,
+  ShortLived = 3,
+  Unrestricted = 4,
+};
+
+inline constexpr unsigned kNumHeapKinds = 5;
+
+inline constexpr const char *heapKindName(HeapKind K) {
+  switch (K) {
+  case HeapKind::ReadOnly:
+    return "read-only";
+  case HeapKind::Private:
+    return "private";
+  case HeapKind::Redux:
+    return "redux";
+  case HeapKind::ShortLived:
+    return "short-lived";
+  case HeapKind::Unrestricted:
+    return "unrestricted";
+  }
+  return "<invalid>";
+}
+
+/// Bit position of the least-significant tag bit (paper: bits 44-46).
+inline constexpr unsigned kHeapTagShift = 44;
+inline constexpr uint64_t kHeapTagMask = 0x7ULL << kHeapTagShift;
+
+/// The single bit by which the private and shadow tags differ, enabling
+/// shadowAddress() to be one OR instruction.
+inline constexpr uint64_t kShadowBit = 1ULL << kHeapTagShift;
+
+/// 3-bit tag for each logical heap.  Private=0b010 and Shadow=0b011 differ
+/// only in bit 44.
+inline constexpr uint64_t heapTag(HeapKind K) {
+  switch (K) {
+  case HeapKind::ReadOnly:
+    return 0b001;
+  case HeapKind::Private:
+    return 0b010;
+  case HeapKind::Redux:
+    return 0b100;
+  case HeapKind::ShortLived:
+    return 0b101;
+  case HeapKind::Unrestricted:
+    return 0b110;
+  }
+  return 0;
+}
+
+inline constexpr uint64_t kShadowTag = 0b011;
+
+/// Base virtual address of a logical heap; every object allocated from the
+/// heap inherits its tag because the heap is subdivided by allocation.
+inline constexpr uint64_t heapBase(HeapKind K) {
+  return heapTag(K) << kHeapTagShift;
+}
+
+inline constexpr uint64_t shadowHeapBase() {
+  return kShadowTag << kHeapTagShift;
+}
+
+/// Extracts the 3-bit tag of \p Addr.
+inline constexpr uint64_t addressTag(uint64_t Addr) {
+  return (Addr & kHeapTagMask) >> kHeapTagShift;
+}
+
+/// The separation check of §5.1: does \p Addr carry the tag of heap \p K?
+/// "The runtime tests the pointer's heap tag via bit arithmetic, reporting
+/// misspeculation upon mismatch."
+inline constexpr bool addressInHeap(uint64_t Addr, HeapKind K) {
+  return (Addr & kHeapTagMask) == (heapTag(K) << kHeapTagShift);
+}
+
+/// Address of the metadata byte for private byte \p PrivateAddr: a single
+/// bit-wise OR, as in the paper.
+inline constexpr uint64_t shadowAddress(uint64_t PrivateAddr) {
+  return PrivateAddr | kShadowBit;
+}
+
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_HEAPKIND_H

@@ -1,0 +1,422 @@
+//===- runtime/ParallelInvocation.cpp - Fork/join DOALL driver -----------===//
+//
+// Implements paper §5.2 (checkpoints) and §5.3 (recovery): worker processes
+// execute DOALL iterations over copy-on-write views of the logical heaps,
+// merge speculative state into checkpoint slots, and the main process
+// commits checkpoints in order, re-executing sequentially past the earliest
+// misspeculated iteration when validation fails.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "runtime/ShadowMetadata.h"
+#include "support/ErrorHandling.h"
+#include "support/Timing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+
+#include <csignal>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace privateer;
+
+namespace {
+
+constexpr int kMisspecExit = 42;
+
+/// splitmix64; drives deterministic misspeculation injection (Figure 9).
+uint64_t hashIteration(uint64_t Iter, uint64_t Seed) {
+  uint64_t Z = Iter + Seed * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+uint64_t injectionThreshold(double Rate) {
+  if (Rate <= 0)
+    return 0;
+  if (Rate >= 1)
+    return ~0ULL;
+  return static_cast<uint64_t>(Rate * 18446744073709551616.0 /* 2^64 */);
+}
+
+/// The runtime whose worker is active in this process; used by the SIGSEGV
+/// handler that converts stores to the protected read-only heap into
+/// misspeculation.
+Runtime *ActiveWorkerRuntime = nullptr;
+ControlBlock *ActiveWorkerCb = nullptr;
+unsigned ActiveWorkerId = 0;
+uint64_t ActiveWorkerPeriodBase = 0;
+uint64_t ActiveWorkerPeriodLen = 1;
+
+void workerSegvHandler(int /*Sig*/) {
+  // Signal-safe misspeculation report: record position, set flag, die.
+  ControlBlock *Cb = ActiveWorkerCb;
+  if (Cb) {
+    uint64_t Iter =
+        Cb->WorkerIter[ActiveWorkerId].load(std::memory_order_relaxed);
+    ControlBlock::storeMin(Cb->EarliestMisspecIter, Iter);
+    ControlBlock::storeMin(Cb->EarliestMisspecPeriod,
+                           (Iter - ActiveWorkerPeriodBase) /
+                               ActiveWorkerPeriodLen);
+    if (Cb->MisspecFlag.exchange(1, std::memory_order_acq_rel) == 0) {
+      static const char Msg[] = "fault: store to a protected heap";
+      std::memcpy(Cb->MisspecReason, Msg, sizeof(Msg));
+    }
+  }
+  _exit(kMisspecExit);
+}
+
+} // namespace
+
+void Runtime::misspecAbort(const char *Reason) {
+  if (Mode != ExecMode::SpeculativeWorker)
+    reportFatalError(std::string("misspeculation outside a speculative "
+                                 "worker: ") +
+                     Reason);
+  ControlBlock::storeMin(Cb->EarliestMisspecIter, CurIter);
+  ControlBlock::storeMin(Cb->EarliestMisspecPeriod,
+                         (CurIter - EpochBase) / PeriodLen);
+  Cb->ReasonLock.lock();
+  if (Cb->MisspecFlag.load(std::memory_order_relaxed) == 0) {
+    std::strncpy(Cb->MisspecReason, Reason, sizeof(Cb->MisspecReason) - 1);
+    Cb->MisspecReason[sizeof(Cb->MisspecReason) - 1] = '\0';
+  }
+  Cb->ReasonLock.unlock();
+  Cb->MisspecFlag.store(1, std::memory_order_release);
+  // "This worker terminates immediately, squashing all its speculative
+  // state created since its last checkpoint" (§5.3).
+  LocalStats.EndWall = wallSeconds();
+  Cb->Stats[WorkerId] = LocalStats;
+  _exit(kMisspecExit);
+}
+
+InvocationStats Runtime::runParallel(uint64_t NumIterations,
+                                     const ParallelOptions &Options,
+                                     const IterationFn &Body) {
+  assert(Initialized && "runtime not initialized");
+  assert(Mode == ExecMode::Sequential && "nested parallel invocation");
+  assert(Options.NumWorkers >= 1 && Options.NumWorkers <= kMaxWorkers &&
+         "worker count out of range");
+
+  InvocationStats Stats;
+  double WallStart = wallSeconds();
+
+  // Everything in the private heap is live-in when the invocation begins.
+  std::memset(reinterpret_cast<void *>(Shadow.base()), shadow::kLiveIn,
+              Shadow.size());
+
+  // One below the paper's 253-iteration ceiling: timestamp 255 is
+  // reserved as the checkpoint slots' read+write conflict code.
+  uint64_t Period = std::max<uint64_t>(
+      1, std::min(Options.CheckpointPeriod,
+                  shadow::kMaxCheckpointPeriod - 1));
+  uint64_t MaxSlots = std::max<uint64_t>(1, Options.MaxSlotsPerEpoch);
+
+  uint64_t Next = 0;
+  while (Next < NumIterations) {
+    uint64_t Remaining = NumIterations - Next;
+    uint64_t Slots =
+        std::min(MaxSlots, (Remaining + Period - 1) / Period);
+    uint64_t EpochIters = std::min(Remaining, Slots * Period);
+    EpochPlan Plan{Next, EpochIters, Period, Slots};
+    ++Stats.Epochs;
+
+    EpochResult Res = runEpoch(Plan, Options, Body, Stats);
+    if (!Res.Misspec) {
+      Next = Res.CommittedEnd;
+      continue;
+    }
+
+    // Recovery (§5.3): re-execute sequentially from the last committed
+    // checkpoint until past the misspeculated period, then resume
+    // parallel execution.
+    ++Stats.Misspecs;
+    if (Stats.FirstMisspecReason.empty())
+      Stats.FirstMisspecReason = Res.Reason;
+    uint64_t RecoveryEnd = std::min(NumIterations, Res.MisspecPeriodEnd);
+    std::FILE *SavedOut = SeqOut;
+    SeqOut = Options.Out;
+    runSequential(Res.CommittedEnd, RecoveryEnd, Body);
+    SeqOut = SavedOut;
+    Stats.RecoveredIterations += RecoveryEnd - Res.CommittedEnd;
+    Next = RecoveryEnd;
+  }
+
+  Stats.Iterations = NumIterations;
+  Stats.WallSec = wallSeconds() - WallStart;
+  return Stats;
+}
+
+Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
+                                       const ParallelOptions &Options,
+                                       const IterationFn &Body,
+                                       InvocationStats &Stats) {
+  unsigned W = Options.NumWorkers;
+  bool Spec = !Options.NonSpeculative;
+
+  // Shared coordination state, created before fork so every worker and the
+  // main process observe one instance.
+  void *CbMem = mmap(nullptr, sizeof(ControlBlock), PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (CbMem == MAP_FAILED)
+    reportFatalError(std::string("mmap control block: ") +
+                     std::strerror(errno));
+  Cb = new (CbMem) ControlBlock();
+  for (unsigned I = 0; I < kMaxWorkers; ++I)
+    Cb->WorkerIter[I].store(Plan.BaseIter, std::memory_order_relaxed);
+
+  CheckpointRegion TheRegion;
+  PrivateHighWater = heap(HeapKind::Private).highWater();
+  uint64_t ReduxCovered =
+      Redux.spanEnd(heap(HeapKind::Redux).base());
+  if (Spec) {
+    CheckpointRegion::Config C;
+    C.NumSlots = Plan.NumSlots;
+    C.PrivateBytes = PrivateHighWater;
+    C.ReduxBytes = ReduxCovered;
+    C.IoCapacity = Options.IoCapacityPerSlot;
+    C.BaseIter = Plan.BaseIter;
+    C.Period = Plan.Period;
+    C.EpochIters = Plan.EpochIters;
+    C.NumWorkers = W;
+    TheRegion.create(C);
+    Region = &TheRegion;
+  }
+
+  // Spawn workers (§5.1: "the Privateer runtime system uses processes and
+  // not threads" so each can update its virtual memory map independently).
+  std::fflush(nullptr); // Don't duplicate pending stdio buffers into kids.
+  std::vector<pid_t> Pids(W);
+  for (unsigned I = 0; I < W; ++I) {
+    pid_t Pid = fork();
+    if (Pid < 0)
+      reportFatalError(std::string("fork: ") + std::strerror(errno));
+    if (Pid == 0)
+      workerMain(I, Plan, Options, Body); // Never returns.
+    Pids[I] = Pid;
+  }
+
+  // Join and classify worker exits.
+  for (unsigned I = 0; I < W; ++I) {
+    int Status = 0;
+    if (waitpid(Pids[I], &Status, 0) < 0)
+      reportFatalError(std::string("waitpid: ") + std::strerror(errno));
+    bool Clean = WIFEXITED(Status) && (WEXITSTATUS(Status) == 0 ||
+                                       WEXITSTATUS(Status) == kMisspecExit);
+    if (!Clean) {
+      // A worker died without reporting: treat its last known iteration as
+      // misspeculated so recovery re-executes it non-speculatively.
+      uint64_t Iter = Cb->WorkerIter[I].load(std::memory_order_relaxed);
+      ControlBlock::storeMin(Cb->EarliestMisspecIter, Iter);
+      ControlBlock::storeMin(Cb->EarliestMisspecPeriod,
+                             (Iter - Plan.BaseIter) / Plan.Period);
+      if (Cb->MisspecFlag.exchange(1) == 0)
+        std::snprintf(Cb->MisspecReason, sizeof(Cb->MisspecReason),
+                      "worker %u terminated abnormally (status 0x%x)", I,
+                      Status);
+    }
+  }
+
+  // Aggregate worker statistics.
+  for (unsigned I = 0; I < W; ++I) {
+    const WorkerStats &S = Cb->Stats[I];
+    Stats.PrivateReadCalls += S.PrivateReadCalls;
+    Stats.PrivateReadBytes += S.PrivateReadBytes;
+    Stats.PrivateWriteCalls += S.PrivateWriteCalls;
+    Stats.PrivateWriteBytes += S.PrivateWriteBytes;
+    Stats.SeparationChecks += S.SeparationChecks;
+    Stats.UsefulSec += S.UsefulSec;
+    Stats.PrivateReadSec += S.PrivateReadSec;
+    Stats.PrivateWriteSec += S.PrivateWriteSec;
+    Stats.CheckpointSec += S.CheckpointSec;
+  }
+
+  EpochResult Res;
+  Res.CommittedEnd = Plan.BaseIter;
+  Res.Misspec = false;
+  Res.MisspecPeriodEnd = Plan.BaseIter + Plan.EpochIters;
+
+  bool Flag = Cb->MisspecFlag.load(std::memory_order_acquire) != 0;
+  uint64_t MisspecPeriod =
+      Flag ? Cb->EarliestMisspecPeriod.load(std::memory_order_relaxed)
+           : kNoMisspec;
+
+  if (Spec) {
+    // Commit checkpoints in iteration order (§5.2); stop at the first
+    // speculative or incomplete one.
+    std::vector<IoRecord> CommittedIo;
+    std::string Why;
+    uint8_t *MasterShadow = reinterpret_cast<uint8_t *>(Shadow.base());
+    uint8_t *MasterPrivate =
+        reinterpret_cast<uint8_t *>(heap(HeapKind::Private).base());
+    for (uint64_t P = 0; P < Plan.NumSlots; ++P) {
+      if (Flag && P >= MisspecPeriod) {
+        Res.Misspec = true;
+        Res.Reason = Cb->MisspecReason;
+        Res.MisspecPeriodEnd = std::min(
+            Plan.BaseIter + Plan.EpochIters,
+            Plan.BaseIter + (MisspecPeriod + 1) * Plan.Period);
+        break;
+      }
+      SlotHeader *H = TheRegion.slot(P);
+      if (H->WorkersMerged != W) {
+        Res.Misspec = true;
+        Res.Reason = "incomplete checkpoint (worker lost)";
+        Res.MisspecPeriodEnd = H->BaseIter + H->NumIters;
+        break;
+      }
+      CheckpointRegion::CommitStatus St = TheRegion.commitSlot(
+          P, MasterShadow, MasterPrivate, Redux,
+          heap(HeapKind::Redux).base(), CommittedIo, Why);
+      if (St == CheckpointRegion::CommitStatus::Misspec) {
+        Res.Misspec = true;
+        Res.Reason = Why;
+        Res.MisspecPeriodEnd = H->BaseIter + H->NumIters;
+        break;
+      }
+      Res.CommittedEnd = H->BaseIter + H->NumIters;
+      ++Stats.Checkpoints;
+    }
+    // "take effect only when the checkpoint is marked non-speculative":
+    // only output from committed checkpoints is emitted.
+    flushIo(CommittedIo, Options.Out);
+  } else {
+    if (Flag) {
+      Res.Misspec = true;
+      Res.Reason = Cb->MisspecReason;
+    } else {
+      Res.CommittedEnd = Plan.BaseIter + Plan.EpochIters;
+    }
+  }
+
+  Region = nullptr;
+  Cb->~ControlBlock();
+  munmap(CbMem, sizeof(ControlBlock));
+  Cb = nullptr;
+  return Res;
+}
+
+void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
+                         const ParallelOptions &Options,
+                         const IterationFn &Body) {
+  bool Spec = !Options.NonSpeculative;
+  WorkerId = Id;
+  NumWorkers = Options.NumWorkers;
+  EpochBase = Plan.BaseIter;
+  PeriodLen = Plan.Period;
+  LocalStats = WorkerStats();
+  LocalStats.StartWall = wallSeconds();
+  PendingIo.clear();
+  IoSequence = 0;
+
+  if (Spec) {
+    Mode = ExecMode::SpeculativeWorker;
+    // Copy-on-write isolation of all speculatively managed heaps (§3.2).
+    heap(HeapKind::Private).remapCopyOnWrite();
+    heap(HeapKind::ShortLived).remapCopyOnWrite();
+    heap(HeapKind::Redux).remapCopyOnWrite();
+    heap(HeapKind::Unrestricted).remapCopyOnWrite();
+    Shadow.remapCopyOnWrite();
+    if (Options.ProtectReadOnly) {
+      heap(HeapKind::ReadOnly).protectReadOnly();
+      ActiveWorkerRuntime = this;
+      ActiveWorkerCb = Cb;
+      ActiveWorkerId = Id;
+      ActiveWorkerPeriodBase = Plan.BaseIter;
+      ActiveWorkerPeriodLen = Plan.Period;
+      struct sigaction Sa;
+      std::memset(&Sa, 0, sizeof(Sa));
+      Sa.sa_handler = workerSegvHandler;
+      sigaction(SIGSEGV, &Sa, nullptr);
+      sigaction(SIGBUS, &Sa, nullptr);
+    }
+    // "The reduction heap is replaced and bytes within those pages are
+    // initialized with the identity value for the reduction operator."
+    Redux.fillIdentity();
+  } else {
+    Mode = ExecMode::NonSpeculativeWorker;
+    SeqOut = Options.Out;
+  }
+
+  uint64_t InjectThreshold = injectionThreshold(Options.InjectMisspecRate);
+  SharedHeap &SL = heap(HeapKind::ShortLived);
+  uint8_t *LocalShadow = reinterpret_cast<uint8_t *>(Shadow.base());
+  uint8_t *LocalPrivate =
+      reinterpret_cast<uint8_t *>(heap(HeapKind::Private).base());
+  uint64_t EpochEnd = Plan.BaseIter + Plan.EpochIters;
+
+  bool Stopped = false;
+  for (uint64_t P = 0; P < Plan.NumSlots && !Stopped; ++P) {
+    uint64_t PeriodStart = Plan.BaseIter + P * Plan.Period;
+    uint64_t PeriodEnd = std::min(EpochEnd, PeriodStart + Plan.Period);
+    bool Executed = false;
+
+    // This worker's iterations of period P under cyclic scheduling.
+    uint64_t First = PeriodStart;
+    uint64_t Phase = (First - Plan.BaseIter) % NumWorkers;
+    if (Phase != Id)
+      First += (Id + NumWorkers - Phase) % NumWorkers;
+    for (uint64_t I = First; I < PeriodEnd; I += NumWorkers) {
+      CurIter = I;
+      Cb->WorkerIter[Id].store(I, std::memory_order_relaxed);
+      CurTs = shadow::timestampFor(I, PeriodStart);
+      uint64_t ShortLivedLiveAtStart = SL.liveCount();
+      {
+        CategoryTimer Timer(LocalStats.UsefulSec);
+        Body(I);
+      }
+      ++LocalStats.Iterations;
+      Executed = true;
+
+      if (Spec) {
+        // "Each worker counts the number of objects allocated and not
+        // freed from its short-lived heap.  If any of these objects is
+        // live at the end of an iteration, then lifetime speculation is
+        // violated" (§5.1).
+        if (SL.liveCount() != ShortLivedLiveAtStart)
+          misspecAbort("short-lived object outlived its iteration");
+        if (SL.liveCount() == 0)
+          SL.resetAllocations();
+        if (InjectThreshold &&
+            hashIteration(I, Options.InjectSeed) < InjectThreshold)
+          misspecAbort("injected misspeculation");
+      }
+
+      // "Workers consult the global misspeculation flag after each
+      // iteration" (§5.3): terminate only if our checkpoint has been
+      // squashed; earlier checkpoints still want our contribution.
+      if (Cb->MisspecFlag.load(std::memory_order_acquire) &&
+          P >= Cb->EarliestMisspecPeriod.load(std::memory_order_relaxed)) {
+        Stopped = true;
+        break;
+      }
+    }
+
+    if (Stopped)
+      break;
+    if (Spec) {
+      CategoryTimer Timer(LocalStats.CheckpointSec);
+      Region->workerMerge(P, LocalShadow, LocalPrivate, Redux,
+                          heap(HeapKind::Redux).base(), PendingIo, Executed);
+      if (Executed) {
+        // Local post-checkpoint reset (§5.1): writes age into old-write,
+        // validated live-in reads revert to live-in.
+        shadow::resetRangeAtCheckpoint(LocalShadow, PrivateHighWater);
+        Redux.fillIdentity();
+      }
+    }
+    if (Cb->MisspecFlag.load(std::memory_order_acquire) &&
+        P + 1 >= Cb->EarliestMisspecPeriod.load(std::memory_order_relaxed))
+      break;
+  }
+
+  LocalStats.EndWall = wallSeconds();
+  Cb->Stats[Id] = LocalStats;
+  _exit(0);
+}

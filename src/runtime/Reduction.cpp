@@ -1,0 +1,115 @@
+//===- runtime/Reduction.cpp ----------------------------------------------===//
+
+#include "runtime/Reduction.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+using namespace privateer;
+
+namespace {
+
+template <typename T> T identityFor(ReduxOp Op) {
+  switch (Op) {
+  case ReduxOp::Add:
+    return T(0);
+  case ReduxOp::Mul:
+    return T(1);
+  case ReduxOp::Min:
+    return std::numeric_limits<T>::max();
+  case ReduxOp::Max:
+    return std::numeric_limits<T>::lowest();
+  }
+  return T(0);
+}
+
+template <typename T> T combineOne(ReduxOp Op, T A, T B) {
+  switch (Op) {
+  case ReduxOp::Add:
+    return A + B;
+  case ReduxOp::Mul:
+    return A * B;
+  case ReduxOp::Min:
+    return std::min(A, B);
+  case ReduxOp::Max:
+    return std::max(A, B);
+  }
+  return A;
+}
+
+template <typename T>
+void fillIdentityTyped(uint64_t Addr, size_t Bytes, ReduxOp Op) {
+  T Identity = identityFor<T>(Op);
+  T *P = reinterpret_cast<T *>(Addr);
+  for (size_t I = 0, E = Bytes / sizeof(T); I < E; ++I)
+    P[I] = Identity;
+}
+
+template <typename T>
+void combineTyped(uint64_t Dst, uint64_t Src, size_t Bytes, ReduxOp Op) {
+  T *D = reinterpret_cast<T *>(Dst);
+  const T *S = reinterpret_cast<const T *>(Src);
+  for (size_t I = 0, E = Bytes / sizeof(T); I < E; ++I)
+    D[I] = combineOne(Op, D[I], S[I]);
+}
+
+} // namespace
+
+void ReductionRegistry::registerObject(void *Address, size_t Bytes,
+                                       ReduxElem Elem, ReduxOp Op) {
+  assert(Bytes % reduxElemSize(Elem) == 0 &&
+         "reduction object size not a multiple of element size");
+  Objects.push_back(
+      ReduxObject{reinterpret_cast<uint64_t>(Address), Bytes, Elem, Op});
+}
+
+void ReductionRegistry::fillIdentity(int64_t Bias) const {
+  for (const ReduxObject &O : Objects) {
+    uint64_t Addr = O.Address + Bias;
+    switch (O.Elem) {
+    case ReduxElem::I32:
+      fillIdentityTyped<int32_t>(Addr, O.Bytes, O.Op);
+      break;
+    case ReduxElem::I64:
+      fillIdentityTyped<int64_t>(Addr, O.Bytes, O.Op);
+      break;
+    case ReduxElem::F32:
+      fillIdentityTyped<float>(Addr, O.Bytes, O.Op);
+      break;
+    case ReduxElem::F64:
+      fillIdentityTyped<double>(Addr, O.Bytes, O.Op);
+      break;
+    }
+  }
+}
+
+void ReductionRegistry::combine(int64_t DstBias, int64_t SrcBias) const {
+  for (const ReduxObject &O : Objects) {
+    uint64_t Dst = O.Address + DstBias;
+    uint64_t Src = O.Address + SrcBias;
+    switch (O.Elem) {
+    case ReduxElem::I32:
+      combineTyped<int32_t>(Dst, Src, O.Bytes, O.Op);
+      break;
+    case ReduxElem::I64:
+      combineTyped<int64_t>(Dst, Src, O.Bytes, O.Op);
+      break;
+    case ReduxElem::F32:
+      combineTyped<float>(Dst, Src, O.Bytes, O.Op);
+      break;
+    case ReduxElem::F64:
+      combineTyped<double>(Dst, Src, O.Bytes, O.Op);
+      break;
+    }
+  }
+}
+
+size_t ReductionRegistry::spanEnd(uint64_t HeapBase) const {
+  size_t End = 0;
+  for (const ReduxObject &O : Objects) {
+    assert(O.Address >= HeapBase && "redux object below heap base");
+    End = std::max(End, static_cast<size_t>(O.Address - HeapBase + O.Bytes));
+  }
+  return End;
+}

@@ -1,0 +1,233 @@
+//===- runtime/Runtime.h - The Privateer runtime system ---------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Privateer runtime support system (paper §5): logical heap
+/// management, speculative-separation and privacy validation, checkpoints,
+/// misspeculation recovery, and the process-based DOALL driver.
+///
+/// The speculation interface mirrors the calls the Privateer compiler
+/// inserts (Figure 2b): `heapAlloc`/`heapDealloc` (h_alloc/h_dealloc),
+/// `checkHeap` (check_heap), `privateRead`/`privateWrite` (private_read /
+/// private_write), `speculateTrue` (value-prediction misspec sites), and
+/// `deferPrintf` (deferred I/O).  Outside a parallel invocation, and during
+/// non-speculative recovery, every check is a no-op and the heaps behave as
+/// ordinary memory ("Before or after the invocation of a parallel region,
+/// these logical heaps behave as normal program memory", §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_RUNTIME_H
+#define PRIVATEER_RUNTIME_RUNTIME_H
+
+#include "runtime/Checkpoint.h"
+#include "runtime/ControlBlock.h"
+#include "runtime/HeapKind.h"
+#include "runtime/Reduction.h"
+#include "runtime/SharedHeap.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace privateer {
+
+/// Sizes of the logical heaps.  Defaults suit the bundled workloads; the
+/// paper's tag scheme would allow up to 16 TB per heap.
+struct RuntimeConfig {
+  size_t ReadOnlyBytes = 16u << 20;
+  size_t PrivateBytes = 8u << 20;
+  size_t ReduxBytes = 1u << 20;
+  size_t ShortLivedBytes = 8u << 20;
+  size_t UnrestrictedBytes = 4u << 20;
+};
+
+/// Execution context of the current process.
+enum class ExecMode : uint8_t {
+  Sequential,           ///< Main process, outside or between invocations.
+  SpeculativeWorker,    ///< Forked worker with COW heaps and validation.
+  NonSpeculativeWorker, ///< DOALL-only worker: shared heaps, no checks.
+};
+
+struct ParallelOptions {
+  unsigned NumWorkers = 4;
+  /// Checkpoint period k; clamped to the paper's 253-iteration maximum.
+  uint64_t CheckpointPeriod = 64;
+  /// Upper bound on checkpoint slots per fork/join epoch; a long loop runs
+  /// as several consecutive epochs.
+  uint64_t MaxSlotsPerEpoch = 32;
+  /// Fraction of iterations that artificially misspeculate (Figure 9).
+  double InjectMisspecRate = 0.0;
+  uint64_t InjectSeed = 1;
+  /// DOALL-only (Figure 7 baseline): no speculation, no validation, no
+  /// checkpoints; heaps stay shared.  Only sound for loops that are truly
+  /// independent.
+  bool NonSpeculative = false;
+  /// Write-protect the read-only heap in workers; a stray store becomes a
+  /// SIGSEGV which the worker converts into misspeculation.
+  bool ProtectReadOnly = true;
+  size_t IoCapacityPerSlot = 1u << 20;
+  /// Deferred-output sink; nullptr means stdout.
+  std::FILE *Out = nullptr;
+};
+
+/// Dynamic counters of one invocation; the raw material for Table 3 and
+/// Figure 8.
+struct InvocationStats {
+  uint64_t Iterations = 0;
+  uint64_t Checkpoints = 0; ///< Committed (non-speculative) checkpoints.
+  uint64_t Misspecs = 0;
+  uint64_t RecoveredIterations = 0; ///< Re-executed sequentially.
+  uint64_t Epochs = 0;
+  uint64_t PrivateReadCalls = 0;
+  uint64_t PrivateReadBytes = 0;
+  uint64_t PrivateWriteCalls = 0;
+  uint64_t PrivateWriteBytes = 0;
+  uint64_t SeparationChecks = 0;
+  double UsefulSec = 0;
+  double PrivateReadSec = 0;
+  double PrivateWriteSec = 0;
+  double CheckpointSec = 0;
+  double WallSec = 0;
+  std::string FirstMisspecReason;
+};
+
+using IterationFn = std::function<void(uint64_t)>;
+
+class Runtime {
+public:
+  /// The process-wide runtime instance (workers inherit it across fork).
+  static Runtime &get();
+
+  Runtime() = default;
+  Runtime(const Runtime &) = delete;
+  Runtime &operator=(const Runtime &) = delete;
+  ~Runtime();
+
+  /// Creates and maps all logical heaps at their tagged addresses.
+  void initialize(const RuntimeConfig &Config = RuntimeConfig());
+  void shutdown();
+  bool isInitialized() const { return Initialized; }
+
+  // --- Memory layout (paper §4.4 "Replace Allocation") -------------------
+
+  /// h_alloc: allocates \p Bytes from logical heap \p K; the returned
+  /// pointer carries K's tag in bits 44-46.  Aborts on heap exhaustion.
+  void *heapAlloc(size_t Bytes, HeapKind K);
+
+  /// h_dealloc.
+  void heapDealloc(void *P, HeapKind K);
+
+  SharedHeap &heap(HeapKind K);
+  SharedHeap &shadowHeap() { return Shadow; }
+
+  /// Declares a reduction-privatized object (must lie in the redux heap)
+  /// with its element type and associative/commutative operator.
+  void registerReduction(void *P, size_t Bytes, ReduxElem Elem, ReduxOp Op);
+  ReductionRegistry &reductions() { return Redux; }
+
+  // --- Speculation interface (inserted by the compiler, §4.5-4.6) --------
+
+  /// check_heap: separation check.  In a speculative worker, a tag
+  /// mismatch reports misspeculation; otherwise a no-op.
+  void checkHeap(const void *P, HeapKind Expected);
+
+  /// private_read: validates and records a read of private memory
+  /// (Table 2 "Read" rules on the shadow bytes).
+  void privateRead(const void *P, size_t Bytes);
+
+  /// private_write: records a write to private memory (Table 2 "Write").
+  void privateWrite(const void *P, size_t Bytes);
+
+  /// Value-prediction / control-speculation misspec site: in a speculative
+  /// worker, reports misspeculation when \p Cond is false.  Sequential and
+  /// non-speculative execution ignore it (the surrounding code must be
+  /// semantically complete without the prediction).
+  void speculateTrue(bool Cond, const char *What);
+
+  /// Unconditional misspeculation report from a speculative worker.
+  [[noreturn]] void misspecAbort(const char *Reason);
+
+  /// Deferred printf (I/O deferral): buffered and committed in iteration
+  /// order with the enclosing checkpoint; immediate elsewhere.
+  void deferPrintf(const char *Fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+  /// Sink for immediate output produced outside a speculative worker
+  /// (sequential runs and recovery); nullptr restores stdout.
+  void setSequentialOutput(std::FILE *Out) { SeqOut = Out; }
+
+  // --- Parallel invocation (§5.2-5.3) -------------------------------------
+
+  /// Runs iterations [0, NumIterations) of \p Body as a speculative DOALL
+  /// (or a non-speculative DOALL when Options.NonSpeculative), including
+  /// checkpointing, validation, and sequential recovery on
+  /// misspeculation.  Returns the invocation's statistics.
+  InvocationStats runParallel(uint64_t NumIterations,
+                              const ParallelOptions &Options,
+                              const IterationFn &Body);
+
+  /// Plain sequential execution of [Begin, End); the baseline and the
+  /// recovery engine.
+  void runSequential(uint64_t Begin, uint64_t End, const IterationFn &Body);
+
+  ExecMode mode() const { return Mode; }
+
+private:
+  friend struct WorkerContext;
+
+  struct EpochPlan {
+    uint64_t BaseIter;
+    uint64_t EpochIters;
+    uint64_t Period;
+    uint64_t NumSlots;
+  };
+
+  /// Runs one fork/join epoch; returns iterations committed and whether a
+  /// misspeculation stopped the epoch early.
+  struct EpochResult {
+    uint64_t CommittedEnd;  ///< First uncommitted iteration.
+    bool Misspec;
+    uint64_t MisspecPeriodEnd; ///< First iteration after the bad period.
+    std::string Reason;
+  };
+  EpochResult runEpoch(const EpochPlan &Plan, const ParallelOptions &Options,
+                       const IterationFn &Body, InvocationStats &Stats);
+
+  [[noreturn]] void workerMain(unsigned WorkerId, const EpochPlan &Plan,
+                               const ParallelOptions &Options,
+                               const IterationFn &Body);
+
+  void flushIo(std::vector<IoRecord> &Records, std::FILE *Out);
+
+  bool Initialized = false;
+  RuntimeConfig Config;
+  SharedHeap Heaps[kNumHeapKinds];
+  SharedHeap Shadow;
+  ReductionRegistry Redux;
+
+  // Invocation-scoped state (valid between runEpoch set-up and tear-down).
+  ExecMode Mode = ExecMode::Sequential;
+  ControlBlock *Cb = nullptr;
+  CheckpointRegion *Region = nullptr;
+  unsigned WorkerId = 0;
+  unsigned NumWorkers = 0;
+  uint64_t CurIter = 0;
+  uint8_t CurTs = 0;
+  uint64_t EpochBase = 0;
+  uint64_t PeriodLen = 1;
+  uint64_t PrivateHighWater = 0;
+  std::vector<IoRecord> PendingIo;
+  uint32_t IoSequence = 0;
+  WorkerStats LocalStats;
+  std::FILE *SeqOut = nullptr; ///< Sink for immediate (sequential) output.
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_RUNTIME_H

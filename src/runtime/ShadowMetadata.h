@@ -1,0 +1,194 @@
+//===- runtime/ShadowMetadata.h - Table 2 transition rules ------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-byte privacy metadata codes and the transition rules of the
+/// paper's Table 2.  "Every byte of metadata contains one of four codes:
+/// live-in (0), old-write (1), read-live-in (2), or a timestamp 3+(i-i0)
+/// encoding the iteration i after the most recent checkpoint i0."
+///
+/// Table 2 (op, metadata before -> after), where B is the timestamp for the
+/// current iteration and a a timestamp for an earlier iteration:
+///
+///   Read   0            -> 2        read a live-in value
+///   Read   1            -> misspec  loop-carried flow dependence
+///   Read   2            -> 2        read a live-in value
+///   Read   a (2<a<B)    -> misspec  loop-carried flow dependence
+///   Read   B            -> B        intra-iteration (private) flow
+///   Write  0            -> B        overwrite a live-in value
+///   Write  1            -> B        overwrite an old write
+///   Write  2            -> misspec  conservative false positive
+///   Write  a (2<a<=B)   -> B        overwrite a recent write
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_SHADOWMETADATA_H
+#define PRIVATEER_RUNTIME_SHADOWMETADATA_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace privateer {
+namespace shadow {
+
+inline constexpr uint8_t kLiveIn = 0;
+inline constexpr uint8_t kOldWrite = 1;
+inline constexpr uint8_t kReadLiveIn = 2;
+/// Timestamp code of iteration \p I after the most recent checkpoint \p I0.
+inline constexpr uint8_t kFirstTimestamp = 3;
+
+/// "Privateer triggers a checkpoint operation at least every 253
+/// iterations" so that 3+(i-i0) never overflows a byte.
+inline constexpr uint64_t kMaxCheckpointPeriod = 253;
+
+inline constexpr uint8_t timestampFor(uint64_t Iter, uint64_t PeriodBase) {
+  return static_cast<uint8_t>(kFirstTimestamp + (Iter - PeriodBase));
+}
+
+inline constexpr bool isTimestamp(uint8_t Code) {
+  return Code >= kFirstTimestamp;
+}
+
+struct Transition {
+  uint8_t After;
+  bool Misspec;
+};
+
+/// Applies the "Read" half of Table 2 for current-iteration timestamp
+/// \p CurrentTs (which must itself be a timestamp code).
+inline constexpr Transition applyRead(uint8_t Before, uint8_t CurrentTs) {
+  if (Before == kLiveIn)
+    return {kReadLiveIn, false}; // Read a live-in value.
+  if (Before == kOldWrite)
+    return {Before, true}; // Loop-carried flow dependence.
+  if (Before == kReadLiveIn)
+    return {kReadLiveIn, false}; // Read a live-in value.
+  if (Before == CurrentTs)
+    return {CurrentTs, false}; // Intra-iteration (private) flow.
+  return {Before, true};       // Earlier iteration: loop-carried flow.
+}
+
+/// Applies the "Write" half of Table 2.
+inline constexpr Transition applyWrite(uint8_t Before, uint8_t CurrentTs) {
+  if (Before == kLiveIn)
+    return {CurrentTs, false}; // Overwrite a live-in value.
+  if (Before == kOldWrite)
+    return {CurrentTs, false}; // Overwrite an old write.
+  if (Before == kReadLiveIn)
+    return {Before, true}; // Conservative false positive.
+  return {CurrentTs, false}; // Overwrite a recent write.
+}
+
+/// Applies the Read rule to \p N consecutive metadata bytes with a
+/// word-at-a-time fast path for the two overwhelmingly common states (all
+/// bytes current-timestamp; all bytes live-in).  Returns false on the
+/// first misspeculating byte.  This is the loop behind private_read — a
+/// few instructions per word in the common case, as the paper requires.
+inline bool applyReadRange(uint8_t *Meta, uint64_t N, uint8_t CurrentTs) {
+  const uint64_t TsWord = 0x0101010101010101ULL * CurrentTs;
+  const uint64_t ReadLiveInWord = 0x0101010101010101ULL * kReadLiveIn;
+  uint64_t I = 0;
+  auto Slow = [&](uint64_t End) {
+    for (; I < End; ++I) {
+      Transition T = applyRead(Meta[I], CurrentTs);
+      if (T.Misspec)
+        return false;
+      Meta[I] = T.After;
+    }
+    return true;
+  };
+  uint64_t Head = std::min<uint64_t>(
+      N, (8 - (reinterpret_cast<uintptr_t>(Meta) & 7)) & 7);
+  if (!Slow(Head))
+    return false;
+  while (I + 8 <= N) {
+    uint64_t W;
+    __builtin_memcpy(&W, Meta + I, 8);
+    if (W == TsWord) { // Intra-iteration flow on every byte.
+      I += 8;
+      continue;
+    }
+    if (W == 0) { // All live-in.
+      __builtin_memcpy(Meta + I, &ReadLiveInWord, 8);
+      I += 8;
+      continue;
+    }
+    if (!Slow(I + 8)) // Mixed word: per-byte rules (advances I).
+      return false;
+  }
+  return Slow(N);
+}
+
+/// Applies the Write rule to \p N consecutive metadata bytes; same fast
+/// path as applyReadRange.  Returns false on the first misspeculating
+/// (read-live-in) byte.
+inline bool applyWriteRange(uint8_t *Meta, uint64_t N, uint8_t CurrentTs) {
+  const uint64_t TsWord = 0x0101010101010101ULL * CurrentTs;
+  const uint64_t OldWriteWord = 0x0101010101010101ULL * kOldWrite;
+  uint64_t I = 0;
+  auto Slow = [&](uint64_t End) {
+    for (; I < End; ++I) {
+      Transition T = applyWrite(Meta[I], CurrentTs);
+      if (T.Misspec)
+        return false;
+      Meta[I] = T.After;
+    }
+    return true;
+  };
+  uint64_t Head = std::min<uint64_t>(
+      N, (8 - (reinterpret_cast<uintptr_t>(Meta) & 7)) & 7);
+  if (!Slow(Head))
+    return false;
+  while (I + 8 <= N) {
+    uint64_t W;
+    __builtin_memcpy(&W, Meta + I, 8);
+    if (W == TsWord || W == 0 || W == OldWriteWord) {
+      __builtin_memcpy(Meta + I, &TsWord, 8);
+      I += 8;
+      continue;
+    }
+    if (!Slow(I + 8)) // Mixed word: per-byte rules (advances I).
+      return false;
+  }
+  return Slow(N);
+}
+
+/// Checkpoint-time reset (paper §5.1): "A checkpoint resets the metadata
+/// range by replacing all writes before the checkpoint (metadata a >= 3)
+/// with old-write (1)."  Validated read-live-in bytes revert to live-in:
+/// their privacy for the finished period has been established, and any
+/// later-period read still sees the original live-in value (worker copies
+/// are never refreshed mid-invocation).
+inline constexpr uint8_t resetAtCheckpoint(uint8_t Code) {
+  if (isTimestamp(Code))
+    return kOldWrite;
+  if (Code == kReadLiveIn)
+    return kLiveIn;
+  return Code;
+}
+
+/// Applies resetAtCheckpoint over a range, skipping all-live-in and
+/// all-old-write words (the overwhelmingly common states).
+inline void resetRangeAtCheckpoint(uint8_t *Meta, uint64_t N) {
+  const uint64_t OldWriteWord = 0x0101010101010101ULL * kOldWrite;
+  uint64_t I = 0;
+  for (; I + 8 <= N; I += 8) {
+    uint64_t W;
+    __builtin_memcpy(&W, Meta + I, 8);
+    if (W == 0 || W == OldWriteWord)
+      continue;
+    for (uint64_t J = I; J < I + 8; ++J)
+      Meta[J] = resetAtCheckpoint(Meta[J]);
+  }
+  for (; I < N; ++I)
+    Meta[I] = resetAtCheckpoint(Meta[I]);
+}
+
+} // namespace shadow
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_SHADOWMETADATA_H

@@ -1,0 +1,16 @@
+//===- support/DeterministicRng.cpp ---------------------------------------===//
+
+#include "support/DeterministicRng.h"
+
+#include <cmath>
+
+using namespace privateer;
+
+double DeterministicRng::nextGaussian() {
+  // Box-Muller transform; reject U1 == 0 so log() stays finite.
+  double U1 = nextDouble();
+  while (U1 <= 1e-300)
+    U1 = nextDouble();
+  double U2 = nextDouble();
+  return std::sqrt(-2.0 * std::log(U1)) * std::cos(2.0 * M_PI * U2);
+}

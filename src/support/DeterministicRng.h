@@ -1,0 +1,64 @@
+//===- support/DeterministicRng.h - Reproducible PRNG -----------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, seedable PRNG (splitmix64 + xorshift) used by workload
+/// generators and by the misspeculation injector so every experiment is
+/// bit-reproducible across runs and worker counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SUPPORT_DETERMINISTICRNG_H
+#define PRIVATEER_SUPPORT_DETERMINISTICRNG_H
+
+#include <cstdint>
+
+namespace privateer {
+
+class DeterministicRng {
+public:
+  explicit DeterministicRng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    // splitmix64 seeding avoids weak low-entropy states.
+    uint64_t Z = Seed + 0x9e3779b97f4a7c15ULL;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    State = Z ^ (Z >> 31);
+    if (State == 0)
+      State = 0x9e3779b97f4a7c15ULL;
+  }
+
+  uint64_t next() {
+    State ^= State << 13;
+    State ^= State >> 7;
+    State ^= State << 17;
+    return State;
+  }
+
+  /// Uniform in [0, Bound).  Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [Lo, Hi).
+  double nextDouble(double Lo, double Hi) {
+    return Lo + (Hi - Lo) * nextDouble();
+  }
+
+  /// Standard normal via Box-Muller (one value per call; simple and
+  /// deterministic, speed is irrelevant here).
+  double nextGaussian();
+
+private:
+  uint64_t State;
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_SUPPORT_DETERMINISTICRNG_H

@@ -1,0 +1,21 @@
+//===- support/ErrorHandling.cpp ------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace privateer;
+
+void privateer::reportFatalError(const std::string &Reason) {
+  std::fprintf(stderr, "privateer fatal error: %s\n", Reason.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+void privateer::privateerUnreachableImpl(const char *Msg, const char *File,
+                                         unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,48 @@
+//===- support/Fnv.h - FNV-1a hashing ---------------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// FNV-1a, used to digest workload outputs so sequential and speculative
+/// parallel executions can be compared for exact equivalence.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SUPPORT_FNV_H
+#define PRIVATEER_SUPPORT_FNV_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace privateer {
+
+inline uint64_t fnv1a(const void *Data, size_t Bytes,
+                      uint64_t Seed = 0xcbf29ce484222325ULL) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = Seed;
+  for (size_t I = 0; I < Bytes; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+inline uint64_t fnv1a(const std::string &S,
+                      uint64_t Seed = 0xcbf29ce484222325ULL) {
+  return fnv1a(S.data(), S.size(), Seed);
+}
+
+inline std::string fnvHex(uint64_t H) {
+  char Buf[20];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+} // namespace privateer
+
+#endif // PRIVATEER_SUPPORT_FNV_H

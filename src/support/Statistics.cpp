@@ -1,0 +1,23 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+using namespace privateer;
+
+StatisticRegistry &StatisticRegistry::instance() {
+  static StatisticRegistry Registry;
+  return Registry;
+}
+
+uint64_t &StatisticRegistry::counter(const std::string &Group,
+                                     const std::string &Name) {
+  return Counters[{Group, Name}];
+}
+
+uint64_t StatisticRegistry::get(const std::string &Group,
+                                const std::string &Name) const {
+  auto It = Counters.find({Group, Name});
+  return It == Counters.end() ? 0 : It->second;
+}
+
+void StatisticRegistry::reset() { Counters.clear(); }

@@ -1,0 +1,68 @@
+//===- support/TableWriter.cpp --------------------------------------------===//
+
+#include "support/TableWriter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cinttypes>
+
+using namespace privateer;
+
+void TableWriter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Columns.size() && "row width mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TableWriter::cell(double V, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, V);
+  return Buf;
+}
+
+std::string TableWriter::cell(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  return Buf;
+}
+
+std::string TableWriter::cell(int64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRId64, V);
+  return Buf;
+}
+
+void TableWriter::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Columns.size());
+  for (size_t I = 0; I < Columns.size(); ++I)
+    Widths[I] = Columns[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      std::fprintf(Out, "%s%-*s", I ? "  " : "", static_cast<int>(Widths[I]),
+                   Row[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+
+  PrintRow(Columns);
+  size_t Total = Columns.size() - 1;
+  for (size_t W : Widths)
+    Total += W + 1;
+  std::string Rule(Total, '-');
+  std::fprintf(Out, "%s\n", Rule.c_str());
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}
+
+void TableWriter::printCsv(std::FILE *Out) const {
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      std::fprintf(Out, "%s%s", I ? "," : "", Row[I].c_str());
+    std::fprintf(Out, "\n");
+  };
+  PrintRow(Columns);
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,49 @@
+//===- support/TableWriter.h - Aligned console tables -----------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the rows the paper's tables and figure-series report.  Every
+/// bench binary prints through this so EXPERIMENTS.md rows are regenerated
+/// in one consistent format (aligned text plus optional CSV).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SUPPORT_TABLEWRITER_H
+#define PRIVATEER_SUPPORT_TABLEWRITER_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace privateer {
+
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> Header)
+      : Columns(std::move(Header)) {}
+
+  void addRow(std::vector<std::string> Row);
+
+  /// Convenience: formats arithmetic cells with printf-style precision.
+  static std::string cell(double V, int Precision = 2);
+  static std::string cell(uint64_t V);
+  static std::string cell(int64_t V);
+
+  /// Prints an aligned table to \p Out (defaults to stdout).
+  void print(std::FILE *Out = stdout) const;
+
+  /// Prints comma-separated rows (header first) to \p Out.
+  void printCsv(std::FILE *Out = stdout) const;
+
+private:
+  std::vector<std::string> Columns;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_SUPPORT_TABLEWRITER_H

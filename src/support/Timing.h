@@ -1,0 +1,51 @@
+//===- support/Timing.h - Wall and CPU clocks -------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clock helpers used by the runtime's overhead accounting (paper Figure 8
+/// categories) and by perfmodel calibration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SUPPORT_TIMING_H
+#define PRIVATEER_SUPPORT_TIMING_H
+
+#include <ctime>
+
+namespace privateer {
+
+inline double wallSeconds() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<double>(Ts.tv_sec) + 1e-9 * Ts.tv_nsec;
+}
+
+/// CPU time consumed by this thread/process; meaningful even when many
+/// worker processes timeshare a single core.
+inline double cpuSeconds() {
+  timespec Ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts);
+  return static_cast<double>(Ts.tv_sec) + 1e-9 * Ts.tv_nsec;
+}
+
+/// RAII accumulation of CPU time into a category counter.
+class CategoryTimer {
+public:
+  explicit CategoryTimer(double &Accumulator)
+      : Acc(Accumulator), Start(cpuSeconds()) {}
+  ~CategoryTimer() { Acc += cpuSeconds() - Start; }
+  CategoryTimer(const CategoryTimer &) = delete;
+  CategoryTimer &operator=(const CategoryTimer &) = delete;
+
+private:
+  double &Acc;
+  double Start;
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_SUPPORT_TIMING_H

@@ -1,0 +1,149 @@
+//===- transform/Pipeline.cpp ---------------------------------------------===//
+
+#include "transform/Pipeline.h"
+
+#include "profiling/ProfileCollector.h"
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+
+using namespace privateer;
+using namespace privateer::transform;
+using namespace privateer::analysis;
+using namespace privateer::classify;
+using namespace privateer::interp;
+using namespace privateer::ir;
+
+PipelineResult transform::runPrivateerPipeline(Module &M,
+                                               const FunctionAnalyses &FA,
+                                               const PipelineOptions &Opt) {
+  PipelineResult R;
+
+  // --- §4.1 Profiling: one instrumented training run. ---------------------
+  {
+    profiling::ProfileCollector Collector(FA);
+    PlainMemoryManager MM;
+    Interpreter Interp(M, MM, &Collector);
+    Interp.setInstructionBudget(Opt.ProfileBudget);
+    Interp.initializeGlobals();
+    Interp.run(Opt.EntryFunction, Opt.EntryArgs);
+    R.TrainingProfile = Collector.finish();
+    R.Log.push_back("profiled " +
+                    std::to_string(Interp.instructionsExecuted()) +
+                    " instructions");
+  }
+
+  // --- Hot loops, classification (§4.2), selection (§4.3). ----------------
+  std::vector<Loop *> Loops = FA.allLoops();
+  std::sort(Loops.begin(), Loops.end(), [&](Loop *A, Loop *B) {
+    return R.TrainingProfile.loopStats(A).Weight >
+           R.TrainingProfile.loopStats(B).Weight;
+  });
+
+  std::vector<HeapAssignment> Candidates;
+  for (Loop *L : Loops) {
+    profiling::LoopStats S = R.TrainingProfile.loopStats(L);
+    if (S.Iterations == 0)
+      continue;
+    std::vector<std::string> WhyNot;
+    if (!isDoallReady(*L, FA, WhyNot)) {
+      R.Log.push_back("loop@" + L->header()->name() + ": not DOALL (" +
+                      (WhyNot.empty() ? "?" : WhyNot.front()) + ")");
+      continue;
+    }
+    HeapAssignment HA = classifyLoop(*L, FA, R.TrainingProfile);
+    R.Log.push_back("loop@" + L->header()->name() + ": " +
+                    (HA.Parallelizable ? "parallelizable"
+                                       : "NOT parallelizable") +
+                    ", weight=" + std::to_string(S.Weight));
+    for (const std::string &N : HA.Notes)
+      R.Log.push_back("  " + N);
+    Candidates.push_back(std::move(HA));
+  }
+
+  std::vector<HeapAssignment> Selected =
+      selectLoops(Candidates, FA, R.TrainingProfile);
+  if (Selected.empty()) {
+    R.Log.push_back("no parallelizable loop selected");
+    return R;
+  }
+
+  // --- §4.4-4.6 Transformation of the heaviest selected loop. -------------
+  R.Assignment = Selected.front();
+  R.SelectedLoop = R.Assignment.TheLoop;
+  R.Stats = applyPrivatization(M, R.Assignment, FA, R.TrainingProfile);
+  for (const std::string &E : R.Stats.Errors)
+    R.Log.push_back("transform error: " + E);
+  R.Transformed = R.Stats.ok();
+  if (R.Transformed)
+    R.Log.push_back(
+        "selected loop@" + R.SelectedLoop->header()->name() + ": " +
+        std::to_string(R.Stats.PrivacyChecks) + " privacy checks, " +
+        std::to_string(R.Stats.SeparationChecks) + " separation checks (" +
+        std::to_string(R.Stats.SeparationChecksElided) + " elided), " +
+        std::to_string(R.Stats.PredictionsInstalled) + " value predictions");
+  return R;
+}
+
+ExecutionResult transform::executePrivatized(Module &M,
+                                             const FunctionAnalyses &FA,
+                                             const HeapAssignment &HA,
+                                             const PipelineOptions &Opt,
+                                             const ParallelOptions &ParOpts,
+                                             const RuntimeConfig &Config,
+                                             std::FILE *Out) {
+  const Loop *L = HA.TheLoop;
+  Runtime &Rt = Runtime::get();
+  Rt.initialize(Config);
+  Rt.setSequentialOutput(Out);
+
+  ExecutionResult R;
+  {
+    PrivateerMemoryManager MM;
+    Interpreter Interp(M, MM);
+    Interpreter::ParallelPlan Plan;
+    Plan.TheLoop = L;
+    auto Iv = L->canonicalIv(FA.cfg(L->header()->parent()));
+    if (!Iv)
+      reportFatalError("selected loop lost its canonical IV");
+    Plan.Iv = *Iv;
+    Plan.Options = ParOpts;
+    Plan.Options.Out = Out;
+    Interp.setParallelPlan(&Plan);
+    Interp.initializeGlobals();
+
+    // Register reduction-heap globals so workers start from the identity
+    // and checkpoints combine partials (§3.2).
+    for (const auto &[O, ElemOp] : HA.ReduxOps) {
+      if (!O.Global)
+        continue;
+      Rt.registerReduction(
+          reinterpret_cast<void *>(Interp.globalAddress(O.Global)),
+          O.Global->sizeBytes(), ElemOp.first, ElemOp.second);
+    }
+
+    R.ReturnValue = Interp.run(Opt.EntryFunction, Opt.EntryArgs);
+    R.Stats = Plan.Stats;
+  }
+
+  Rt.setSequentialOutput(nullptr);
+  Rt.shutdown();
+  return R;
+}
+
+Cell transform::executeSequential(Module &M, const PipelineOptions &Opt,
+                                  std::FILE *Out) {
+  Runtime &Rt = Runtime::get();
+  bool OwnRuntime = !Rt.isInitialized();
+  Rt.setSequentialOutput(Out);
+  Cell Result;
+  {
+    PlainMemoryManager MM;
+    Interpreter Interp(M, MM);
+    Interp.initializeGlobals();
+    Result = Interp.run(Opt.EntryFunction, Opt.EntryArgs);
+  }
+  Rt.setSequentialOutput(nullptr);
+  (void)OwnRuntime;
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- transform/Pipeline.h - End-to-end Privateer pipeline -----*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fully automatic pipeline of paper Figure 3: profile a training run,
+/// classify hot loops into heap assignments, select compatible loops,
+/// apply the privatizing transformation, and execute the result
+/// speculatively in parallel.  "The compiler system acts fully
+/// automatically without any guidance from the programmer."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_TRANSFORM_PIPELINE_H
+#define PRIVATEER_TRANSFORM_PIPELINE_H
+
+#include "interp/Interpreter.h"
+#include "transform/Privatizer.h"
+
+namespace privateer {
+namespace transform {
+
+struct PipelineOptions {
+  std::string EntryFunction = "main";
+  std::vector<interp::Cell> EntryArgs;
+  /// Training-run instruction budget.
+  uint64_t ProfileBudget = 500'000'000;
+};
+
+struct PipelineResult {
+  bool Transformed = false;
+  const analysis::Loop *SelectedLoop = nullptr;
+  classify::HeapAssignment Assignment;
+  TransformStats Stats;
+  profiling::Profile TrainingProfile;
+  std::vector<std::string> Log;
+};
+
+/// Profiles @EntryFunction on the training input (its arguments), ranks
+/// loops by profiled weight, classifies and selects, and transforms the
+/// module in place for the heaviest parallelizable DOALL loop.
+PipelineResult runPrivateerPipeline(ir::Module &M,
+                                    const analysis::FunctionAnalyses &FA,
+                                    const PipelineOptions &Options);
+
+struct ExecutionResult {
+  interp::Cell ReturnValue;
+  InvocationStats Stats;
+};
+
+/// Executes the transformed module speculatively: logical heaps, tagged
+/// allocation, reduction registration, and the selected loop
+/// DOALL-parallelized across forked workers.  Initializes and shuts down
+/// the runtime internally.  Deferred output goes to \p Out (nullptr =
+/// stdout).
+ExecutionResult executePrivatized(ir::Module &M,
+                                  const analysis::FunctionAnalyses &FA,
+                                  const classify::HeapAssignment &HA,
+                                  const PipelineOptions &Options,
+                                  const ParallelOptions &ParOpts,
+                                  const RuntimeConfig &Config,
+                                  std::FILE *Out);
+
+/// Plain sequential execution over host memory (works for original and
+/// transformed modules alike; checks are no-ops).  Output to \p Out.
+interp::Cell executeSequential(ir::Module &M, const PipelineOptions &Options,
+                               std::FILE *Out);
+
+} // namespace transform
+} // namespace privateer
+
+#endif // PRIVATEER_TRANSFORM_PIPELINE_H

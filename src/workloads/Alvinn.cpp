@@ -1,0 +1,254 @@
+//===- workloads/Alvinn.cpp -----------------------------------------------===//
+
+#include "workloads/Alvinn.h"
+
+#include "runtime/Privateer.h"
+#include "support/DeterministicRng.h"
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+using namespace privateer;
+
+namespace {
+
+constexpr double kLearningRate = 0.05;
+
+double activation(double X) { return std::tanh(X); }
+
+/// Quantizes a gradient contribution to 2^20 fixed point so reduction
+/// combination is exactly associative and commutative.
+int64_t toFixed(double V) {
+  return static_cast<int64_t>(
+      std::llround(V * AlvinnWorkload::kFixedOne));
+}
+
+double fromFixed(int64_t V) {
+  return static_cast<double>(V) / AlvinnWorkload::kFixedOne;
+}
+
+} // namespace
+
+AlvinnWorkload::AlvinnWorkload(Scale S)
+    : Patterns(S == Scale::Small ? 64 : 256),
+      Epochs(S == Scale::Small ? 3 : 20) {}
+
+void AlvinnWorkload::setUp() {
+  Inputs = static_cast<double *>(
+      h_alloc(Patterns * kIn * sizeof(double), HeapKind::ReadOnly));
+  Targets = static_cast<double *>(
+      h_alloc(Patterns * kOut * sizeof(double), HeapKind::ReadOnly));
+  W1 = static_cast<double *>(
+      h_alloc(kIn * kHidden * sizeof(double), HeapKind::ReadOnly));
+  W2 = static_cast<double *>(
+      h_alloc(kHidden * kOut * sizeof(double), HeapKind::ReadOnly));
+
+  HiddenAct = static_cast<double *>(
+      h_alloc(kHidden * sizeof(double), HeapKind::Private));
+  OutAct =
+      static_cast<double *>(h_alloc(kOut * sizeof(double), HeapKind::Private));
+  OutDelta =
+      static_cast<double *>(h_alloc(kOut * sizeof(double), HeapKind::Private));
+  HiddenDelta = static_cast<double *>(
+      h_alloc(kHidden * sizeof(double), HeapKind::Private));
+  EpochError = static_cast<double *>(
+      h_alloc(Epochs * sizeof(double), HeapKind::Private));
+  std::memset(EpochError, 0, Epochs * sizeof(double));
+
+  DW1 = static_cast<int64_t *>(
+      h_alloc(kIn * kHidden * sizeof(int64_t), HeapKind::Redux));
+  DW2 = static_cast<int64_t *>(
+      h_alloc(kHidden * kOut * sizeof(int64_t), HeapKind::Redux));
+  ErrorAcc = static_cast<int64_t *>(h_alloc(sizeof(int64_t), HeapKind::Redux));
+  Runtime &Rt = Runtime::get();
+  Rt.registerReduction(DW1, kIn * kHidden * sizeof(int64_t), ReduxElem::I64,
+                       ReduxOp::Add);
+  Rt.registerReduction(DW2, kHidden * kOut * sizeof(int64_t), ReduxElem::I64,
+                       ReduxOp::Add);
+  Rt.registerReduction(ErrorAcc, sizeof(int64_t), ReduxElem::I64,
+                       ReduxOp::Add);
+
+  DeterministicRng Rng(0xa1f1);
+  for (uint64_t I = 0; I < Patterns * kIn; ++I)
+    Inputs[I] = Rng.nextDouble(-1.0, 1.0);
+  for (uint64_t I = 0; I < Patterns * kOut; ++I)
+    Targets[I] = Rng.nextDouble(-0.9, 0.9);
+  for (unsigned I = 0; I < kIn * kHidden; ++I)
+    W1[I] = Rng.nextDouble(-0.2, 0.2);
+  for (unsigned I = 0; I < kHidden * kOut; ++I)
+    W2[I] = Rng.nextDouble(-0.2, 0.2);
+}
+
+void AlvinnWorkload::tearDown() {
+  h_dealloc(Inputs, HeapKind::ReadOnly);
+  h_dealloc(Targets, HeapKind::ReadOnly);
+  h_dealloc(W1, HeapKind::ReadOnly);
+  h_dealloc(W2, HeapKind::ReadOnly);
+  h_dealloc(HiddenAct, HeapKind::Private);
+  h_dealloc(OutAct, HeapKind::Private);
+  h_dealloc(OutDelta, HeapKind::Private);
+  h_dealloc(HiddenDelta, HeapKind::Private);
+  h_dealloc(EpochError, HeapKind::Private);
+  h_dealloc(DW1, HeapKind::Redux);
+  h_dealloc(DW2, HeapKind::Redux);
+  h_dealloc(ErrorAcc, HeapKind::Redux);
+  Runtime::get().reductions().clear();
+  Inputs = Targets = W1 = W2 = nullptr;
+  HiddenAct = OutAct = OutDelta = HiddenDelta = EpochError = nullptr;
+  DW1 = DW2 = ErrorAcc = nullptr;
+}
+
+void AlvinnWorkload::beginInvocation(uint64_t) {
+  // Fresh accumulators each epoch (sequential region).
+  std::memset(DW1, 0, kIn * kHidden * sizeof(int64_t));
+  std::memset(DW2, 0, kHidden * kOut * sizeof(int64_t));
+  *ErrorAcc = 0;
+}
+
+void AlvinnWorkload::endInvocation(uint64_t K) {
+  // Sequential weight update from the combined reductions.
+  for (unsigned I = 0; I < kIn * kHidden; ++I)
+    W1[I] += kLearningRate * fromFixed(DW1[I]);
+  for (unsigned I = 0; I < kHidden * kOut; ++I)
+    W2[I] += kLearningRate * fromFixed(DW2[I]);
+  EpochError[K] = fromFixed(*ErrorAcc);
+}
+
+void AlvinnWorkload::body(uint64_t P) {
+  const double *In = &Inputs[P * kIn];
+  const double *Target = &Targets[P * kOut];
+
+  // Forward pass into the privatized activation arrays.  Each phase's
+  // unconditional affine accesses coalesce into ranged privacy checks, as
+  // the compiler's check elision does for provably covered loops (§4.5).
+  private_write(HiddenAct, kHidden * sizeof(double));
+  for (unsigned H = 0; H < kHidden; ++H) {
+    double Acc = 0.0;
+    for (unsigned I = 0; I < kIn; ++I)
+      Acc += In[I] * W1[I * kHidden + H];
+    HiddenAct[H] = activation(Acc);
+  }
+  private_read(HiddenAct, kHidden * sizeof(double));
+  private_write(OutAct, kOut * sizeof(double));
+  for (unsigned O = 0; O < kOut; ++O) {
+    double Acc = 0.0;
+    for (unsigned H = 0; H < kHidden; ++H)
+      Acc += HiddenAct[H] * W2[H * kOut + O];
+    OutAct[O] = activation(Acc);
+  }
+
+  // Backward pass: deltas in private arrays, gradients into reductions.
+  check_heap(DW1, HeapKind::Redux);
+  check_heap(DW2, HeapKind::Redux);
+  double ErrSq = 0.0;
+  private_read(OutAct, kOut * sizeof(double));
+  private_write(OutDelta, kOut * sizeof(double));
+  for (unsigned O = 0; O < kOut; ++O) {
+    double Out = OutAct[O];
+    double Err = Target[O] - Out;
+    ErrSq += Err * Err;
+    OutDelta[O] = Err * (1.0 - Out * Out);
+  }
+  private_read(OutDelta, kOut * sizeof(double));
+  private_read(HiddenAct, kHidden * sizeof(double));
+  private_write(HiddenDelta, kHidden * sizeof(double));
+  for (unsigned H = 0; H < kHidden; ++H) {
+    double Acc = 0.0;
+    for (unsigned O = 0; O < kOut; ++O)
+      Acc += OutDelta[O] * W2[H * kOut + O];
+    double Act = HiddenAct[H];
+    HiddenDelta[H] = Acc * (1.0 - Act * Act);
+  }
+  private_read(HiddenAct, kHidden * sizeof(double));
+  private_read(OutDelta, kOut * sizeof(double));
+  for (unsigned H = 0; H < kHidden; ++H) {
+    double Act = HiddenAct[H];
+    for (unsigned O = 0; O < kOut; ++O)
+      DW2[H * kOut + O] += toFixed(OutDelta[O] * Act);
+  }
+  private_read(HiddenDelta, kHidden * sizeof(double));
+  for (unsigned I = 0; I < kIn; ++I)
+    for (unsigned H = 0; H < kHidden; ++H)
+      DW1[I * kHidden + H] += toFixed(HiddenDelta[H] * In[I]);
+  *ErrorAcc += toFixed(ErrSq);
+}
+
+void AlvinnWorkload::appendLiveOut(std::string &Out) const {
+  Out.append(reinterpret_cast<const char *>(EpochError),
+             Epochs * sizeof(double));
+  Out.append(reinterpret_cast<const char *>(W1),
+             kIn * kHidden * sizeof(double));
+  Out.append(reinterpret_cast<const char *>(W2),
+             kHidden * kOut * sizeof(double));
+}
+
+std::string AlvinnWorkload::referenceDigest() const {
+  // Independent recomputation with plain arrays, same arithmetic order.
+  std::vector<double> In(Patterns * kIn), Tg(Patterns * kOut);
+  std::vector<double> Rw1(kIn * kHidden), Rw2(kHidden * kOut);
+  DeterministicRng Rng(0xa1f1);
+  for (auto &V : In)
+    V = Rng.nextDouble(-1.0, 1.0);
+  for (auto &V : Tg)
+    V = Rng.nextDouble(-0.9, 0.9);
+  for (auto &V : Rw1)
+    V = Rng.nextDouble(-0.2, 0.2);
+  for (auto &V : Rw2)
+    V = Rng.nextDouble(-0.2, 0.2);
+
+  std::vector<double> EpErr(Epochs);
+  std::vector<double> Hid(kHidden), Out(kOut), OutD(kOut), HidD(kHidden);
+  for (uint64_t E = 0; E < Epochs; ++E) {
+    std::vector<int64_t> D1(kIn * kHidden, 0), D2(kHidden * kOut, 0);
+    int64_t ErrAcc = 0;
+    for (uint64_t P = 0; P < Patterns; ++P) {
+      const double *X = &In[P * kIn];
+      const double *T = &Tg[P * kOut];
+      for (unsigned H = 0; H < kHidden; ++H) {
+        double Acc = 0.0;
+        for (unsigned I = 0; I < kIn; ++I)
+          Acc += X[I] * Rw1[I * kHidden + H];
+        Hid[H] = activation(Acc);
+      }
+      for (unsigned O = 0; O < kOut; ++O) {
+        double Acc = 0.0;
+        for (unsigned H = 0; H < kHidden; ++H)
+          Acc += Hid[H] * Rw2[H * kOut + O];
+        Out[O] = activation(Acc);
+      }
+      double ErrSq = 0.0;
+      for (unsigned O = 0; O < kOut; ++O) {
+        double Err = T[O] - Out[O];
+        ErrSq += Err * Err;
+        OutD[O] = Err * (1.0 - Out[O] * Out[O]);
+      }
+      for (unsigned H = 0; H < kHidden; ++H) {
+        double Acc = 0.0;
+        for (unsigned O = 0; O < kOut; ++O)
+          Acc += OutD[O] * Rw2[H * kOut + O];
+        HidD[H] = Acc * (1.0 - Hid[H] * Hid[H]);
+      }
+      for (unsigned H = 0; H < kHidden; ++H)
+        for (unsigned O = 0; O < kOut; ++O)
+          D2[H * kOut + O] += toFixed(OutD[O] * Hid[H]);
+      for (unsigned I = 0; I < kIn; ++I)
+        for (unsigned H = 0; H < kHidden; ++H)
+          D1[I * kHidden + H] += toFixed(HidD[H] * X[I]);
+      ErrAcc += toFixed(ErrSq);
+    }
+    for (unsigned I = 0; I < kIn * kHidden; ++I)
+      Rw1[I] += kLearningRate * fromFixed(D1[I]);
+    for (unsigned I = 0; I < kHidden * kOut; ++I)
+      Rw2[I] += kLearningRate * fromFixed(D2[I]);
+    EpErr[E] = fromFixed(ErrAcc);
+  }
+
+  std::string LiveOut(reinterpret_cast<const char *>(EpErr.data()),
+                      Epochs * sizeof(double));
+  LiveOut.append(reinterpret_cast<const char *>(Rw1.data()),
+                 kIn * kHidden * sizeof(double));
+  LiveOut.append(reinterpret_cast<const char *>(Rw2.data()),
+                 kHidden * kOut * sizeof(double));
+  return combineDigest(LiveOut, "");
+}

@@ -1,0 +1,86 @@
+//===- workloads/Alvinn.h - SPEC-style 052.alvinn ---------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SPEC-style 052.alvinn: batch backpropagation training of a two-layer
+/// network.  "To enable parallelization, Privateer privatizes four
+/// stack-allocated arrays ... Additionally, Privateer handles reductions
+/// on two global arrays and as well as a scalar local variable." (§6.1)
+/// Each training epoch is one parallel invocation over the patterns
+/// (Table 3 reports 200 invocations); the weight update between epochs is
+/// sequential.
+///
+/// Weight-delta accumulators use 2^20 fixed-point int64 reductions so the
+/// combined result is exactly order-independent — parallel and sequential
+/// executions produce bit-identical models (see DESIGN.md substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_WORKLOADS_ALVINN_H
+#define PRIVATEER_WORKLOADS_ALVINN_H
+
+#include "workloads/Workload.h"
+
+namespace privateer {
+
+class AlvinnWorkload : public Workload {
+public:
+  explicit AlvinnWorkload(Scale S);
+
+  const char *name() const override { return "alvinn"; }
+  PaperRow paperRow() const override {
+    return PaperRow{200, 2600, "8.2 GB", "300 MB", {4, 0, 4, 3, 0}, "-"};
+  }
+  HeapSites ourSites() const override { return {5, 0, 4, 3, 0}; }
+  const char *extras() const override { return "-"; }
+  DoallOnlyShape doallOnly() const override {
+    // "DOALL-only transforms a deeply nested inner loop.  Performance
+    // gains do not outweigh the overhead of dispatching worker threads,
+    // and thus DOALL-only experiences slowdown." (§6.1)
+    return DoallOnlyShape{true, 0.30, 4000};
+  }
+
+  uint64_t invocations() const override { return Epochs; }
+  uint64_t iterationsPerInvocation() const override { return Patterns; }
+
+  void setUp() override;
+  void tearDown() override;
+  void beginInvocation(uint64_t K) override;
+  void endInvocation(uint64_t K) override;
+  void body(uint64_t P) override;
+  void appendLiveOut(std::string &Out) const override;
+  std::string referenceDigest() const override;
+
+  static constexpr unsigned kIn = 30;
+  static constexpr unsigned kHidden = 16;
+  static constexpr unsigned kOut = 8;
+  static constexpr int64_t kFixedOne = 1 << 20;
+
+private:
+  uint64_t Patterns;
+  uint64_t Epochs;
+
+  // Read-only during an invocation (updated sequentially between epochs).
+  double *Inputs = nullptr;  // Patterns x kIn.
+  double *Targets = nullptr; // Patterns x kOut.
+  double *W1 = nullptr;      // kIn x kHidden.
+  double *W2 = nullptr;      // kHidden x kOut.
+  // Private: the "four stack-allocated arrays" (activations and deltas).
+  double *HiddenAct = nullptr;
+  double *OutAct = nullptr;
+  double *OutDelta = nullptr;
+  double *HiddenDelta = nullptr;
+  double *EpochError = nullptr; // Private live-out, one per epoch.
+  // Reductions: two weight-delta arrays and the scalar error accumulator.
+  int64_t *DW1 = nullptr;
+  int64_t *DW2 = nullptr;
+  int64_t *ErrorAcc = nullptr;
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_WORKLOADS_ALVINN_H

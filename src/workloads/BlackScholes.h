@@ -1,0 +1,78 @@
+//===- workloads/BlackScholes.h - PARSEC-style blackscholes -----*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// PARSEC-style blackscholes: the hot loop-nest repeats closed-form option
+/// pricing over the whole portfolio (PARSEC reruns pricing NUM_RUNS
+/// times).  "the inner loop is embarrassingly parallel.  However, the
+/// outer loop cannot be parallelized directly because of output
+/// dependences on the pricing array, which is allocated in a different
+/// function.  Privateer privatizes this array, allowing for parallel
+/// execution of the outer loop." (§6.1)
+///
+/// Here an outer iteration prices the portfolio at a per-run rate shift
+/// and overwrites the shared `Prices` array (the output dependence);
+/// results accumulate into a per-run summary that is live-out.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_WORKLOADS_BLACKSCHOLES_H
+#define PRIVATEER_WORKLOADS_BLACKSCHOLES_H
+
+#include "workloads/Workload.h"
+
+namespace privateer {
+
+class BlackScholesWorkload : public Workload {
+public:
+  explicit BlackScholesWorkload(Scale S);
+
+  const char *name() const override { return "blackscholes"; }
+  PaperRow paperRow() const override {
+    return PaperRow{1, 5, "0 B", "4.0 GB", {1, 0, 9, 0, 0}, "Value"};
+  }
+  HeapSites ourSites() const override { return {2, 0, 6, 0, 0}; }
+  const char *extras() const override { return "Value"; }
+  DoallOnlyShape doallOnly() const override {
+    // "DOALL-only parallelizes a hot inner loop in blackscholes; however,
+    // privatization allows the compiler to parallelize a hotter loop.
+    // Privatization enables the compiler to parallelize a single
+    // invocation, thus reducing spawn/join costs." (§6.1)
+    return DoallOnlyShape{true, 0.95, NumRuns};
+  }
+
+  uint64_t iterationsPerInvocation() const override { return NumRuns; }
+
+  void setUp() override;
+  void tearDown() override;
+  void body(uint64_t Run) override;
+  void appendLiveOut(std::string &Out) const override;
+  std::string referenceDigest() const override;
+
+  /// The closed-form Black-Scholes price; exposed for unit testing against
+  /// put-call parity and known values.
+  static double priceOption(double Spot, double Strike, double Rate,
+                            double Vol, double Time, bool IsCall);
+
+private:
+  uint64_t NumOptions;
+  uint64_t NumRuns;
+  // Read-only portfolio.
+  double *Spot = nullptr;
+  double *Strike = nullptr;
+  double *Rate = nullptr;
+  double *Vol = nullptr;
+  double *Time = nullptr;
+  int *IsCall = nullptr;
+  // Private: the reused pricing array and the per-run live-out summary.
+  double *Prices = nullptr;
+  double *RunSummary = nullptr;
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_WORKLOADS_BLACKSCHOLES_H

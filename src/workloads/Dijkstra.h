@@ -1,0 +1,74 @@
+//===- workloads/Dijkstra.h - MiBench-style dijkstra ------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating example (Figure 2, simplified from MiBench
+/// dijkstra): the outer loop repeatedly runs Dijkstra's algorithm over a
+/// dense adjacency matrix, reusing a global linked-list work queue `Q` and
+/// a global `pathcost` array across iterations.  The privatized body is a
+/// line-for-line realization of Figure 2b: `Q` and `pathcost` are private,
+/// queue nodes are short-lived, `adj` is read-only, the queue's emptiness
+/// at iteration boundaries is value-predicted, and the per-source result
+/// line is deferred output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_WORKLOADS_DIJKSTRA_H
+#define PRIVATEER_WORKLOADS_DIJKSTRA_H
+
+#include "workloads/Workload.h"
+
+namespace privateer {
+
+class DijkstraWorkload : public Workload {
+public:
+  explicit DijkstraWorkload(Scale S);
+
+  const char *name() const override { return "dijkstra"; }
+  PaperRow paperRow() const override;
+  HeapSites ourSites() const override { return {3, 1, 1, 0, 0}; }
+  const char *extras() const override { return "Value, Control, I/O"; }
+  DoallOnlyShape doallOnly() const override {
+    // "DOALL-only does not parallelize any loops in dijkstra because of
+    // real, frequent false dependences" (§6.1).
+    return DoallOnlyShape{false, 0.0, 0};
+  }
+
+  uint64_t iterationsPerInvocation() const override { return NumNodes; }
+
+  void setUp() override;
+  void tearDown() override;
+  void body(uint64_t Src) override;
+  void appendLiveOut(std::string &Out) const override;
+  std::string referenceDigest() const override;
+
+private:
+  struct Node {
+    int Vertex;
+    Node *Next;
+  };
+  struct Queue {
+    Node *Head;
+    Node *Tail;
+  };
+
+  void enqueue(int V);
+  int dequeue();
+  bool emptyQueue() const;
+
+  unsigned NumNodes;
+  // Privatized globals (Figure 2b lines 5-7 keep them behind pointers
+  // loaded from heap-allocated storage).
+  Queue *Q = nullptr;     // Private heap.
+  int *PathCost = nullptr; // Private heap.
+  int *Adj = nullptr;      // Read-only heap (NumNodes x NumNodes).
+  long *TotalCost = nullptr; // Private heap live-out, one per source.
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_WORKLOADS_DIJKSTRA_H

@@ -1,0 +1,62 @@
+//===- workloads/EncMd5.h - Trimaran-style enc-md5 --------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trimaran-style enc-md5: "computes message digests for a large number of
+/// data sets and prints each to standard output.  Two factors limit
+/// parallelization of the program's outer loop: false dependences on the
+/// MD5 state object and digest buffer, and calls to printf.  Privateer
+/// privatizes the state object and marks the digest buffer as short-lived.
+/// The side effects of stream output functions are issued through the
+/// checkpoint system" (§6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_WORKLOADS_ENCMD5_H
+#define PRIVATEER_WORKLOADS_ENCMD5_H
+
+#include "workloads/Md5.h"
+#include "workloads/Workload.h"
+
+namespace privateer {
+
+class EncMd5Workload : public Workload {
+public:
+  explicit EncMd5Workload(Scale S);
+
+  const char *name() const override { return "enc-md5"; }
+  PaperRow paperRow() const override {
+    return PaperRow{1, 5, "25.5 GB", "30.8 GB", {2, 1, 4, 0, 0},
+                    "Control, I/O"};
+  }
+  HeapSites ourSites() const override { return {2, 1, 1, 0, 0}; }
+  const char *extras() const override { return "Control, I/O"; }
+  DoallOnlyShape doallOnly() const override {
+    // DOALL-only cannot touch the outer loop: real, frequent false
+    // dependences on the reused state object (§6.1).
+    return DoallOnlyShape{false, 0.0, 0};
+  }
+
+  uint64_t iterationsPerInvocation() const override { return NumBuffers; }
+
+  void setUp() override;
+  void tearDown() override;
+  void body(uint64_t I) override;
+  void appendLiveOut(std::string &Out) const override;
+  std::string referenceDigest() const override;
+
+private:
+  uint64_t NumBuffers;
+  size_t BufferBytes;
+  uint8_t *Input = nullptr;      // Read-only: all data sets, concatenated.
+  Md5Context *State = nullptr;   // Private: the reused MD5 state object.
+  uint64_t *DigestSum = nullptr; // Private live-out: folded digests.
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_WORKLOADS_ENCMD5_H

@@ -1,0 +1,381 @@
+//===- workloads/IrPrograms.cpp -------------------------------------------===//
+
+#include "workloads/IrPrograms.h"
+
+#include <cstdio>
+
+using namespace privateer;
+
+std::string privateer::dijkstraIrText(unsigned NumNodes) {
+  char Buf[256];
+  std::string T;
+  auto Emit = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    T += Buf;
+    T += "\n";
+  };
+
+  unsigned N = NumNodes;
+  // Globals: queue (head @0, tail @8), pathcost, result sums, adjacency.
+  Emit("global @Q 16");
+  Emit("global @pathcost %u", N * 8);
+  Emit("global @out %u", N * 8);
+  Emit("global @adj %u", N * N * 8);
+  T += "\n";
+
+  // Deterministic edge weights: ((u*31 + v*17) mod 97) + 1; 0 diagonal.
+  T += "define void @init_adj() {\n"
+       "entry:\n"
+       "  br uloop\n"
+       "uloop:\n"
+       "  %u = phi [entry: 0], [ulatch: %unext]\n";
+  Emit("  %%uc = icmp lt, %%u, %u", N);
+  T += "  condbr %uc, vinit, done\n"
+       "vinit:\n"
+       "  br vloop\n"
+       "vloop:\n"
+       "  %v = phi [vinit: 0], [vlatch: %vnext]\n";
+  Emit("  %%vc = icmp lt, %%v, %u", N);
+  T += "  condbr %vc, vbody, ulatch\n"
+       "vbody:\n"
+       "  %du = mul %u, 31\n"
+       "  %dv = mul %v, 17\n"
+       "  %s = add %du, %dv\n"
+       "  %m = srem %s, 97\n"
+       "  %w0 = add %m, 1\n"
+       "  %same = icmp eq, %u, %v\n"
+       "  %w = select %same, 0, %w0\n";
+  Emit("  %%row = mul %%u, %u", N * 8);
+  T += "  %col = mul %v, 8\n"
+       "  %off = add %row, %col\n"
+       "  %p = gep @adj, %off\n"
+       "  store %w, %p, 8\n"
+       "  br vlatch\n"
+       "vlatch:\n"
+       "  %vnext = add %v, 1\n"
+       "  br vloop\n"
+       "ulatch:\n"
+       "  %unext = add %u, 1\n"
+       "  br uloop\n"
+       "done:\n"
+       "  ret\n"
+       "}\n\n";
+
+  // enqueueQ (Figure 2a lines 9-21): node {vx @0, next @8} from malloc.
+  T += "define void @enqueue(i64 %v) {\n"
+       "entry:\n"
+       "  %n = malloc 16\n"
+       "  store %v, %n, 8\n"
+       "  %nextp = gep %n, 8\n"
+       "  store 0, %nextp, 8\n"
+       "  %tailp = gep @Q, 8\n"
+       "  %tail = load ptr, %tailp, 8\n"
+       "  %wasempty = icmp eq, %tail, 0\n"
+       "  condbr %wasempty, sethead, append\n"
+       "sethead:\n"
+       "  store %n, @Q, 8\n"
+       "  br settail\n"
+       "append:\n"
+       "  %tnextp = gep %tail, 8\n"
+       "  store %n, %tnextp, 8\n"
+       "  br settail\n"
+       "settail:\n"
+       "  store %n, %tailp, 8\n"
+       "  ret\n"
+       "}\n\n";
+
+  // dequeueQ (Figure 2a lines 23-37).
+  T += "define i64 @dequeue() {\n"
+       "entry:\n"
+       "  %kill = load ptr, @Q, 8\n"
+       "  %v = load i64, %kill, 8\n"
+       "  %nextp = gep %kill, 8\n"
+       "  %next = load ptr, %nextp, 8\n"
+       "  store %next, @Q, 8\n"
+       "  %islast = icmp eq, %next, 0\n"
+       "  condbr %islast, cleartail, done\n"
+       "cleartail:\n"
+       "  %tailp = gep @Q, 8\n"
+       "  store 0, %tailp, 8\n"
+       "  br done\n"
+       "done:\n"
+       "  free %kill\n"
+       "  ret %v\n"
+       "}\n\n";
+
+  // hot_loop (Figure 2a lines 45-82).
+  T += "define void @hot_loop(i64 %n) {\n"
+       "entry:\n"
+       "  br loop\n"
+       "loop:\n"
+       "  %src = phi [entry: 0], [latch: %srcnext]\n"
+       "  %c = icmp lt, %src, %n\n"
+       "  condbr %c, body, exit\n"
+       "body:\n"
+       "  br initloop\n"
+       "initloop:\n"
+       "  %i = phi [body: 0], [initlatch: %inext]\n"
+       "  %ic = icmp lt, %i, %n\n"
+       "  condbr %ic, initbody, seed\n"
+       "initbody:\n"
+       "  %ioff = mul %i, 8\n"
+       "  %ip = gep @pathcost, %ioff\n"
+       "  store 1000000000, %ip, 8\n"
+       "  br initlatch\n"
+       "initlatch:\n"
+       "  %inext = add %i, 1\n"
+       "  br initloop\n"
+       "seed:\n"
+       "  %soff = mul %src, 8\n"
+       "  %sp = gep @pathcost, %soff\n"
+       "  store 0, %sp, 8\n"
+       "  call @enqueue(%src)\n"
+       "  br qloop\n"
+       "qloop:\n"
+       "  %head = load ptr, @Q, 8\n"
+       "  %empty = icmp eq, %head, 0\n"
+       "  condbr %empty, suminit, qbody\n"
+       "qbody:\n"
+       "  %v = call @dequeue()\n"
+       "  %voff = mul %v, 8\n"
+       "  %vp = gep @pathcost, %voff\n"
+       "  %d = load i64, %vp, 8\n"
+       "  br rloop\n"
+       "rloop:\n"
+       "  %j = phi [qbody: 0], [rlatch: %jnext]\n"
+       "  %jc = icmp lt, %j, %n\n"
+       "  condbr %jc, rbody, qloop\n"
+       "rbody:\n";
+  Emit("  %%vrow = mul %%v, %u", N * 8);
+  T += "  %jcol = mul %j, 8\n"
+       "  %aoff = add %vrow, %jcol\n"
+       "  %ap = gep @adj, %aoff\n"
+       "  %w = load i64, %ap, 8\n"
+       "  %ncost = add %w, %d\n"
+       "  %jp = gep @pathcost, %jcol\n"
+       "  %pc = load i64, %jp, 8\n"
+       "  %better = icmp gt, %pc, %ncost\n"
+       "  condbr %better, improve, rlatch\n"
+       "improve:\n"
+       "  store %ncost, %jp, 8\n"
+       "  call @enqueue(%j)\n"
+       "  br rlatch\n"
+       "rlatch:\n"
+       "  %jnext = add %j, 1\n"
+       "  br rloop\n"
+       "suminit:\n"
+       "  br sumloop\n"
+       "sumloop:\n"
+       "  %k = phi [suminit: 0], [sumlatch: %knext]\n"
+       "  %sum = phi [suminit: 0], [sumlatch: %sum2]\n"
+       "  %kc = icmp lt, %k, %n\n"
+       "  condbr %kc, sumbody, report\n"
+       "sumbody:\n"
+       "  %koff = mul %k, 8\n"
+       "  %kp = gep @pathcost, %koff\n"
+       "  %kv = load i64, %kp, 8\n"
+       "  %sum2 = add %sum, %kv\n"
+       "  br sumlatch\n"
+       "sumlatch:\n"
+       "  %knext = add %k, 1\n"
+       "  br sumloop\n"
+       "report:\n"
+       "  %op = gep @out, %soff\n"
+       "  store %sum, %op, 8\n"
+       "  print \"src %d cost %d\\n\", %src, %sum\n"
+       "  br latch\n"
+       "latch:\n"
+       "  %srcnext = add %src, 1\n"
+       "  br loop\n"
+       "exit:\n"
+       "  ret\n"
+       "}\n\n";
+
+  Emit("define i64 @main() {\n"
+       "entry:\n"
+       "  call @init_adj()\n"
+       "  call @hot_loop(%u)\n"
+       "  ret 0\n"
+       "}\n",
+       N);
+  // Training entry: the same hot loop over a smaller input (paper §6
+  // profiles 'train', evaluates 'ref').
+  Emit("define i64 @main_train() {\n"
+       "entry:\n"
+       "  call @init_adj()\n"
+       "  call @hot_loop(%u)\n"
+       "  ret 0\n"
+       "}",
+       N / 2 > 0 ? N / 2 : 1);
+  return T;
+}
+
+std::string privateer::reductionSumIrText(uint64_t N) {
+  char Buf[1024];
+  std::snprintf(Buf, sizeof(Buf),
+                "global @acc 8\n"
+                "\n"
+                "define void @kernel(i64 %%n) {\n"
+                "entry:\n"
+                "  br loop\n"
+                "loop:\n"
+                "  %%i = phi [entry: 0], [latch: %%inext]\n"
+                "  %%c = icmp lt, %%i, %%n\n"
+                "  condbr %%c, body, exit\n"
+                "body:\n"
+                "  %%sq = mul %%i, %%i\n"
+                "  %%f = srem %%sq, 1000\n"
+                "  %%old = load i64, @acc, 8\n"
+                "  %%new = add %%old, %%f\n"
+                "  store %%new, @acc, 8\n"
+                "  br latch\n"
+                "latch:\n"
+                "  %%inext = add %%i, 1\n"
+                "  br loop\n"
+                "exit:\n"
+                "  ret\n"
+                "}\n"
+                "\n"
+                "define i64 @main() {\n"
+                "entry:\n"
+                "  call @kernel(%llu)\n"
+                "  %%r = load i64, @acc, 8\n"
+                "  print \"acc %%d\\n\", %%r\n"
+                "  ret %%r\n"
+                "}\n",
+                static_cast<unsigned long long>(N));
+  return Buf;
+}
+
+std::string privateer::recurrenceIrText(uint64_t N) {
+  char Buf[1024];
+  std::snprintf(Buf, sizeof(Buf),
+                "global @cell 8\n"
+                "\n"
+                "define void @kernel(i64 %%n) {\n"
+                "entry:\n"
+                "  br loop\n"
+                "loop:\n"
+                "  %%i = phi [entry: 0], [latch: %%inext]\n"
+                "  %%c = icmp lt, %%i, %%n\n"
+                "  condbr %%c, body, exit\n"
+                "body:\n"
+                "  %%old = load i64, @cell, 8\n"
+                "  %%scaled = mul %%old, 3\n"
+                "  %%mixed = xor %%scaled, %%i\n"
+                "  %%capped = srem %%mixed, 1000003\n"
+                "  store %%capped, @cell, 8\n"
+                "  br latch\n"
+                "latch:\n"
+                "  %%inext = add %%i, 1\n"
+                "  br loop\n"
+                "exit:\n"
+                "  ret\n"
+                "}\n"
+                "\n"
+                "define i64 @main() {\n"
+                "entry:\n"
+                "  call @kernel(%llu)\n"
+                "  %%r = load i64, @cell, 8\n"
+                "  ret %%r\n"
+                "}\n",
+                static_cast<unsigned long long>(N));
+  return Buf;
+}
+
+std::string privateer::fpPricingIrText(uint64_t N) {
+  char Buf[4096];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "global @spot %llu\n"
+      "global @vol %llu\n"
+      "global @price %llu\n"
+      "\n"
+      "define void @fill(i64 %%n) {\n"
+      "entry:\n"
+      "  br loop\n"
+      "loop:\n"
+      "  %%i = phi [entry: 0], [latch: %%inext]\n"
+      "  %%c = icmp lt, %%i, %%n\n"
+      "  condbr %%c, latch, exit\n"
+      "latch:\n"
+      "  %%h = mul %%i, 2654435761\n"
+      "  %%m = srem %%h, 1000\n"
+      "  %%f = sitofp %%m\n"
+      "  %%s = fadd %%f, 50.0\n"
+      "  %%off = mul %%i, 8\n"
+      "  %%sp = gep @spot, %%off\n"
+      "  store %%s, %%sp, 8\n"
+      "  %%vraw = srem %%h, 40\n"
+      "  %%vf = sitofp %%vraw\n"
+      "  %%v = fmul %%vf, 0.01\n"
+      "  %%vp = gep @vol, %%off\n"
+      "  store %%v, %%vp, 8\n"
+      "  %%inext = add %%i, 1\n"
+      "  br loop\n"
+      "exit:\n"
+      "  ret\n"
+      "}\n"
+      "\n"
+      "define void @kernel(i64 %%n) {\n"
+      "entry:\n"
+      "  br loop\n"
+      "loop:\n"
+      "  %%i = phi [entry: 0], [latch: %%inext]\n"
+      "  %%c = icmp lt, %%i, %%n\n"
+      "  condbr %%c, body, exit\n"
+      "body:\n"
+      "  %%off = mul %%i, 8\n"
+      "  %%sp = gep @spot, %%off\n"
+      "  %%s = load f64, %%sp, 8\n"
+      "  %%vp = gep @vol, %%off\n"
+      "  %%v = load f64, %%vp, 8\n"
+      "  %%v2 = fmul %%v, %%v\n"
+      "  %%drift = fmul %%v2, 0.5\n"
+      "  %%scaled = fmul %%s, %%drift\n"
+      "  %%base = fsub %%s, 55.0\n"
+      "  %%itm = fcmp gt, %%base, 0.0\n"
+      "  ; select copies raw bits: f64 base when in the money, +0.0 else.\n"
+      "  %%payoff = select %%itm, %%base, 0\n"
+      "  %%p0 = fadd %%scaled, %%payoff\n"
+      "  %%p = fadd %%p0, 1.0\n"
+      "  %%pp = gep @price, %%off\n"
+      "  store %%p, %%pp, 8\n"
+      "  br latch\n"
+      "latch:\n"
+      "  %%inext = add %%i, 1\n"
+      "  br loop\n"
+      "exit:\n"
+      "  ret\n"
+      "}\n"
+      "\n"
+      "define i64 @main() {\n"
+      "entry:\n"
+      "  call @fill(%llu)\n"
+      "  call @kernel(%llu)\n"
+      "  br sumloop\n"
+      "sumloop:\n"
+      "  %%i = phi [entry: 0], [slatch: %%inext]\n"
+      "  %%acc = phi [entry: 0.0], [slatch: %%acc2]\n"
+      "  %%c = icmp lt, %%i, %llu\n"
+      "  condbr %%c, slatch, done\n"
+      "slatch:\n"
+      "  %%off = mul %%i, 8\n"
+      "  %%pp = gep @price, %%off\n"
+      "  %%p = load f64, %%pp, 8\n"
+      "  %%acc2 = fadd %%acc, %%p\n"
+      "  %%inext = add %%i, 1\n"
+      "  br sumloop\n"
+      "done:\n"
+      "  print \"total %%.6f\\n\", %%acc\n"
+      "  %%r = fptosi %%acc\n"
+      "  ret %%r\n"
+      "}\n",
+      static_cast<unsigned long long>(N * 8),
+      static_cast<unsigned long long>(N * 8),
+      static_cast<unsigned long long>(N * 8),
+      static_cast<unsigned long long>(N),
+      static_cast<unsigned long long>(N),
+      static_cast<unsigned long long>(N));
+  return Buf;
+}

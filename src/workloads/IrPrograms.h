@@ -1,0 +1,46 @@
+//===- workloads/IrPrograms.h - IR programs for the pipeline ----*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Textual IR programs exercising the fully automatic compiler pipeline.
+/// `dijkstraIrText` is the paper's Figure 2a, written in this repo's IR:
+/// a hot loop whose iterations reuse a global linked-list work queue and a
+/// global pathcost array — unparallelizable without speculative
+/// privatization, value prediction, and short-lived object speculation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_WORKLOADS_IRPROGRAMS_H
+#define PRIVATEER_WORKLOADS_IRPROGRAMS_H
+
+#include <cstdint>
+#include <string>
+
+namespace privateer {
+
+/// Figure 2a in IR form with \p NumNodes graph nodes.  @main fills the
+/// adjacency matrix, then runs the hot loop over all sources; each
+/// iteration prints "src <s> cost <sum>".
+std::string dijkstraIrText(unsigned NumNodes);
+
+/// A small reduction kernel: sums f(i) for i in [0, N) into a global
+/// accumulator via a load-add-store — reduction-privatizable.
+std::string reductionSumIrText(uint64_t N);
+
+/// A loop with a genuine cross-iteration recurrence through memory (not
+/// privatizable); classification must mark the object unrestricted.
+std::string recurrenceIrText(uint64_t N);
+
+/// A blackscholes-flavored floating-point kernel: per-iteration pricing
+/// of one instrument from read-only f64 parameter arrays into a private
+/// result array.  Exercises f64 arithmetic, conversions, and compares
+/// through the whole pipeline.
+std::string fpPricingIrText(uint64_t N);
+
+} // namespace privateer
+
+#endif // PRIVATEER_WORKLOADS_IRPROGRAMS_H

@@ -1,0 +1,137 @@
+//===- workloads/Md5.cpp - RFC 1321 MD5 -----------------------------------===//
+
+#include "workloads/Md5.h"
+
+#include <cstring>
+
+using namespace privateer;
+
+namespace {
+
+inline uint32_t rotl(uint32_t X, int S) { return (X << S) | (X >> (32 - S)); }
+
+// Per-round shift amounts and sine-derived constants (RFC 1321).
+constexpr int kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+constexpr uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+void transform(uint32_t State[4], const uint8_t Block[64]) {
+  uint32_t M[16];
+  for (int I = 0; I < 16; ++I)
+    M[I] = static_cast<uint32_t>(Block[I * 4]) |
+           (static_cast<uint32_t>(Block[I * 4 + 1]) << 8) |
+           (static_cast<uint32_t>(Block[I * 4 + 2]) << 16) |
+           (static_cast<uint32_t>(Block[I * 4 + 3]) << 24);
+
+  uint32_t A = State[0], B = State[1], C = State[2], D = State[3];
+  for (int I = 0; I < 64; ++I) {
+    uint32_t F;
+    int G;
+    if (I < 16) {
+      F = (B & C) | (~B & D);
+      G = I;
+    } else if (I < 32) {
+      F = (D & B) | (~D & C);
+      G = (5 * I + 1) & 15;
+    } else if (I < 48) {
+      F = B ^ C ^ D;
+      G = (3 * I + 5) & 15;
+    } else {
+      F = C ^ (B | ~D);
+      G = (7 * I) & 15;
+    }
+    uint32_t Tmp = D;
+    D = C;
+    C = B;
+    B = B + rotl(A + F + kSine[I] + M[G], kShift[I]);
+    A = Tmp;
+  }
+  State[0] += A;
+  State[1] += B;
+  State[2] += C;
+  State[3] += D;
+}
+
+} // namespace
+
+void privateer::md5Init(Md5Context &Ctx) {
+  Ctx.State[0] = 0x67452301;
+  Ctx.State[1] = 0xefcdab89;
+  Ctx.State[2] = 0x98badcfe;
+  Ctx.State[3] = 0x10325476;
+  Ctx.BitCount = 0;
+}
+
+void privateer::md5Update(Md5Context &Ctx, const void *Data, size_t Len) {
+  const auto *P = static_cast<const uint8_t *>(Data);
+  size_t Have = (Ctx.BitCount >> 3) & 63;
+  Ctx.BitCount += static_cast<uint64_t>(Len) << 3;
+
+  if (Have) {
+    size_t Need = 64 - Have;
+    size_t Take = Len < Need ? Len : Need;
+    std::memcpy(Ctx.Buffer + Have, P, Take);
+    P += Take;
+    Len -= Take;
+    if (Have + Take < 64)
+      return;
+    transform(Ctx.State, Ctx.Buffer);
+  }
+  while (Len >= 64) {
+    transform(Ctx.State, P);
+    P += 64;
+    Len -= 64;
+  }
+  if (Len)
+    std::memcpy(Ctx.Buffer, P, Len);
+}
+
+void privateer::md5Final(Md5Context &Ctx, uint8_t *Digest16) {
+  uint64_t Bits = Ctx.BitCount;
+  uint8_t LenBytes[8];
+  for (int I = 0; I < 8; ++I)
+    LenBytes[I] = static_cast<uint8_t>(Bits >> (8 * I));
+
+  static const uint8_t Pad[64] = {0x80};
+  size_t Have = (Ctx.BitCount >> 3) & 63;
+  size_t PadLen = (Have < 56) ? (56 - Have) : (120 - Have);
+  md5Update(Ctx, Pad, PadLen);
+  md5Update(Ctx, LenBytes, 8);
+
+  for (int I = 0; I < 4; ++I) {
+    Digest16[I * 4] = static_cast<uint8_t>(Ctx.State[I]);
+    Digest16[I * 4 + 1] = static_cast<uint8_t>(Ctx.State[I] >> 8);
+    Digest16[I * 4 + 2] = static_cast<uint8_t>(Ctx.State[I] >> 16);
+    Digest16[I * 4 + 3] = static_cast<uint8_t>(Ctx.State[I] >> 24);
+  }
+}
+
+std::string privateer::md5Hex(const void *Data, size_t Len) {
+  Md5Context Ctx;
+  md5Init(Ctx);
+  md5Update(Ctx, Data, Len);
+  uint8_t Digest[16];
+  md5Final(Ctx, Digest);
+  static const char Hex[] = "0123456789abcdef";
+  std::string Out(32, '0');
+  for (int I = 0; I < 16; ++I) {
+    Out[I * 2] = Hex[Digest[I] >> 4];
+    Out[I * 2 + 1] = Hex[Digest[I] & 15];
+  }
+  return Out;
+}

@@ -1,0 +1,45 @@
+//===- workloads/Md5.h - From-scratch MD5 -----------------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RFC 1321 MD5, implemented from scratch as the substrate for the
+/// Trimaran-style enc-md5 workload.  The context struct is deliberately a
+/// plain reusable object so the workload can model the paper's "false
+/// dependences on the MD5 state object".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_WORKLOADS_MD5_H
+#define PRIVATEER_WORKLOADS_MD5_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace privateer {
+
+struct Md5Context {
+  uint32_t State[4];
+  uint64_t BitCount;
+  uint8_t Buffer[64];
+};
+
+/// Resets \p Ctx to the RFC 1321 initial chaining values.
+void md5Init(Md5Context &Ctx);
+
+/// Absorbs \p Len bytes of \p Data.
+void md5Update(Md5Context &Ctx, const void *Data, size_t Len);
+
+/// Finalizes into \p Digest16 (16 bytes).  \p Ctx is consumed.
+void md5Final(Md5Context &Ctx, uint8_t *Digest16);
+
+/// Convenience: hex digest of a buffer.
+std::string md5Hex(const void *Data, size_t Len);
+
+} // namespace privateer
+
+#endif // PRIVATEER_WORKLOADS_MD5_H

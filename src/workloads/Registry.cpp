@@ -1,0 +1,35 @@
+//===- workloads/Registry.cpp - Workload factory --------------------------===//
+
+#include "workloads/Alvinn.h"
+#include "workloads/BlackScholes.h"
+#include "workloads/Dijkstra.h"
+#include "workloads/EncMd5.h"
+#include "workloads/Swaptions.h"
+
+using namespace privateer;
+
+std::vector<std::unique_ptr<Workload>>
+privateer::allWorkloads(Workload::Scale S) {
+  std::vector<std::unique_ptr<Workload>> Out;
+  Out.push_back(std::make_unique<AlvinnWorkload>(S));
+  Out.push_back(std::make_unique<DijkstraWorkload>(S));
+  Out.push_back(std::make_unique<BlackScholesWorkload>(S));
+  Out.push_back(std::make_unique<SwaptionsWorkload>(S));
+  Out.push_back(std::make_unique<EncMd5Workload>(S));
+  return Out;
+}
+
+std::unique_ptr<Workload> privateer::makeWorkload(const std::string &Name,
+                                                  Workload::Scale S) {
+  if (Name == "alvinn" || Name == "052.alvinn")
+    return std::make_unique<AlvinnWorkload>(S);
+  if (Name == "dijkstra")
+    return std::make_unique<DijkstraWorkload>(S);
+  if (Name == "blackscholes")
+    return std::make_unique<BlackScholesWorkload>(S);
+  if (Name == "swaptions")
+    return std::make_unique<SwaptionsWorkload>(S);
+  if (Name == "enc-md5" || Name == "md5")
+    return std::make_unique<EncMd5Workload>(S);
+  return nullptr;
+}

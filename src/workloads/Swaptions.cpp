@@ -1,0 +1,149 @@
+//===- workloads/Swaptions.cpp --------------------------------------------===//
+
+#include "workloads/Swaptions.h"
+
+#include "runtime/Privateer.h"
+#include "support/DeterministicRng.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace privateer;
+
+namespace {
+
+/// One HJM-lite Monte-Carlo trial: evolves a forward curve stored in an
+/// array-of-row-pointers matrix and values a payer swaption payoff.
+/// Templated over the matrix representation so the privatized body (tagged
+/// short-lived matrices) and the plain reference share the exact
+/// floating-point sequence.
+template <typename MatrixT>
+double simulateTrial(MatrixT &Fwd, unsigned Steps, unsigned Tenors,
+                     double Rate, double Vol, double Maturity, double Strike,
+                     DeterministicRng &Rng) {
+  double Dt = Maturity / Steps;
+  for (unsigned T = 0; T < Tenors; ++T)
+    Fwd[0][T] = Rate + 0.001 * T;
+  for (unsigned S = 1; S < Steps; ++S) {
+    double Shock = Rng.nextGaussian() * Vol * std::sqrt(Dt);
+    for (unsigned T = 0; T < Tenors; ++T) {
+      double Drift = 0.5 * Vol * Vol * Dt * (T + 1) / Tenors;
+      Fwd[S][T] = Fwd[S - 1][T] + Drift + Shock * (1.0 - 0.02 * T);
+    }
+  }
+  // Discount factor along the realized short rate path.
+  double Discount = 0.0;
+  for (unsigned S = 0; S < Steps; ++S)
+    Discount += Fwd[S][0] * Dt;
+  // Par-swap-rate proxy at maturity.
+  double Swap = 0.0;
+  for (unsigned T = 0; T < Tenors; ++T)
+    Swap += Fwd[Steps - 1][T];
+  Swap /= Tenors;
+  double Payoff = Swap > Strike ? (Swap - Strike) : 0.0;
+  return Payoff * std::exp(-Discount);
+}
+
+} // namespace
+
+SwaptionsWorkload::SwaptionsWorkload(Scale S)
+    : NumSwaptions(S == Scale::Small ? 32 : 128),
+      Trials(S == Scale::Small ? 16 : 64) {}
+
+void SwaptionsWorkload::setUp() {
+  Strike = static_cast<double *>(
+      h_alloc(NumSwaptions * sizeof(double), HeapKind::ReadOnly));
+  Maturity = static_cast<double *>(
+      h_alloc(NumSwaptions * sizeof(double), HeapKind::ReadOnly));
+  InitialRate = static_cast<double *>(
+      h_alloc(NumSwaptions * sizeof(double), HeapKind::ReadOnly));
+  Volatility = static_cast<double *>(
+      h_alloc(NumSwaptions * sizeof(double), HeapKind::ReadOnly));
+  Desc = static_cast<SimDescriptor *>(
+      h_alloc(sizeof(SimDescriptor), HeapKind::Private));
+  Results = static_cast<double *>(
+      h_alloc(NumSwaptions * sizeof(double), HeapKind::Private));
+
+  DeterministicRng Rng(0x5a9);
+  for (uint64_t I = 0; I < NumSwaptions; ++I) {
+    Strike[I] = Rng.nextDouble(0.02, 0.08);
+    Maturity[I] = Rng.nextDouble(1.0, 10.0);
+    InitialRate[I] = Rng.nextDouble(0.01, 0.06);
+    Volatility[I] = Rng.nextDouble(0.05, 0.30);
+    Results[I] = 0.0;
+  }
+}
+
+void SwaptionsWorkload::tearDown() {
+  h_dealloc(Strike, HeapKind::ReadOnly);
+  h_dealloc(Maturity, HeapKind::ReadOnly);
+  h_dealloc(InitialRate, HeapKind::ReadOnly);
+  h_dealloc(Volatility, HeapKind::ReadOnly);
+  h_dealloc(Desc, HeapKind::Private);
+  h_dealloc(Results, HeapKind::Private);
+  Strike = Maturity = InitialRate = Volatility = Results = nullptr;
+  Desc = nullptr;
+}
+
+void SwaptionsWorkload::body(uint64_t I) {
+  // The reused descriptor object models PARSEC's per-swaption parameter
+  // struct: written then read every iteration (a classic false dep).
+  private_write(Desc, sizeof(SimDescriptor));
+  Desc->Strike = Strike[I];
+  Desc->Maturity = Maturity[I];
+  Desc->Rate = InitialRate[I];
+  Desc->Vol = Volatility[I];
+  Desc->Trials = Trials;
+  private_read(Desc, sizeof(SimDescriptor));
+  SimDescriptor D = *Desc;
+
+  // "arrays of pointers to row vectors ... dynamically allocated":
+  // a linked matrix from the short-lived heap.
+  auto **Fwd = static_cast<double **>(
+      h_alloc(kSteps * sizeof(double *), HeapKind::ShortLived));
+  for (unsigned S = 0; S < kSteps; ++S)
+    Fwd[S] = static_cast<double *>(
+        h_alloc(kTenors * sizeof(double), HeapKind::ShortLived));
+  auto *Payoffs = static_cast<double *>(
+      h_alloc(D.Trials * sizeof(double), HeapKind::ShortLived));
+
+  DeterministicRng Rng(0x5a9000 + I);
+  double Sum = 0.0;
+  for (unsigned T = 0; T < D.Trials; ++T) {
+    check_heap(Fwd, HeapKind::ShortLived);
+    check_heap(Fwd[0], HeapKind::ShortLived);
+    Payoffs[T] = simulateTrial(Fwd, kSteps, kTenors, D.Rate, D.Vol,
+                               D.Maturity, D.Strike, Rng);
+    Sum += Payoffs[T];
+  }
+
+  private_write(&Results[I], sizeof(double));
+  Results[I] = Sum / D.Trials;
+
+  for (unsigned S = 0; S < kSteps; ++S)
+    h_dealloc(Fwd[S], HeapKind::ShortLived);
+  h_dealloc(Payoffs, HeapKind::ShortLived);
+  h_dealloc(Fwd, HeapKind::ShortLived);
+}
+
+void SwaptionsWorkload::appendLiveOut(std::string &Out) const {
+  Out.append(reinterpret_cast<const char *>(Results),
+             NumSwaptions * sizeof(double));
+}
+
+std::string SwaptionsWorkload::referenceDigest() const {
+  std::vector<double> Ref(NumSwaptions);
+  std::vector<std::vector<double>> Fwd(kSteps,
+                                       std::vector<double>(kTenors));
+  for (uint64_t I = 0; I < NumSwaptions; ++I) {
+    DeterministicRng Rng(0x5a9000 + I);
+    double Sum = 0.0;
+    for (unsigned T = 0; T < Trials; ++T)
+      Sum += simulateTrial(Fwd, kSteps, kTenors, InitialRate[I],
+                           Volatility[I], Maturity[I], Strike[I], Rng);
+    Ref[I] = Sum / Trials;
+  }
+  std::string LiveOut(reinterpret_cast<const char *>(Ref.data()),
+                      NumSwaptions * sizeof(double));
+  return combineDigest(LiveOut, "");
+}

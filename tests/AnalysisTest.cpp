@@ -1,0 +1,196 @@
+//===- tests/AnalysisTest.cpp - CFG, dominators, loops, call graph --------===//
+
+#include "analysis/FunctionAnalyses.h"
+#include "ir/IRParser.h"
+#include "workloads/IrPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace privateer;
+using namespace privateer::analysis;
+using namespace privateer::ir;
+
+namespace {
+
+std::unique_ptr<Module> parseOrDie(const std::string &Text) {
+  std::string Err;
+  auto M = parseModule(Text, Err);
+  EXPECT_NE(M, nullptr) << Err;
+  return M;
+}
+
+const char *kDiamond = "define i64 @f(i64 %x) {\n"
+                       "entry:\n"
+                       "  %c = icmp lt, %x, 10\n"
+                       "  condbr %c, left, right\n"
+                       "left:\n"
+                       "  %a = add %x, 1\n"
+                       "  br join\n"
+                       "right:\n"
+                       "  %b = add %x, 2\n"
+                       "  br join\n"
+                       "join:\n"
+                       "  %p = phi [left: %a], [right: %b]\n"
+                       "  ret %p\n"
+                       "}\n";
+
+TEST(Cfg, PredecessorsSuccessorsAndRpo) {
+  auto M = parseOrDie(kDiamond);
+  Function *F = M->functionByName("f");
+  Cfg C(*F);
+  BasicBlock *Entry = F->blockByName("entry");
+  BasicBlock *Join = F->blockByName("join");
+  EXPECT_EQ(C.successors(Entry).size(), 2u);
+  EXPECT_EQ(C.predecessors(Join).size(), 2u);
+  EXPECT_EQ(C.reversePostOrder().size(), 4u);
+  EXPECT_EQ(C.reversePostOrder().front(), Entry);
+  EXPECT_EQ(C.reversePostOrder().back(), Join);
+  EXPECT_LT(C.rpoIndex(Entry), C.rpoIndex(Join));
+}
+
+TEST(Dominators, DiamondDominance) {
+  auto M = parseOrDie(kDiamond);
+  Function *F = M->functionByName("f");
+  Cfg C(*F);
+  DominatorTree DT(C);
+  BasicBlock *Entry = F->blockByName("entry");
+  BasicBlock *Left = F->blockByName("left");
+  BasicBlock *Right = F->blockByName("right");
+  BasicBlock *Join = F->blockByName("join");
+  EXPECT_TRUE(DT.dominates(Entry, Join));
+  EXPECT_TRUE(DT.dominates(Entry, Left));
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  EXPECT_FALSE(DT.dominates(Right, Join));
+  EXPECT_TRUE(DT.dominates(Join, Join));
+  EXPECT_EQ(DT.immediateDominator(Join), Entry);
+  EXPECT_EQ(DT.immediateDominator(Left), Entry);
+  EXPECT_EQ(DT.immediateDominator(Entry), nullptr);
+}
+
+TEST(Loops, NestedLoopsDetectedWithDepths) {
+  auto M = parseOrDie(dijkstraIrText(8));
+  Function *F = M->functionByName("hot_loop");
+  Cfg C(*F);
+  DominatorTree DT(C);
+  LoopInfo LI(C, DT);
+
+  // hot_loop has the outer source loop plus init, queue/relax, and sum
+  // loops nested inside it.
+  Loop *Outer = nullptr;
+  for (const auto &L : LI.loops())
+    if (L->header()->name() == "loop")
+      Outer = L.get();
+  ASSERT_NE(Outer, nullptr);
+  EXPECT_EQ(Outer->depth(), 1u);
+  EXPECT_EQ(Outer->parent(), nullptr);
+
+  unsigned InnerCount = 0;
+  for (const auto &L : LI.loops()) {
+    if (L.get() == Outer)
+      continue;
+    if (L->parent() == Outer) {
+      ++InnerCount;
+      EXPECT_EQ(L->depth(), 2u);
+    }
+    // The relaxation loop nests inside the queue loop (depth 3).
+    if (L->header()->name() == "rloop") {
+      EXPECT_EQ(L->depth(), 3u);
+      ASSERT_NE(L->parent(), nullptr);
+      EXPECT_EQ(L->parent()->header()->name(), "qloop");
+    }
+  }
+  EXPECT_GE(InnerCount, 3u);
+
+  // Preheader and exits of the outer loop.
+  EXPECT_EQ(Outer->preheader(C)->name(), "entry");
+  auto Exits = Outer->exitBlocks(C);
+  ASSERT_EQ(Exits.size(), 1u);
+  EXPECT_EQ(Exits[0]->name(), "exit");
+}
+
+TEST(Loops, CanonicalIvRecognition) {
+  auto M = parseOrDie(dijkstraIrText(8));
+  Function *F = M->functionByName("hot_loop");
+  Cfg C(*F);
+  DominatorTree DT(C);
+  LoopInfo LI(C, DT);
+  Loop *Outer = nullptr;
+  for (const auto &L : LI.loops())
+    if (L->header()->name() == "loop")
+      Outer = L.get();
+  ASSERT_NE(Outer, nullptr);
+  auto Iv = Outer->canonicalIv(C);
+  ASSERT_TRUE(Iv.has_value());
+  EXPECT_EQ(Iv->Phi->name(), "src");
+  EXPECT_EQ(Iv->Bound->kind(), ValueKind::Argument);
+  EXPECT_EQ(Iv->ExitBlock->name(), "exit");
+  ASSERT_EQ(Iv->Begin->kind(), ValueKind::ConstInt);
+  EXPECT_EQ(static_cast<ConstantInt *>(Iv->Begin)->value(), 0);
+}
+
+TEST(Loops, NonCanonicalLoopRejected) {
+  // Decrementing loop: no canonical (0-to-N, +1) induction variable.
+  auto M = parseOrDie("define void @f(i64 %n) {\n"
+                      "entry:\n"
+                      "  br loop\n"
+                      "loop:\n"
+                      "  %i = phi [entry: %n], [latch: %inext]\n"
+                      "  %c = icmp gt, %i, 0\n"
+                      "  condbr %c, latch, exit\n"
+                      "latch:\n"
+                      "  %inext = sub %i, 1\n"
+                      "  br loop\n"
+                      "exit:\n"
+                      "  ret\n"
+                      "}\n");
+  Function *F = M->functionByName("f");
+  Cfg C(*F);
+  DominatorTree DT(C);
+  LoopInfo LI(C, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_FALSE(LI.loops()[0]->canonicalIv(C).has_value());
+}
+
+TEST(CallGraphTest, ReachabilityThroughCalls) {
+  auto M = parseOrDie(dijkstraIrText(8));
+  FunctionAnalyses FA(*M);
+  Function *Hot = M->functionByName("hot_loop");
+  Function *Enq = M->functionByName("enqueue");
+  Function *Deq = M->functionByName("dequeue");
+  Function *Init = M->functionByName("init_adj");
+
+  auto FromHot = FA.callGraph().reachableFrom(Hot);
+  EXPECT_TRUE(FromHot.count(Enq));
+  EXPECT_TRUE(FromHot.count(Deq));
+  EXPECT_FALSE(FromHot.count(Init));
+
+  // From the outer loop's blocks specifically.
+  Cfg C(*Hot);
+  DominatorTree DT(C);
+  LoopInfo LI(C, DT);
+  Loop *Outer = nullptr;
+  for (const auto &L : LI.loops())
+    if (L->header()->name() == "loop")
+      Outer = L.get();
+  std::set<BasicBlock *> Body(Outer->blocks().begin(),
+                              Outer->blocks().end());
+  auto FromLoop = FA.callGraph().reachableFromBlocks(Body);
+  EXPECT_TRUE(FromLoop.count(Enq));
+  EXPECT_TRUE(FromLoop.count(Deq));
+  EXPECT_FALSE(FromLoop.count(Hot));
+}
+
+TEST(Cfg, UnreachableBlocksExcludedFromRpo) {
+  auto M = parseOrDie("define void @f() {\n"
+                      "entry:\n"
+                      "  ret\n"
+                      "island:\n"
+                      "  ret\n"
+                      "}\n");
+  Function *F = M->functionByName("f");
+  Cfg C(*F);
+  EXPECT_EQ(C.reversePostOrder().size(), 1u);
+  EXPECT_FALSE(C.isReachable(F->blockByName("island")));
+}
+
+} // namespace

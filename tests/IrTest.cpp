@@ -1,0 +1,194 @@
+//===- tests/IrTest.cpp - IR construction, text round-trip, verifier ------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRParser.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+#include "workloads/IrPrograms.h"
+
+#include <gtest/gtest.h>
+
+using namespace privateer;
+using namespace privateer::ir;
+
+namespace {
+
+/// Builds: i64 @addmul(i64 %a, i64 %b) { return a*b + a; }
+std::unique_ptr<Module> buildAddMul() {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("addmul", Type::I64);
+  Argument *A = F->addArgument(Type::I64, "a");
+  Argument *B = F->addArgument(Type::I64, "b");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder IRB(*M);
+  IRB.setInsertPoint(Entry);
+  Instruction *Mul = IRB.binop(Opcode::Mul, A, B, "m");
+  Instruction *Add = IRB.binop(Opcode::Add, Mul, A, "s");
+  IRB.ret(Add);
+  return M;
+}
+
+TEST(Ir, BuilderProducesVerifiableModule) {
+  auto M = buildAddMul();
+  EXPECT_TRUE(verifyModule(*M).empty());
+  Function *F = M->functionByName("addmul");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->entry()->instructions().size(), 3u);
+  EXPECT_TRUE(F->entry()->terminator() != nullptr);
+}
+
+TEST(Ir, PrintParseRoundTripPreservesStructure) {
+  auto M = buildAddMul();
+  std::string Text = printModule(*M);
+  std::string Err;
+  auto M2 = parseModule(Text, Err);
+  ASSERT_NE(M2, nullptr) << Err;
+  EXPECT_TRUE(verifyModule(*M2).empty());
+  // Idempotence: printing the reparse gives identical text.
+  EXPECT_EQ(printModule(*M2), Text);
+}
+
+TEST(Ir, DijkstraProgramRoundTripsAndVerifies) {
+  std::string Err;
+  auto M = parseModule(dijkstraIrText(8), Err);
+  ASSERT_NE(M, nullptr) << Err;
+  auto Diags = verifyModule(*M);
+  EXPECT_TRUE(Diags.empty()) << (Diags.empty() ? "" : Diags.front());
+  std::string Text = printModule(*M);
+  auto M2 = parseModule(Text, Err);
+  ASSERT_NE(M2, nullptr) << Err;
+  EXPECT_EQ(printModule(*M2), Text);
+}
+
+TEST(Ir, ParserRejectsMalformedInput) {
+  std::string Err;
+  EXPECT_EQ(parseModule("nonsense", Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(parseModule("define i64 @f() {\nentry:\n  ret 0\n", Err),
+            nullptr)
+      << "missing closing brace";
+  EXPECT_EQ(parseModule("define i64 @f() {\nentry:\n  %x = bogus 1\n}\n",
+                        Err),
+            nullptr)
+      << "unknown mnemonic";
+  EXPECT_EQ(parseModule("define i64 @f() {\nentry:\n  ret %undefined\n}\n",
+                        Err),
+            nullptr)
+      << "undefined value";
+  EXPECT_EQ(
+      parseModule("define i64 @f() {\nentry:\n  br nowhere\n}\n", Err),
+      nullptr)
+      << "unknown block";
+}
+
+TEST(Ir, ParserResolvesForwardPhiReferences) {
+  const char *Text = "define i64 @count(i64 %n) {\n"
+                     "entry:\n"
+                     "  br loop\n"
+                     "loop:\n"
+                     "  %i = phi [entry: 0], [latch: %inext]\n"
+                     "  %c = icmp lt, %i, %n\n"
+                     "  condbr %c, latch, exit\n"
+                     "latch:\n"
+                     "  %inext = add %i, 1\n"
+                     "  br loop\n"
+                     "exit:\n"
+                     "  ret %i\n"
+                     "}\n";
+  std::string Err;
+  auto M = parseModule(Text, Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_TRUE(verifyModule(*M).empty());
+  // %inext is defined after the phi that uses it.
+  Function *F = M->functionByName("count");
+  const Instruction *Phi = F->blockByName("loop")->instructions()[0].get();
+  ASSERT_EQ(Phi->opcode(), Opcode::Phi);
+  EXPECT_EQ(Phi->operand(1)->name(), "inext");
+}
+
+TEST(Ir, VerifierFlagsMissingTerminator) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("f", Type::Void);
+  F->createBlock("entry"); // Empty block: no terminator.
+  auto Diags = verifyModule(*M);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags.front().find("terminator"), std::string::npos);
+}
+
+TEST(Ir, VerifierFlagsPhiPredecessorMismatch) {
+  const char *Text = "define i64 @f(i64 %n) {\n"
+                     "entry:\n"
+                     "  br next\n"
+                     "next:\n"
+                     "  %x = phi [next: 0]\n"
+                     "  ret %x\n"
+                     "}\n";
+  std::string Err;
+  auto M = parseModule(Text, Err);
+  ASSERT_NE(M, nullptr) << Err;
+  auto Diags = verifyModule(*M);
+  ASSERT_FALSE(Diags.empty());
+}
+
+TEST(Ir, VerifierFlagsBadAccessSize) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("f", Type::Void);
+  BasicBlock *B = F->createBlock("entry");
+  IRBuilder IRB(*M);
+  IRB.setInsertPoint(B);
+  Instruction *P = IRB.alloca_(16, "p");
+  IRB.load(Type::I64, P, 3, "v"); // 3-byte load: invalid.
+  IRB.ret();
+  auto Diags = verifyModule(*M);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags.front().find("access size"), std::string::npos);
+}
+
+TEST(Ir, VerifierFlagsCallArityMismatch) {
+  auto M = std::make_unique<Module>();
+  Function *Callee = M->createFunction("g", Type::I64);
+  Callee->addArgument(Type::I64, "x");
+  BasicBlock *GB = Callee->createBlock("entry");
+  IRBuilder IRB(*M);
+  IRB.setInsertPoint(GB);
+  IRB.ret(M->constInt(1));
+  Function *F = M->createFunction("f", Type::Void);
+  BasicBlock *B = F->createBlock("entry");
+  IRB.setInsertPoint(B);
+  IRB.call(Callee, {}); // Missing argument.
+  IRB.ret();
+  auto Diags = verifyModule(*M);
+  ASSERT_FALSE(Diags.empty());
+  EXPECT_NE(Diags.front().find("args"), std::string::npos);
+}
+
+TEST(Ir, GlobalHeapAssignmentSurvivesRoundTrip) {
+  std::string Err;
+  auto M = parseModule("global @g 64 private\n", Err);
+  ASSERT_NE(M, nullptr) << Err;
+  GlobalVariable *G = M->globalByName("g");
+  ASSERT_NE(G, nullptr);
+  ASSERT_TRUE(G->hasAssignedHeap());
+  EXPECT_EQ(G->assignedHeap(), HeapKind::Private);
+  std::string Text = printModule(*M);
+  EXPECT_NE(Text.find("global @g 64 private"), std::string::npos);
+}
+
+TEST(Ir, PrintEscapesSurviveRoundTrip) {
+  auto M = std::make_unique<Module>();
+  Function *F = M->createFunction("f", Type::Void);
+  BasicBlock *B = F->createBlock("entry");
+  IRBuilder IRB(*M);
+  IRB.setInsertPoint(B);
+  IRB.print("tab\there \"quoted\" %d\n", {M->constInt(5)});
+  IRB.ret();
+  std::string Text = printModule(*M);
+  std::string Err;
+  auto M2 = parseModule(Text, Err);
+  ASSERT_NE(M2, nullptr) << Err;
+  const Instruction *P =
+      M2->functionByName("f")->entry()->instructions()[0].get();
+  EXPECT_EQ(P->printFormat(), "tab\there \"quoted\" %d\n");
+}
+
+} // namespace

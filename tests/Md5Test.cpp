@@ -1,0 +1,79 @@
+//===- tests/Md5Test.cpp - RFC 1321 test vectors --------------------------===//
+
+#include "workloads/Md5.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace privateer;
+
+namespace {
+
+TEST(Md5, Rfc1321TestVectors) {
+  const std::vector<std::pair<std::string, std::string>> Vectors = {
+      {"", "d41d8cd98f00b204e9800998ecf8427e"},
+      {"a", "0cc175b9c0f1b6a831c399e269772661"},
+      {"abc", "900150983cd24fb0d6963f7d28e17f72"},
+      {"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+      {"abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b"},
+      {"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+       "d174ab98d277d9f5a5611c2c9f419d9f"},
+      {"1234567890123456789012345678901234567890123456789012345678901234"
+       "5678901234567890",
+       "57edf4a22be3c955ac49da2e2107b67a"}};
+  for (const auto &[Input, Expect] : Vectors)
+    EXPECT_EQ(md5Hex(Input.data(), Input.size()), Expect) << Input;
+}
+
+TEST(Md5, IncrementalUpdatesMatchOneShot) {
+  std::string Msg(1000, 'x');
+  for (size_t I = 0; I < Msg.size(); ++I)
+    Msg[I] = static_cast<char>('a' + (I * 7) % 26);
+
+  Md5Context Ctx;
+  md5Init(Ctx);
+  // Feed in awkward chunk sizes that straddle block boundaries.
+  size_t Off = 0;
+  for (size_t Chunk : {1u, 63u, 64u, 65u, 128u, 679u}) {
+    size_t Take = std::min(Chunk, Msg.size() - Off);
+    md5Update(Ctx, Msg.data() + Off, Take);
+    Off += Take;
+  }
+  ASSERT_EQ(Off, Msg.size());
+  uint8_t Digest[16];
+  md5Final(Ctx, Digest);
+
+  std::string Hex;
+  for (uint8_t B : Digest) {
+    static const char H[] = "0123456789abcdef";
+    Hex += H[B >> 4];
+    Hex += H[B & 15];
+  }
+  EXPECT_EQ(Hex, md5Hex(Msg.data(), Msg.size()));
+}
+
+TEST(Md5, BlockBoundaryLengths) {
+  // Lengths around the 56-byte padding threshold and 64-byte block size
+  // exercise both padding branches of md5Final.
+  for (size_t Len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 121u}) {
+    std::string A(Len, 'q');
+    Md5Context Ctx;
+    md5Init(Ctx);
+    for (size_t I = 0; I < Len; ++I)
+      md5Update(Ctx, &A[I], 1); // Byte-at-a-time must equal one-shot.
+    uint8_t D[16];
+    md5Final(Ctx, D);
+    std::string Hex;
+    for (uint8_t B : D) {
+      static const char H[] = "0123456789abcdef";
+      Hex += H[B >> 4];
+      Hex += H[B & 15];
+    }
+    EXPECT_EQ(Hex, md5Hex(A.data(), A.size())) << "len " << Len;
+  }
+}
+
+} // namespace

@@ -1,0 +1,272 @@
+//===- tests/RandomizedEquivalenceTest.cpp - Soundness sweep --------------===//
+//
+// Property test over randomly generated privatization-friendly loop
+// bodies: for any mix of private scratch writes/reads, short-lived
+// allocations, reductions, and deferred output, speculative parallel
+// execution must be bit-identical to sequential execution for every
+// worker count and checkpoint period — with and without injected
+// misspeculation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Privateer.h"
+#include "support/DeterministicRng.h"
+#include "support/Fnv.h"
+
+#include <gtest/gtest.h>
+
+using namespace privateer;
+
+namespace {
+
+struct SweepCase {
+  uint64_t Seed;
+  unsigned Workers;
+  uint64_t Period;
+  double InjectRate;
+};
+
+std::string sweepName(const ::testing::TestParamInfo<SweepCase> &Info) {
+  return "seed" + std::to_string(Info.param.Seed) + "_w" +
+         std::to_string(Info.param.Workers) + "_k" +
+         std::to_string(Info.param.Period) +
+         (Info.param.InjectRate > 0 ? "_inject" : "");
+}
+
+/// A deterministic random loop body over a fixed arena shape.
+class RandomBody {
+public:
+  static constexpr unsigned kScratch = 96; // Private scratch longs.
+  static constexpr unsigned kOut = 128;    // Live-out slots (one/iter).
+  static constexpr unsigned kBins = 16;    // Reduction bins.
+
+  RandomBody(uint64_t Seed, long *Scratch, long *Out, int64_t *Bins)
+      : Seed(Seed), Scratch(Scratch), Out(Out), Bins(Bins) {}
+
+  void operator()(uint64_t I) const {
+    DeterministicRng Rng(Seed * 1000003 + I);
+    Runtime &Rt = Runtime::get();
+
+    // Phase 1: overwrite a random prefix of the scratch (write-first
+    // keeps it private-safe).
+    unsigned N = 1 + Rng.nextBelow(kScratch);
+    private_write(Scratch, N * sizeof(long));
+    for (unsigned J = 0; J < N; ++J)
+      Scratch[J] = static_cast<long>(Rng.next() % 1000);
+
+    // Phase 2: maybe some short-lived structure.
+    long Extra = 0;
+    if (Rng.next() & 1) {
+      unsigned Nodes = 1 + Rng.nextBelow(5);
+      std::vector<long *> Ns;
+      for (unsigned J = 0; J < Nodes; ++J) {
+        auto *P = static_cast<long *>(
+            h_alloc(2 * sizeof(long), HeapKind::ShortLived));
+        check_heap(P, HeapKind::ShortLived);
+        P[0] = static_cast<long>(J + I);
+        P[1] = P[0] * 3;
+        Ns.push_back(P);
+      }
+      for (long *P : Ns) {
+        Extra += P[1];
+        h_dealloc(P, HeapKind::ShortLived);
+      }
+    }
+
+    // Phase 3: fold scratch into the per-iteration live-out.
+    private_read(Scratch, N * sizeof(long));
+    long Sum = Extra;
+    for (unsigned J = 0; J < N; ++J)
+      Sum += Scratch[J] * (J + 1);
+    private_write(&Out[I % kOut], sizeof(long));
+    Out[I % kOut] = Sum;
+
+    // Phase 4: reduction update.
+    Bins[Sum % kBins] += 1 + static_cast<int64_t>(I % 3);
+
+    // Phase 5: occasional deferred output.
+    if (Sum % 7 == 0)
+      Rt.deferPrintf("it %llu sum %ld\n",
+                     static_cast<unsigned long long>(I), Sum);
+  }
+
+private:
+  uint64_t Seed;
+  long *Scratch;
+  long *Out;
+  int64_t *Bins;
+};
+
+class RandomizedEquivalence : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RandomizedEquivalence, ParallelBitIdenticalToSequential) {
+  const SweepCase &C = GetParam();
+  constexpr uint64_t N = 160;
+
+  auto RunOnce = [&](bool Parallel, uint64_t &Misspecs) {
+    RuntimeConfig Cfg;
+    Cfg.PrivateBytes = 1u << 18;
+    Cfg.ReadOnlyBytes = 1u << 16;
+    Cfg.ReduxBytes = 1u << 16;
+    Cfg.ShortLivedBytes = 1u << 16;
+    Cfg.UnrestrictedBytes = 1u << 16;
+    Runtime &Rt = Runtime::get();
+    Rt.initialize(Cfg);
+    auto *Scratch = static_cast<long *>(
+        h_alloc(RandomBody::kScratch * sizeof(long), HeapKind::Private));
+    auto *Out = static_cast<long *>(
+        h_alloc(RandomBody::kOut * sizeof(long), HeapKind::Private));
+    auto *Bins = static_cast<int64_t *>(
+        h_alloc(RandomBody::kBins * sizeof(int64_t), HeapKind::Redux));
+    std::memset(Scratch, 0, RandomBody::kScratch * sizeof(long));
+    std::memset(Out, 0, RandomBody::kOut * sizeof(long));
+    std::memset(Bins, 0, RandomBody::kBins * sizeof(int64_t));
+    Rt.registerReduction(Bins, RandomBody::kBins * sizeof(int64_t),
+                         ReduxElem::I64, ReduxOp::Add);
+
+    RandomBody Body(C.Seed, Scratch, Out, Bins);
+    std::FILE *Io = std::tmpfile();
+    if (Parallel) {
+      ParallelOptions Opt;
+      Opt.NumWorkers = C.Workers;
+      Opt.CheckpointPeriod = C.Period;
+      Opt.InjectMisspecRate = C.InjectRate;
+      Opt.InjectSeed = C.Seed;
+      Opt.Out = Io;
+      InvocationStats S =
+          Rt.runParallel(N, Opt, [&](uint64_t I) { Body(I); });
+      Misspecs = S.Misspecs;
+    } else {
+      Rt.setSequentialOutput(Io);
+      Rt.runSequential(0, N, [&](uint64_t I) { Body(I); });
+      Rt.setSequentialOutput(nullptr);
+      Misspecs = 0;
+    }
+
+    // Digest every observable: live-outs, final scratch, reductions, IO.
+    std::string State;
+    State.append(reinterpret_cast<char *>(Out),
+                 RandomBody::kOut * sizeof(long));
+    State.append(reinterpret_cast<char *>(Scratch),
+                 RandomBody::kScratch * sizeof(long));
+    State.append(reinterpret_cast<char *>(Bins),
+                 RandomBody::kBins * sizeof(int64_t));
+    std::rewind(Io);
+    char Buf[4096];
+    size_t R;
+    while ((R = std::fread(Buf, 1, sizeof(Buf), Io)) > 0)
+      State.append(Buf, R);
+    std::fclose(Io);
+    Rt.reductions().clear();
+    Rt.shutdown();
+    return fnvHex(fnv1a(State));
+  };
+
+  uint64_t SeqMisspecs = 0, ParMisspecs = 0;
+  std::string Seq = RunOnce(false, SeqMisspecs);
+  std::string Par = RunOnce(true, ParMisspecs);
+  EXPECT_EQ(Par, Seq) << "seed " << C.Seed << " w" << C.Workers << " k"
+                      << C.Period << " misspecs=" << ParMisspecs;
+  if (C.InjectRate == 0.0)
+    EXPECT_EQ(ParMisspecs, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RandomizedEquivalence,
+    ::testing::Values(SweepCase{1, 2, 16, 0.0}, SweepCase{2, 3, 7, 0.0},
+                      SweepCase{3, 4, 32, 0.0}, SweepCase{4, 5, 1, 0.0},
+                      SweepCase{5, 8, 64, 0.0}, SweepCase{6, 4, 200, 0.0},
+                      SweepCase{7, 6, 13, 0.0}, SweepCase{8, 4, 16, 0.03},
+                      SweepCase{9, 3, 8, 0.05}, SweepCase{10, 7, 25, 0.02},
+                      SweepCase{11, 2, 252, 0.0},
+                      SweepCase{12, 16, 16, 0.0}),
+    sweepName);
+
+// --- Oversized worker counts and degenerate loop sizes -----------------
+
+TEST(ParallelEdgeCases, MoreWorkersThanIterations) {
+  Runtime &Rt = Runtime::get();
+  Rt.initialize();
+  auto *Out = static_cast<long *>(h_alloc(3 * sizeof(long), HeapKind::Private));
+  ParallelOptions Opt;
+  Opt.NumWorkers = 8;
+  InvocationStats S = Rt.runParallel(3, Opt, [&](uint64_t I) {
+    private_write(&Out[I], sizeof(long));
+    Out[I] = static_cast<long>(I) + 5;
+  });
+  EXPECT_EQ(S.Misspecs, 0u);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Out[I], I + 5);
+  Rt.shutdown();
+}
+
+TEST(ParallelEdgeCases, ZeroIterationsIsANoOp) {
+  Runtime &Rt = Runtime::get();
+  Rt.initialize();
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  InvocationStats S = Rt.runParallel(0, Opt, [&](uint64_t) {
+    ADD_FAILURE() << "body must not run";
+  });
+  EXPECT_EQ(S.Iterations, 0u);
+  EXPECT_EQ(S.Epochs, 0u);
+  Rt.shutdown();
+}
+
+TEST(ParallelEdgeCases, SingleIterationSingleWorker) {
+  Runtime &Rt = Runtime::get();
+  Rt.initialize();
+  auto *Out = static_cast<long *>(h_alloc(sizeof(long), HeapKind::Private));
+  ParallelOptions Opt;
+  Opt.NumWorkers = 1;
+  Opt.CheckpointPeriod = 1;
+  InvocationStats S = Rt.runParallel(1, Opt, [&](uint64_t) {
+    private_write(Out, sizeof(long));
+    *Out = 99;
+  });
+  EXPECT_EQ(S.Misspecs, 0u);
+  EXPECT_EQ(*Out, 99);
+  Rt.shutdown();
+}
+
+TEST(ParallelEdgeCases, NonSpeculativeDoallMode) {
+  // The Figure 7 baseline: shared heaps, no validation, no checkpoints —
+  // sound only for truly independent iterations.
+  Runtime &Rt = Runtime::get();
+  Rt.initialize();
+  auto *Out =
+      static_cast<long *>(h_alloc(64 * sizeof(long), HeapKind::Private));
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.NonSpeculative = true;
+  InvocationStats S = Rt.runParallel(64, Opt, [&](uint64_t I) {
+    Out[I] = static_cast<long>(I * I); // Direct shared-heap stores.
+  });
+  EXPECT_EQ(S.Misspecs, 0u);
+  EXPECT_EQ(S.Checkpoints, 0u) << "DOALL-only has no checkpoint system";
+  EXPECT_EQ(S.PrivateWriteCalls, 0u) << "and no validation";
+  for (int I = 0; I < 64; ++I)
+    EXPECT_EQ(Out[I], static_cast<long>(I) * I);
+  Rt.shutdown();
+}
+
+TEST(ParallelEdgeCases, ManyEpochsWhenLoopExceedsSlotBudget) {
+  Runtime &Rt = Runtime::get();
+  Rt.initialize();
+  auto *Acc = static_cast<int64_t *>(h_alloc(sizeof(int64_t), HeapKind::Redux));
+  *Acc = 0;
+  Rt.registerReduction(Acc, sizeof(int64_t), ReduxElem::I64, ReduxOp::Add);
+  ParallelOptions Opt;
+  Opt.NumWorkers = 3;
+  Opt.CheckpointPeriod = 4;
+  Opt.MaxSlotsPerEpoch = 2; // 8 iterations per fork/join epoch.
+  InvocationStats S =
+      Rt.runParallel(50, Opt, [&](uint64_t I) { *Acc += (int64_t)I; });
+  EXPECT_EQ(S.Misspecs, 0u);
+  EXPECT_GE(S.Epochs, 6u);
+  EXPECT_EQ(*Acc, 50 * 49 / 2);
+  Rt.reductions().clear();
+  Rt.shutdown();
+}
+
+} // namespace

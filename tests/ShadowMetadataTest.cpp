@@ -1,0 +1,155 @@
+//===- tests/ShadowMetadataTest.cpp - Table 2 property tests --------------===//
+//
+// Exhaustive and randomized validation of the shadow-metadata transition
+// rules (paper Table 2) and of the word-at-a-time range fast paths, which
+// must be observationally identical to the per-byte reference rules.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ShadowMetadata.h"
+#include "support/DeterministicRng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace privateer;
+using namespace privateer::shadow;
+
+namespace {
+
+TEST(ShadowMetadata, Table2ReadRows) {
+  uint8_t B = timestampFor(9, 0);
+  uint8_t A = timestampFor(2, 0);
+  // Read 0 -> 2.
+  EXPECT_FALSE(applyRead(kLiveIn, B).Misspec);
+  EXPECT_EQ(applyRead(kLiveIn, B).After, kReadLiveIn);
+  // Read 1 -> misspec.
+  EXPECT_TRUE(applyRead(kOldWrite, B).Misspec);
+  // Read 2 -> 2.
+  EXPECT_FALSE(applyRead(kReadLiveIn, B).Misspec);
+  EXPECT_EQ(applyRead(kReadLiveIn, B).After, kReadLiveIn);
+  // Read a (earlier) -> misspec.
+  EXPECT_TRUE(applyRead(A, B).Misspec);
+  // Read B -> B (intra-iteration flow).
+  EXPECT_FALSE(applyRead(B, B).Misspec);
+  EXPECT_EQ(applyRead(B, B).After, B);
+}
+
+TEST(ShadowMetadata, Table2WriteRows) {
+  uint8_t B = timestampFor(9, 0);
+  uint8_t A = timestampFor(2, 0);
+  EXPECT_FALSE(applyWrite(kLiveIn, B).Misspec);
+  EXPECT_EQ(applyWrite(kLiveIn, B).After, B);
+  EXPECT_FALSE(applyWrite(kOldWrite, B).Misspec);
+  EXPECT_EQ(applyWrite(kOldWrite, B).After, B);
+  // Write to read-live-in: the conservative false positive.
+  EXPECT_TRUE(applyWrite(kReadLiveIn, B).Misspec);
+  EXPECT_FALSE(applyWrite(A, B).Misspec);
+  EXPECT_EQ(applyWrite(A, B).After, B);
+  EXPECT_FALSE(applyWrite(B, B).Misspec);
+}
+
+TEST(ShadowMetadata, TimestampEncodingAndPeriodCeiling) {
+  EXPECT_EQ(timestampFor(0, 0), kFirstTimestamp);
+  EXPECT_EQ(timestampFor(5, 3), kFirstTimestamp + 2);
+  // The 253-iteration ceiling keeps the code within a byte.
+  EXPECT_EQ(static_cast<unsigned>(
+                timestampFor(kMaxCheckpointPeriod - 1, 0)),
+            255u);
+}
+
+TEST(ShadowMetadata, ResetAgesWritesAndRevertsReads) {
+  uint8_t B = timestampFor(7, 0);
+  EXPECT_EQ(resetAtCheckpoint(B), kOldWrite);
+  EXPECT_EQ(resetAtCheckpoint(kFirstTimestamp), kOldWrite);
+  EXPECT_EQ(resetAtCheckpoint(kReadLiveIn), kLiveIn);
+  EXPECT_EQ(resetAtCheckpoint(kLiveIn), kLiveIn);
+  EXPECT_EQ(resetAtCheckpoint(kOldWrite), kOldWrite);
+}
+
+/// Per-byte reference implementations for the range fast paths.
+bool refReadRange(std::vector<uint8_t> &Meta, uint8_t Ts) {
+  for (uint8_t &M : Meta) {
+    Transition T = applyRead(M, Ts);
+    if (T.Misspec)
+      return false;
+    M = T.After;
+  }
+  return true;
+}
+
+bool refWriteRange(std::vector<uint8_t> &Meta, uint8_t Ts) {
+  for (uint8_t &M : Meta) {
+    Transition T = applyWrite(M, Ts);
+    if (T.Misspec)
+      return false;
+    M = T.After;
+  }
+  return true;
+}
+
+class RangeFastPathProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RangeFastPathProperty, MatchesPerByteReference) {
+  DeterministicRng Rng(GetParam());
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    size_t N = 1 + Rng.nextBelow(70);
+    size_t Pad = Rng.nextBelow(8); // Unaligned starts too.
+    std::vector<uint8_t> A(N + Pad), B;
+    for (size_t I = 0; I < A.size(); ++I) {
+      // Bias toward the interesting codes.
+      switch (Rng.nextBelow(6)) {
+      case 0:
+        A[I] = kLiveIn;
+        break;
+      case 1:
+        A[I] = kOldWrite;
+        break;
+      case 2:
+        A[I] = kReadLiveIn;
+        break;
+      default:
+        A[I] = static_cast<uint8_t>(kFirstTimestamp + Rng.nextBelow(12));
+      }
+    }
+    B = A;
+    uint8_t Ts = static_cast<uint8_t>(kFirstTimestamp + Rng.nextBelow(12));
+    bool IsRead = Rng.next() & 1;
+
+    std::vector<uint8_t> RefSlice(A.begin() + Pad, A.end());
+    bool RefOk = IsRead ? refReadRange(RefSlice, Ts)
+                        : refWriteRange(RefSlice, Ts);
+    bool FastOk = IsRead ? applyReadRange(B.data() + Pad, N, Ts)
+                         : applyWriteRange(B.data() + Pad, N, Ts);
+    ASSERT_EQ(FastOk, RefOk) << "trial " << Trial;
+    if (RefOk) {
+      // On success the resulting metadata must match byte for byte.
+      for (size_t I = 0; I < N; ++I)
+        ASSERT_EQ(B[Pad + I], RefSlice[I]) << "trial " << Trial << " byte "
+                                           << I;
+    }
+    // Prefix bytes before the range must never be touched.
+    for (size_t I = 0; I < Pad; ++I)
+      ASSERT_EQ(B[I], A[I]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RangeFastPathProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(ShadowMetadata, ResetRangeMatchesPerByte) {
+  DeterministicRng Rng(99);
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    size_t N = 1 + Rng.nextBelow(100);
+    std::vector<uint8_t> A(N), B;
+    for (auto &V : A)
+      V = static_cast<uint8_t>(Rng.nextBelow(256));
+    B = A;
+    resetRangeAtCheckpoint(B.data(), N);
+    for (size_t I = 0; I < N; ++I)
+      ASSERT_EQ(B[I], resetAtCheckpoint(A[I]));
+  }
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- tests/WorkloadUnitTest.cpp - Per-workload algorithm checks ---------===//
+
+#include "workloads/BlackScholes.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace privateer;
+
+namespace {
+
+TEST(BlackScholesMath, KnownValueAndParity) {
+  // Standard textbook case: S=100 K=100 r=5% sigma=20% T=1:
+  // call ~ 10.45, put ~ 5.57 (with the A&S polynomial CNDF).
+  double Call = BlackScholesWorkload::priceOption(100, 100, 0.05, 0.2, 1.0,
+                                                  /*IsCall=*/true);
+  double Put = BlackScholesWorkload::priceOption(100, 100, 0.05, 0.2, 1.0,
+                                                 /*IsCall=*/false);
+  EXPECT_NEAR(Call, 10.45, 0.02);
+  EXPECT_NEAR(Put, 5.57, 0.02);
+  // Put-call parity: C - P = S - K * exp(-rT).
+  EXPECT_NEAR(Call - Put, 100 - 100 * std::exp(-0.05), 1e-9);
+}
+
+TEST(BlackScholesMath, MonotoneInSpotAndVol) {
+  double Prev = 0;
+  for (double S : {80.0, 90.0, 100.0, 110.0, 120.0}) {
+    double C = BlackScholesWorkload::priceOption(S, 100, 0.03, 0.25, 2.0,
+                                                 true);
+    EXPECT_GT(C, Prev);
+    Prev = C;
+  }
+  double LowVol =
+      BlackScholesWorkload::priceOption(100, 100, 0.03, 0.1, 1.0, true);
+  double HighVol =
+      BlackScholesWorkload::priceOption(100, 100, 0.03, 0.5, 1.0, true);
+  EXPECT_GT(HighVol, LowVol);
+}
+
+TEST(WorkloadMetadata, PaperRowsAndShapesAreConsistent) {
+  for (auto &W : allWorkloads(Workload::Scale::Small)) {
+    PaperRow R = W->paperRow();
+    EXPECT_GE(R.Invocations, 1u) << W->name();
+    EXPECT_GE(R.Checkpoints, R.Invocations) << W->name();
+    HeapSites S = W->ourSites();
+    EXPECT_GT(S.Private + S.ShortLived + S.ReadOnly + S.Redux, 0u)
+        << W->name();
+    DoallOnlyShape D = W->doallOnly();
+    if (!D.Parallelizable) {
+      EXPECT_EQ(D.ParallelFraction, 0.0) << W->name();
+    } else {
+      EXPECT_GT(D.ParallelFraction, 0.0) << W->name();
+      EXPECT_GT(D.Invocations, 0u) << W->name();
+    }
+    EXPECT_GT(W->iterationsPerInvocation(), 0u) << W->name();
+  }
+}
+
+TEST(WorkloadReference, DigestsAreDeterministic) {
+  // referenceDigest must be a pure function of the workload's inputs.
+  for (const char *Name : {"dijkstra", "blackscholes", "enc-md5"}) {
+    auto A = makeWorkload(Name, Workload::Scale::Small);
+    auto B = makeWorkload(Name, Workload::Scale::Small);
+    Runtime::get().initialize(A->runtimeConfig());
+    A->setUp();
+    std::string DA = A->referenceDigest();
+    A->tearDown();
+    Runtime::get().shutdown();
+    Runtime::get().initialize(B->runtimeConfig());
+    B->setUp();
+    std::string DB = B->referenceDigest();
+    B->tearDown();
+    Runtime::get().shutdown();
+    EXPECT_EQ(DA, DB) << Name;
+  }
+}
+
+TEST(WorkloadReference, ScalesProduceDifferentProblems) {
+  auto Small = makeWorkload("swaptions", Workload::Scale::Small);
+  auto Full = makeWorkload("swaptions", Workload::Scale::Full);
+  EXPECT_LT(Small->iterationsPerInvocation(),
+            Full->iterationsPerInvocation());
+}
+
+TEST(AlvinnTraining, ErrorDecreasesAcrossEpochs) {
+  auto W = makeWorkload("alvinn", Workload::Scale::Small);
+  Runtime::get().initialize(W->runtimeConfig());
+  W->setUp();
+  // Run sequentially and inspect the per-epoch error live-out: training
+  // on a fixed set must reduce the fixed-point-accumulated error.
+  runWorkloadSequential(*W);
+  std::string LiveOut;
+  W->appendLiveOut(LiveOut);
+  ASSERT_GE(LiveOut.size(), 3 * sizeof(double));
+  double E0, ELast;
+  std::memcpy(&E0, LiveOut.data(), sizeof(double));
+  std::memcpy(&ELast, LiveOut.data() + 2 * sizeof(double), sizeof(double));
+  EXPECT_GT(E0, 0.0);
+  EXPECT_LT(ELast, E0) << "backprop failed to reduce training error";
+  W->tearDown();
+  Runtime::get().shutdown();
+}
+
+TEST(DijkstraGraph, CostsSatisfyShortestPathInvariants) {
+  // Run the privatized dijkstra sequentially and sanity-check that path
+  // costs (per-source sums printed as live-out totals) are positive and
+  // bounded by N * maxWeight.
+  auto W = makeWorkload("dijkstra", Workload::Scale::Small);
+  Runtime::get().initialize(W->runtimeConfig());
+  W->setUp();
+  runWorkloadSequential(*W);
+  std::string LiveOut;
+  W->appendLiveOut(LiveOut);
+  size_t N = LiveOut.size() / sizeof(long);
+  ASSERT_GT(N, 0u);
+  for (size_t I = 0; I < N; ++I) {
+    long Total;
+    std::memcpy(&Total, LiveOut.data() + I * sizeof(long), sizeof(long));
+    EXPECT_GT(Total, 0);
+    EXPECT_LT(Total, static_cast<long>(N) * 98 * static_cast<long>(N));
+  }
+  W->tearDown();
+  Runtime::get().shutdown();
+}
+
+} // namespace
