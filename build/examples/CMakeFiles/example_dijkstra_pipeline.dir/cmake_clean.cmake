@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dijkstra_pipeline.dir/dijkstra_pipeline.cpp.o"
+  "CMakeFiles/example_dijkstra_pipeline.dir/dijkstra_pipeline.cpp.o.d"
+  "example_dijkstra_pipeline"
+  "example_dijkstra_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dijkstra_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

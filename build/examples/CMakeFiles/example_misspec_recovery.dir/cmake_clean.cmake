@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_misspec_recovery.dir/misspec_recovery.cpp.o"
+  "CMakeFiles/example_misspec_recovery.dir/misspec_recovery.cpp.o.d"
+  "example_misspec_recovery"
+  "example_misspec_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_misspec_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

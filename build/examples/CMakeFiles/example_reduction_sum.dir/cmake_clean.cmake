@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_reduction_sum.dir/reduction_sum.cpp.o"
+  "CMakeFiles/example_reduction_sum.dir/reduction_sum.cpp.o.d"
+  "example_reduction_sum"
+  "example_reduction_sum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_reduction_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CallGraph.cpp" "src/CMakeFiles/privateer.dir/analysis/CallGraph.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/analysis/CallGraph.cpp.o.d"
+  "/root/repo/src/analysis/Cfg.cpp" "src/CMakeFiles/privateer.dir/analysis/Cfg.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/analysis/Cfg.cpp.o.d"
+  "/root/repo/src/analysis/Dominators.cpp" "src/CMakeFiles/privateer.dir/analysis/Dominators.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/analysis/Dominators.cpp.o.d"
+  "/root/repo/src/analysis/LoopInfo.cpp" "src/CMakeFiles/privateer.dir/analysis/LoopInfo.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/analysis/LoopInfo.cpp.o.d"
+  "/root/repo/src/classify/Classification.cpp" "src/CMakeFiles/privateer.dir/classify/Classification.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/classify/Classification.cpp.o.d"
+  "/root/repo/src/interp/Interpreter.cpp" "src/CMakeFiles/privateer.dir/interp/Interpreter.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/interp/Interpreter.cpp.o.d"
+  "/root/repo/src/interp/MemoryManager.cpp" "src/CMakeFiles/privateer.dir/interp/MemoryManager.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/interp/MemoryManager.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/CMakeFiles/privateer.dir/ir/IR.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/ir/IR.cpp.o.d"
+  "/root/repo/src/ir/IRParser.cpp" "src/CMakeFiles/privateer.dir/ir/IRParser.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/ir/IRParser.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/privateer.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/Verifier.cpp" "src/CMakeFiles/privateer.dir/ir/Verifier.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/ir/Verifier.cpp.o.d"
+  "/root/repo/src/perfmodel/PerfModel.cpp" "src/CMakeFiles/privateer.dir/perfmodel/PerfModel.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/perfmodel/PerfModel.cpp.o.d"
+  "/root/repo/src/profiling/Profile.cpp" "src/CMakeFiles/privateer.dir/profiling/Profile.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/profiling/Profile.cpp.o.d"
+  "/root/repo/src/profiling/ProfileCollector.cpp" "src/CMakeFiles/privateer.dir/profiling/ProfileCollector.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/profiling/ProfileCollector.cpp.o.d"
+  "/root/repo/src/profiling/ProfileSerialization.cpp" "src/CMakeFiles/privateer.dir/profiling/ProfileSerialization.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/profiling/ProfileSerialization.cpp.o.d"
+  "/root/repo/src/runtime/Checkpoint.cpp" "src/CMakeFiles/privateer.dir/runtime/Checkpoint.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/runtime/Checkpoint.cpp.o.d"
+  "/root/repo/src/runtime/DeferredIO.cpp" "src/CMakeFiles/privateer.dir/runtime/DeferredIO.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/runtime/DeferredIO.cpp.o.d"
+  "/root/repo/src/runtime/ParallelInvocation.cpp" "src/CMakeFiles/privateer.dir/runtime/ParallelInvocation.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/runtime/ParallelInvocation.cpp.o.d"
+  "/root/repo/src/runtime/Reduction.cpp" "src/CMakeFiles/privateer.dir/runtime/Reduction.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/runtime/Reduction.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/CMakeFiles/privateer.dir/runtime/Runtime.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/runtime/Runtime.cpp.o.d"
+  "/root/repo/src/runtime/SharedHeap.cpp" "src/CMakeFiles/privateer.dir/runtime/SharedHeap.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/runtime/SharedHeap.cpp.o.d"
+  "/root/repo/src/support/DeterministicRng.cpp" "src/CMakeFiles/privateer.dir/support/DeterministicRng.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/support/DeterministicRng.cpp.o.d"
+  "/root/repo/src/support/ErrorHandling.cpp" "src/CMakeFiles/privateer.dir/support/ErrorHandling.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/support/ErrorHandling.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/CMakeFiles/privateer.dir/support/Statistics.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/support/Statistics.cpp.o.d"
+  "/root/repo/src/support/TableWriter.cpp" "src/CMakeFiles/privateer.dir/support/TableWriter.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/support/TableWriter.cpp.o.d"
+  "/root/repo/src/transform/Pipeline.cpp" "src/CMakeFiles/privateer.dir/transform/Pipeline.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/transform/Pipeline.cpp.o.d"
+  "/root/repo/src/transform/Privatizer.cpp" "src/CMakeFiles/privateer.dir/transform/Privatizer.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/transform/Privatizer.cpp.o.d"
+  "/root/repo/src/workloads/Alvinn.cpp" "src/CMakeFiles/privateer.dir/workloads/Alvinn.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/Alvinn.cpp.o.d"
+  "/root/repo/src/workloads/BlackScholes.cpp" "src/CMakeFiles/privateer.dir/workloads/BlackScholes.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/BlackScholes.cpp.o.d"
+  "/root/repo/src/workloads/Dijkstra.cpp" "src/CMakeFiles/privateer.dir/workloads/Dijkstra.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/Dijkstra.cpp.o.d"
+  "/root/repo/src/workloads/EncMd5.cpp" "src/CMakeFiles/privateer.dir/workloads/EncMd5.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/EncMd5.cpp.o.d"
+  "/root/repo/src/workloads/IrPrograms.cpp" "src/CMakeFiles/privateer.dir/workloads/IrPrograms.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/IrPrograms.cpp.o.d"
+  "/root/repo/src/workloads/Md5.cpp" "src/CMakeFiles/privateer.dir/workloads/Md5.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/Md5.cpp.o.d"
+  "/root/repo/src/workloads/Registry.cpp" "src/CMakeFiles/privateer.dir/workloads/Registry.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/Registry.cpp.o.d"
+  "/root/repo/src/workloads/Swaptions.cpp" "src/CMakeFiles/privateer.dir/workloads/Swaptions.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/Swaptions.cpp.o.d"
+  "/root/repo/src/workloads/WorkloadDriver.cpp" "src/CMakeFiles/privateer.dir/workloads/WorkloadDriver.cpp.o" "gcc" "src/CMakeFiles/privateer.dir/workloads/WorkloadDriver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for privateer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/AnalysisTest.cpp" "tests/CMakeFiles/privateer_tests.dir/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/ClassificationTest.cpp" "tests/CMakeFiles/privateer_tests.dir/ClassificationTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/ClassificationTest.cpp.o.d"
+  "/root/repo/tests/InterpreterTest.cpp" "tests/CMakeFiles/privateer_tests.dir/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/IrTest.cpp" "tests/CMakeFiles/privateer_tests.dir/IrTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/IrTest.cpp.o.d"
+  "/root/repo/tests/Md5Test.cpp" "tests/CMakeFiles/privateer_tests.dir/Md5Test.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/Md5Test.cpp.o.d"
+  "/root/repo/tests/PerfModelTest.cpp" "tests/CMakeFiles/privateer_tests.dir/PerfModelTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/PerfModelTest.cpp.o.d"
+  "/root/repo/tests/PipelineTest.cpp" "tests/CMakeFiles/privateer_tests.dir/PipelineTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/PipelineTest.cpp.o.d"
+  "/root/repo/tests/ProfileSerializationTest.cpp" "tests/CMakeFiles/privateer_tests.dir/ProfileSerializationTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/ProfileSerializationTest.cpp.o.d"
+  "/root/repo/tests/ProfilerTest.cpp" "tests/CMakeFiles/privateer_tests.dir/ProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/ProfilerTest.cpp.o.d"
+  "/root/repo/tests/RandomizedEquivalenceTest.cpp" "tests/CMakeFiles/privateer_tests.dir/RandomizedEquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/RandomizedEquivalenceTest.cpp.o.d"
+  "/root/repo/tests/RuntimeSmokeTest.cpp" "tests/CMakeFiles/privateer_tests.dir/RuntimeSmokeTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/RuntimeSmokeTest.cpp.o.d"
+  "/root/repo/tests/RuntimeUnitTest.cpp" "tests/CMakeFiles/privateer_tests.dir/RuntimeUnitTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/RuntimeUnitTest.cpp.o.d"
+  "/root/repo/tests/ShadowMetadataTest.cpp" "tests/CMakeFiles/privateer_tests.dir/ShadowMetadataTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/ShadowMetadataTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/privateer_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TransformTest.cpp" "tests/CMakeFiles/privateer_tests.dir/TransformTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/TransformTest.cpp.o.d"
+  "/root/repo/tests/WorkloadEquivalenceTest.cpp" "tests/CMakeFiles/privateer_tests.dir/WorkloadEquivalenceTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/WorkloadEquivalenceTest.cpp.o.d"
+  "/root/repo/tests/WorkloadUnitTest.cpp" "tests/CMakeFiles/privateer_tests.dir/WorkloadUnitTest.cpp.o" "gcc" "tests/CMakeFiles/privateer_tests.dir/WorkloadUnitTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/privateer.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateer-cc.dir/privateer-cc.cpp.o"
+  "CMakeFiles/privateer-cc.dir/privateer-cc.cpp.o.d"
+  "privateer-cc"
+  "privateer-cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateer-cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
