@@ -1,0 +1,125 @@
+//===- bench/bench_fault.cpp - Robustness overhead under injected faults -===//
+//
+// Measures DOALL throughput as a function of injected fault rate, for the
+// two quiet failure modes the watchdog layer exists to survive: workers
+// SIGKILLed mid-iteration and workers that stall until reclaimed.  The
+// zero-rate configurations expose the fault-tolerance tax itself (per
+// iteration heartbeat stores, the polling join) relative to the blocking
+// join, so robustness overhead shows up in the perf trajectory instead of
+// hiding in noise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Privateer.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace privateer;
+
+namespace {
+
+constexpr uint64_t kIters = 2048;
+
+/// A small but non-trivial body: enough private traffic that validation
+/// and checkpoint merging are exercised, cheap enough that driver costs
+/// (fork, join, watchdog) dominate measurably.
+IterationFn makeBody(long *Out) {
+  return [Out](uint64_t I) {
+    private_write(&Out[I], sizeof(long));
+    long Acc = 7;
+    for (int J = 0; J < 32; ++J)
+      Acc = Acc * 31 + static_cast<long>(I) + J;
+    Out[I] = Acc;
+  };
+}
+
+ParallelOptions baseOptions() {
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 64;
+  return Opt;
+}
+
+void runInvocation(benchmark::State &State, const ParallelOptions &Opt) {
+  Runtime &Rt = Runtime::get();
+  auto *Out =
+      static_cast<long *>(Rt.heapAlloc(kIters * sizeof(long),
+                                       HeapKind::Private));
+  IterationFn Body = makeBody(Out);
+  uint64_t Recovered = 0, Degraded = 0;
+  for (auto _ : State) {
+    InvocationStats S = Rt.runParallel(kIters, Opt, Body);
+    Recovered += S.RecoveredIterations;
+    Degraded += S.DegradedIterations;
+    benchmark::DoNotOptimize(Out[kIters - 1]);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(kIters));
+  State.counters["recovered_iters"] =
+      benchmark::Counter(static_cast<double>(Recovered),
+                         benchmark::Counter::kAvgIterations);
+  State.counters["degraded_iters"] =
+      benchmark::Counter(static_cast<double>(Degraded),
+                         benchmark::Counter::kAvgIterations);
+  Rt.heapDealloc(Out, HeapKind::Private);
+}
+
+/// Arg 0: per-iteration worker-kill probability in units of 1e-5.
+void BM_ThroughputVsKillRate(benchmark::State &State) {
+  ParallelOptions Opt = baseOptions();
+  Opt.Faults.KillRate = static_cast<double>(State.range(0)) * 1e-5;
+  Opt.Faults.Seed = 1234;
+  runInvocation(State, Opt);
+}
+BENCHMARK(BM_ThroughputVsKillRate)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(100)
+    ->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+
+/// Arg 0: per-iteration worker-stall probability in units of 1e-5.  The
+/// watchdog timeout is tightened so each stall costs ~50ms, not 10s.
+void BM_ThroughputVsStallRate(benchmark::State &State) {
+  ParallelOptions Opt = baseOptions();
+  Opt.StallTimeoutSec = 0.05;
+  Opt.Faults.StallRate = static_cast<double>(State.range(0)) * 1e-5;
+  Opt.Faults.StallSeconds = 3600.0;
+  Opt.Faults.Seed = 1234;
+  runInvocation(State, Opt);
+}
+BENCHMARK(BM_ThroughputVsStallRate)
+    ->Arg(0)
+    ->Arg(25)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+/// Fault-free driver cost with the watchdog polling join (default) versus
+/// the paper's blocking join (StallTimeoutSec = 0): the direct price of
+/// robustness when nothing goes wrong.
+void BM_JoinMode(benchmark::State &State) {
+  ParallelOptions Opt = baseOptions();
+  Opt.StallTimeoutSec = State.range(0) == 0 ? 0.0 : 10.0;
+  runInvocation(State, Opt);
+}
+BENCHMARK(BM_JoinMode)
+    ->Arg(0) // blocking join
+    ->Arg(1) // watchdog join
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  RuntimeConfig C;
+  C.PrivateBytes = 1u << 20;
+  C.ReadOnlyBytes = 1u << 16;
+  C.ReduxBytes = 1u << 16;
+  C.ShortLivedBytes = 1u << 16;
+  C.UnrestrictedBytes = 1u << 16;
+  Runtime::get().initialize(C);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  Runtime::get().shutdown();
+  return 0;
+}

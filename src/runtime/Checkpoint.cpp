@@ -2,8 +2,10 @@
 
 #include "runtime/Checkpoint.h"
 
+#include "runtime/FaultInjection.h"
 #include "runtime/ShadowMetadata.h"
 #include "support/ErrorHandling.h"
+#include "support/Timing.h"
 
 #include <cassert>
 #include <cerrno>
@@ -21,7 +23,7 @@ uint64_t alignUp(uint64_t N) { return (N + kSlotAlign - 1) & ~(kSlotAlign - 1); 
 
 CheckpointRegion::~CheckpointRegion() { destroy(); }
 
-void CheckpointRegion::create(const Config &C) {
+bool CheckpointRegion::create(const Config &C) {
   assert(!Region && "region already created");
   assert(C.NumSlots > 0 && C.NumWorkers > 0 && "empty checkpoint region");
   Cfg = C;
@@ -31,8 +33,7 @@ void CheckpointRegion::create(const Config &C) {
   void *P = mmap(nullptr, RegionBytes, PROT_READ | PROT_WRITE,
                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
   if (P == MAP_FAILED)
-    reportFatalError(std::string("mmap checkpoint region: ") +
-                     std::strerror(errno));
+    return false;
   Region = static_cast<uint8_t *>(P);
   for (uint64_t S = 0; S < C.NumSlots; ++S) {
     SlotHeader *H = slot(S);
@@ -42,6 +43,7 @@ void CheckpointRegion::create(const Config &C) {
                             H->BaseIter + C.Period);
     H->NumIters = End - H->BaseIter;
   }
+  return true;
 }
 
 void CheckpointRegion::destroy() {
@@ -72,14 +74,39 @@ uint8_t *CheckpointRegion::slotIo(uint64_t P) const {
   return slotRedux(P) + alignUp(Cfg.ReduxBytes);
 }
 
+bool CheckpointRegion::slotHeaderSane(uint64_t P) const {
+  const SlotHeader *H = slot(P);
+  uint64_t ExpectBase = Cfg.BaseIter + P * Cfg.Period;
+  uint64_t ExpectEnd =
+      std::min(Cfg.BaseIter + Cfg.EpochIters, ExpectBase + Cfg.Period);
+  return H->BaseIter == ExpectBase &&
+         H->NumIters == ExpectEnd - ExpectBase &&
+         H->IoBytes <= Cfg.IoCapacity &&
+         H->WorkersMerged <= Cfg.NumWorkers &&
+         H->ExecutedMerges <= H->WorkersMerged;
+}
+
 void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
                                    const uint8_t *LocalPrivate,
                                    const ReductionRegistry &Redux,
                                    uint64_t ReduxBase,
                                    std::vector<IoRecord> &PendingIo,
-                                   bool Executed) {
+                                   bool Executed, const MergeContext &Ctx) {
   SlotHeader *H = slot(P);
-  H->Lock.lock();
+  bool Broke = H->Lock.lockOrBreak(Ctx.SelfPid, [&Ctx] {
+    if (Ctx.Heartbeat)
+      Ctx.Heartbeat->store(monotonicNanos(), std::memory_order_relaxed);
+  });
+  if (Broke) {
+    // The previous holder died mid-merge; its partial update may be torn.
+    // Poison the slot so the committer recovers this period sequentially,
+    // but keep merging so WorkersMerged stays meaningful for siblings.
+    H->Poisoned.store(1, std::memory_order_relaxed);
+    if (Ctx.LocksBroken)
+      Ctx.LocksBroken->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (Ctx.Injector)
+    Ctx.Injector->onSlotLocked(Ctx.WorkerId, P); // May die holding Lock.
 
   if (Executed) {
     // Fold this worker's per-byte facts into the slot alphabet.  Only codes

@@ -45,11 +45,19 @@
 
 namespace privateer {
 
+class FaultInjector;
+
 inline constexpr uint8_t kSlotConflict = 255;
 
 /// Header of one checkpoint slot (in shared memory).
 struct SlotHeader {
-  SpinLock Lock;
+  /// Owner-tagged so the committer and sibling workers can detect a lock
+  /// orphaned by a dead worker and break it instead of deadlocking.
+  OwnerLock Lock;
+  /// Set when a worker broke this slot's lock away from a dead holder: the
+  /// merge data may be torn mid-update, so the committer must treat the
+  /// slot as incomplete.
+  std::atomic<uint32_t> Poisoned{0};
   uint32_t WorkersMerged = 0;
   /// Mergers that actually executed iterations; the first of these
   /// initializes the slot's reduction partial.
@@ -58,6 +66,17 @@ struct SlotHeader {
   uint64_t NumIters = 0;
   uint64_t IoBytes = 0;
   uint32_t IoOverflow = 0;
+};
+
+/// Identity and plumbing a worker carries into workerMerge so the slot lock
+/// can be owner-tagged, the watchdog keeps seeing heartbeats while the
+/// worker waits, and fault injection can fire inside the critical section.
+struct MergeContext {
+  uint32_t SelfPid = 0;
+  unsigned WorkerId = 0;
+  std::atomic<uint64_t> *Heartbeat = nullptr;
+  std::atomic<uint64_t> *LocksBroken = nullptr;
+  FaultInjector *Injector = nullptr;
 };
 
 class CheckpointRegion {
@@ -79,11 +98,18 @@ public:
   ~CheckpointRegion();
 
   /// Maps the region (MAP_SHARED | MAP_ANONYMOUS); must run before fork.
-  void create(const Config &C);
+  /// Returns false (with the region left uncreated) if the mapping fails,
+  /// so the driver can degrade to sequential execution instead of dying.
+  [[nodiscard]] bool create(const Config &C);
   void destroy();
 
   const Config &config() const { return Cfg; }
   SlotHeader *slot(uint64_t P) const;
+
+  /// True when slot \p P's header is consistent with the epoch plan.  A
+  /// header torn by a crashed writer (or the fault injector) fails this
+  /// and must be treated as misspeculation, not walked.
+  bool slotHeaderSane(uint64_t P) const;
 
   /// Worker side: merges this worker's period-\p P state into slot P.
   /// \p LocalShadow / \p LocalPrivate point at the worker's COW views of
@@ -93,7 +119,8 @@ public:
   void workerMerge(uint64_t P, const uint8_t *LocalShadow,
                    const uint8_t *LocalPrivate,
                    const ReductionRegistry &Redux, uint64_t ReduxBase,
-                   std::vector<IoRecord> &PendingIo, bool Executed);
+                   std::vector<IoRecord> &PendingIo, bool Executed,
+                   const MergeContext &Ctx);
 
   enum class CommitStatus { Ok, Misspec };
 

@@ -1,0 +1,128 @@
+//===- runtime/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic fault-injection harness for the process-based DOALL
+/// driver.  The recovery story of paper §5.3 assumes workers either finish
+/// or die loudly; this harness manufactures the quieter failures — a worker
+/// SIGKILLed mid-iteration, a worker that stalls instead of progressing, a
+/// failed fork, a torn checkpoint-slot header, a worker that dies while
+/// holding a slot lock — so the watchdog, orphaned-lock recovery, and
+/// graceful-degradation paths can be tested and benchmarked reproducibly.
+///
+/// All randomized faults are driven by a splitmix64 hash of (iteration,
+/// seed), the same scheme `InjectMisspecRate` uses, so a given seed always
+/// fails the same iterations regardless of worker scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_FAULTINJECTION_H
+#define PRIVATEER_RUNTIME_FAULTINJECTION_H
+
+#include <cstdint>
+
+namespace privateer {
+
+class CheckpointRegion;
+
+inline constexpr uint64_t kNoFaultIter = ~0ULL;
+inline constexpr unsigned kNoFaultWorker = ~0u;
+
+/// splitmix64 of (\p Iter, \p Seed); drives deterministic misspeculation
+/// and fault injection (Figure 9's injection scheme).
+inline uint64_t faultHash(uint64_t Iter, uint64_t Seed) {
+  uint64_t Z = Iter + Seed * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Maps a probability in [0, 1] onto the uint64 hash space.
+inline uint64_t faultThreshold(double Rate) {
+  if (Rate <= 0)
+    return 0;
+  if (Rate >= 1)
+    return ~0ULL;
+  return static_cast<uint64_t>(Rate * 18446744073709551616.0 /* 2^64 */);
+}
+
+/// What to break, where.  Targeted faults name a (worker, iteration) or a
+/// fork/slot ordinal; randomized faults fire per iteration with the given
+/// probability, derived deterministically from \p Seed.
+struct FaultPlan {
+  uint64_t Seed = 1;
+
+  /// SIGKILL worker \p KillWorker when it reaches iteration \p KillAtIter.
+  unsigned KillWorker = kNoFaultWorker;
+  uint64_t KillAtIter = kNoFaultIter;
+
+  /// Stall worker \p StallWorker at iteration \p StallAtIter for
+  /// \p StallSeconds (long enough that only the watchdog ends it).
+  unsigned StallWorker = kNoFaultWorker;
+  uint64_t StallAtIter = kNoFaultIter;
+  double StallSeconds = 3600.0;
+
+  /// Worker \p LockDeathWorker SIGKILLs itself immediately after acquiring
+  /// the lock of checkpoint slot \p LockDeathSlot, orphaning it.
+  unsigned LockDeathWorker = kNoFaultWorker;
+  uint64_t LockDeathSlot = 0;
+
+  /// Fail the Nth fork() of the invocation (1-based; 0 never fails).
+  uint64_t FailForkN = 0;
+
+  /// Scribble over the header of this checkpoint slot once per invocation
+  /// (kNoFaultIter: never), simulating a torn header.
+  uint64_t CorruptSlot = kNoFaultIter;
+
+  /// Per-iteration probability that the executing worker SIGKILLs itself /
+  /// stalls, hashed from (iteration, Seed).
+  double KillRate = 0.0;
+  double StallRate = 0.0;
+
+  bool any() const {
+    return KillWorker != kNoFaultWorker || StallWorker != kNoFaultWorker ||
+           LockDeathWorker != kNoFaultWorker || FailForkN != 0 ||
+           CorruptSlot != kNoFaultIter || KillRate > 0 || StallRate > 0;
+  }
+};
+
+/// Executes a FaultPlan.  One instance lives in the main process for the
+/// whole parallel invocation; workers inherit it across fork, so
+/// worker-side hooks see the plan without extra shared state.
+class FaultInjector {
+public:
+  explicit FaultInjector(const FaultPlan &Plan);
+
+  bool enabled() const { return Plan.any(); }
+
+  /// Worker-side, top of every iteration.  May SIGKILL or stall the
+  /// calling process.
+  void onWorkerIteration(unsigned Worker, uint64_t Iter);
+
+  /// Worker-side, immediately after acquiring slot \p Slot's lock.  May
+  /// SIGKILL the calling process while it holds the lock.
+  void onSlotLocked(unsigned Worker, uint64_t Slot);
+
+  /// Main-process-side, before each fork(); true means the driver must
+  /// treat the fork as failed (EAGAIN).
+  bool shouldFailFork();
+
+  /// Main-process-side, after spawning an epoch's workers: tears up the
+  /// chosen slot header (once per invocation).
+  void maybeCorruptSlot(CheckpointRegion &Region);
+
+private:
+  FaultPlan Plan;
+  uint64_t ForkCount = 0;
+  bool CorruptDone = false;
+  uint64_t KillThreshold = 0;
+  uint64_t StallThreshold = 0;
+};
+
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_FAULTINJECTION_H

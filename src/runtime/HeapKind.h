@@ -84,14 +84,33 @@ inline constexpr uint64_t heapTag(HeapKind K) {
 
 inline constexpr uint64_t kShadowTag = 0b011;
 
+/// AddressSanitizer reserves fixed regions that overlap the paper's bare
+/// tag bases: its high shadow covers 0x100000000000 (tag 0b001) and its
+/// allocator space covers 0x600000000000 (tag 0b110).  Sanitizer builds
+/// therefore slide every heap by a uniform offset below the tag bits; the
+/// tag extraction and the private->shadow OR are unaffected because the
+/// slide keeps bits 44-46 intact and is identical across heaps.
+#if defined(__SANITIZE_ADDRESS__)
+#define PRIVATEER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PRIVATEER_ASAN 1
+#endif
+#endif
+#ifndef PRIVATEER_ASAN
+#define PRIVATEER_ASAN 0
+#endif
+inline constexpr uint64_t kHeapSlide =
+    PRIVATEER_ASAN ? (1ULL << 43) : 0; // 8 TB, strictly below the tag bits.
+
 /// Base virtual address of a logical heap; every object allocated from the
 /// heap inherits its tag because the heap is subdivided by allocation.
 inline constexpr uint64_t heapBase(HeapKind K) {
-  return heapTag(K) << kHeapTagShift;
+  return (heapTag(K) << kHeapTagShift) + kHeapSlide;
 }
 
 inline constexpr uint64_t shadowHeapBase() {
-  return kShadowTag << kHeapTagShift;
+  return (kShadowTag << kHeapTagShift) + kHeapSlide;
 }
 
 /// Extracts the 3-bit tag of \p Addr.

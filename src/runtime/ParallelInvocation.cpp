@@ -6,11 +6,19 @@
 // commits checkpoints in order, re-executing sequentially past the earliest
 // misspeculated iteration when validation fails.
 //
+// The paper's fault model assumes workers either finish or die loudly.
+// This driver hardens that optimism: a watchdog reaps workers whose
+// heartbeat goes stale, checkpoint-slot locks orphaned by dead workers are
+// broken instead of deadlocking siblings, fork/mmap failures degrade to
+// sequential execution instead of aborting, and an adaptive policy backs
+// off to sequential windows when consecutive epochs keep misspeculating.
+//
 //===----------------------------------------------------------------------===//
 
 #include "runtime/Runtime.h"
 #include "runtime/ShadowMetadata.h"
 #include "support/ErrorHandling.h"
+#include "support/Statistics.h"
 #include "support/Timing.h"
 
 #include <algorithm>
@@ -29,22 +37,6 @@ namespace {
 
 constexpr int kMisspecExit = 42;
 
-/// splitmix64; drives deterministic misspeculation injection (Figure 9).
-uint64_t hashIteration(uint64_t Iter, uint64_t Seed) {
-  uint64_t Z = Iter + Seed * 0x9e3779b97f4a7c15ULL + 0x9e3779b97f4a7c15ULL;
-  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
-  return Z ^ (Z >> 31);
-}
-
-uint64_t injectionThreshold(double Rate) {
-  if (Rate <= 0)
-    return 0;
-  if (Rate >= 1)
-    return ~0ULL;
-  return static_cast<uint64_t>(Rate * 18446744073709551616.0 /* 2^64 */);
-}
-
 /// The runtime whose worker is active in this process; used by the SIGSEGV
 /// handler that converts stores to the protected read-only heap into
 /// misspeculation.
@@ -53,6 +45,13 @@ ControlBlock *ActiveWorkerCb = nullptr;
 unsigned ActiveWorkerId = 0;
 uint64_t ActiveWorkerPeriodBase = 0;
 uint64_t ActiveWorkerPeriodLen = 1;
+
+/// Alternate signal stack for the worker's SIGSEGV/SIGBUS handler: a
+/// stack-overflowing iteration body must still be classified as
+/// misspeculation, and the handler cannot run on the exhausted stack.
+/// Static because SIGSTKSZ is no longer a compile-time constant on modern
+/// glibc; each forked worker gets its own copy-on-write instance.
+alignas(16) char WorkerAltStack[64 * 1024];
 
 void workerSegvHandler(int /*Sig*/) {
   // Signal-safe misspeculation report: record position, set flag, die.
@@ -82,18 +81,34 @@ void Runtime::misspecAbort(const char *Reason) {
   ControlBlock::storeMin(Cb->EarliestMisspecIter, CurIter);
   ControlBlock::storeMin(Cb->EarliestMisspecPeriod,
                          (CurIter - EpochBase) / PeriodLen);
-  Cb->ReasonLock.lock();
-  if (Cb->MisspecFlag.load(std::memory_order_relaxed) == 0) {
+  // First-flag-setter wins the reason slot.  The main process only reads
+  // the reason after joining every worker, so the write below is complete
+  // (this process has _exited) by the time anyone reads it; no lock is
+  // needed, and none could be trusted — a worker dying inside a reason
+  // lock would wedge its siblings.
+  if (Cb->MisspecFlag.exchange(1, std::memory_order_acq_rel) == 0) {
     std::strncpy(Cb->MisspecReason, Reason, sizeof(Cb->MisspecReason) - 1);
     Cb->MisspecReason[sizeof(Cb->MisspecReason) - 1] = '\0';
   }
-  Cb->ReasonLock.unlock();
-  Cb->MisspecFlag.store(1, std::memory_order_release);
   // "This worker terminates immediately, squashing all its speculative
   // state created since its last checkpoint" (§5.3).
   LocalStats.EndWall = wallSeconds();
   Cb->Stats[WorkerId] = LocalStats;
   _exit(kMisspecExit);
+}
+
+void Runtime::runDegraded(uint64_t Begin, uint64_t End,
+                          const ParallelOptions &Options,
+                          const IterationFn &Body, InvocationStats &Stats,
+                          const char *Reason) {
+  std::FILE *SavedOut = SeqOut;
+  SeqOut = Options.Out;
+  runSequential(Begin, End, Body);
+  SeqOut = SavedOut;
+  ++Stats.DegradedEpochs;
+  Stats.DegradedIterations += End - Begin;
+  if (Stats.FirstDegradeReason.empty())
+    Stats.FirstDegradeReason = Reason;
 }
 
 InvocationStats Runtime::runParallel(uint64_t NumIterations,
@@ -118,8 +133,33 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
                   shadow::kMaxCheckpointPeriod - 1));
   uint64_t MaxSlots = std::max<uint64_t>(1, Options.MaxSlotsPerEpoch);
 
+  FaultInjector Fi(Options.Faults);
+  Injector = Fi.enabled() ? &Fi : nullptr;
+
+  // Adaptive degradation state: after K consecutive misspeculating epochs,
+  // run M periods sequentially before retrying speculation; M backs off
+  // exponentially while hostility persists, bounding worst-case slowdown
+  // to a constant factor over sequential on adversarial inputs.
+  unsigned ConsecMisspecEpochs = 0;
+  uint64_t BasePeriods = std::max<uint64_t>(1, Options.DegradeBasePeriods);
+  uint64_t MaxPeriods = std::max(BasePeriods, Options.DegradeMaxPeriods);
+  uint64_t BackoffPeriods = BasePeriods;
+
   uint64_t Next = 0;
   while (Next < NumIterations) {
+    if (Options.DegradeAfterMisspecEpochs != 0 &&
+        ConsecMisspecEpochs >= Options.DegradeAfterMisspecEpochs) {
+      uint64_t End =
+          std::min(NumIterations, Next + BackoffPeriods * Period);
+      runDegraded(Next, End, Options, Body, Stats,
+                  "adaptive backoff after consecutive misspeculating "
+                  "epochs");
+      Next = End;
+      BackoffPeriods = std::min(BackoffPeriods * 2, MaxPeriods);
+      ConsecMisspecEpochs = 0; // Give speculation another chance.
+      continue;
+    }
+
     uint64_t Remaining = NumIterations - Next;
     uint64_t Slots =
         std::min(MaxSlots, (Remaining + Period - 1) / Period);
@@ -128,8 +168,19 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
     ++Stats.Epochs;
 
     EpochResult Res = runEpoch(Plan, Options, Body, Stats);
+    if (Res.Degraded) {
+      // Speculation could not start (fork/mmap failure): run this epoch's
+      // iterations sequentially and carry on; the next epoch retries
+      // speculation in case the resource shortage was transient.
+      uint64_t End = Plan.BaseIter + Plan.EpochIters;
+      runDegraded(Next, End, Options, Body, Stats, Res.Reason.c_str());
+      Next = End;
+      continue;
+    }
     if (!Res.Misspec) {
       Next = Res.CommittedEnd;
+      ConsecMisspecEpochs = 0;
+      BackoffPeriods = BasePeriods;
       continue;
     }
 
@@ -137,6 +188,7 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
     // checkpoint until past the misspeculated period, then resume
     // parallel execution.
     ++Stats.Misspecs;
+    ++ConsecMisspecEpochs;
     if (Stats.FirstMisspecReason.empty())
       Stats.FirstMisspecReason = Res.Reason;
     uint64_t RecoveryEnd = std::min(NumIterations, Res.MisspecPeriodEnd);
@@ -148,8 +200,18 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
     Next = RecoveryEnd;
   }
 
+  Injector = nullptr;
   Stats.Iterations = NumIterations;
   Stats.WallSec = wallSeconds() - WallStart;
+
+  // Surface fault-tolerance events through the global registry so tools
+  // and reports see them alongside the Table 3 counters.
+  StatisticRegistry &Reg = StatisticRegistry::instance();
+  Reg.counter("fault", "stalled-workers-killed") += Stats.StalledWorkersKilled;
+  Reg.counter("fault", "locks-broken") += Stats.LocksBroken;
+  Reg.counter("fault", "fork-failures") += Stats.ForkFailures;
+  Reg.counter("fault", "degraded-epochs") += Stats.DegradedEpochs;
+  Reg.counter("fault", "degraded-iterations") += Stats.DegradedIterations;
   return Stats;
 }
 
@@ -160,16 +222,26 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
   unsigned W = Options.NumWorkers;
   bool Spec = !Options.NonSpeculative;
 
+  EpochResult Res;
+  Res.CommittedEnd = Plan.BaseIter;
+  Res.Misspec = false;
+  Res.MisspecPeriodEnd = Plan.BaseIter + Plan.EpochIters;
+
   // Shared coordination state, created before fork so every worker and the
   // main process observe one instance.
   void *CbMem = mmap(nullptr, sizeof(ControlBlock), PROT_READ | PROT_WRITE,
                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
-  if (CbMem == MAP_FAILED)
-    reportFatalError(std::string("mmap control block: ") +
-                     std::strerror(errno));
+  if (CbMem == MAP_FAILED) {
+    Res.Degraded = true;
+    Res.Reason = std::string("mmap control block: ") + std::strerror(errno);
+    return Res;
+  }
   Cb = new (CbMem) ControlBlock();
-  for (unsigned I = 0; I < kMaxWorkers; ++I)
+  uint64_t NowNs = monotonicNanos();
+  for (unsigned I = 0; I < kMaxWorkers; ++I) {
     Cb->WorkerIter[I].store(Plan.BaseIter, std::memory_order_relaxed);
+    Cb->WorkerHeartbeat[I].store(NowNs, std::memory_order_relaxed);
+  }
 
   CheckpointRegion TheRegion;
   PrivateHighWater = heap(HeapKind::Private).highWater();
@@ -185,43 +257,144 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     C.Period = Plan.Period;
     C.EpochIters = Plan.EpochIters;
     C.NumWorkers = W;
-    TheRegion.create(C);
+    if (!TheRegion.create(C)) {
+      Cb->~ControlBlock();
+      munmap(CbMem, sizeof(ControlBlock));
+      Cb = nullptr;
+      Res.Degraded = true;
+      Res.Reason =
+          std::string("mmap checkpoint region: ") + std::strerror(errno);
+      return Res;
+    }
     Region = &TheRegion;
   }
 
   // Spawn workers (§5.1: "the Privateer runtime system uses processes and
   // not threads" so each can update its virtual memory map independently).
+  // SIGCHLD is blocked across the epoch so the watchdog join can sleep in
+  // sigtimedwait and still wake the instant a worker exits.
   std::fflush(nullptr); // Don't duplicate pending stdio buffers into kids.
-  std::vector<pid_t> Pids(W);
+  sigset_t ChldMask, OldMask;
+  sigemptyset(&ChldMask);
+  sigaddset(&ChldMask, SIGCHLD);
+  sigprocmask(SIG_BLOCK, &ChldMask, &OldMask);
+  std::vector<pid_t> Pids(W, -1);
+  bool ForkFailed = false;
   for (unsigned I = 0; I < W; ++I) {
-    pid_t Pid = fork();
-    if (Pid < 0)
-      reportFatalError(std::string("fork: ") + std::strerror(errno));
+    pid_t Pid;
+    if (Injector && Injector->shouldFailFork()) {
+      Pid = -1;
+      errno = EAGAIN;
+    } else {
+      Pid = fork();
+    }
+    if (Pid < 0) {
+      ForkFailed = true;
+      Res.Reason = std::string("fork: ") + std::strerror(errno);
+      break;
+    }
     if (Pid == 0)
       workerMain(I, Plan, Options, Body); // Never returns.
     Pids[I] = Pid;
   }
+  if (ForkFailed) {
+    // Fall back to sequential execution: discard the partially spawned
+    // worker set (nothing they produced can commit).
+    for (pid_t Pid : Pids)
+      if (Pid > 0)
+        kill(Pid, SIGKILL);
+    for (pid_t Pid : Pids)
+      if (Pid > 0)
+        waitpid(Pid, nullptr, 0);
+    sigprocmask(SIG_SETMASK, &OldMask, nullptr);
+    Region = nullptr;
+    Cb->~ControlBlock();
+    munmap(CbMem, sizeof(ControlBlock));
+    Cb = nullptr;
+    ++Stats.ForkFailures;
+    Res.Degraded = true;
+    return Res;
+  }
 
-  // Join and classify worker exits.
-  for (unsigned I = 0; I < W; ++I) {
-    int Status = 0;
-    if (waitpid(Pids[I], &Status, 0) < 0)
-      reportFatalError(std::string("waitpid: ") + std::strerror(errno));
-    bool Clean = WIFEXITED(Status) && (WEXITSTATUS(Status) == 0 ||
-                                       WEXITSTATUS(Status) == kMisspecExit);
-    if (!Clean) {
-      // A worker died without reporting: treat its last known iteration as
-      // misspeculated so recovery re-executes it non-speculatively.
-      uint64_t Iter = Cb->WorkerIter[I].load(std::memory_order_relaxed);
-      ControlBlock::storeMin(Cb->EarliestMisspecIter, Iter);
-      ControlBlock::storeMin(Cb->EarliestMisspecPeriod,
-                             (Iter - Plan.BaseIter) / Plan.Period);
-      if (Cb->MisspecFlag.exchange(1) == 0)
-        std::snprintf(Cb->MisspecReason, sizeof(Cb->MisspecReason),
-                      "worker %u terminated abnormally (status 0x%x)", I,
-                      Status);
+  if (Spec && Injector)
+    Injector->maybeCorruptSlot(TheRegion);
+
+  // Join with a watchdog: reap exits without blocking, and SIGKILL any
+  // worker whose heartbeat goes stale for longer than the stall timeout —
+  // its last reported iteration is treated as misspeculated and recovered
+  // through the sequential path, exactly like any other abnormal death.
+  uint64_t StallNs =
+      Options.StallTimeoutSec > 0
+          ? static_cast<uint64_t>(Options.StallTimeoutSec * 1e9)
+          : 0;
+  std::vector<bool> Alive(W, true);
+  std::vector<bool> StallKilled(W, false);
+  unsigned Remaining = W;
+  // Stall checks only need to run a few times per timeout window; between
+  // them the join sleeps in sigtimedwait, woken early by any SIGCHLD.
+  uint64_t CheckNs =
+      StallNs ? std::clamp<uint64_t>(StallNs / 8, 1000000, 50000000) : 0;
+  while (Remaining > 0) {
+    bool Reaped = false;
+    for (unsigned I = 0; I < W; ++I) {
+      if (!Alive[I])
+        continue;
+      int Status = 0;
+      pid_t R = waitpid(Pids[I], &Status, StallNs ? WNOHANG : 0);
+      if (R == 0)
+        continue; // Still running.
+      if (R < 0)
+        reportFatalError(std::string("waitpid: ") + std::strerror(errno));
+      Alive[I] = false;
+      --Remaining;
+      Reaped = true;
+      bool Clean = WIFEXITED(Status) &&
+                   (WEXITSTATUS(Status) == 0 ||
+                    WEXITSTATUS(Status) == kMisspecExit);
+      if (!Clean) {
+        // A worker died without reporting: treat its last known iteration
+        // as misspeculated so recovery re-executes it non-speculatively.
+        uint64_t Iter = Cb->WorkerIter[I].load(std::memory_order_relaxed);
+        ControlBlock::storeMin(Cb->EarliestMisspecIter, Iter);
+        ControlBlock::storeMin(Cb->EarliestMisspecPeriod,
+                               (Iter - Plan.BaseIter) / Plan.Period);
+        if (Cb->MisspecFlag.exchange(1) == 0)
+          std::snprintf(Cb->MisspecReason, sizeof(Cb->MisspecReason),
+                        StallKilled[I]
+                            ? "worker %u stalled; killed by watchdog "
+                              "(status 0x%x)"
+                            : "worker %u terminated abnormally (status "
+                              "0x%x)",
+                        I, Status);
+      }
+    }
+    if (Remaining == 0)
+      break;
+    if (StallNs) {
+      uint64_t Now = monotonicNanos();
+      for (unsigned I = 0; I < W; ++I) {
+        if (!Alive[I] || StallKilled[I])
+          continue;
+        uint64_t Beat =
+            Cb->WorkerHeartbeat[I].load(std::memory_order_relaxed);
+        if (Now > Beat && Now - Beat > StallNs) {
+          // Record the stall before killing so the exit classifier labels
+          // the death correctly even if a sibling races on the flag.
+          StallKilled[I] = true;
+          ++Stats.StalledWorkersKilled;
+          kill(Pids[I], SIGKILL);
+        }
+      }
+    }
+    if (!Reaped) {
+      // A SIGCHLD delivered before this point stays pending (the signal is
+      // blocked), so sigtimedwait returns immediately: no lost wake-ups.
+      timespec Ts{static_cast<time_t>(CheckNs / 1000000000),
+                  static_cast<long>(CheckNs % 1000000000)};
+      sigtimedwait(&ChldMask, nullptr, &Ts);
     }
   }
+  sigprocmask(SIG_SETMASK, &OldMask, nullptr);
 
   // Aggregate worker statistics.
   for (unsigned I = 0; I < W; ++I) {
@@ -236,11 +409,7 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Stats.PrivateWriteSec += S.PrivateWriteSec;
     Stats.CheckpointSec += S.CheckpointSec;
   }
-
-  EpochResult Res;
-  Res.CommittedEnd = Plan.BaseIter;
-  Res.Misspec = false;
-  Res.MisspecPeriodEnd = Plan.BaseIter + Plan.EpochIters;
+  Stats.LocksBroken += Cb->LocksBroken.load(std::memory_order_relaxed);
 
   bool Flag = Cb->MisspecFlag.load(std::memory_order_acquire) != 0;
   uint64_t MisspecPeriod =
@@ -249,7 +418,8 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
 
   if (Spec) {
     // Commit checkpoints in iteration order (§5.2); stop at the first
-    // speculative or incomplete one.
+    // speculative, incomplete, or damaged one.  All workers are reaped by
+    // now, so a still-held slot lock is orphaned by definition.
     std::vector<IoRecord> CommittedIo;
     std::string Why;
     uint8_t *MasterShadow = reinterpret_cast<uint8_t *>(Shadow.base());
@@ -265,6 +435,29 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
         break;
       }
       SlotHeader *H = TheRegion.slot(P);
+      uint64_t SlotEnd = std::min(Plan.BaseIter + Plan.EpochIters,
+                                  Plan.BaseIter + (P + 1) * Plan.Period);
+      if (H->Lock.holder() != 0) {
+        H->Lock.forceBreak();
+        ++Stats.LocksBroken;
+        Res.Misspec = true;
+        Res.Reason = "checkpoint slot lock orphaned by a dead worker";
+        Res.MisspecPeriodEnd = SlotEnd;
+        break;
+      }
+      if (!TheRegion.slotHeaderSane(P)) {
+        Res.Misspec = true;
+        Res.Reason = "corrupted checkpoint slot header";
+        Res.MisspecPeriodEnd = SlotEnd;
+        break;
+      }
+      if (H->Poisoned.load(std::memory_order_relaxed)) {
+        Res.Misspec = true;
+        Res.Reason = "checkpoint slot torn by a worker that died holding "
+                     "its lock";
+        Res.MisspecPeriodEnd = SlotEnd;
+        break;
+      }
       if (H->WorkersMerged != W) {
         Res.Misspec = true;
         Res.Reason = "incomplete checkpoint (worker lost)";
@@ -295,6 +488,14 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     }
   }
 
+  // A worker death can set the misspec flag without the commit loop
+  // noticing (e.g. the earliest misspeculated period lies beyond the slots
+  // this epoch planned); never report a clean epoch while the flag is up.
+  if (Spec && Flag && !Res.Misspec) {
+    Res.Misspec = true;
+    Res.Reason = Cb->MisspecReason;
+  }
+
   Region = nullptr;
   Cb->~ControlBlock();
   munmap(CbMem, sizeof(ControlBlock));
@@ -318,11 +519,15 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
   if (Spec) {
     Mode = ExecMode::SpeculativeWorker;
     // Copy-on-write isolation of all speculatively managed heaps (§3.2).
-    heap(HeapKind::Private).remapCopyOnWrite();
-    heap(HeapKind::ShortLived).remapCopyOnWrite();
-    heap(HeapKind::Redux).remapCopyOnWrite();
-    heap(HeapKind::Unrestricted).remapCopyOnWrite();
-    Shadow.remapCopyOnWrite();
+    // A failed remap leaves this worker unable to speculate soundly; it
+    // reports misspeculation so the main process recovers sequentially
+    // rather than aborting the whole program.
+    if (!heap(HeapKind::Private).tryRemapCopyOnWrite() ||
+        !heap(HeapKind::ShortLived).tryRemapCopyOnWrite() ||
+        !heap(HeapKind::Redux).tryRemapCopyOnWrite() ||
+        !heap(HeapKind::Unrestricted).tryRemapCopyOnWrite() ||
+        !Shadow.tryRemapCopyOnWrite())
+      misspecAbort("copy-on-write remap failed in worker");
     if (Options.ProtectReadOnly) {
       heap(HeapKind::ReadOnly).protectReadOnly();
       ActiveWorkerRuntime = this;
@@ -330,9 +535,18 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       ActiveWorkerId = Id;
       ActiveWorkerPeriodBase = Plan.BaseIter;
       ActiveWorkerPeriodLen = Plan.Period;
+      // The handler runs on its own stack (SA_ONSTACK) so an iteration
+      // body that overflows the worker stack still reports misspeculation
+      // instead of dying unclassified.
+      stack_t Ss;
+      std::memset(&Ss, 0, sizeof(Ss));
+      Ss.ss_sp = WorkerAltStack;
+      Ss.ss_size = sizeof(WorkerAltStack);
+      sigaltstack(&Ss, nullptr);
       struct sigaction Sa;
       std::memset(&Sa, 0, sizeof(Sa));
       Sa.sa_handler = workerSegvHandler;
+      Sa.sa_flags = SA_ONSTACK;
       sigaction(SIGSEGV, &Sa, nullptr);
       sigaction(SIGBUS, &Sa, nullptr);
     }
@@ -344,12 +558,19 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
     SeqOut = Options.Out;
   }
 
-  uint64_t InjectThreshold = injectionThreshold(Options.InjectMisspecRate);
+  uint64_t InjectThreshold = faultThreshold(Options.InjectMisspecRate);
   SharedHeap &SL = heap(HeapKind::ShortLived);
   uint8_t *LocalShadow = reinterpret_cast<uint8_t *>(Shadow.base());
   uint8_t *LocalPrivate =
       reinterpret_cast<uint8_t *>(heap(HeapKind::Private).base());
   uint64_t EpochEnd = Plan.BaseIter + Plan.EpochIters;
+
+  MergeContext MergeCtx;
+  MergeCtx.SelfPid = static_cast<uint32_t>(getpid());
+  MergeCtx.WorkerId = Id;
+  MergeCtx.Heartbeat = &Cb->WorkerHeartbeat[Id];
+  MergeCtx.LocksBroken = &Cb->LocksBroken;
+  MergeCtx.Injector = Injector;
 
   bool Stopped = false;
   for (uint64_t P = 0; P < Plan.NumSlots && !Stopped; ++P) {
@@ -365,6 +586,10 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
     for (uint64_t I = First; I < PeriodEnd; I += NumWorkers) {
       CurIter = I;
       Cb->WorkerIter[Id].store(I, std::memory_order_relaxed);
+      Cb->WorkerHeartbeat[Id].store(monotonicNanos(),
+                                    std::memory_order_relaxed);
+      if (Injector)
+        Injector->onWorkerIteration(Id, I); // May kill or stall us here.
       CurTs = shadow::timestampFor(I, PeriodStart);
       uint64_t ShortLivedLiveAtStart = SL.liveCount();
       {
@@ -384,7 +609,7 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
         if (SL.liveCount() == 0)
           SL.resetAllocations();
         if (InjectThreshold &&
-            hashIteration(I, Options.InjectSeed) < InjectThreshold)
+            faultHash(I, Options.InjectSeed) < InjectThreshold)
           misspecAbort("injected misspeculation");
       }
 
@@ -402,8 +627,11 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       break;
     if (Spec) {
       CategoryTimer Timer(LocalStats.CheckpointSec);
+      Cb->WorkerHeartbeat[Id].store(monotonicNanos(),
+                                    std::memory_order_relaxed);
       Region->workerMerge(P, LocalShadow, LocalPrivate, Redux,
-                          heap(HeapKind::Redux).base(), PendingIo, Executed);
+                          heap(HeapKind::Redux).base(), PendingIo, Executed,
+                          MergeCtx);
       if (Executed) {
         // Local post-checkpoint reset (§5.1): writes age into old-write,
         // validated live-in reads revert to live-in.

@@ -26,6 +26,7 @@
 
 #include "runtime/Checkpoint.h"
 #include "runtime/ControlBlock.h"
+#include "runtime/FaultInjection.h"
 #include "runtime/HeapKind.h"
 #include "runtime/Reduction.h"
 #include "runtime/SharedHeap.h"
@@ -74,6 +75,25 @@ struct ParallelOptions {
   size_t IoCapacityPerSlot = 1u << 20;
   /// Deferred-output sink; nullptr means stdout.
   std::FILE *Out = nullptr;
+
+  // --- Fault tolerance ---------------------------------------------------
+
+  /// Watchdog: seconds a worker may go without a heartbeat before the main
+  /// process presumes it hung, SIGKILLs it, and recovers its iterations
+  /// sequentially.  0 disables the watchdog (join blocks forever, as the
+  /// paper's optimistic fault model assumes).
+  double StallTimeoutSec = 10.0;
+  /// Graceful degradation: after this many consecutive misspeculating
+  /// epochs, run the next backoff window sequentially before retrying
+  /// speculation.  0 disables adaptive degradation.
+  unsigned DegradeAfterMisspecEpochs = 3;
+  /// Initial sequential backoff window, in checkpoint periods; doubles on
+  /// every consecutive degradation (exponential backoff) up to the cap.
+  uint64_t DegradeBasePeriods = 1;
+  uint64_t DegradeMaxPeriods = 64;
+  /// Deterministic fault injection (tests and bench_fault); inert by
+  /// default.
+  FaultPlan Faults;
 };
 
 /// Dynamic counters of one invocation; the raw material for Table 3 and
@@ -95,6 +115,14 @@ struct InvocationStats {
   double CheckpointSec = 0;
   double WallSec = 0;
   std::string FirstMisspecReason;
+
+  // --- Fault-tolerance counters ------------------------------------------
+  uint64_t StalledWorkersKilled = 0; ///< Hung workers SIGKILLed by watchdog.
+  uint64_t LocksBroken = 0; ///< Slot locks reclaimed from dead holders.
+  uint64_t ForkFailures = 0;
+  uint64_t DegradedEpochs = 0; ///< Windows run sequentially by fallback.
+  uint64_t DegradedIterations = 0;
+  std::string FirstDegradeReason;
 };
 
 using IterationFn = std::function<void(uint64_t)>;
@@ -193,11 +221,20 @@ private:
   struct EpochResult {
     uint64_t CommittedEnd;  ///< First uncommitted iteration.
     bool Misspec;
+    /// Speculative execution could not even start (fork or mmap failure);
+    /// the caller must run this epoch sequentially.  Nothing committed.
+    bool Degraded = false;
     uint64_t MisspecPeriodEnd; ///< First iteration after the bad period.
     std::string Reason;
   };
   EpochResult runEpoch(const EpochPlan &Plan, const ParallelOptions &Options,
                        const IterationFn &Body, InvocationStats &Stats);
+
+  /// Sequential fallback for [Begin, End) with the invocation's output
+  /// sink; records the degradation in \p Stats.
+  void runDegraded(uint64_t Begin, uint64_t End,
+                   const ParallelOptions &Options, const IterationFn &Body,
+                   InvocationStats &Stats, const char *Reason);
 
   [[noreturn]] void workerMain(unsigned WorkerId, const EpochPlan &Plan,
                                const ParallelOptions &Options,
@@ -215,6 +252,9 @@ private:
   ExecMode Mode = ExecMode::Sequential;
   ControlBlock *Cb = nullptr;
   CheckpointRegion *Region = nullptr;
+  /// Active fault injector, set for the duration of runParallel; workers
+  /// inherit the pointer (and the injector it addresses) across fork.
+  FaultInjector *Injector = nullptr;
   unsigned WorkerId = 0;
   unsigned NumWorkers = 0;
   uint64_t CurIter = 0;

@@ -154,11 +154,15 @@ void SharedHeap::resetAllocations() {
   H->FreeHead = 0;
 }
 
-void SharedHeap::remapCopyOnWrite() {
+bool SharedHeap::tryRemapCopyOnWrite() {
   assert(isCreated() && "heap not created");
   void *Got = mmap(reinterpret_cast<void *>(Base), Bytes,
                    PROT_READ | PROT_WRITE, MAP_PRIVATE | MAP_FIXED, Fd, 0);
-  if (Got != reinterpret_cast<void *>(Base))
+  return Got == reinterpret_cast<void *>(Base);
+}
+
+void SharedHeap::remapCopyOnWrite() {
+  if (!tryRemapCopyOnWrite())
     reportFatalError(std::string("mmap COW remap: ") + std::strerror(errno));
 }
 

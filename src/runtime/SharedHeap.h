@@ -80,6 +80,11 @@ public:
   /// isolating each worker's updates" (§3.2).
   void remapCopyOnWrite();
 
+  /// Like remapCopyOnWrite but reports failure instead of aborting, so a
+  /// worker that cannot isolate itself can degrade to misspeculation
+  /// (sequential re-execution) rather than kill the whole program.
+  [[nodiscard]] bool tryRemapCopyOnWrite();
+
   /// Replaces this process's view with a fresh MAP_SHARED mapping (used by
   /// the main process; also restores write-through after a COW remap).
   void remapShared();

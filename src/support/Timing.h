@@ -14,6 +14,7 @@
 #ifndef PRIVATEER_SUPPORT_TIMING_H
 #define PRIVATEER_SUPPORT_TIMING_H
 
+#include <cstdint>
 #include <ctime>
 
 namespace privateer {
@@ -22,6 +23,15 @@ inline double wallSeconds() {
   timespec Ts;
   clock_gettime(CLOCK_MONOTONIC, &Ts);
   return static_cast<double>(Ts.tv_sec) + 1e-9 * Ts.tv_nsec;
+}
+
+/// Monotonic clock as integer nanoseconds; async-signal-safe and cheap
+/// enough for per-iteration worker heartbeats.
+inline uint64_t monotonicNanos() {
+  timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(Ts.tv_nsec);
 }
 
 /// CPU time consumed by this thread/process; meaningful even when many

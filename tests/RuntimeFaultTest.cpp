@@ -1,0 +1,235 @@
+//===- tests/RuntimeFaultTest.cpp - Fault-tolerance recovery tests -------===//
+//
+// Exercises the runtime's hardened fault model: workers SIGKILLed
+// mid-epoch, workers stalled until the watchdog reclaims them, checkpoint
+// slot locks orphaned by dead holders, fork failures, torn slot headers,
+// and the adaptive sequential-backoff policy.  Every scenario must
+// terminate (no hang) and produce output identical to the sequential run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Privateer.h"
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace privateer;
+
+namespace {
+
+class RuntimeFaultTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    RuntimeConfig C;
+    C.PrivateBytes = 1u << 20;
+    C.ReadOnlyBytes = 1u << 20;
+    C.ReduxBytes = 1u << 20;
+    C.ShortLivedBytes = 1u << 20;
+    C.UnrestrictedBytes = 1u << 20;
+    Runtime::get().initialize(C);
+  }
+  void TearDown() override { Runtime::get().shutdown(); }
+
+  /// The reference body: Out[I] = I*I + 7.  Any recovery path that loses,
+  /// duplicates, or reorders an iteration's effect breaks the comparison.
+  static long expected(uint64_t I) {
+    return static_cast<long>(I) * static_cast<long>(I) + 7;
+  }
+
+  long *makeOut(uint64_t N) {
+    return static_cast<long *>(h_alloc(N * sizeof(long), HeapKind::Private));
+  }
+
+  IterationFn makeBody(long *Out) {
+    return [Out](uint64_t I) {
+      private_write(&Out[I], sizeof(long));
+      Out[I] = expected(I);
+    };
+  }
+
+  static void expectSequentialResult(const long *Out, uint64_t N) {
+    for (uint64_t I = 0; I < N; ++I)
+      ASSERT_EQ(Out[I], expected(I)) << "iteration " << I;
+  }
+};
+
+TEST_F(RuntimeFaultTest, WorkerKilledMidEpochRecovers) {
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  // Worker 1 owns iteration 17 under cyclic scheduling (17 % 4 == 1); it
+  // is SIGKILLed there, mid-epoch, leaving its checkpoint contributions
+  // unmerged from that period onward.
+  Opt.Faults.KillWorker = 1;
+  Opt.Faults.KillAtIter = 17;
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_GT(Stats.RecoveredIterations, 0u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("worker"), std::string::npos)
+      << Stats.FirstMisspecReason;
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, FullMisspeculationRateStillComputesExactResult) {
+  constexpr uint64_t N = 120;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  Opt.InjectMisspecRate = 1.0; // Every speculative iteration fails.
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  // With every epoch misspeculating, the adaptive policy must kick in and
+  // run sequential backoff windows (default: after 3 consecutive misses).
+  EXPECT_GE(Stats.DegradedEpochs, 1u);
+  EXPECT_GT(Stats.DegradedIterations, 0u);
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, StalledWorkerIsReclaimedByWatchdog) {
+  constexpr uint64_t N = 100;
+  long *Out = makeOut(N);
+
+  StatisticRegistry &Reg = StatisticRegistry::instance();
+  uint64_t StallsBefore = Reg.get("fault", "stalled-workers-killed");
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  Opt.StallTimeoutSec = 0.3;
+  // Worker 2 hangs forever at iteration 2; without the watchdog the join
+  // would deadlock and this test would never finish.
+  Opt.Faults.StallWorker = 2;
+  Opt.Faults.StallAtIter = 2;
+  Opt.Faults.StallSeconds = 3600.0;
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_GE(Stats.StalledWorkersKilled, 1u);
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("watchdog"), std::string::npos)
+      << Stats.FirstMisspecReason;
+  EXPECT_GE(Reg.get("fault", "stalled-workers-killed"), StallsBefore + 1);
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, OrphanedSlotLockIsBrokenNotDeadlocked) {
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  // Worker 1 dies by SIGKILL immediately after acquiring slot 0's lock.
+  // Siblings merging slot 0 (or the committer) must detect the dead
+  // holder, break the lock, and treat the slot as unusable.
+  Opt.Faults.LockDeathWorker = 1;
+  Opt.Faults.LockDeathSlot = 0;
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_GE(Stats.LocksBroken, 1u);
+  EXPECT_GE(Stats.Misspecs, 1u);
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, ForkFailureDegradesToSequential) {
+  constexpr uint64_t N = 150;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  Opt.Faults.FailForkN = 1; // The very first fork of the invocation fails.
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_EQ(Stats.ForkFailures, 1u);
+  EXPECT_GE(Stats.DegradedEpochs, 1u);
+  EXPECT_NE(Stats.FirstDegradeReason.find("fork"), std::string::npos)
+      << Stats.FirstDegradeReason;
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, CorruptSlotHeaderIsDetectedAtCommit) {
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  Opt.Faults.CorruptSlot = 1; // Tear slot 1's header mid-epoch.
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("corrupt"), std::string::npos)
+      << Stats.FirstMisspecReason;
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, AdaptiveBackoffGrowsUnderPersistentHostility) {
+  constexpr uint64_t N = 300;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  Opt.InjectMisspecRate = 1.0;
+  Opt.DegradeAfterMisspecEpochs = 1; // Degrade aggressively.
+  Opt.DegradeBasePeriods = 1;
+  Opt.DegradeMaxPeriods = 16;
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  // Hostile input: most of the loop must end up in sequential windows, and
+  // the exponential backoff means few speculative epochs are attempted.
+  EXPECT_GE(Stats.DegradedEpochs, 2u);
+  EXPECT_GT(Stats.DegradedIterations, N / 4);
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, HealthyRunTriggersNoFaultMachinery) {
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 16;
+  Opt.StallTimeoutSec = 0.5; // Watchdog armed but must stay quiet.
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_EQ(Stats.Misspecs, 0u);
+  EXPECT_EQ(Stats.StalledWorkersKilled, 0u);
+  EXPECT_EQ(Stats.LocksBroken, 0u);
+  EXPECT_EQ(Stats.DegradedEpochs, 0u);
+  EXPECT_EQ(Stats.ForkFailures, 0u);
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, RandomizedWorkerKillsConvergeDeterministically) {
+  constexpr uint64_t N = 160;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  Opt.Faults.KillRate = 0.02; // Seed-driven: same iterations die each run.
+  Opt.Faults.Seed = 7;
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  expectSequentialResult(Out, N);
+}
+
+} // namespace

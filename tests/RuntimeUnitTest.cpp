@@ -26,8 +26,8 @@ TEST(HeapTags, TagsAreDistinctAndInBits44To46) {
     EXPECT_GE(T, 1u);
     EXPECT_LE(T, 7u);
     EXPECT_TRUE(Tags.insert(T).second) << heapKindName(K);
-    EXPECT_EQ(heapBase(K) >> kHeapTagShift, T);
-    EXPECT_EQ(heapBase(K) & ~kHeapTagMask, 0u);
+    EXPECT_EQ((heapBase(K) & kHeapTagMask) >> kHeapTagShift, T);
+    EXPECT_EQ(heapBase(K) & ~kHeapTagMask, kHeapSlide);
   }
   EXPECT_FALSE(Tags.count(kShadowTag));
 }
@@ -37,7 +37,7 @@ TEST(HeapTags, ShadowDiffersFromPrivateByExactlyOneBit) {
   EXPECT_EQ(Diff & (Diff - 1), 0u) << "must differ in exactly one bit";
   // shadowAddress is a single OR.
   uint64_t P = heapBase(HeapKind::Private) + 0x1234;
-  EXPECT_EQ(shadowAddress(P), (kShadowTag << kHeapTagShift) + 0x1234);
+  EXPECT_EQ(shadowAddress(P), shadowHeapBase() + 0x1234);
 }
 
 TEST(HeapTags, AddressInHeapSweep) {
