@@ -28,21 +28,26 @@ inline MeasuredModels measureAllModels(Workload::Scale Scale) {
   Out.Machine = MachineModel::calibrate();
   std::fprintf(stderr,
                "  spawn=%.2fms+%.2fms/worker  privCall=%.1fns  "
-               "privByte r/w=%.2f/%.2fns\n",
+               "privByte r/w=%.2f/%.2fns  ckpt=%.2fus+%.2fns/dirtyB\n",
                Out.Machine.SpawnBaseSec * 1e3,
                Out.Machine.SpawnPerWorkerSec * 1e3,
                Out.Machine.PrivCallSec * 1e9,
                Out.Machine.PrivReadByteSec * 1e9,
-               Out.Machine.PrivWriteByteSec * 1e9);
+               Out.Machine.PrivWriteByteSec * 1e9,
+               Out.Machine.CheckpointFixedSec * 1e6,
+               Out.Machine.CheckpointDirtyByteSec * 1e9);
   for (auto &W : allWorkloads(Scale)) {
     std::fprintf(stderr, "measuring cost model: %s...\n", W->name());
     WorkloadModel M = WorkloadModel::measure(*W);
     std::fprintf(stderr,
                  "  iter=%.2fus  privR=%.0fB/%.1fcalls  privW=%.0fB/"
-                 "%.1fcalls  merge=%.1fus/period  scale %llu->%llu iters\n",
+                 "%.1fcalls  merge=%.1fus/period  dirty=%.1fKiB/period of "
+                 "%.0fKiB  scale %llu->%llu iters\n",
                  M.SeqIterSec * 1e6, M.PrivReadBytesPerIter,
                  M.PrivReadCallsPerIter, M.PrivWriteBytesPerIter,
                  M.PrivWriteCallsPerIter, M.MergeSecPerPeriod * 1e6,
+                 M.DirtyBytesPerPeriod / 1024.0,
+                 static_cast<double>(M.FootprintBytes) / 1024.0,
                  static_cast<unsigned long long>(M.MeasuredIters),
                  static_cast<unsigned long long>(M.ItersPerInvocation *
                                                  M.Invocations));

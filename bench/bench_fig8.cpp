@@ -48,6 +48,29 @@ int main() {
   }
   T.print();
 
+  // Before/after view of the checkpoint term: the dense model walks the
+  // whole private footprint every period (pre-sparse-slot behavior); the
+  // dirty-byte model walks only the period's touched chunks.
+  std::printf("\nCheckpoint cost per period: dense (full-footprint) vs "
+              "dirty-byte (sparse slots)\n\n");
+  TableWriter T2({"Program", "Footprint KiB", "Dirty KiB/prd",
+                  "Dense us/prd", "Dirty us/prd", "Measured us/prd"});
+  for (const WorkloadModel &WM : Models.Workloads) {
+    double DenseSec = Models.Machine.CheckpointFixedSec +
+                      static_cast<double>(WM.FootprintBytes) *
+                          Models.Machine.CheckpointDirtyByteSec;
+    T2.addRow({WM.Name,
+               TableWriter::cell(static_cast<double>(WM.FootprintBytes) /
+                                     1024.0,
+                                 1),
+               TableWriter::cell(WM.DirtyBytesPerPeriod / 1024.0, 1),
+               TableWriter::cell(DenseSec * 1e6, 2),
+               TableWriter::cell(WM.mergeSecPerPeriod(Models.Machine) * 1e6,
+                                 2),
+               TableWriter::cell(WM.MergeSecPerPeriod * 1e6, 2)});
+  }
+  T2.print();
+
   std::printf("\npaper shape: \"parallelized applications utilize most of "
               "the parallel resources for useful work\" (alvinn and "
               "dijkstra additionally \"waste a significant amount of time "

@@ -2,6 +2,7 @@
 
 #include "perfmodel/PerfModel.h"
 
+#include "runtime/Checkpoint.h"
 #include "runtime/Runtime.h"
 #include "runtime/ShadowMetadata.h"
 #include "support/DeterministicRng.h"
@@ -9,7 +10,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <vector>
+
+#include <unistd.h>
 
 using namespace privateer;
 
@@ -86,6 +90,73 @@ MachineModel MachineModel::calibrate() {
   M.PrivReadByteSec = RByte;
   M.PrivWriteByteSec = WByte;
 
+  // --- Checkpoint costs: solve Fixed + DirtyBytes*PerByte by running the
+  // shipping merge+commit on a real sparse region at two dirty working
+  // sets.  Region create/destroy is timed separately and subtracted: it
+  // happens once per epoch, not once per period. --------------------------
+  {
+    const uint64_t Footprint = 4u << 20;
+    const uint64_t Chunks = dirtyChunkCount(Footprint);
+    ReductionRegistry NoRedux;
+    std::vector<uint8_t> LocalShadow(Footprint, shadow::kLiveIn);
+    std::vector<uint8_t> LocalPriv(Footprint, 0x5a);
+    std::vector<uint8_t> MasterShadow(Footprint, shadow::kLiveIn);
+    std::vector<uint8_t> MasterPriv(Footprint, 0);
+    std::vector<uint64_t> Mask(dirtyMaskWords(Chunks), 0);
+    CheckpointRegion::Config C;
+    C.NumSlots = 1;
+    C.PrivateBytes = Footprint;
+    C.ReduxBytes = 0;
+    C.IoCapacity = 4096;
+    C.Period = 64;
+    C.EpochIters = 64;
+    C.NumWorkers = 1;
+    MergeContext Ctx;
+    Ctx.SelfPid = static_cast<uint32_t>(getpid());
+    uint8_t CkTs = shadow::timestampFor(3, 0);
+    auto RoundTrip = [&](uint64_t Dirty, int Calls) {
+      std::fill(Mask.begin(), Mask.end(), 0);
+      std::fill(LocalShadow.begin(), LocalShadow.end(), shadow::kLiveIn);
+      for (uint64_t Ch = 0; Ch < Dirty; ++Ch) {
+        uint64_t Off = Ch * kDirtyChunkBytes;
+        std::fill(LocalShadow.begin() + Off,
+                  LocalShadow.begin() + Off + kDirtyChunkBytes, CkTs);
+        markDirtyChunks(Mask.data(), Chunks, Off, kDirtyChunkBytes);
+      }
+      return timePerCall(
+          [&] {
+            CheckpointRegion R;
+            if (!R.create(C))
+              return;
+            std::vector<IoRecord> Io;
+            std::string Why;
+            R.workerMerge(0, LocalShadow.data(), LocalPriv.data(),
+                          Mask.data(), NoRedux, 0, Io, true, Ctx);
+            R.commitSlot(0, MasterShadow.data(), MasterPriv.data(), NoRedux,
+                         0, Io, Why);
+            R.destroy();
+          },
+          Calls);
+    };
+    double Create = timePerCall(
+        [&] {
+          CheckpointRegion R;
+          if (R.create(C))
+            R.destroy();
+        },
+        400);
+    const uint64_t D1 = 8, D2 = 128;
+    double T1 = RoundTrip(D1, 200);
+    double T2 = RoundTrip(D2, 60);
+    double Slope = std::max(
+        1e-11, (T2 - T1) / (static_cast<double>((D2 - D1) * kDirtyChunkBytes)));
+    double Fixed = std::max(
+        1e-8, T1 - Create - static_cast<double>(D1 * kDirtyChunkBytes) * Slope);
+    // The round trip runs both sides (merge then commit); halve for one.
+    M.CheckpointDirtyByteSec = Slope / 2;
+    M.CheckpointFixedSec = Fixed / 2;
+  }
+
   // --- Fork/join latency from real empty epochs. -------------------------
   Runtime &Rt = Runtime::get();
   RuntimeConfig Small;
@@ -158,6 +229,15 @@ WorkloadModel WorkloadModel::measure(Workload &W, uint64_t CheckpointPeriod,
   // The main process's ordered commit scans the same byte ranges the
   // worker-side merge does; model it as an equal cost.
   Model.CommitSecPerPeriod = Model.MergeSecPerPeriod;
+  // Dirty-chunk telemetry keys the checkpoint cost term on the period's
+  // touched working set.  The runtime counters sum the merge-side and
+  // commit-side walks over the same chunks, so halve for one side.
+  Model.DirtyBytesPerPeriod =
+      static_cast<double>(S.CheckpointBytesScanned + S.CheckpointBytesSkipped) /
+      (2.0 * Periods);
+  Model.DirtyChunksPerPeriod =
+      static_cast<double>(S.CheckpointDirtyChunks) / (2.0 * Periods);
+  Model.FootprintBytes = S.PrivateFootprintBytes;
 
   // Reference-input scaling: replay the measured iteration mix until the
   // hot loop lasts ~TargetHotSec in total, as the paper's ref inputs do.
@@ -194,6 +274,8 @@ SimBreakdown privateer::simulatePrivateer(const MachineModel &M,
   uint64_t K = std::max<uint64_t>(1, Opt.CheckpointPeriod);
   double PrivR = W.privReadSecPerIter(M);
   double PrivW = W.privWriteSecPerIter(M);
+  double MergeP = W.mergeSecPerPeriod(M);
+  double CommitP = W.commitSecPerPeriod(M);
   double IterCost = W.SeqIterSec + PrivR + PrivW;
   DeterministicRng Rng(Opt.Seed);
 
@@ -243,14 +325,14 @@ SimBreakdown privateer::simulatePrivateer(const MachineModel &M,
             continue; // Squashed: no merge for the failing period.
           double MergeStart = std::max(SlotFree, Clock[Wk]);
           B.SpawnJoinSec += MergeStart - Clock[Wk]; // Lock wait is idle.
-          Clock[Wk] = MergeStart + W.MergeSecPerPeriod;
+          Clock[Wk] = MergeStart + MergeP;
           SlotFree = Clock[Wk];
-          B.CheckpointSec += W.MergeSecPerPeriod;
+          B.CheckpointSec += MergeP;
         }
         if (!Misspec || P != MisspecPeriod) {
           Committed = PeriodStart + PeriodIters;
-          SlotCommitWall += W.CommitSecPerPeriod;
-          B.CheckpointSec += W.CommitSecPerPeriod;
+          SlotCommitWall += CommitP;
+          B.CheckpointSec += CommitP;
         }
       }
 

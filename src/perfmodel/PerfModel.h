@@ -49,6 +49,13 @@ struct MachineModel {
   /// Per-byte Table 2 transition cost on read / write.
   double PrivReadByteSec = 1e-9;
   double PrivWriteByteSec = 1e-9;
+  /// Checkpoint cost of one side of a period (worker merge, or the main
+  /// process's ordered commit): CheckpointFixedSec + DirtyBytes *
+  /// CheckpointDirtyByteSec.  DirtyBytes is the bytes of dirty 4 KiB
+  /// chunks walked — since the sparse slot re-layout this tracks the
+  /// period's touched working set, not the private footprint.
+  double CheckpointFixedSec = 2e-6;
+  double CheckpointDirtyByteSec = 0.5e-9;
 
   /// Measures every field with real fork/join epochs and tight loops over
   /// the shipping validation code on this host.
@@ -68,10 +75,16 @@ struct WorkloadModel {
   double PrivReadBytesPerIter = 0;
   double PrivWriteCallsPerIter = 0;
   double PrivWriteBytesPerIter = 0;
-  /// Checkpoint merge/commit cost per period (measured scan of the
-  /// private high-water footprint).
+  /// Checkpoint merge/commit wall cost per period as directly measured;
+  /// fallback when the dirty-byte telemetry below is absent.
   double MergeSecPerPeriod = 0;
   double CommitSecPerPeriod = 0;
+  /// Dirty-chunk telemetry from the measuring run: bytes of dirty chunks
+  /// walked per period by one side (merge or commit), and the private
+  /// footprint they are sparse against.  Zero for hand-built models.
+  double DirtyBytesPerPeriod = 0;
+  double DirtyChunksPerPeriod = 0;
+  uint64_t FootprintBytes = 0;
   /// Coefficient of variation of iteration latency; drives the worker
   /// imbalance the paper's Join overhead reflects (§6.2).
   double IterCov = 0.05;
@@ -88,6 +101,22 @@ struct WorkloadModel {
   double privWriteSecPerIter(const MachineModel &M) const {
     return PrivWriteCallsPerIter * M.PrivCallSec +
            PrivWriteBytesPerIter * M.PrivWriteByteSec;
+  }
+
+  /// Checkpoint cost per period for one side, keyed on the measured dirty
+  /// bytes when the runtime reported them; hand-built models without
+  /// telemetry fall back to the directly measured wall costs.
+  double mergeSecPerPeriod(const MachineModel &M) const {
+    if (DirtyBytesPerPeriod > 0)
+      return M.CheckpointFixedSec +
+             DirtyBytesPerPeriod * M.CheckpointDirtyByteSec;
+    return MergeSecPerPeriod;
+  }
+  double commitSecPerPeriod(const MachineModel &M) const {
+    if (DirtyBytesPerPeriod > 0)
+      return M.CheckpointFixedSec +
+             DirtyBytesPerPeriod * M.CheckpointDirtyByteSec;
+    return CommitSecPerPeriod;
   }
 
   /// Whole-program best-sequential seconds at model scale.

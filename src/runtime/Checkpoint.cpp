@@ -7,6 +7,7 @@
 #include "support/ErrorHandling.h"
 #include "support/Timing.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cerrno>
 #include <cstdio>
@@ -27,21 +28,41 @@ bool CheckpointRegion::create(const Config &C) {
   assert(!Region && "region already created");
   assert(C.NumSlots > 0 && C.NumWorkers > 0 && "empty checkpoint region");
   Cfg = C;
-  SlotStride = alignUp(sizeof(SlotHeader)) + alignUp(C.PrivateBytes) * 2 +
-               alignUp(C.ReduxBytes) + alignUp(C.IoCapacity);
+  NumChunks = dirtyChunkCount(C.PrivateBytes);
+  MaskWords = dirtyMaskWords(NumChunks);
+  ChunkCap = C.SlotChunkCapacity ? std::min(C.SlotChunkCapacity, NumChunks)
+                                 : NumChunks;
+
+  // Sparse slot layout: header, dirty-mask union, chunk directory (one
+  // uint32 per footprint chunk, 0 = unallocated else entry index + 1),
+  // packed (meta, values) chunk entries, redux partial, deferred output.
+  // The region is a fresh zero-filled anonymous mapping each epoch, and
+  // entries are materialized only when a chunk is first dirtied, so
+  // physical memory tracks bytes touched even though the virtual
+  // reservation covers the capacity.
+  OffMask = alignUp(sizeof(SlotHeader));
+  OffDir = OffMask + alignUp(MaskWords * sizeof(uint64_t));
+  OffEntries = OffDir + alignUp(NumChunks * sizeof(uint32_t));
+  OffRedux = OffEntries + ChunkCap * (2 * kDirtyChunkBytes);
+  OffIo = OffRedux + alignUp(C.ReduxBytes);
+  SlotStride = OffIo + alignUp(C.IoCapacity);
   RegionBytes = (SlotStride * C.NumSlots + 4095) & ~uint64_t(4095);
   void *P = mmap(nullptr, RegionBytes, PROT_READ | PROT_WRITE,
                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
   if (P == MAP_FAILED)
     return false;
   Region = static_cast<uint8_t *>(P);
+  uint64_t EpochEnd = C.BaseIter + C.EpochIters;
   for (uint64_t S = 0; S < C.NumSlots; ++S) {
     SlotHeader *H = slot(S);
     new (H) SlotHeader();
     H->BaseIter = C.BaseIter + S * C.Period;
-    uint64_t End = std::min(C.BaseIter + C.EpochIters,
-                            H->BaseIter + C.Period);
-    H->NumIters = End - H->BaseIter;
+    // When NumSlots over-provisions the epoch the nominal slot base lies
+    // past the epoch end; clamp to an empty slot instead of letting
+    // End - BaseIter wrap to a huge iteration count.
+    H->NumIters = H->BaseIter < EpochEnd
+                      ? std::min(EpochEnd, H->BaseIter + C.Period) - H->BaseIter
+                      : 0;
   }
   return true;
 }
@@ -58,36 +79,56 @@ SlotHeader *CheckpointRegion::slot(uint64_t P) const {
   return reinterpret_cast<SlotHeader *>(Region + P * SlotStride);
 }
 
-uint8_t *CheckpointRegion::slotMeta(uint64_t P) const {
-  return Region + P * SlotStride + alignUp(sizeof(SlotHeader));
+uint64_t *CheckpointRegion::slotDirtyMask(uint64_t P) const {
+  return reinterpret_cast<uint64_t *>(Region + P * SlotStride + OffMask);
 }
 
-uint8_t *CheckpointRegion::slotValues(uint64_t P) const {
-  return slotMeta(P) + alignUp(Cfg.PrivateBytes);
+uint32_t *CheckpointRegion::slotChunkDir(uint64_t P) const {
+  return reinterpret_cast<uint32_t *>(Region + P * SlotStride + OffDir);
+}
+
+uint8_t *CheckpointRegion::slotEntries(uint64_t P) const {
+  return Region + P * SlotStride + OffEntries;
+}
+
+uint8_t *CheckpointRegion::entryMeta(uint64_t P, uint32_t Entry) const {
+  return slotEntries(P) + uint64_t(Entry) * (2 * kDirtyChunkBytes);
+}
+
+uint8_t *CheckpointRegion::entryValues(uint64_t P, uint32_t Entry) const {
+  return entryMeta(P, Entry) + kDirtyChunkBytes;
 }
 
 uint8_t *CheckpointRegion::slotRedux(uint64_t P) const {
-  return slotValues(P) + alignUp(Cfg.PrivateBytes);
+  return Region + P * SlotStride + OffRedux;
 }
 
 uint8_t *CheckpointRegion::slotIo(uint64_t P) const {
-  return slotRedux(P) + alignUp(Cfg.ReduxBytes);
+  return Region + P * SlotStride + OffIo;
+}
+
+uint64_t CheckpointRegion::chunkSpan(uint64_t C) const {
+  uint64_t Base = C << kDirtyChunkShift;
+  return std::min(kDirtyChunkBytes, Cfg.PrivateBytes - Base);
 }
 
 bool CheckpointRegion::slotHeaderSane(uint64_t P) const {
   const SlotHeader *H = slot(P);
   uint64_t ExpectBase = Cfg.BaseIter + P * Cfg.Period;
-  uint64_t ExpectEnd =
-      std::min(Cfg.BaseIter + Cfg.EpochIters, ExpectBase + Cfg.Period);
-  return H->BaseIter == ExpectBase &&
-         H->NumIters == ExpectEnd - ExpectBase &&
-         H->IoBytes <= Cfg.IoCapacity &&
+  uint64_t EpochEnd = Cfg.BaseIter + Cfg.EpochIters;
+  uint64_t ExpectIters =
+      ExpectBase < EpochEnd
+          ? std::min(EpochEnd, ExpectBase + Cfg.Period) - ExpectBase
+          : 0;
+  return H->BaseIter == ExpectBase && H->NumIters == ExpectIters &&
+         H->NumIters <= Cfg.Period && H->IoBytes <= Cfg.IoCapacity &&
          H->WorkersMerged <= Cfg.NumWorkers &&
-         H->ExecutedMerges <= H->WorkersMerged;
+         H->ExecutedMerges <= H->WorkersMerged && H->ChunksUsed <= ChunkCap;
 }
 
 void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
                                    const uint8_t *LocalPrivate,
+                                   const uint64_t *DirtyMask,
                                    const ReductionRegistry &Redux,
                                    uint64_t ReduxBase,
                                    std::vector<IoRecord> &PendingIo,
@@ -109,36 +150,92 @@ void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
     Ctx.Injector->onSlotLocked(Ctx.WorkerId, P); // May die holding Lock.
 
   if (Executed) {
-    // Fold this worker's per-byte facts into the slot alphabet.  Only codes
-    // >= 2 carry period-local information: 0 is untouched, 1 is an old
-    // write already known to the master shadow.
-    uint8_t *Meta = slotMeta(P);
-    uint8_t *Values = slotValues(P);
-    for (uint64_t I = 0; I < Cfg.PrivateBytes; ++I) {
-      uint8_t Local = LocalShadow[I];
-      if (Local < shadow::kReadLiveIn)
+    // Fold this worker's per-byte facts into the slot alphabet, visiting
+    // only the chunks this worker's dirty mask names.  Codes >= 2 carry
+    // period-local information, and such codes only arise from Table 2
+    // transitions applied by instrumented accesses — which also set the
+    // dirty bit for the chunk — so skipping clean chunks loses nothing.
+    uint64_t *SlotMask = slotDirtyMask(P);
+    uint32_t *Dir = slotChunkDir(P);
+    uint64_t FoldedChunks = 0, Scanned = 0, Skipped = 0;
+    for (uint64_t WI = 0; WI < MaskWords; ++WI) {
+      uint64_t M = DirtyMask ? DirtyMask[WI] : 0;
+      if (!M)
         continue;
-      uint8_t &SlotCode = Meta[I];
-      if (Local == shadow::kReadLiveIn) {
-        if (SlotCode == 0 || SlotCode == shadow::kReadLiveIn)
-          SlotCode = shadow::kReadLiveIn;
-        else
-          SlotCode = kSlotConflict; // Read-live-in meets another's write.
-      } else {
-        // Local is a write timestamp.
-        if (SlotCode == 0) {
-          SlotCode = Local;
-          Values[I] = LocalPrivate[I];
-        } else if (SlotCode == shadow::kReadLiveIn ||
-                   SlotCode == kSlotConflict) {
-          SlotCode = kSlotConflict;
-        } else if (Local >= SlotCode) {
-          // Output dependence between workers: the later iteration's value
-          // survives, exactly as in the sequential program.
-          SlotCode = Local;
-          Values[I] = LocalPrivate[I];
+      SlotMask[WI] |= M;
+      do {
+        unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+        M &= M - 1;
+        uint64_t C = WI * 64 + Bit;
+        uint32_t E = Dir[C];
+        if (E == 0) {
+          if (H->ChunksUsed >= ChunkCap) {
+            // Capacity exhausted: the slot cannot represent this merge.
+            // Mark it incomplete; the committer treats that as
+            // misspeculation and re-executes the period sequentially.
+            H->ChunkOverflow = 1;
+            continue;
+          }
+          E = ++H->ChunksUsed;
+          Dir[C] = E; // Entry index + 1; fresh mapping is already zero.
         }
-      }
+        ++FoldedChunks;
+        uint8_t *Meta = entryMeta(P, E - 1);
+        uint8_t *Values = entryValues(P, E - 1);
+        uint64_t Base = C << kDirtyChunkShift;
+        uint64_t Span = chunkSpan(C);
+        const uint8_t *Shadow = LocalShadow + Base;
+        const uint8_t *Priv = LocalPrivate + Base;
+        uint64_t J = 0;
+        auto foldByte = [&](uint64_t I) {
+          uint8_t Local = Shadow[I];
+          if (Local < shadow::kReadLiveIn)
+            return;
+          uint8_t &SlotCode = Meta[I];
+          if (Local == shadow::kReadLiveIn) {
+            if (SlotCode == 0 || SlotCode == shadow::kReadLiveIn)
+              SlotCode = shadow::kReadLiveIn;
+            else
+              SlotCode = kSlotConflict; // Read-live-in meets another's write.
+          } else {
+            // Local is a write timestamp.
+            if (SlotCode == 0) {
+              SlotCode = Local;
+              Values[I] = Priv[I];
+            } else if (SlotCode == shadow::kReadLiveIn ||
+                       SlotCode == kSlotConflict) {
+              SlotCode = kSlotConflict;
+            } else if (Local >= SlotCode) {
+              // Output dependence between workers: the later iteration's
+              // value survives, exactly as in the sequential program.
+              SlotCode = Local;
+              Values[I] = Priv[I];
+            }
+          }
+        };
+        // Word-at-a-time skip in the style of applyReadRange: heap bases
+        // are page-aligned, so every full word inside a chunk is aligned.
+        for (; J + 8 <= Span; J += 8) {
+          uint64_t W;
+          __builtin_memcpy(&W, Shadow + J, 8);
+          if (wordAllBelowReadLiveIn(W)) {
+            Skipped += 8;
+            continue;
+          }
+          Scanned += 8;
+          for (uint64_t K = J; K < J + 8; ++K)
+            foldByte(K);
+        }
+        for (; J < Span; ++J) {
+          ++Scanned;
+          foldByte(J);
+        }
+      } while (M);
+    }
+    if (Ctx.Scan) {
+      Ctx.Scan->DirtyChunks += FoldedChunks;
+      Ctx.Scan->BytesScanned += Scanned;
+      Ctx.Scan->BytesSkipped += Skipped;
     }
 
     // Reduction partials: first contributor copies, later ones combine.
@@ -152,12 +249,16 @@ void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
         Redux.combine(SlotBias, 0);
     }
 
-    // Deferred output.
+    // Deferred output.  On overflow the records must stay with the worker:
+    // the misspec recovery re-executes the period sequentially and emits
+    // its output directly, but dropping them here would lose the text if
+    // any later path replayed from the worker's buffer.
     if (!PendingIo.empty()) {
-      if (!serializeIoRecords(PendingIo, slotIo(P), Cfg.IoCapacity,
-                              H->IoBytes))
+      if (serializeIoRecords(PendingIo, slotIo(P), Cfg.IoCapacity,
+                             H->IoBytes))
+        PendingIo.clear();
+      else
         H->IoOverflow = 1;
-      PendingIo.clear();
     }
     ++H->ExecutedMerges;
   }
@@ -169,43 +270,142 @@ void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
 CheckpointRegion::CommitStatus CheckpointRegion::commitSlot(
     uint64_t P, uint8_t *MasterShadow, uint8_t *MasterPrivate,
     const ReductionRegistry &Redux, uint64_t ReduxBase,
-    std::vector<IoRecord> &OutIo, std::string &MisspecWhy) const {
+    std::vector<IoRecord> &OutIo, std::string &MisspecWhy,
+    CheckpointScanStats *Scan) const {
   SlotHeader *H = slot(P);
+  if (H->ChunkOverflow) {
+    MisspecWhy = "checkpoint slot chunk capacity exhausted";
+    return CommitStatus::Misspec;
+  }
   if (H->IoOverflow) {
     MisspecWhy = "deferred-output buffer overflow";
     return CommitStatus::Misspec;
   }
 
-  const uint8_t *Meta = slotMeta(P);
-  const uint8_t *Values = slotValues(P);
+  const uint64_t *SlotMask = slotDirtyMask(P);
+  const uint32_t *Dir = slotChunkDir(P);
+  uint64_t WalkedChunks = 0, Scanned = 0, Skipped = 0;
 
   // Pass 1: detect phase-2 privacy violations before mutating master state
-  // so a misspeculating slot leaves the committed image untouched.
-  for (uint64_t I = 0; I < Cfg.PrivateBytes; ++I) {
-    uint8_t Code = Meta[I];
-    // kSlotConflict must be tested before the timestamp skip: 255 also
-    // satisfies isTimestamp().
-    if (Code == kSlotConflict) {
-      MisspecWhy = "private byte both read live-in and written within one "
-                   "checkpoint period (conservative)";
-      return CommitStatus::Misspec;
-    }
-    if (Code == 0 || shadow::isTimestamp(Code))
+  // so a misspeculating slot leaves the committed image untouched.  Only
+  // read-live-in (2) and conflict (255) bytes matter here; words carrying
+  // neither are skipped.
+  for (uint64_t WI = 0; WI < MaskWords; ++WI) {
+    uint64_t M = SlotMask[WI];
+    if (!M)
       continue;
-    assert(Code == shadow::kReadLiveIn && "unexpected slot code");
-    if (MasterShadow[I] == shadow::kOldWrite) {
-      MisspecWhy = "loop-carried flow dependence: read of a value written "
-                   "in an earlier checkpoint period";
-      return CommitStatus::Misspec;
-    }
+    do {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+      M &= M - 1;
+      uint64_t C = WI * 64 + Bit;
+      uint32_t E = Dir[C];
+      if (E == 0)
+        continue; // Mask bit without an entry: nothing was folded.
+      ++WalkedChunks;
+      const uint8_t *Meta = entryMeta(P, E - 1);
+      uint64_t Base = C << kDirtyChunkShift;
+      uint64_t Span = chunkSpan(C);
+      uint64_t J = 0;
+      for (; J + 8 <= Span; J += 8) {
+        uint64_t W;
+        __builtin_memcpy(&W, Meta + J, 8);
+        if (!wordHasByte(W, shadow::kReadLiveIn) &&
+            !wordHasByte(W, kSlotConflict)) {
+          Skipped += 8;
+          continue;
+        }
+        Scanned += 8;
+        for (uint64_t K = J; K < J + 8; ++K) {
+          uint8_t Code = Meta[K];
+          if (Code == kSlotConflict) {
+            MisspecWhy = "private byte both read live-in and written within "
+                         "one checkpoint period (conservative)";
+            if (Scan) {
+              Scan->DirtyChunks += WalkedChunks;
+              Scan->BytesScanned += Scanned;
+              Scan->BytesSkipped += Skipped;
+            }
+            return CommitStatus::Misspec;
+          }
+          if (Code == shadow::kReadLiveIn &&
+              MasterShadow[Base + K] == shadow::kOldWrite) {
+            MisspecWhy = "loop-carried flow dependence: read of a value "
+                         "written in an earlier checkpoint period";
+            if (Scan) {
+              Scan->DirtyChunks += WalkedChunks;
+              Scan->BytesScanned += Scanned;
+              Scan->BytesSkipped += Skipped;
+            }
+            return CommitStatus::Misspec;
+          }
+        }
+      }
+      for (; J < Span; ++J) {
+        ++Scanned;
+        uint8_t Code = Meta[J];
+        if (Code == kSlotConflict) {
+          MisspecWhy = "private byte both read live-in and written within "
+                       "one checkpoint period (conservative)";
+          return CommitStatus::Misspec;
+        }
+        if (Code == shadow::kReadLiveIn &&
+            MasterShadow[Base + J] == shadow::kOldWrite) {
+          MisspecWhy = "loop-carried flow dependence: read of a value "
+                       "written in an earlier checkpoint period";
+          return CommitStatus::Misspec;
+        }
+      }
+    } while (M);
   }
 
   // Pass 2: apply writes (pass 1 guarantees no conflict codes remain).
-  for (uint64_t I = 0; I < Cfg.PrivateBytes; ++I) {
-    if (shadow::isTimestamp(Meta[I]) && Meta[I] != kSlotConflict) {
-      MasterPrivate[I] = Values[I];
-      MasterShadow[I] = shadow::kOldWrite;
-    }
+  // All-zero meta words (chunks dirtied by reads that resolved to
+  // live-in, or by writes folded into a different byte range) skip.
+  for (uint64_t WI = 0; WI < MaskWords; ++WI) {
+    uint64_t M = SlotMask[WI];
+    if (!M)
+      continue;
+    do {
+      unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+      M &= M - 1;
+      uint64_t C = WI * 64 + Bit;
+      uint32_t E = Dir[C];
+      if (E == 0)
+        continue;
+      const uint8_t *Meta = entryMeta(P, E - 1);
+      const uint8_t *Values = entryValues(P, E - 1);
+      uint64_t Base = C << kDirtyChunkShift;
+      uint64_t Span = chunkSpan(C);
+      uint64_t J = 0;
+      for (; J + 8 <= Span; J += 8) {
+        uint64_t W;
+        __builtin_memcpy(&W, Meta + J, 8);
+        if (W == 0) {
+          Skipped += 8;
+          continue;
+        }
+        Scanned += 8;
+        for (uint64_t K = J; K < J + 8; ++K) {
+          if (shadow::isTimestamp(Meta[K]) && Meta[K] != kSlotConflict) {
+            MasterPrivate[Base + K] = Values[K];
+            MasterShadow[Base + K] = shadow::kOldWrite;
+          }
+        }
+      }
+      for (; J < Span; ++J) {
+        ++Scanned;
+        if (shadow::isTimestamp(Meta[J]) && Meta[J] != kSlotConflict) {
+          MasterPrivate[Base + J] = Values[J];
+          MasterShadow[Base + J] = shadow::kOldWrite;
+        }
+      }
+    } while (M);
+  }
+
+  if (Scan) {
+    Scan->DirtyChunks += WalkedChunks;
+    Scan->BytesScanned += Scanned;
+    Scan->BytesSkipped += Skipped;
   }
 
   // Combine reduction partials into the committed accumulators.  A slot

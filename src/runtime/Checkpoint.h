@@ -31,6 +31,16 @@
 ///   255        read-live-in and written in the same period -> conservative
 ///              misspeculation at commit (mirrors Table 2's write-to-2 rule)
 ///
+/// Slots are *sparse*: instead of two dense PrivateBytes planes, a slot
+/// holds a dirty-chunk bitmap (union of every contributor's per-period
+/// dirty mask), a chunk directory, and an array of packed (meta, values)
+/// chunk entries allocated on first touch.  Workers fold only the chunks
+/// their dirty mask names, and the ordered commit walks only the union
+/// mask, so merge + commit cost is O(bytes touched in the period), not
+/// O(private footprint).  The masks live in the shared region alongside
+/// the headers so the committer and the fault path (poisoned and torn
+/// slots) can reason about a dead worker's partial merge.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef PRIVATEER_RUNTIME_CHECKPOINT_H
@@ -38,6 +48,7 @@
 
 #include "runtime/ControlBlock.h"
 #include "runtime/DeferredIO.h"
+#include "runtime/DirtyChunks.h"
 #include "runtime/Reduction.h"
 
 #include <string>
@@ -62,10 +73,25 @@ struct SlotHeader {
   /// Mergers that actually executed iterations; the first of these
   /// initializes the slot's reduction partial.
   uint32_t ExecutedMerges = 0;
+  /// Chunk entries allocated so far (bounded by the slot's capacity).
+  uint32_t ChunksUsed = 0;
+  /// A merge needed more chunk entries than the slot carries; the slot is
+  /// incomplete and must be recovered, never committed.
+  uint32_t ChunkOverflow = 0;
   uint64_t BaseIter = 0;
   uint64_t NumIters = 0;
   uint64_t IoBytes = 0;
   uint32_t IoOverflow = 0;
+};
+
+/// Byte-walk accounting for one merge or commit: how many dirty chunks
+/// were folded/walked, and within them how many bytes took the per-byte
+/// path vs the word-skip fast path.  Feeds the `checkpoint.*` statistics
+/// and the perfmodel's dirty-byte checkpoint cost term.
+struct CheckpointScanStats {
+  uint64_t DirtyChunks = 0;
+  uint64_t BytesScanned = 0;
+  uint64_t BytesSkipped = 0;
 };
 
 /// Identity and plumbing a worker carries into workerMerge so the slot lock
@@ -77,6 +103,8 @@ struct MergeContext {
   std::atomic<uint64_t> *Heartbeat = nullptr;
   std::atomic<uint64_t> *LocksBroken = nullptr;
   FaultInjector *Injector = nullptr;
+  /// Accumulates merge scan accounting when non-null.
+  CheckpointScanStats *Scan = nullptr;
 };
 
 class CheckpointRegion {
@@ -90,6 +118,11 @@ public:
     uint64_t Period = 0;       ///< Checkpoint period k.
     uint64_t EpochIters = 0;   ///< Iterations in this epoch.
     unsigned NumWorkers = 0;
+    /// Distinct dirty chunks one slot can hold.  0 (the default) covers
+    /// the full footprint, so merges can never overflow; a smaller cap
+    /// shrinks SlotStride (and the region) for huge footprints, at the
+    /// price of a conservative misspeculation if a period out-dirties it.
+    uint64_t SlotChunkCapacity = 0;
   };
 
   CheckpointRegion() = default;
@@ -106,6 +139,15 @@ public:
   const Config &config() const { return Cfg; }
   SlotHeader *slot(uint64_t P) const;
 
+  /// Chunks covering the private footprint / entries one slot can hold.
+  uint64_t chunkCount() const { return NumChunks; }
+  uint64_t slotChunkCapacity() const { return ChunkCap; }
+  uint64_t slotStride() const { return SlotStride; }
+
+  /// Union of the contributors' dirty-chunk masks for slot \p P
+  /// (dirtyMaskWords(chunkCount()) words, in the shared region).
+  uint64_t *slotDirtyMask(uint64_t P) const;
+
   /// True when slot \p P's header is consistent with the epoch plan.  A
   /// header torn by a crashed writer (or the fault injector) fails this
   /// and must be treated as misspeculation, not walked.
@@ -113,11 +155,16 @@ public:
 
   /// Worker side: merges this worker's period-\p P state into slot P.
   /// \p LocalShadow / \p LocalPrivate point at the worker's COW views of
-  /// the covered byte range; \p ReduxBase is the redux heap base address.
-  /// \p PendingIo is consumed (moved into the slot).  When \p Executed is
-  /// false the worker ran no iterations of P and only registers presence.
+  /// the covered byte range; \p DirtyMask names the chunks this worker
+  /// touched during the period (only those are folded); \p ReduxBase is
+  /// the redux heap base address.  \p PendingIo is consumed (moved into
+  /// the slot) unless the slot's I/O buffer overflows, in which case the
+  /// records stay with the worker and the slot is marked overflowed so the
+  /// misspec recovery re-executes (and re-emits) the period.  When
+  /// \p Executed is false the worker ran no iterations of P and only
+  /// registers presence.
   void workerMerge(uint64_t P, const uint8_t *LocalShadow,
-                   const uint8_t *LocalPrivate,
+                   const uint8_t *LocalPrivate, const uint64_t *DirtyMask,
                    const ReductionRegistry &Redux, uint64_t ReduxBase,
                    std::vector<IoRecord> &PendingIo, bool Executed,
                    const MergeContext &Ctx);
@@ -129,20 +176,35 @@ public:
   /// MAP_SHARED views of the covered range; redux partials are combined
   /// into the master redux heap; deferred output is appended to \p OutIo.
   /// Detects phase-2 privacy violations, reported through \p MisspecWhy.
+  /// Walks only the slot's dirty chunks; \p Scan, when non-null, receives
+  /// the walk accounting.
   CommitStatus commitSlot(uint64_t P, uint8_t *MasterShadow,
                           uint8_t *MasterPrivate,
                           const ReductionRegistry &Redux, uint64_t ReduxBase,
-                          std::vector<IoRecord> &OutIo,
-                          std::string &MisspecWhy) const;
+                          std::vector<IoRecord> &OutIo, std::string &MisspecWhy,
+                          CheckpointScanStats *Scan = nullptr) const;
 
 private:
-  uint8_t *slotMeta(uint64_t P) const;
-  uint8_t *slotValues(uint64_t P) const;
+  uint32_t *slotChunkDir(uint64_t P) const;
+  uint8_t *slotEntries(uint64_t P) const;
+  uint8_t *entryMeta(uint64_t P, uint32_t Entry) const;
+  uint8_t *entryValues(uint64_t P, uint32_t Entry) const;
   uint8_t *slotRedux(uint64_t P) const;
   uint8_t *slotIo(uint64_t P) const;
 
+  /// Bytes of chunk \p C that lie inside the covered footprint.
+  uint64_t chunkSpan(uint64_t C) const;
+
   Config Cfg;
   uint8_t *Region = nullptr;
+  uint64_t NumChunks = 0;
+  uint64_t MaskWords = 0;
+  uint64_t ChunkCap = 0;
+  uint64_t OffMask = 0;
+  uint64_t OffDir = 0;
+  uint64_t OffEntries = 0;
+  uint64_t OffRedux = 0;
+  uint64_t OffIo = 0;
   uint64_t SlotStride = 0;
   uint64_t RegionBytes = 0;
 };

@@ -92,6 +92,13 @@ struct WorkerStats {
   uint64_t PrivateWriteCalls = 0;
   uint64_t PrivateWriteBytes = 0;
   uint64_t SeparationChecks = 0;
+  /// Checkpoint-merge scan accounting (dirty-range tracking): chunks this
+  /// worker folded into slots, and bytes taken by the per-byte vs word-skip
+  /// paths inside them.  Travel through the shared block because the
+  /// worker process's own statistics die with it.
+  uint64_t CheckpointDirtyChunks = 0;
+  uint64_t CheckpointBytesScanned = 0;
+  uint64_t CheckpointBytesSkipped = 0;
   double UsefulSec = 0;
   double PrivateReadSec = 0;
   double PrivateWriteSec = 0;

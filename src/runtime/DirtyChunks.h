@@ -1,0 +1,79 @@
+//===- runtime/DirtyChunks.h - Dirty-range tracking primitives --*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chunk geometry and bitmap helpers for dirty-range checkpoint tracking.
+/// The private heap is divided into fixed 4 KiB chunks; each speculative
+/// worker keeps one bit per chunk, set from the private_read/private_write
+/// fast paths (a shift and an OR on the already-computed heap offset).
+/// Checkpoint merges fold only dirty chunks into the slot, and the ordered
+/// commit walks only the union of the contributors' masks, so checkpoint
+/// cost is O(bytes actually touched in the period) instead of
+/// O(private-footprint x slots x workers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_RUNTIME_DIRTYCHUNKS_H
+#define PRIVATEER_RUNTIME_DIRTYCHUNKS_H
+
+#include <cstdint>
+
+namespace privateer {
+
+/// Chunk granularity of dirty tracking: 4 KiB, one page.  Coarse enough
+/// that the per-access bookkeeping is one shift+OR, fine enough that a
+/// period touching a few cache lines skips almost the whole footprint.
+inline constexpr unsigned kDirtyChunkShift = 12;
+inline constexpr uint64_t kDirtyChunkBytes = 1ULL << kDirtyChunkShift;
+
+inline constexpr uint64_t dirtyChunkCount(uint64_t Bytes) {
+  return (Bytes + kDirtyChunkBytes - 1) >> kDirtyChunkShift;
+}
+
+inline constexpr uint64_t dirtyMaskWords(uint64_t Chunks) {
+  return (Chunks + 63) / 64;
+}
+
+/// Marks the chunks covering [Offset, Offset+Bytes) of the private heap in
+/// \p Mask (which covers \p Chunks chunks).  The overwhelmingly common
+/// case — an access inside one chunk — is a shift, a mask, and an OR.
+inline void markDirtyChunks(uint64_t *Mask, uint64_t Chunks, uint64_t Offset,
+                            uint64_t Bytes) {
+  if (Bytes == 0)
+    return;
+  uint64_t First = Offset >> kDirtyChunkShift;
+  uint64_t Last = (Offset + Bytes - 1) >> kDirtyChunkShift;
+  if (First >= Chunks)
+    return;
+  if (Last >= Chunks)
+    Last = Chunks - 1;
+  Mask[First >> 6] |= 1ULL << (First & 63);
+  for (uint64_t C = First + 1; C <= Last; ++C)
+    Mask[C >> 6] |= 1ULL << (C & 63);
+}
+
+// --- Word-at-a-time byte predicates (skip loops over shadow codes) ------
+
+inline constexpr uint64_t kByteLowBits = 0x0101010101010101ULL;
+inline constexpr uint64_t kByteHighBits = 0x8080808080808080ULL;
+
+/// True when some byte of \p W equals \p V (the classic haszero trick).
+inline constexpr bool wordHasByte(uint64_t W, uint8_t V) {
+  uint64_t X = W ^ (kByteLowBits * V);
+  return ((X - kByteLowBits) & ~X & kByteHighBits) != 0;
+}
+
+/// True when every byte of \p W is live-in (0) or old-write (1) — i.e. the
+/// word carries no period-local information and a checkpoint merge can
+/// skip it.
+inline constexpr bool wordAllBelowReadLiveIn(uint64_t W) {
+  return (W & ~kByteLowBits) == 0;
+}
+
+} // namespace privateer
+
+#endif // PRIVATEER_RUNTIME_DIRTYCHUNKS_H

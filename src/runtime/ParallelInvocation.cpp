@@ -212,6 +212,9 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   Reg.counter("fault", "fork-failures") += Stats.ForkFailures;
   Reg.counter("fault", "degraded-epochs") += Stats.DegradedEpochs;
   Reg.counter("fault", "degraded-iterations") += Stats.DegradedIterations;
+  Reg.counter("checkpoint", "dirty_chunks") += Stats.CheckpointDirtyChunks;
+  Reg.counter("checkpoint", "bytes_scanned") += Stats.CheckpointBytesScanned;
+  Reg.counter("checkpoint", "bytes_skipped") += Stats.CheckpointBytesSkipped;
   return Stats;
 }
 
@@ -248,6 +251,13 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
   uint64_t ReduxCovered =
       Redux.spanEnd(heap(HeapKind::Redux).base());
   if (Spec) {
+    // Per-worker dirty-chunk bitmap, sized before fork so every worker's
+    // COW copy covers the footprint; workers set bits from the
+    // private_read/private_write fast paths and clear them after merging.
+    DirtyChunkLimit = dirtyChunkCount(PrivateHighWater);
+    DirtyMask.assign(dirtyMaskWords(DirtyChunkLimit), 0);
+    Stats.PrivateFootprintBytes =
+        std::max(Stats.PrivateFootprintBytes, PrivateHighWater);
     CheckpointRegion::Config C;
     C.NumSlots = Plan.NumSlots;
     C.PrivateBytes = PrivateHighWater;
@@ -257,6 +267,7 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     C.Period = Plan.Period;
     C.EpochIters = Plan.EpochIters;
     C.NumWorkers = W;
+    C.SlotChunkCapacity = Options.CheckpointSlotChunks;
     if (!TheRegion.create(C)) {
       Cb->~ControlBlock();
       munmap(CbMem, sizeof(ControlBlock));
@@ -404,6 +415,9 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Stats.PrivateWriteCalls += S.PrivateWriteCalls;
     Stats.PrivateWriteBytes += S.PrivateWriteBytes;
     Stats.SeparationChecks += S.SeparationChecks;
+    Stats.CheckpointDirtyChunks += S.CheckpointDirtyChunks;
+    Stats.CheckpointBytesScanned += S.CheckpointBytesScanned;
+    Stats.CheckpointBytesSkipped += S.CheckpointBytesSkipped;
     Stats.UsefulSec += S.UsefulSec;
     Stats.PrivateReadSec += S.PrivateReadSec;
     Stats.PrivateWriteSec += S.PrivateWriteSec;
@@ -422,6 +436,7 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     // now, so a still-held slot lock is orphaned by definition.
     std::vector<IoRecord> CommittedIo;
     std::string Why;
+    CheckpointScanStats CommitScan;
     uint8_t *MasterShadow = reinterpret_cast<uint8_t *>(Shadow.base());
     uint8_t *MasterPrivate =
         reinterpret_cast<uint8_t *>(heap(HeapKind::Private).base());
@@ -466,7 +481,7 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       }
       CheckpointRegion::CommitStatus St = TheRegion.commitSlot(
           P, MasterShadow, MasterPrivate, Redux,
-          heap(HeapKind::Redux).base(), CommittedIo, Why);
+          heap(HeapKind::Redux).base(), CommittedIo, Why, &CommitScan);
       if (St == CheckpointRegion::CommitStatus::Misspec) {
         Res.Misspec = true;
         Res.Reason = Why;
@@ -476,6 +491,9 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       Res.CommittedEnd = H->BaseIter + H->NumIters;
       ++Stats.Checkpoints;
     }
+    Stats.CheckpointDirtyChunks += CommitScan.DirtyChunks;
+    Stats.CheckpointBytesScanned += CommitScan.BytesScanned;
+    Stats.CheckpointBytesSkipped += CommitScan.BytesSkipped;
     // "take effect only when the checkpoint is marked non-speculative":
     // only output from committed checkpoints is emitted.
     flushIo(CommittedIo, Options.Out);
@@ -571,6 +589,8 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
   MergeCtx.Heartbeat = &Cb->WorkerHeartbeat[Id];
   MergeCtx.LocksBroken = &Cb->LocksBroken;
   MergeCtx.Injector = Injector;
+  CheckpointScanStats MergeScan;
+  MergeCtx.Scan = &MergeScan;
 
   bool Stopped = false;
   for (uint64_t P = 0; P < Plan.NumSlots && !Stopped; ++P) {
@@ -629,13 +649,33 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       CategoryTimer Timer(LocalStats.CheckpointSec);
       Cb->WorkerHeartbeat[Id].store(monotonicNanos(),
                                     std::memory_order_relaxed);
-      Region->workerMerge(P, LocalShadow, LocalPrivate, Redux,
-                          heap(HeapKind::Redux).base(), PendingIo, Executed,
-                          MergeCtx);
+      Region->workerMerge(P, LocalShadow, LocalPrivate, DirtyMask.data(),
+                          Redux, heap(HeapKind::Redux).base(), PendingIo,
+                          Executed, MergeCtx);
+      // MergeScan accumulates across periods; snapshot it after every merge
+      // so the stats survive a later misspecAbort (which copies LocalStats
+      // out and _exits).
+      LocalStats.CheckpointDirtyChunks = MergeScan.DirtyChunks;
+      LocalStats.CheckpointBytesScanned = MergeScan.BytesScanned;
+      LocalStats.CheckpointBytesSkipped = MergeScan.BytesSkipped;
       if (Executed) {
         // Local post-checkpoint reset (§5.1): writes age into old-write,
-        // validated live-in reads revert to live-in.
-        shadow::resetRangeAtCheckpoint(LocalShadow, PrivateHighWater);
+        // validated live-in reads revert to live-in.  Codes >= 2 can only
+        // exist in chunks this period's accesses dirtied (the same
+        // argument that makes the sparse merge lossless), so reset walks
+        // just those chunks instead of the whole footprint.
+        for (uint64_t WI = 0, E = DirtyMask.size(); WI < E; ++WI) {
+          uint64_t M = DirtyMask[WI];
+          while (M) {
+            unsigned Bit = static_cast<unsigned>(__builtin_ctzll(M));
+            M &= M - 1;
+            uint64_t Base = (WI * 64 + Bit) << kDirtyChunkShift;
+            shadow::resetRangeAtCheckpoint(
+                LocalShadow + Base,
+                std::min(kDirtyChunkBytes, PrivateHighWater - Base));
+          }
+        }
+        std::fill(DirtyMask.begin(), DirtyMask.end(), 0);
         Redux.fillIdentity();
       }
     }

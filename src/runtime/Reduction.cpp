@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <type_traits>
 
 using namespace privateer;
 
@@ -17,9 +18,19 @@ template <typename T> T identityFor(ReduxOp Op) {
   case ReduxOp::Mul:
     return T(1);
   case ReduxOp::Min:
-    return std::numeric_limits<T>::max();
+    // Floating-point min/max identities must be the infinities, not the
+    // finite extremes: a sequential result of +-inf (or an inf produced in
+    // one worker's partial) would otherwise clamp to max()/lowest() after
+    // combine and diverge from sequential execution.
+    if constexpr (std::is_floating_point_v<T>)
+      return std::numeric_limits<T>::infinity();
+    else
+      return std::numeric_limits<T>::max();
   case ReduxOp::Max:
-    return std::numeric_limits<T>::lowest();
+    if constexpr (std::is_floating_point_v<T>)
+      return -std::numeric_limits<T>::infinity();
+    else
+      return std::numeric_limits<T>::lowest();
   }
   return T(0);
 }

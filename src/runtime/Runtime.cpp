@@ -109,6 +109,10 @@ void Runtime::privateRead(const void *P, size_t Bytes) {
   uint64_t Addr = reinterpret_cast<uint64_t>(P);
   if (!addressInHeap(Addr, HeapKind::Private))
     misspecAbort("private_read of a pointer outside the private heap");
+  // Dirty-range tracking: one shift+OR on the already-computed heap
+  // offset; checkpoint merges fold only the chunks marked here.
+  markDirtyChunks(DirtyMask.data(), DirtyChunkLimit,
+                  Addr - heap(HeapKind::Private).base(), Bytes);
   uint8_t *Meta = reinterpret_cast<uint8_t *>(shadowAddress(Addr));
   if (!shadow::applyReadRange(Meta, Bytes, CurTs))
     misspecAbort("privacy violation: read of a value written in an "
@@ -123,6 +127,8 @@ void Runtime::privateWrite(const void *P, size_t Bytes) {
   uint64_t Addr = reinterpret_cast<uint64_t>(P);
   if (!addressInHeap(Addr, HeapKind::Private))
     misspecAbort("private_write of a pointer outside the private heap");
+  markDirtyChunks(DirtyMask.data(), DirtyChunkLimit,
+                  Addr - heap(HeapKind::Private).base(), Bytes);
   uint8_t *Meta = reinterpret_cast<uint8_t *>(shadowAddress(Addr));
   if (!shadow::applyWriteRange(Meta, Bytes, CurTs))
     misspecAbort("privacy violation: overwrite of a byte previously read "

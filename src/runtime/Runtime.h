@@ -73,6 +73,12 @@ struct ParallelOptions {
   /// SIGSEGV which the worker converts into misspeculation.
   bool ProtectReadOnly = true;
   size_t IoCapacityPerSlot = 1u << 20;
+  /// Distinct dirty 4 KiB chunks one checkpoint slot can hold.  0 (the
+  /// default) sizes slots for the whole private footprint, so merges can
+  /// never overflow; a smaller bound shrinks the checkpoint region for
+  /// huge footprints at the price of a conservative misspeculation when a
+  /// period dirties more chunks than the slot can represent.
+  uint64_t CheckpointSlotChunks = 0;
   /// Deferred-output sink; nullptr means stdout.
   std::FILE *Out = nullptr;
 
@@ -109,6 +115,14 @@ struct InvocationStats {
   uint64_t PrivateWriteCalls = 0;
   uint64_t PrivateWriteBytes = 0;
   uint64_t SeparationChecks = 0;
+  /// Dirty-range checkpoint accounting: chunks folded/walked by merges and
+  /// commits, and bytes inside them taken by the per-byte path vs skipped
+  /// word-at-a-time.  Mirrored to StatisticRegistry group "checkpoint".
+  uint64_t CheckpointDirtyChunks = 0;
+  uint64_t CheckpointBytesScanned = 0;
+  uint64_t CheckpointBytesSkipped = 0;
+  /// Private-heap high water covered by checkpoints (max over epochs).
+  uint64_t PrivateFootprintBytes = 0;
   double UsefulSec = 0;
   double PrivateReadSec = 0;
   double PrivateWriteSec = 0;
@@ -262,6 +276,12 @@ private:
   uint64_t EpochBase = 0;
   uint64_t PeriodLen = 1;
   uint64_t PrivateHighWater = 0;
+  /// Per-worker dirty-chunk bitmap of the private heap for the current
+  /// checkpoint period, set by the privateRead/privateWrite fast paths.
+  /// Sized in runEpoch before fork; each worker mutates its own COW copy
+  /// and clears it after every merge.
+  std::vector<uint64_t> DirtyMask;
+  uint64_t DirtyChunkLimit = 0;
   std::vector<IoRecord> PendingIo;
   uint32_t IoSequence = 0;
   WorkerStats LocalStats;

@@ -6,6 +6,8 @@
 #include "support/Fnv.h"
 #include "support/Timing.h"
 
+#include <algorithm>
+
 using namespace privateer;
 
 namespace {
@@ -83,6 +85,11 @@ std::string privateer::runWorkloadParallel(Workload &W,
       Total->PrivateWriteCalls += S.PrivateWriteCalls;
       Total->PrivateWriteBytes += S.PrivateWriteBytes;
       Total->SeparationChecks += S.SeparationChecks;
+      Total->CheckpointDirtyChunks += S.CheckpointDirtyChunks;
+      Total->CheckpointBytesScanned += S.CheckpointBytesScanned;
+      Total->CheckpointBytesSkipped += S.CheckpointBytesSkipped;
+      Total->PrivateFootprintBytes =
+          std::max(Total->PrivateFootprintBytes, S.PrivateFootprintBytes);
       Total->UsefulSec += S.UsefulSec;
       Total->PrivateReadSec += S.PrivateReadSec;
       Total->PrivateWriteSec += S.PrivateWriteSec;

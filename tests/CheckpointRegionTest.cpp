@@ -1,0 +1,231 @@
+//===- tests/CheckpointRegionTest.cpp - Sparse checkpoint slot tests ------===//
+//
+// Direct tests of CheckpointRegion's sparse dirty-chunk layout: merges fold
+// only the chunks a worker's dirty mask names, commits walk the union mask,
+// slot headers clamp over-provisioned epochs instead of wrapping, bounded
+// chunk capacity overflows to a conservative misspeculation, and deferred
+// I/O survives a slot-buffer overflow for the recovery path to replay.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Checkpoint.h"
+#include "runtime/ShadowMetadata.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace privateer;
+
+namespace {
+
+class CheckpointRegionTest : public ::testing::Test {
+protected:
+  static constexpr uint64_t kFootprint = 16 * kDirtyChunkBytes; // 16 chunks.
+
+  void makeRegion(uint64_t NumSlots, uint64_t Period, uint64_t EpochIters,
+                  uint64_t SlotChunkCapacity = 0, uint64_t IoCapacity = 4096,
+                  uint64_t BaseIter = 0) {
+    CheckpointRegion::Config C;
+    C.NumSlots = NumSlots;
+    C.PrivateBytes = kFootprint;
+    C.ReduxBytes = 0;
+    C.IoCapacity = IoCapacity;
+    C.BaseIter = BaseIter;
+    C.Period = Period;
+    C.EpochIters = EpochIters;
+    C.NumWorkers = 2;
+    C.SlotChunkCapacity = SlotChunkCapacity;
+    ASSERT_TRUE(Region.create(C));
+    LocalShadow.assign(kFootprint, shadow::kLiveIn);
+    LocalPrivate.assign(kFootprint, 0);
+    MasterShadow.assign(kFootprint, shadow::kLiveIn);
+    MasterPrivate.assign(kFootprint, 0);
+    Mask.assign(dirtyMaskWords(dirtyChunkCount(kFootprint)), 0);
+  }
+
+  MergeContext ctx(CheckpointScanStats *Scan = nullptr) {
+    MergeContext Ctx;
+    Ctx.SelfPid = static_cast<uint32_t>(getpid());
+    Ctx.Scan = Scan;
+    return Ctx;
+  }
+
+  /// Simulates one instrumented write of \p Value at \p Off in the
+  /// worker's view: shadow timestamp + value + dirty bit, exactly what the
+  /// private_write fast path leaves behind.
+  void workerWrite(uint64_t Off, uint8_t Value,
+                   uint8_t Ts = shadow::kFirstTimestamp) {
+    LocalShadow[Off] = Ts;
+    LocalPrivate[Off] = Value;
+    markDirtyChunks(Mask.data(), dirtyChunkCount(kFootprint), Off, 1);
+  }
+
+  void workerReadLiveIn(uint64_t Off) {
+    LocalShadow[Off] = shadow::kReadLiveIn;
+    markDirtyChunks(Mask.data(), dirtyChunkCount(kFootprint), Off, 1);
+  }
+
+  CheckpointRegion Region;
+  ReductionRegistry NoRedux;
+  std::vector<uint8_t> LocalShadow, LocalPrivate, MasterShadow, MasterPrivate;
+  std::vector<uint64_t> Mask;
+  std::vector<IoRecord> Io, OutIo;
+  std::string Why;
+};
+
+TEST_F(CheckpointRegionTest, SparseMergeAndCommitApplyOnlyDirtyChunks) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8);
+  workerWrite(/*chunk 1*/ 1 * kDirtyChunkBytes + 17, 0xAB);
+  workerWrite(/*chunk 9*/ 9 * kDirtyChunkBytes + 4090, 0xCD,
+              shadow::kFirstTimestamp + 3);
+  workerReadLiveIn(1 * kDirtyChunkBytes + 100);
+
+  CheckpointScanStats MergeScan;
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, /*Executed=*/true, ctx(&MergeScan));
+  EXPECT_EQ(MergeScan.DirtyChunks, 2u);
+  // Only the two dirty chunks were walked at all; everything outside them
+  // cost nothing.
+  EXPECT_LE(MergeScan.BytesScanned + MergeScan.BytesSkipped,
+            2 * kDirtyChunkBytes);
+  // Within them, the skip loop took the word path almost everywhere.
+  EXPECT_GT(MergeScan.BytesSkipped, MergeScan.BytesScanned);
+
+  // The slot records exactly the contributed chunks.
+  EXPECT_EQ(Region.slot(0)->ChunksUsed, 2u);
+  const uint64_t *SlotMask = Region.slotDirtyMask(0);
+  EXPECT_EQ(SlotMask[0], (1ULL << 1) | (1ULL << 9));
+
+  CheckpointScanStats CommitScan;
+  ASSERT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, OutIo, Why, &CommitScan),
+            CheckpointRegion::CommitStatus::Ok)
+      << Why;
+  EXPECT_EQ(CommitScan.DirtyChunks, 2u);
+  EXPECT_EQ(MasterPrivate[1 * kDirtyChunkBytes + 17], 0xAB);
+  EXPECT_EQ(MasterShadow[1 * kDirtyChunkBytes + 17], shadow::kOldWrite);
+  EXPECT_EQ(MasterPrivate[9 * kDirtyChunkBytes + 4090], 0xCD);
+  // The validated read-live-in byte commits no write.
+  EXPECT_EQ(MasterShadow[1 * kDirtyChunkBytes + 100], shadow::kLiveIn);
+  // Clean chunks stay untouched.
+  EXPECT_EQ(MasterPrivate[5 * kDirtyChunkBytes + 1], 0);
+}
+
+TEST_F(CheckpointRegionTest, DirtyMasksUnionAcrossWorkers) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8);
+  workerWrite(2 * kDirtyChunkBytes + 8, 0x11);
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, true, ctx());
+
+  // Second worker: fresh view, different chunk.
+  LocalShadow.assign(kFootprint, shadow::kLiveIn);
+  std::fill(Mask.begin(), Mask.end(), 0);
+  workerWrite(14 * kDirtyChunkBytes + 8, 0x22,
+              shadow::kFirstTimestamp + 1);
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, true, ctx());
+
+  EXPECT_EQ(Region.slotDirtyMask(0)[0], (1ULL << 2) | (1ULL << 14));
+  EXPECT_EQ(Region.slot(0)->ChunksUsed, 2u);
+  ASSERT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, OutIo, Why),
+            CheckpointRegion::CommitStatus::Ok)
+      << Why;
+  EXPECT_EQ(MasterPrivate[2 * kDirtyChunkBytes + 8], 0x11);
+  EXPECT_EQ(MasterPrivate[14 * kDirtyChunkBytes + 8], 0x22);
+}
+
+TEST_F(CheckpointRegionTest, CommitDetectsFlowDependenceInsideDirtyChunk) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8);
+  workerReadLiveIn(3 * kDirtyChunkBytes + 77);
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, true, ctx());
+  // An earlier committed period wrote the byte: phase-2 must reject.
+  MasterShadow[3 * kDirtyChunkBytes + 77] = shadow::kOldWrite;
+  EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, OutIo, Why),
+            CheckpointRegion::CommitStatus::Misspec);
+  EXPECT_NE(Why.find("flow dependence"), std::string::npos) << Why;
+}
+
+TEST_F(CheckpointRegionTest, OverProvisionedSlotsClampToEmpty) {
+  // 4 slots x period 10 over-provision a 25-iteration epoch: slot 3's
+  // nominal base (130) lies past the epoch end (125).  NumIters must clamp
+  // to zero, not wrap to ~2^64.
+  makeRegion(/*NumSlots=*/4, /*Period=*/10, /*EpochIters=*/25,
+             /*SlotChunkCapacity=*/0, /*IoCapacity=*/4096,
+             /*BaseIter=*/100);
+  EXPECT_EQ(Region.slot(0)->NumIters, 10u);
+  EXPECT_EQ(Region.slot(2)->NumIters, 5u);
+  EXPECT_EQ(Region.slot(3)->BaseIter, 130u);
+  EXPECT_EQ(Region.slot(3)->NumIters, 0u) << "empty slot must not wrap";
+  for (uint64_t S = 0; S < 4; ++S)
+    EXPECT_TRUE(Region.slotHeaderSane(S)) << "slot " << S;
+  // A wrapped value (what the unclamped subtraction used to produce, and
+  // what a torn header can still contain) must be rejected.
+  Region.slot(3)->NumIters = ~0ULL - 129;
+  EXPECT_FALSE(Region.slotHeaderSane(3));
+  Region.slot(3)->NumIters = 0;
+  Region.slot(2)->NumIters = 10; // Ignores the epoch-end clamp.
+  EXPECT_FALSE(Region.slotHeaderSane(2));
+}
+
+TEST_F(CheckpointRegionTest, ChunkCapacityOverflowBecomesMisspec) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8,
+             /*SlotChunkCapacity=*/1);
+  EXPECT_EQ(Region.slotChunkCapacity(), 1u);
+  workerWrite(0 * kDirtyChunkBytes + 5, 0x33);
+  workerWrite(7 * kDirtyChunkBytes + 5, 0x44);
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, true, ctx());
+  EXPECT_EQ(Region.slot(0)->ChunkOverflow, 1u);
+  EXPECT_TRUE(Region.slotHeaderSane(0));
+  EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, OutIo, Why),
+            CheckpointRegion::CommitStatus::Misspec);
+  EXPECT_NE(Why.find("chunk capacity"), std::string::npos) << Why;
+  // Nothing from the overflowed slot reached the master image.
+  EXPECT_EQ(MasterPrivate[0 * kDirtyChunkBytes + 5], 0);
+  EXPECT_EQ(MasterPrivate[7 * kDirtyChunkBytes + 5], 0);
+}
+
+TEST_F(CheckpointRegionTest, DefaultCapacityCoversWholeFootprintLosslessly) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8);
+  EXPECT_EQ(Region.slotChunkCapacity(), dirtyChunkCount(kFootprint));
+  // Dirty every chunk: with the default capacity this can never overflow.
+  for (uint64_t C = 0; C < dirtyChunkCount(kFootprint); ++C)
+    workerWrite(C * kDirtyChunkBytes, static_cast<uint8_t>(C + 1));
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, true, ctx());
+  EXPECT_EQ(Region.slot(0)->ChunkOverflow, 0u);
+  ASSERT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, OutIo, Why),
+            CheckpointRegion::CommitStatus::Ok)
+      << Why;
+  for (uint64_t C = 0; C < dirtyChunkCount(kFootprint); ++C)
+    EXPECT_EQ(MasterPrivate[C * kDirtyChunkBytes],
+              static_cast<uint8_t>(C + 1));
+}
+
+TEST_F(CheckpointRegionTest, IoOverflowKeepsWorkerRecordsForRecovery) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8,
+             /*SlotChunkCapacity=*/0, /*IoCapacity=*/32);
+  Io.push_back(IoRecord{0, 0, std::string(128, 'x')}); // Can't fit in 32 B.
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, true, ctx());
+  EXPECT_EQ(Region.slot(0)->IoOverflow, 1u);
+  // The records must stay with the worker: dropping them before the
+  // misspec recovery re-executes the period would lose the output.
+  ASSERT_EQ(Io.size(), 1u);
+  EXPECT_EQ(Io[0].Text.size(), 128u);
+  EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, OutIo, Why),
+            CheckpointRegion::CommitStatus::Misspec);
+  EXPECT_NE(Why.find("overflow"), std::string::npos) << Why;
+}
+
+} // namespace

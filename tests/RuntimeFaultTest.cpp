@@ -13,6 +13,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 using namespace privateer;
 
 namespace {
@@ -213,6 +216,121 @@ TEST_F(RuntimeFaultTest, HealthyRunTriggersNoFaultMachinery) {
   EXPECT_EQ(Stats.LocksBroken, 0u);
   EXPECT_EQ(Stats.DegradedEpochs, 0u);
   EXPECT_EQ(Stats.ForkFailures, 0u);
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, IoOverflowRecoveryEmitsExactSequentialOutput) {
+  // Slots whose deferred-output buffer overflows must misspeculate and be
+  // re-executed sequentially — and the worker's pending records must stay
+  // with the worker at merge time, not be dropped before recovery runs.
+  // The observable contract: byte-identical output to the sequential run.
+  constexpr uint64_t N = 96;
+  long *Out = makeOut(N);
+
+  std::string Expected;
+  for (uint64_t I = 0; I < N; ++I) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "it %llu v %ld\n",
+                  static_cast<unsigned long long>(I), expected(I));
+    Expected += Buf;
+  }
+
+  auto Body = [Out](uint64_t I) {
+    private_write(&Out[I], sizeof(long));
+    Out[I] = expected(I);
+    Runtime::get().deferPrintf("it %llu v %ld\n",
+                               static_cast<unsigned long long>(I),
+                               expected(I));
+  };
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  // Far too small for a period's records: every speculative slot
+  // overflows, so all output must arrive through misspec recovery.
+  Opt.IoCapacityPerSlot = 32;
+  std::FILE *Sink = std::tmpfile();
+  ASSERT_NE(Sink, nullptr);
+  Opt.Out = Sink;
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, Body);
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("overflow"), std::string::npos)
+      << Stats.FirstMisspecReason;
+  expectSequentialResult(Out, N);
+
+  std::rewind(Sink);
+  std::string Got;
+  char Buf[4096];
+  size_t R;
+  while ((R = std::fread(Buf, 1, sizeof(Buf), Sink)) > 0)
+    Got.append(Buf, R);
+  std::fclose(Sink);
+  EXPECT_EQ(Got, Expected) << "deferred output lost or duplicated across "
+                              "I/O-overflow recovery";
+}
+
+TEST_F(RuntimeFaultTest, SlotChunkCapacityOverflowRecovers) {
+  // A bounded per-slot chunk capacity (the knob that trades checkpoint
+  // region size for overflow risk) must degrade soundly: a period dirtying
+  // more chunks than the slot holds misspeculates and recovers, never
+  // commits a truncated image.
+  constexpr uint64_t N = 64;
+  constexpr uint64_t kStride = 512; // longs; 4096 B — one chunk per iter.
+  auto *Big = static_cast<long *>(
+      h_alloc(N * kStride * sizeof(long), HeapKind::Private));
+
+  auto Body = [Big](uint64_t I) {
+    private_write(&Big[I * kStride], sizeof(long));
+    Big[I * kStride] = expected(I);
+  };
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;  // 8 distinct chunks dirtied per period...
+  Opt.CheckpointSlotChunks = 2; // ...into slots that can only hold 2.
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, Body);
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("chunk capacity"),
+            std::string::npos)
+      << Stats.FirstMisspecReason;
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Big[I * kStride], expected(I)) << "iteration " << I;
+}
+
+TEST_F(RuntimeFaultTest, DirtyChunkStatsTrackTouchedBytesNotFootprint) {
+  constexpr uint64_t N = 128;
+  long *Out = makeOut(N);
+  // A large allocation nobody touches: it raises the checkpointed
+  // footprint, and with dirty-range tracking it must cost the merges and
+  // commits nothing at all.
+  (void)h_alloc(512u << 10, HeapKind::Private);
+
+  StatisticRegistry &Reg = StatisticRegistry::instance();
+  uint64_t ChunksBefore = Reg.get("checkpoint", "dirty_chunks");
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 2;
+  Opt.CheckpointPeriod = 16;
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
+
+  EXPECT_EQ(Stats.Misspecs, 0u) << Stats.FirstMisspecReason;
+  EXPECT_GT(Stats.CheckpointDirtyChunks, 0u);
+  EXPECT_GE(Stats.PrivateFootprintBytes, 512u << 10);
+  // The loop only ever touches Out (N*sizeof(long) bytes, a chunk or
+  // two); merges and commits together must walk a small multiple of that,
+  // far below footprint x periods, which is what the dense scan cost.
+  uint64_t Walked =
+      Stats.CheckpointBytesScanned + Stats.CheckpointBytesSkipped;
+  EXPECT_GT(Walked, 0u);
+  uint64_t Periods = (N + Opt.CheckpointPeriod - 1) / Opt.CheckpointPeriod;
+  EXPECT_LT(Walked, Stats.PrivateFootprintBytes * Periods / 4)
+      << "checkpoint walk cost still scales with the footprint";
+  EXPECT_GT(Reg.get("checkpoint", "dirty_chunks"), ChunksBefore);
   expectSequentialResult(Out, N);
 }
 

@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 
 using namespace privateer;
@@ -149,11 +150,78 @@ TEST(ReductionAlgebra, IdentityAndCombinePerOpAndType) {
   RegX.registerObject(Mx.data(), 2 * sizeof(float), ReduxElem::F32,
                       ReduxOp::Max);
   RegX.fillIdentity();
-  EXPECT_EQ(Mx[0], std::numeric_limits<float>::lowest());
+  EXPECT_EQ(Mx[0], -std::numeric_limits<float>::infinity());
   Sf = {1.5f, -2.0f};
   RegX.combine(0, reinterpret_cast<int64_t>(Sf.data()) -
                       reinterpret_cast<int64_t>(Mx.data()));
   EXPECT_EQ(Mx[0], 1.5f);
+}
+
+TEST(ReductionAlgebra, FloatMinMaxIdentitiesAreInfinities) {
+  // Regression: with max()/lowest() identities, a sequential result of
+  // +-inf (e.g. min over a stream containing +inf only, or max over
+  // -inf) clamps to the finite extreme after combine and diverges from
+  // sequential execution.  The identities must be the infinities.
+  std::vector<double> Mn(2), Src(2);
+  ReductionRegistry RegMn;
+  RegMn.registerObject(Mn.data(), 2 * sizeof(double), ReduxElem::F64,
+                       ReduxOp::Min);
+  RegMn.fillIdentity();
+  EXPECT_EQ(Mn[0], std::numeric_limits<double>::infinity());
+  // A partial that is itself +inf (the sequential min of {+inf}) must
+  // survive the combine, not collapse to numeric_limits::max().
+  Src = {std::numeric_limits<double>::infinity(),
+         std::numeric_limits<double>::max()};
+  RegMn.combine(0, reinterpret_cast<int64_t>(Src.data()) -
+                       reinterpret_cast<int64_t>(Mn.data()));
+  EXPECT_EQ(Mn[0], std::numeric_limits<double>::infinity());
+  EXPECT_EQ(Mn[1], std::numeric_limits<double>::max());
+
+  std::vector<float> Mx(2), Sf(2);
+  ReductionRegistry RegMx;
+  RegMx.registerObject(Mx.data(), 2 * sizeof(float), ReduxElem::F32,
+                       ReduxOp::Max);
+  RegMx.fillIdentity();
+  EXPECT_EQ(Mx[0], -std::numeric_limits<float>::infinity());
+  Sf = {-std::numeric_limits<float>::infinity(),
+        std::numeric_limits<float>::lowest()};
+  RegMx.combine(0, reinterpret_cast<int64_t>(Sf.data()) -
+                       reinterpret_cast<int64_t>(Mx.data()));
+  EXPECT_EQ(Mx[0], -std::numeric_limits<float>::infinity());
+  EXPECT_EQ(Mx[1], std::numeric_limits<float>::lowest());
+}
+
+TEST(ReductionAlgebra, InfinitePartialsSurviveParallelMinMax) {
+  // End-to-end regression for the identity fix: a min reduction over data
+  // containing +inf must commit exactly what sequential execution
+  // produces (+inf stays +inf; finite values are unaffected).
+  RuntimeConfig C;
+  C.PrivateBytes = 1u << 16;
+  C.ReadOnlyBytes = 1u << 16;
+  C.ReduxBytes = 1u << 16;
+  C.ShortLivedBytes = 1u << 16;
+  C.UnrestrictedBytes = 1u << 16;
+  Runtime &Rt = Runtime::get();
+  Rt.initialize(C);
+  auto *Acc =
+      static_cast<double *>(Rt.heapAlloc(2 * sizeof(double), HeapKind::Redux));
+  Rt.registerReduction(Acc, 2 * sizeof(double), ReduxElem::F64, ReduxOp::Min);
+  Acc[0] = std::numeric_limits<double>::infinity(); // Min over {+inf,...}.
+  Acc[1] = std::numeric_limits<double>::infinity();
+  auto Body = [&](uint64_t I) {
+    Acc[0] = std::min(Acc[0], std::numeric_limits<double>::infinity());
+    Acc[1] = std::min(Acc[1], 100.0 + static_cast<double>(I));
+  };
+  ParallelOptions Opt;
+  Opt.NumWorkers = 2;
+  Opt.CheckpointPeriod = 4;
+  InvocationStats S = Rt.runParallel(16, Opt, Body);
+  EXPECT_EQ(S.Misspecs, 0u) << S.FirstMisspecReason;
+  EXPECT_EQ(Acc[0], std::numeric_limits<double>::infinity())
+      << "min over an all-infinite stream must stay +inf, not clamp to "
+         "numeric_limits::max()";
+  EXPECT_EQ(Acc[1], 100.0);
+  Rt.shutdown();
 }
 
 TEST(ReductionAlgebra, CombineIsOrderIndependentForIntegers) {

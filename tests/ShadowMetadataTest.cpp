@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <vector>
 
 using namespace privateer;
@@ -137,6 +138,148 @@ TEST_P(RangeFastPathProperty, MatchesPerByteReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RangeFastPathProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- Word-boundary properties of the range fast paths ------------------
+//
+// The fast paths consume an unaligned head byte-by-byte, then whole
+// aligned words, then a tail; the checkpoint merge loops lean on the same
+// structure.  These tests pin the boundary behavior deterministically:
+// every head alignment, mixed words straddling the head/tail seams, and a
+// misspeculating byte planted inside a word the fast path would otherwise
+// consume in one compare.
+
+/// Fills [0, N) with a deterministic mix of every code class.
+void fillMixed(uint8_t *Meta, size_t N, uint8_t Ts) {
+  for (size_t I = 0; I < N; ++I) {
+    switch (I % 5) {
+    case 0:
+      Meta[I] = kLiveIn;
+      break;
+    case 1:
+      Meta[I] = kOldWrite;
+      break;
+    case 2:
+      Meta[I] = kReadLiveIn;
+      break;
+    case 3:
+      Meta[I] = Ts;
+      break;
+    default:
+      Meta[I] = static_cast<uint8_t>(kFirstTimestamp + (I % 7));
+    }
+  }
+}
+
+TEST(ShadowMetadataBoundary, AllEightHeadAlignmentsMatchReference) {
+  uint8_t Ts = timestampFor(5, 0);
+  alignas(8) uint8_t Buf[96];
+  for (size_t Pad = 0; Pad < 8; ++Pad) {
+    for (size_t N : {size_t(1), size_t(7), size_t(8), size_t(9), size_t(15),
+                     size_t(16), size_t(17), size_t(40)}) {
+      for (bool IsRead : {true, false}) {
+        std::memset(Buf, 0xEE, sizeof(Buf)); // Canary outside the range.
+        // Only writable codes inside, so both paths succeed: live-in,
+        // old-write (write-only rows handled below), current timestamp.
+        for (size_t I = 0; I < N; ++I)
+          Buf[Pad + I] = (I % 3 == 0) ? kLiveIn
+                         : (I % 3 == 1 && !IsRead) ? kOldWrite
+                                                   : Ts;
+        std::vector<uint8_t> Ref(Buf + Pad, Buf + Pad + N);
+        bool RefOk = IsRead ? refReadRange(Ref, Ts) : refWriteRange(Ref, Ts);
+        bool FastOk = IsRead ? applyReadRange(Buf + Pad, N, Ts)
+                             : applyWriteRange(Buf + Pad, N, Ts);
+        ASSERT_TRUE(RefOk);
+        ASSERT_EQ(FastOk, RefOk) << "pad " << Pad << " n " << N;
+        for (size_t I = 0; I < N; ++I)
+          ASSERT_EQ(Buf[Pad + I], Ref[I])
+              << "pad " << Pad << " n " << N << " byte " << I;
+        // The fast path must not touch a byte outside [Pad, Pad+N).
+        for (size_t I = 0; I < Pad; ++I)
+          ASSERT_EQ(Buf[I], 0xEE);
+        for (size_t I = Pad + N; I < sizeof(Buf); ++I)
+          ASSERT_EQ(Buf[I], 0xEE);
+      }
+    }
+  }
+}
+
+TEST(ShadowMetadataBoundary, MixedWordsStraddlingHeadAndTailMatchReference) {
+  // Layout: unaligned mixed head, one uniform fast-path word, a mixed
+  // word, another uniform word, then a mixed partial tail — so the loop
+  // transitions head->fast->slow->fast->tail in one invocation.
+  uint8_t Ts = timestampFor(9, 0);
+  for (size_t Pad = 1; Pad < 8; ++Pad) {
+    alignas(8) uint8_t Buf[64];
+    size_t N = 8 - Pad /*head*/ + 8 + 8 + 8 + 5 /*tail*/;
+    fillMixed(Buf + Pad, N, Ts);
+    // Second full word uniform all-live-in (fast), third mixed (slow).
+    size_t W0 = 8; // First aligned offset in Buf.
+    std::memset(Buf + W0, kLiveIn, 8);
+    fillMixed(Buf + W0 + 8, 8, Ts);
+    std::memset(Buf + W0 + 16, kLiveIn, 8);
+
+    std::vector<uint8_t> RefBuf(Buf, Buf + sizeof(Buf));
+    // Each direction rejects some codes; patch those out so the success
+    // path is exercised across every seam in one invocation.
+    for (bool IsRead : {true, false}) {
+      std::vector<uint8_t> A(RefBuf);
+      std::vector<uint8_t> R;
+      if (IsRead) {
+        // Reads misspeculate on old-write and stale timestamps: keep only
+        // live-in / read-live-in / current-Ts bytes.
+        for (size_t I = 0; I < N; ++I)
+          if (A[Pad + I] == kOldWrite || (isTimestamp(A[Pad + I]) &&
+                                          A[Pad + I] != Ts))
+            A[Pad + I] = kReadLiveIn;
+      } else {
+        for (size_t I = 0; I < N; ++I)
+          if (A[Pad + I] == kReadLiveIn)
+            A[Pad + I] = kOldWrite;
+      }
+      R.assign(A.begin() + Pad, A.begin() + Pad + N);
+      bool RefOk = IsRead ? refReadRange(R, Ts) : refWriteRange(R, Ts);
+      ASSERT_TRUE(RefOk);
+      bool FastOk = IsRead ? applyReadRange(A.data() + Pad, N, Ts)
+                           : applyWriteRange(A.data() + Pad, N, Ts);
+      ASSERT_TRUE(FastOk) << "pad " << Pad;
+      for (size_t I = 0; I < N; ++I)
+        ASSERT_EQ(A[Pad + I], R[I]) << "pad " << Pad << " byte " << I;
+    }
+  }
+}
+
+TEST(ShadowMetadataBoundary, MisspecByteInsideFastPathWordIsCaught) {
+  // A word that is uniform except for one misspeculating byte must not be
+  // consumed by the whole-word compare; the per-byte fallback has to stop
+  // exactly where the reference stops, leaving identical partial state.
+  uint8_t Ts = timestampFor(4, 0);
+  for (size_t Bad = 0; Bad < 8; ++Bad) {
+    for (bool IsRead : {true, false}) {
+      alignas(8) uint8_t Buf[24];
+      std::memset(Buf, kLiveIn, sizeof(Buf));
+      // Word 1 carries the poison byte; words 0 and 2 are fast-path.
+      Buf[8 + Bad] = IsRead ? kOldWrite : kReadLiveIn;
+      std::vector<uint8_t> Ref(Buf, Buf + sizeof(Buf));
+
+      bool FastOk = IsRead ? applyReadRange(Buf, sizeof(Buf), Ts)
+                           : applyWriteRange(Buf, sizeof(Buf), Ts);
+      std::vector<uint8_t> R(Ref);
+      bool RefOk = IsRead ? refReadRange(R, Ts) : refWriteRange(R, Ts);
+      EXPECT_FALSE(FastOk) << "bad byte " << Bad;
+      EXPECT_FALSE(RefOk);
+      // Both stop at the poison byte; everything before it transitioned,
+      // everything at and after it is untouched.
+      std::vector<uint8_t> Expect(Ref);
+      for (size_t I = 0; I < 8 + Bad; ++I)
+        Expect[I] = IsRead ? applyRead(Ref[I], Ts).After
+                           : applyWrite(Ref[I], Ts).After;
+      for (size_t I = 0; I < sizeof(Buf); ++I)
+        ASSERT_EQ(Buf[I], Expect[I])
+            << (IsRead ? "read" : "write") << " bad " << Bad << " byte "
+            << I;
+    }
+  }
+}
 
 TEST(ShadowMetadata, ResetRangeMatchesPerByte) {
   DeterministicRng Rng(99);
