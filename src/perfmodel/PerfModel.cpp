@@ -293,6 +293,9 @@ SimBreakdown privateer::simulatePrivateer(const MachineModel &M,
       uint64_t MisspecPeriod = 0;
       uint64_t Committed = Next;
       double SlotCommitWall = 0;
+      // Eager pump: the main process's commit pipeline.  Slot P's commit
+      // begins when its last merge lands and the previous commit is done.
+      double CommitClock = SpawnSec;
 
       for (uint64_t P = 0; P < NumPeriods && !Misspec; ++P) {
         uint64_t PeriodStart = Next + P * K;
@@ -331,7 +334,10 @@ SimBreakdown privateer::simulatePrivateer(const MachineModel &M,
         }
         if (!Misspec || P != MisspecPeriod) {
           Committed = PeriodStart + PeriodIters;
-          SlotCommitWall += CommitP;
+          if (Opt.EagerCommit)
+            CommitClock = std::max(CommitClock, SlotFree) + CommitP;
+          else
+            SlotCommitWall += CommitP;
           B.CheckpointSec += CommitP;
         }
       }
@@ -341,8 +347,14 @@ SimBreakdown privateer::simulatePrivateer(const MachineModel &M,
       // one finishes ("Join ... imbalance among the workers").
       for (double C : Clock)
         B.SpawnJoinSec += Last - C;
-      double EpochWall = Last + SlotCommitWall + M.JoinBaseSec;
-      B.SpawnJoinSec += (SlotCommitWall + M.JoinBaseSec) * Workers;
+      // With the pump, only the commit stream's overhang past the slowest
+      // worker stalls the join; commits hidden under execution cost no
+      // worker capacity (they run in the otherwise-idle main process).
+      double CommitTail = Opt.EagerCommit
+                              ? std::max(0.0, CommitClock - Last)
+                              : SlotCommitWall;
+      double EpochWall = Last + CommitTail + M.JoinBaseSec;
+      B.SpawnJoinSec += (CommitTail + M.JoinBaseSec) * Workers;
       B.WallSec += EpochWall;
 
       if (!Misspec) {

@@ -112,7 +112,7 @@ uint64_t CheckpointRegion::chunkSpan(uint64_t C) const {
   return std::min(kDirtyChunkBytes, Cfg.PrivateBytes - Base);
 }
 
-bool CheckpointRegion::slotHeaderSane(uint64_t P) const {
+bool CheckpointRegion::slotStableSane(uint64_t P) const {
   const SlotHeader *H = slot(P);
   uint64_t ExpectBase = Cfg.BaseIter + P * Cfg.Period;
   uint64_t EpochEnd = Cfg.BaseIter + Cfg.EpochIters;
@@ -121,9 +121,15 @@ bool CheckpointRegion::slotHeaderSane(uint64_t P) const {
           ? std::min(EpochEnd, ExpectBase + Cfg.Period) - ExpectBase
           : 0;
   return H->BaseIter == ExpectBase && H->NumIters == ExpectIters &&
-         H->NumIters <= Cfg.Period && H->IoBytes <= Cfg.IoCapacity &&
-         H->WorkersMerged <= Cfg.NumWorkers &&
-         H->ExecutedMerges <= H->WorkersMerged && H->ChunksUsed <= ChunkCap;
+         H->NumIters <= Cfg.Period;
+}
+
+bool CheckpointRegion::slotHeaderSane(uint64_t P) const {
+  const SlotHeader *H = slot(P);
+  uint32_t Merged = H->WorkersMerged.load(std::memory_order_acquire);
+  return slotStableSane(P) && H->IoBytes <= Cfg.IoCapacity &&
+         Merged <= Cfg.NumWorkers && H->ExecutedMerges <= Merged &&
+         H->ChunksUsed <= ChunkCap;
 }
 
 void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
@@ -263,7 +269,12 @@ void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
     ++H->ExecutedMerges;
   }
 
-  ++H->WorkersMerged;
+  // Publication point for the in-epoch commit pump: release-increment as
+  // the final store of the merge so a pump that acquires the count equal to
+  // NumWorkers also sees every contributor's folded chunks, redux partial,
+  // and serialized output (earlier mergers' data reaches this merger via
+  // the lock's release/acquire pair, and travels onward transitively).
+  H->WorkersMerged.fetch_add(1, std::memory_order_release);
   H->Lock.unlock();
 }
 

@@ -69,7 +69,14 @@ struct SlotHeader {
   /// merge data may be torn mid-update, so the committer must treat the
   /// slot as incomplete.
   std::atomic<uint32_t> Poisoned{0};
-  uint32_t WorkersMerged = 0;
+  /// Count of workers that merged this slot.  This is the publication point
+  /// for eager commit: each merger increments it with release order as the
+  /// last store of its merge (still under the slot lock), and the main
+  /// process's commit pump polls it with acquire order — observing the
+  /// value reach NumWorkers therefore makes every contributor's merge data
+  /// visible, so the slot can be committed while the epoch is still
+  /// running.
+  std::atomic<uint32_t> WorkersMerged{0};
   /// Mergers that actually executed iterations; the first of these
   /// initializes the slot's reduction partial.
   uint32_t ExecutedMerges = 0;
@@ -150,8 +157,16 @@ public:
 
   /// True when slot \p P's header is consistent with the epoch plan.  A
   /// header torn by a crashed writer (or the fault injector) fails this
-  /// and must be treated as misspeculation, not walked.
+  /// and must be treated as misspeculation, not walked.  Only valid once
+  /// the slot is quiescent (all workers merged it, or all workers reaped):
+  /// the dynamic counters it checks are legitimately in motion before then.
   bool slotHeaderSane(uint64_t P) const;
+
+  /// Subset of slotHeaderSane that checks only the fields no healthy worker
+  /// ever writes (BaseIter, NumIters — fixed at create()).  Safe to poll at
+  /// any time, so the in-epoch commit pump can catch a scribbled header the
+  /// moment it appears instead of waiting for the post-join sweep.
+  bool slotStableSane(uint64_t P) const;
 
   /// Worker side: merges this worker's period-\p P state into slot P.
   /// \p LocalShadow / \p LocalPrivate point at the worker's COW views of

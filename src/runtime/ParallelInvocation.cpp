@@ -27,6 +27,7 @@
 #include <cstring>
 
 #include <csignal>
+#include <sched.h>
 #include <sys/mman.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -36,6 +37,38 @@ using namespace privateer;
 namespace {
 
 constexpr int kMisspecExit = 42;
+
+/// Runs the enclosing scope at SCHED_IDLE when \p Enable is set, so an
+/// overlapped commit walk consumes only CPU capacity the workers leave
+/// idle.  On a saturated (or single-core) host an ordinary-priority commit
+/// displaces runnable workers and lands right back on the critical path it
+/// is trying to hide from; at SCHED_IDLE the kernel preempts the commit
+/// the instant any worker wakes.  Restoring the previous policy from
+/// SCHED_IDLE needs no privilege on current kernels; if either call fails
+/// the commit just runs at whatever priority the process already had.
+class ScopedIdlePriority {
+public:
+  explicit ScopedIdlePriority(bool Enable) {
+    if (!Enable)
+      return;
+    OldPolicy = sched_getscheduler(0);
+    sched_param Idle{};
+    Lowered = OldPolicy >= 0 && OldPolicy != SCHED_IDLE &&
+              sched_setscheduler(0, SCHED_IDLE, &Idle) == 0;
+  }
+  ~ScopedIdlePriority() {
+    if (Lowered) {
+      sched_param P{};
+      sched_setscheduler(0, OldPolicy, &P);
+    }
+  }
+  ScopedIdlePriority(const ScopedIdlePriority &) = delete;
+  ScopedIdlePriority &operator=(const ScopedIdlePriority &) = delete;
+
+private:
+  int OldPolicy = -1;
+  bool Lowered = false;
+};
 
 /// The runtime whose worker is active in this process; used by the SIGSEGV
 /// handler that converts stores to the protected read-only heap into
@@ -123,8 +156,15 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   double WallStart = wallSeconds();
 
   // Everything in the private heap is live-in when the invocation begins.
+  // Stale old-write marks from a previous invocation can only exist below
+  // the private allocator's high-water mark: the shadow mapping starts
+  // zero-filled (zero is kLiveIn) and the high water never retreats within
+  // a runtime lifetime, so resetting up to it is exact even when the
+  // footprint grew and then shrank between invocations — no O(heap-size)
+  // memset for a kilobyte working set.
   std::memset(reinterpret_cast<void *>(Shadow.base()), shadow::kLiveIn,
-              Shadow.size());
+              std::min<uint64_t>(Shadow.size(),
+                                 heap(HeapKind::Private).highWater()));
 
   // One below the paper's 253-iteration ceiling: timestamp 255 is
   // reserved as the checkpoint slots' read+write conflict code.
@@ -215,6 +255,11 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   Reg.counter("checkpoint", "dirty_chunks") += Stats.CheckpointDirtyChunks;
   Reg.counter("checkpoint", "bytes_scanned") += Stats.CheckpointBytesScanned;
   Reg.counter("checkpoint", "bytes_skipped") += Stats.CheckpointBytesSkipped;
+  Reg.counter("commit", "eager_slots") += Stats.EagerSlots;
+  Reg.counter("commit", "early_cutoffs") += Stats.EarlyCutoffs;
+  Reg.counter("commit", "early_cutoff_iters_saved") +=
+      Stats.EarlyCutoffItersSaved;
+  Reg.real("commit", "overlap_sec") += Stats.OverlapSec;
   return Stats;
 }
 
@@ -330,10 +375,17 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
   if (Spec && Injector)
     Injector->maybeCorruptSlot(TheRegion);
 
-  // Join with a watchdog: reap exits without blocking, and SIGKILL any
-  // worker whose heartbeat goes stale for longer than the stall timeout —
-  // its last reported iteration is treated as misspeculated and recovered
-  // through the sequential path, exactly like any other abnormal death.
+  // Join and commit as one poll-reap-commit state machine.  The watchdog
+  // half reaps exits without blocking and SIGKILLs any worker whose
+  // heartbeat goes stale for longer than the stall timeout — its last
+  // reported iteration is treated as misspeculated and recovered through
+  // the sequential path, exactly like any other abnormal death.  The
+  // commit-pump half (EagerCommit) polls slot headers between reaps and
+  // commits each checkpoint the moment every worker has published its
+  // merge, so the end-of-epoch serial commit tail collapses to at most the
+  // last slot, and a commit-time misspeculation raises the global flag
+  // while workers are still running instead of after they drained the
+  // whole epoch.
   uint64_t StallNs =
       Options.StallTimeoutSec > 0
           ? static_cast<uint64_t>(Options.StallTimeoutSec * 1e9)
@@ -341,17 +393,132 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
   std::vector<bool> Alive(W, true);
   std::vector<bool> StallKilled(W, false);
   unsigned Remaining = W;
-  // Stall checks only need to run a few times per timeout window; between
-  // them the join sleeps in sigtimedwait, woken early by any SIGCHLD.
+
+  // Commit state shared by the in-epoch pump and the post-join sweep.
+  std::vector<IoRecord> CommittedIo;
+  CheckpointScanStats CommitScan;
+  uint8_t *MasterShadow = reinterpret_cast<uint8_t *>(Shadow.base());
+  uint8_t *MasterPrivate =
+      reinterpret_cast<uint8_t *>(heap(HeapKind::Private).base());
+  uint64_t EpochEnd = Plan.BaseIter + Plan.EpochIters;
+  uint64_t NextCommit = 0;    // First slot not yet committed, in order.
+  bool CommitStopped = false; // A commit failed; Res carries the verdict.
+  bool Pump = Spec && Options.EagerCommit;
+
+  auto slotEnd = [&](uint64_t P) {
+    return std::min(EpochEnd, Plan.BaseIter + (P + 1) * Plan.Period);
+  };
+  // This worker's iterations of [Lo, Hi) under cyclic scheduling.
+  auto cyclicShare = [&](uint64_t Lo, uint64_t Hi, unsigned Id) -> uint64_t {
+    if (Lo >= Hi)
+      return 0;
+    uint64_t Phase = (Lo - Plan.BaseIter) % W;
+    uint64_t First = Lo + (Id + W - Phase) % W;
+    return First >= Hi ? 0 : (Hi - First + W - 1) / W;
+  };
+  // A commit failure observed by the pump mid-epoch.  Record the verdict,
+  // then raise the global flag so live workers stop spending iterations on
+  // periods that can no longer commit (§5.3 has them poll after every
+  // iteration); without the pump they would only learn after running the
+  // epoch to the end.  The iterations the cut-off saves are tallied from
+  // each live worker's remaining cyclic share past the doomed period.
+  auto failCommit = [&](uint64_t P, const std::string &Why) {
+    CommitStopped = true;
+    Res.Misspec = true;
+    Res.Reason = Why;
+    Res.MisspecPeriodEnd = slotEnd(P);
+    if (Remaining == 0)
+      return;
+    ++Stats.EarlyCutoffs;
+    uint64_t CutStart = Plan.BaseIter + P * Plan.Period;
+    for (unsigned I = 0; I < W; ++I) {
+      if (!Alive[I])
+        continue;
+      uint64_t NextIter =
+          Cb->WorkerIter[I].load(std::memory_order_relaxed) + 1;
+      Stats.EarlyCutoffItersSaved +=
+          cyclicShare(std::max(NextIter, CutStart), EpochEnd, I);
+    }
+    ControlBlock::storeMin(Cb->EarliestMisspecPeriod, P);
+    ControlBlock::storeMin(Cb->EarliestMisspecIter,
+                           Plan.BaseIter + P * Plan.Period);
+    if (Cb->MisspecFlag.exchange(1, std::memory_order_acq_rel) == 0) {
+      std::strncpy(Cb->MisspecReason, Why.c_str(),
+                   sizeof(Cb->MisspecReason) - 1);
+      Cb->MisspecReason[sizeof(Cb->MisspecReason) - 1] = '\0';
+    }
+  };
+  // One pump pass: commit every slot that is ready, in iteration order.
+  // Never reads Cb->MisspecReason (a worker that just won the flag race may
+  // still be writing it); worker-raised misspeculation is classified after
+  // join like before.
+  auto pumpStep = [&]() {
+    while (NextCommit < Plan.NumSlots && !CommitStopped) {
+      uint64_t P = NextCommit;
+      if (Cb->MisspecFlag.load(std::memory_order_acquire) &&
+          P >= Cb->EarliestMisspecPeriod.load(std::memory_order_relaxed))
+        return; // This period is doomed by a worker; nothing more commits.
+      SlotHeader *H = TheRegion.slot(P);
+      // The stable header fields (BaseIter, NumIters) are written once at
+      // create() and never by a healthy worker, so they can be checked at
+      // any time — this is how the pump catches a scribbled header
+      // mid-epoch rather than leaving it to the post-join sweep.
+      if (!TheRegion.slotStableSane(P)) {
+        failCommit(P, "corrupted checkpoint slot header");
+        return;
+      }
+      if (H->Poisoned.load(std::memory_order_relaxed)) {
+        failCommit(P, "checkpoint slot torn by a worker that died holding "
+                      "its lock");
+        return;
+      }
+      if (H->WorkersMerged.load(std::memory_order_acquire) != W)
+        return; // Not all contributors have published; poll again later.
+      // Every contributor has release-published its merge, so the slot is
+      // quiescent and fully visible (a still-held lock only means the last
+      // merger has not dropped it yet).  Run the full header check now
+      // that its dynamic counters are final.
+      if (!TheRegion.slotHeaderSane(P)) {
+        failCommit(P, "corrupted checkpoint slot header");
+        return;
+      }
+      bool Overlapped = Remaining > 0;
+      double T0 = Overlapped ? wallSeconds() : 0;
+      std::string Why;
+      CheckpointRegion::CommitStatus St;
+      {
+        ScopedIdlePriority IdleWhileWorkersRun(Overlapped);
+        St = TheRegion.commitSlot(P, MasterShadow, MasterPrivate, Redux,
+                                  heap(HeapKind::Redux).base(), CommittedIo,
+                                  Why, &CommitScan);
+      }
+      if (Overlapped) {
+        Stats.OverlapSec += wallSeconds() - T0;
+        ++Stats.EagerSlots;
+      }
+      if (St == CheckpointRegion::CommitStatus::Misspec) {
+        failCommit(P, Why);
+        return;
+      }
+      Res.CommittedEnd = slotEnd(P);
+      ++Stats.Checkpoints;
+      ++NextCommit;
+    }
+  };
+
+  // Between polls the join sleeps in sigtimedwait, woken early by any
+  // SIGCHLD.  Stall checks only need a few passes per timeout window; the
+  // pump wants lower commit latency while uncommitted slots remain.
   uint64_t CheckNs =
       StallNs ? std::clamp<uint64_t>(StallNs / 8, 1000000, 50000000) : 0;
+  constexpr uint64_t kPumpPollNs = 200000; // 200us
   while (Remaining > 0) {
     bool Reaped = false;
     for (unsigned I = 0; I < W; ++I) {
       if (!Alive[I])
         continue;
       int Status = 0;
-      pid_t R = waitpid(Pids[I], &Status, StallNs ? WNOHANG : 0);
+      pid_t R = waitpid(Pids[I], &Status, (StallNs || Pump) ? WNOHANG : 0);
       if (R == 0)
         continue; // Still running.
       if (R < 0)
@@ -397,14 +564,27 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
         }
       }
     }
+    bool Pumping = Pump && !CommitStopped && NextCommit < Plan.NumSlots;
+    if (Pumping)
+      pumpStep();
     if (!Reaped) {
       // A SIGCHLD delivered before this point stays pending (the signal is
       // blocked), so sigtimedwait returns immediately: no lost wake-ups.
-      timespec Ts{static_cast<time_t>(CheckNs / 1000000000),
-                  static_cast<long>(CheckNs % 1000000000)};
+      uint64_t SleepNs = Pumping ? kPumpPollNs
+                         : CheckNs ? CheckNs
+                                   : 0;
+      if (SleepNs == 0 && Pump) // Pump done, watchdog off: block on exits.
+        SleepNs = 50000000;
+      timespec Ts{static_cast<time_t>(SleepNs / 1000000000),
+                  static_cast<long>(SleepNs % 1000000000)};
       sigtimedwait(&ChldMask, nullptr, &Ts);
     }
   }
+  // Final pump pass so an epoch whose last merge landed between the last
+  // poll and the last reap still commits everything eagerly (this is also
+  // what keeps the post-join sweep's work to at most the final slot).
+  if (Pump && !CommitStopped)
+    pumpStep();
   sigprocmask(SIG_SETMASK, &OldMask, nullptr);
 
   // Aggregate worker statistics.
@@ -431,16 +611,14 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
            : kNoMisspec;
 
   if (Spec) {
-    // Commit checkpoints in iteration order (§5.2); stop at the first
-    // speculative, incomplete, or damaged one.  All workers are reaped by
-    // now, so a still-held slot lock is orphaned by definition.
-    std::vector<IoRecord> CommittedIo;
-    std::string Why;
-    CheckpointScanStats CommitScan;
-    uint8_t *MasterShadow = reinterpret_cast<uint8_t *>(Shadow.base());
-    uint8_t *MasterPrivate =
-        reinterpret_cast<uint8_t *>(heap(HeapKind::Private).base());
-    for (uint64_t P = 0; P < Plan.NumSlots; ++P) {
+    // Post-join sweep: commit, in iteration order (§5.2), whatever the
+    // pump did not get to — at most the final slot when the pump ran, the
+    // whole epoch when EagerCommit is off.  All workers are reaped by now,
+    // so a still-held slot lock is orphaned by definition, and an
+    // incomplete merge count means a worker was lost; neither condition is
+    // decidable mid-epoch, which is why only the sweep checks them.
+    for (uint64_t P = NextCommit; P < Plan.NumSlots && !CommitStopped;
+         ++P) {
       if (Flag && P >= MisspecPeriod) {
         Res.Misspec = true;
         Res.Reason = Cb->MisspecReason;
@@ -473,22 +651,23 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
         Res.MisspecPeriodEnd = SlotEnd;
         break;
       }
-      if (H->WorkersMerged != W) {
+      if (H->WorkersMerged.load(std::memory_order_acquire) != W) {
         Res.Misspec = true;
         Res.Reason = "incomplete checkpoint (worker lost)";
-        Res.MisspecPeriodEnd = H->BaseIter + H->NumIters;
+        Res.MisspecPeriodEnd = SlotEnd;
         break;
       }
+      std::string Why;
       CheckpointRegion::CommitStatus St = TheRegion.commitSlot(
           P, MasterShadow, MasterPrivate, Redux,
           heap(HeapKind::Redux).base(), CommittedIo, Why, &CommitScan);
       if (St == CheckpointRegion::CommitStatus::Misspec) {
         Res.Misspec = true;
         Res.Reason = Why;
-        Res.MisspecPeriodEnd = H->BaseIter + H->NumIters;
+        Res.MisspecPeriodEnd = SlotEnd;
         break;
       }
-      Res.CommittedEnd = H->BaseIter + H->NumIters;
+      Res.CommittedEnd = SlotEnd;
       ++Stats.Checkpoints;
     }
     Stats.CheckpointDirtyChunks += CommitScan.DirtyChunks;
@@ -513,6 +692,15 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Res.Misspec = true;
     Res.Reason = Cb->MisspecReason;
   }
+  // Eager commits can outrun a late, conservative misspeculation
+  // classification: a watchdog kill may report its victim's last known
+  // iteration inside a period the pump already committed (the worker
+  // merged that period and stalled before starting the next one).
+  // Committed slots are valid by construction — every worker published its
+  // merge and validation passed — so recovery must never restart behind
+  // them; clamp the recovery window to begin at the committed frontier.
+  if (Res.Misspec)
+    Res.MisspecPeriodEnd = std::max(Res.MisspecPeriodEnd, Res.CommittedEnd);
 
   Region = nullptr;
   Cb->~ControlBlock();
@@ -577,6 +765,21 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
   }
 
   uint64_t InjectThreshold = faultThreshold(Options.InjectMisspecRate);
+  // Heartbeat throttling: a monotonicNanos() syscall-ish store per
+  // iteration dominates the hot loop for microsecond-scale bodies, yet the
+  // watchdog only needs a beat several times per stall window.  Beat every
+  // K iterations, doubling K while beats land much faster than the target
+  // interval and halving when they fall behind, so slow-iteration phases
+  // cannot starve the watchdog.  WorkerIter stays per-iteration — the kill
+  // classifier and the pump's cut-off estimate need it exact.
+  uint64_t StallNsW =
+      Options.StallTimeoutSec > 0
+          ? static_cast<uint64_t>(Options.StallTimeoutSec * 1e9)
+          : 0;
+  uint64_t BeatTargetNs = StallNsW ? StallNsW / 16 : 10000000;
+  constexpr uint64_t kBeatEveryMax = 64;
+  uint64_t BeatEvery = 1, SinceBeat = 0;
+  uint64_t LastBeatNs = monotonicNanos();
   SharedHeap &SL = heap(HeapKind::ShortLived);
   uint8_t *LocalShadow = reinterpret_cast<uint8_t *>(Shadow.base());
   uint8_t *LocalPrivate =
@@ -606,8 +809,17 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
     for (uint64_t I = First; I < PeriodEnd; I += NumWorkers) {
       CurIter = I;
       Cb->WorkerIter[Id].store(I, std::memory_order_relaxed);
-      Cb->WorkerHeartbeat[Id].store(monotonicNanos(),
-                                    std::memory_order_relaxed);
+      if (++SinceBeat >= BeatEvery) {
+        uint64_t Now = monotonicNanos();
+        Cb->WorkerHeartbeat[Id].store(Now, std::memory_order_relaxed);
+        uint64_t Elapsed = Now - LastBeatNs;
+        if (Elapsed * 2 < BeatTargetNs && BeatEvery < kBeatEveryMax)
+          BeatEvery *= 2;
+        else if (Elapsed > BeatTargetNs && BeatEvery > 1)
+          BeatEvery /= 2;
+        LastBeatNs = Now;
+        SinceBeat = 0;
+      }
       if (Injector)
         Injector->onWorkerIteration(Id, I); // May kill or stall us here.
       CurTs = shadow::timestampFor(I, PeriodStart);

@@ -79,6 +79,13 @@ struct ParallelOptions {
   /// huge footprints at the price of a conservative misspeculation when a
   /// period dirties more chunks than the slot can represent.
   uint64_t CheckpointSlotChunks = 0;
+  /// In-epoch commit pump: the main process polls slot headers while the
+  /// workers are still running and commits each checkpoint the moment all
+  /// workers have merged it, overlapping the commit walk with speculative
+  /// execution and raising the misspeculation flag mid-epoch when a
+  /// commit-time (phase-2) violation is found.  Off reproduces the paper's
+  /// literal join-then-commit sequence, which stays useful as a baseline.
+  bool EagerCommit = true;
   /// Deferred-output sink; nullptr means stdout.
   std::FILE *Out = nullptr;
 
@@ -123,6 +130,16 @@ struct InvocationStats {
   uint64_t CheckpointBytesSkipped = 0;
   /// Private-heap high water covered by checkpoints (max over epochs).
   uint64_t PrivateFootprintBytes = 0;
+  /// Commit-pump accounting (mirrored to StatisticRegistry group "commit"):
+  /// slots committed while at least one worker was still alive, epochs the
+  /// pump cut short by raising the misspec flag before join, and the
+  /// worker iterations that cut-off saved from being wasted on doomed
+  /// periods.
+  uint64_t EagerSlots = 0;
+  uint64_t EarlyCutoffs = 0;
+  uint64_t EarlyCutoffItersSaved = 0;
+  /// Wall seconds of commit work the pump overlapped with live workers.
+  double OverlapSec = 0;
   double UsefulSec = 0;
   double PrivateReadSec = 0;
   double PrivateWriteSec = 0;

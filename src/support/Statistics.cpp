@@ -20,4 +20,18 @@ uint64_t StatisticRegistry::get(const std::string &Group,
   return It == Counters.end() ? 0 : It->second;
 }
 
-void StatisticRegistry::reset() { Counters.clear(); }
+double &StatisticRegistry::real(const std::string &Group,
+                                const std::string &Name) {
+  return RealCounters[{Group, Name}];
+}
+
+double StatisticRegistry::getReal(const std::string &Group,
+                                  const std::string &Name) const {
+  auto It = RealCounters.find({Group, Name});
+  return It == RealCounters.end() ? 0.0 : It->second;
+}
+
+void StatisticRegistry::reset() {
+  Counters.clear();
+  RealCounters.clear();
+}

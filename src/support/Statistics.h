@@ -32,6 +32,14 @@ public:
 
   uint64_t &counter(const std::string &Group, const std::string &Name);
   uint64_t get(const std::string &Group, const std::string &Name) const;
+
+  /// Real-valued counters for quantities that are genuinely fractional
+  /// (e.g. `commit.overlap_sec`, wall seconds of commit work overlapped
+  /// with live workers); kept in a separate plane so integer counters stay
+  /// exact.
+  double &real(const std::string &Group, const std::string &Name);
+  double getReal(const std::string &Group, const std::string &Name) const;
+
   void reset();
 
   template <typename Fn> void forEach(Fn Visit) const {
@@ -39,8 +47,14 @@ public:
       Visit(Key.first, Key.second, Value);
   }
 
+  template <typename Fn> void forEachReal(Fn Visit) const {
+    for (const auto &[Key, Value] : RealCounters)
+      Visit(Key.first, Key.second, Value);
+  }
+
 private:
   std::map<std::pair<std::string, std::string>, uint64_t> Counters;
+  std::map<std::pair<std::string, std::string>, double> RealCounters;
 };
 
 } // namespace privateer

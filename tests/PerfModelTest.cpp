@@ -115,6 +115,39 @@ TEST(PerfModel, MisspeculationMonotonicallyDegrades) {
   EXPECT_GT(B.RecoverySec, 0.0);
 }
 
+TEST(PerfModel, EagerCommitNeverSlower) {
+  MachineModel M = testMachine();
+  WorkloadModel W = testWorkload();
+  for (unsigned Workers : {2u, 4u, 8u, 24u}) {
+    SimOptions Eager, PostJoin;
+    Eager.Workers = PostJoin.Workers = Workers;
+    Eager.EagerCommit = true;
+    PostJoin.EagerCommit = false;
+    SimBreakdown A = simulatePrivateer(M, W, Eager);
+    SimBreakdown B = simulatePrivateer(M, W, PostJoin);
+    EXPECT_LE(A.WallSec, B.WallSec * 1.0001) << Workers << " workers";
+    // Commit CPU is spent either way; only its placement changes.
+    EXPECT_NEAR(A.CheckpointSec, B.CheckpointSec,
+                1e-9 + 1e-6 * B.CheckpointSec);
+  }
+}
+
+TEST(PerfModel, EagerCommitHidesTheCommitTail) {
+  MachineModel M = testMachine();
+  // Commit-heavy workload: the serial tail dominates the post-join epoch,
+  // and the pump should hide nearly all of it behind execution (merges
+  // stagger slot completion, so commits pipeline with iterations).
+  WorkloadModel W = testWorkload();
+  W.CommitSecPerPeriod = 2e-3;
+  SimOptions Eager, PostJoin;
+  Eager.Workers = PostJoin.Workers = 8;
+  Eager.EagerCommit = true;
+  PostJoin.EagerCommit = false;
+  double A = simulatePrivateer(M, W, Eager).WallSec;
+  double B = simulatePrivateer(M, W, PostJoin).WallSec;
+  EXPECT_LT(A, B) << "a commit-bound epoch must profit from the pump";
+}
+
 TEST(PerfModel, DoallOnlyBoundedByAmdahlAndSpawn) {
   MachineModel M = testMachine();
   WorkloadModel W = testWorkload();

@@ -14,11 +14,21 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <ctime>
 #include <string>
+#include <vector>
 
 using namespace privateer;
 
 namespace {
+
+/// Paces an iteration at roughly \p Us microseconds so the main process's
+/// commit pump demonstrably overlaps with live workers even on a one-core
+/// host (the worker sleeps while the pump commits).
+void paceIteration(long Us) {
+  timespec Ts{0, Us * 1000};
+  nanosleep(&Ts, nullptr);
+}
 
 class RuntimeFaultTest : public ::testing::Test {
 protected:
@@ -331,6 +341,163 @@ TEST_F(RuntimeFaultTest, DirtyChunkStatsTrackTouchedBytesNotFootprint) {
   EXPECT_LT(Walked, Stats.PrivateFootprintBytes * Periods / 4)
       << "checkpoint walk cost still scales with the footprint";
   EXPECT_GT(Reg.get("checkpoint", "dirty_chunks"), ChunksBefore);
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, EagerCommitOverlapsCommitsWithLiveWorkers) {
+  // Healthy epoch, paced iterations: the pump must commit nearly every
+  // slot while workers are still running, and the EagerCommit=false
+  // baseline must behave identically except for the overlap counters.
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  StatisticRegistry &Reg = StatisticRegistry::instance();
+  uint64_t EagerBefore = Reg.get("commit", "eager_slots");
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  auto Body = [this, Out](uint64_t I) {
+    paceIteration(100);
+    makeBody(Out)(I);
+  };
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, Body);
+
+  EXPECT_EQ(Stats.Misspecs, 0u) << Stats.FirstMisspecReason;
+  EXPECT_EQ(Stats.Checkpoints, N / Opt.CheckpointPeriod);
+  EXPECT_GE(Stats.EagerSlots, 1u)
+      << "no slot committed while a worker was alive";
+  EXPECT_GT(Stats.OverlapSec, 0.0);
+  EXPECT_EQ(Stats.EarlyCutoffs, 0u);
+  EXPECT_GE(Reg.get("commit", "eager_slots"), EagerBefore + 1);
+  expectSequentialResult(Out, N);
+
+  // The gate: post-join commit must still work and never report overlap.
+  long *Out2 = makeOut(N);
+  Opt.EagerCommit = false;
+  InvocationStats PostJoin =
+      Runtime::get().runParallel(N, Opt, [this, Out2](uint64_t I) {
+        paceIteration(100);
+        makeBody(Out2)(I);
+      });
+  EXPECT_EQ(PostJoin.Misspecs, 0u) << PostJoin.FirstMisspecReason;
+  EXPECT_EQ(PostJoin.Checkpoints, N / Opt.CheckpointPeriod);
+  EXPECT_EQ(PostJoin.EagerSlots, 0u);
+  EXPECT_EQ(PostJoin.OverlapSec, 0.0);
+  expectSequentialResult(Out2, N);
+}
+
+TEST_F(RuntimeFaultTest, CommitPhaseMisspecCutsOffWorkersMidEpoch) {
+  // A loop-carried flow dependence at distance 9 with period 8: the read
+  // lands one period after the write, in a different worker, so the inline
+  // Table 2 test cannot see it — only the ordered commit's phase-2 check
+  // against the master shadow.  With the pump, that check runs mid-epoch:
+  // the misspec flag must go up while workers still have most of the epoch
+  // ahead of them, and the iterations they skip are pure savings because
+  // every period past the doomed one is re-executed after recovery anyway.
+  constexpr uint64_t N = 256;
+  constexpr uint64_t kDist = 9;
+  auto *A = static_cast<long *>(h_alloc(N * sizeof(long), HeapKind::Private));
+  for (uint64_t I = 0; I < N; ++I)
+    A[I] = 0;
+
+  std::vector<long> Want(N);
+  for (uint64_t I = 0; I < N; ++I)
+    Want[I] = static_cast<long>(I) + 1 + (I >= kDist ? Want[I - kDist] : 0);
+
+  StatisticRegistry &Reg = StatisticRegistry::instance();
+  uint64_t SavedBefore = Reg.get("commit", "early_cutoff_iters_saved");
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  auto Body = [A](uint64_t I) {
+    paceIteration(100);
+    long V = static_cast<long>(I) + 1;
+    if (I >= kDist) {
+      private_read(&A[I - kDist], sizeof(long));
+      V += A[I - kDist];
+    }
+    private_write(&A[I], sizeof(long));
+    A[I] = V;
+  };
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, Body);
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("flow dependence"),
+            std::string::npos)
+      << Stats.FirstMisspecReason;
+  EXPECT_GE(Stats.EarlyCutoffs, 1u)
+      << "the pump never caught the violation while workers were alive";
+  EXPECT_GT(Stats.EarlyCutoffItersSaved, 0u);
+  EXPECT_GT(Reg.get("commit", "early_cutoff_iters_saved"), SavedBefore);
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(A[I], Want[I]) << "iteration " << I;
+}
+
+TEST_F(RuntimeFaultTest, WorkerKilledAfterEagerCommitsRecoversFromFrontier) {
+  // Worker 2 is SIGKILLed deep into the epoch, long after the pump has
+  // committed the early slots.  Recovery must restart from the committed
+  // frontier — the periods the pump already committed stay committed and
+  // are never re-executed — and the final output must match sequential.
+  constexpr uint64_t N = 200;
+  constexpr uint64_t kPeriod = 8;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = kPeriod;
+  Opt.Faults.KillWorker = 2;
+  Opt.Faults.KillAtIter = 150; // Period 18 of 25; 150 % 4 == 2.
+  auto Body = [this, Out](uint64_t I) {
+    paceIteration(100);
+    makeBody(Out)(I);
+  };
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, Body);
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("worker"), std::string::npos)
+      << Stats.FirstMisspecReason;
+  EXPECT_GE(Stats.EagerSlots, 1u)
+      << "paced iterations must give the pump time to commit mid-epoch";
+  // Every slot before the victim's period had all four merges, so all 18
+  // commit; the kill costs only its own period's recovery window, plus the
+  // clean follow-up epoch for the rest.
+  EXPECT_GE(Stats.Checkpoints, 18u);
+  EXPECT_LE(Stats.RecoveredIterations, 2 * kPeriod)
+      << "recovery restarted behind the eagerly committed frontier";
+  expectSequentialResult(Out, N);
+}
+
+TEST_F(RuntimeFaultTest, CorruptSlotHeaderIsCaughtByThePumpMidEpoch) {
+  // The injector scribbles slot 1's header right after spawn.  The pump
+  // polls stable header fields every pass, so it must observe the damage
+  // as soon as slot 0 commits — while workers are still executing later
+  // periods — and cut the epoch short instead of leaving detection to the
+  // post-join sweep.
+  constexpr uint64_t N = 256;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 4;
+  Opt.CheckpointPeriod = 8;
+  Opt.Faults.CorruptSlot = 1;
+  auto Body = [this, Out](uint64_t I) {
+    paceIteration(100);
+    makeBody(Out)(I);
+  };
+
+  InvocationStats Stats = Runtime::get().runParallel(N, Opt, Body);
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("corrupt"), std::string::npos)
+      << Stats.FirstMisspecReason;
+  EXPECT_GE(Stats.EarlyCutoffs, 1u)
+      << "detection was left to the post-join sweep";
+  EXPECT_GT(Stats.EarlyCutoffItersSaved, 0u);
   expectSequentialResult(Out, N);
 }
 

@@ -445,6 +445,52 @@ TEST_F(CrossWorkerPrivacyTest, MultiInvocationReusesHeapsCleanly) {
     EXPECT_EQ(Src[I], 3);
 }
 
+TEST_F(CrossWorkerPrivacyTest, ShadowResetCoversGrownThenShrunkFootprint) {
+  // The per-invocation shadow reset clears only up to the private heap's
+  // high-water mark, not the whole mapping.  A footprint that grows (big
+  // allocation, widely written) and then shrinks (freed, small arrays
+  // reallocated over the same addresses) is exactly the case where an
+  // under-measured reset would leave stale old-write timestamps behind:
+  // the next invocation's live-in reads of those addresses would then be
+  // misclassified as reads of speculative writes and misspeculate.
+  constexpr uint64_t kBigBytes = 40u << 10; // Well past any later use.
+  auto *Big = static_cast<unsigned char *>(
+      h_alloc(kBigBytes, HeapKind::Private));
+  ParallelOptions Opt;
+  Opt.NumWorkers = 3;
+  Opt.CheckpointPeriod = 4;
+  InvocationStats Grow = Runtime::get().runParallel(32, Opt, [&](uint64_t I) {
+    // Touch a byte every KiB so speculative writes land across the whole
+    // grown footprint, not just its front.
+    unsigned char *P = Big + (I * 1024) % kBigBytes;
+    private_write(P, 1);
+    *P = static_cast<unsigned char>(I + 1);
+  });
+  EXPECT_EQ(Grow.Misspecs, 0u) << Grow.FirstMisspecReason;
+  h_dealloc(Big, HeapKind::Private);
+
+  // First-fit reuses the freed range, so Src sits on addresses whose
+  // shadow bytes carried old-write marks a moment ago.
+  auto *Src =
+      static_cast<long *>(h_alloc(16 * sizeof(long), HeapKind::Private));
+  auto *Dst =
+      static_cast<long *>(h_alloc(16 * sizeof(long), HeapKind::Private));
+  ASSERT_GE(reinterpret_cast<unsigned char *>(Src), Big);
+  ASSERT_LT(reinterpret_cast<unsigned char *>(Src + 16), Big + kBigBytes);
+  for (int I = 0; I < 16; ++I)
+    Src[I] = I * 3;
+  InvocationStats S = Runtime::get().runParallel(16, Opt, [&](uint64_t I) {
+    private_read(&Src[I], sizeof(long));
+    long V = Src[I];
+    private_write(&Dst[I], sizeof(long));
+    Dst[I] = V + 1;
+  });
+  EXPECT_EQ(S.Misspecs, 0u)
+      << "stale shadow state survived the reset: " << S.FirstMisspecReason;
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Dst[I], I * 3 + 1) << I;
+}
+
 TEST_F(CrossWorkerPrivacyTest, WriteAfterReadLiveInIsConservativeMisspec) {
   // Table 2's documented false positive: a byte read as live-in and then
   // overwritten before the checkpoint "will conservatively report a
