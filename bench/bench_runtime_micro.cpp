@@ -13,6 +13,7 @@
 #include "runtime/Privateer.h"
 #include "runtime/ShadowMetadata.h"
 #include "support/Timing.h"
+#include "support/Trace.h"
 
 #include <benchmark/benchmark.h>
 
@@ -129,6 +130,41 @@ void BM_ReductionCombine(benchmark::State &State) {
   Rt.heapDealloc(A, HeapKind::Redux);
 }
 BENCHMARK(BM_ReductionCombine);
+
+void BM_TraceRingPush(benchmark::State &State) {
+  // The cost a worker pays per traced event on its fast path: one bounds
+  // check, one 32-byte POD store, one release cursor bump.  Drain in
+  // capacity-sized batches outside the timed pushes' steady state so the
+  // ring never saturates into the drop path.
+  static trace::Ring R; // 64 KiB of ring: keep it off the stack.
+  trace::Event E = trace::makeEvent(trace::Kind::Heartbeat, 1, 123456789, 42,
+                                    7, 3);
+  uint64_t Pushed = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(R.push(E));
+    if (++Pushed % trace::kRingCapacity == 0)
+      R.drain([](const trace::Event &) {});
+  }
+  R.drain([](const trace::Event &) {});
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_TraceRingPush);
+
+void BM_TraceRingPushOverflow(benchmark::State &State) {
+  // The saturated path — a worker far ahead of the consumer: the push
+  // degenerates to one failed bounds check plus a relaxed drop count,
+  // which is why tracing can never stall a worker.
+  static trace::Ring R;
+  trace::Event E = trace::makeEvent(trace::Kind::Heartbeat, 1, 123456789, 42,
+                                    7, 3);
+  while (R.push(E))
+    ;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(R.push(E));
+  R.drain([](const trace::Event &) {});
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_TraceRingPushOverflow);
 
 // ---- Sparse vs dense checkpoint merge+commit ---------------------------
 //

@@ -18,6 +18,8 @@
 #ifndef PRIVATEER_RUNTIME_CONTROLBLOCK_H
 #define PRIVATEER_RUNTIME_CONTROLBLOCK_H
 
+#include "support/Trace.h"
+
 #include <atomic>
 #include <cerrno>
 #include <cstdint>
@@ -124,6 +126,10 @@ struct ControlBlock {
   /// Checkpoint-slot locks broken by workers after their holder died.
   std::atomic<uint64_t> LocksBroken{0};
   WorkerStats Stats[kMaxWorkers];
+  /// Per-worker SPSC trace rings (worker produces, main process drains at
+  /// commit/join points).  Untouched pages when tracing is off, so the
+  /// ~4 MiB they add to the shared mapping costs address space only.
+  trace::Ring TraceRings[kMaxWorkers];
 
   /// Atomically lowers \p Target to \p Value if smaller.
   static void storeMin(std::atomic<uint64_t> &Target, uint64_t Value) {

@@ -20,6 +20,7 @@
 #include "support/ErrorHandling.h"
 #include "support/Statistics.h"
 #include "support/Timing.h"
+#include "support/Trace.h"
 
 #include <algorithm>
 #include <cassert>
@@ -78,6 +79,7 @@ ControlBlock *ActiveWorkerCb = nullptr;
 unsigned ActiveWorkerId = 0;
 uint64_t ActiveWorkerPeriodBase = 0;
 uint64_t ActiveWorkerPeriodLen = 1;
+trace::Ring *ActiveWorkerTraceRing = nullptr;
 
 /// Alternate signal stack for the worker's SIGSEGV/SIGBUS handler: a
 /// stack-overflowing iteration body must still be classified as
@@ -92,14 +94,21 @@ void workerSegvHandler(int /*Sig*/) {
   if (Cb) {
     uint64_t Iter =
         Cb->WorkerIter[ActiveWorkerId].load(std::memory_order_relaxed);
+    uint64_t Period =
+        (Iter - ActiveWorkerPeriodBase) / ActiveWorkerPeriodLen;
     ControlBlock::storeMin(Cb->EarliestMisspecIter, Iter);
-    ControlBlock::storeMin(Cb->EarliestMisspecPeriod,
-                           (Iter - ActiveWorkerPeriodBase) /
-                               ActiveWorkerPeriodLen);
+    ControlBlock::storeMin(Cb->EarliestMisspecPeriod, Period);
     if (Cb->MisspecFlag.exchange(1, std::memory_order_acq_rel) == 0) {
       static const char Msg[] = "fault: store to a protected heap";
       std::memcpy(Cb->MisspecReason, Msg, sizeof(Msg));
     }
+    // The ring push is atomics + a POD store, so it is as signal-safe as
+    // the flag raise above.
+    if (ActiveWorkerTraceRing)
+      ActiveWorkerTraceRing->push(trace::makeEvent(
+          trace::Kind::Misspec, static_cast<uint16_t>(1 + ActiveWorkerId),
+          monotonicNanos(), Iter, Period,
+          static_cast<uint32_t>(trace::Reason::ProtectedStore)));
   }
   _exit(kMisspecExit);
 }
@@ -123,6 +132,11 @@ void Runtime::misspecAbort(const char *Reason) {
     std::strncpy(Cb->MisspecReason, Reason, sizeof(Cb->MisspecReason) - 1);
     Cb->MisspecReason[sizeof(Cb->MisspecReason) - 1] = '\0';
   }
+  if (TraceRing)
+    TraceRing->push(trace::makeEvent(
+        trace::Kind::Misspec, static_cast<uint16_t>(1 + WorkerId),
+        monotonicNanos(), CurIter, (CurIter - EpochBase) / PeriodLen,
+        static_cast<uint32_t>(trace::reasonCode(Reason))));
   // "This worker terminates immediately, squashing all its speculative
   // state created since its last checkpoint" (§5.3).
   LocalStats.EndWall = wallSeconds();
@@ -134,10 +148,15 @@ void Runtime::runDegraded(uint64_t Begin, uint64_t End,
                           const ParallelOptions &Options,
                           const IterationFn &Body, InvocationStats &Stats,
                           const char *Reason) {
+  uint64_t T0 = TraceOn ? monotonicNanos() : 0;
   std::FILE *SavedOut = SeqOut;
   SeqOut = Options.Out;
   runSequential(Begin, End, Body);
   SeqOut = SavedOut;
+  if (TraceOn)
+    trace::Collector::instance().record(trace::Kind::Degraded, 0,
+                                        monotonicNanos(), T0, End - Begin, 0,
+                                        Reason);
   ++Stats.DegradedEpochs;
   Stats.DegradedIterations += End - Begin;
   if (Stats.FirstDegradeReason.empty())
@@ -154,6 +173,15 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
 
   InvocationStats Stats;
   double WallStart = wallSeconds();
+
+  // Arm tracing for this invocation; workers inherit TraceOn across fork
+  // and push into their shared-memory ring, the main process records
+  // straight into the collector.  Off (the default) costs one branch here.
+  trace::Collector &Tc = trace::Collector::instance();
+  TraceOn = !Options.TracePath.empty();
+  if (TraceOn)
+    Tc.enable(Options.TracePath);
+  uint64_t InvStartNs = TraceOn ? monotonicNanos() : 0;
 
   // Everything in the private heap is live-in when the invocation begins.
   // Stale old-write marks from a previous invocation can only exist below
@@ -232,10 +260,14 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
     if (Stats.FirstMisspecReason.empty())
       Stats.FirstMisspecReason = Res.Reason;
     uint64_t RecoveryEnd = std::min(NumIterations, Res.MisspecPeriodEnd);
+    uint64_t RecStartNs = TraceOn ? monotonicNanos() : 0;
     std::FILE *SavedOut = SeqOut;
     SeqOut = Options.Out;
     runSequential(Res.CommittedEnd, RecoveryEnd, Body);
     SeqOut = SavedOut;
+    if (TraceOn)
+      Tc.record(trace::Kind::Recovery, 0, monotonicNanos(), RecStartNs,
+                RecoveryEnd - Res.CommittedEnd, 0, Res.Reason);
     Stats.RecoveredIterations += RecoveryEnd - Res.CommittedEnd;
     Next = RecoveryEnd;
   }
@@ -260,6 +292,15 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   Reg.counter("commit", "early_cutoff_iters_saved") +=
       Stats.EarlyCutoffItersSaved;
   Reg.real("commit", "overlap_sec") += Stats.OverlapSec;
+
+  if (TraceOn) {
+    Tc.record(trace::Kind::Invocation, 0, monotonicNanos(), InvStartNs,
+              NumIterations, 0);
+    std::string Err;
+    if (!Tc.flush(Err))
+      std::fprintf(stderr, "privateer: %s\n", Err.c_str());
+    TraceOn = false;
+  }
   return Stats;
 }
 
@@ -290,6 +331,17 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Cb->WorkerIter[I].store(Plan.BaseIter, std::memory_order_relaxed);
     Cb->WorkerHeartbeat[I].store(NowNs, std::memory_order_relaxed);
   }
+
+  trace::Collector &Tc = trace::Collector::instance();
+  uint64_t EpochStartNs = TraceOn ? NowNs : 0;
+  // The main process is the only ring consumer; it drains at every
+  // commit-pump pass and at join so worker rings rarely fill.
+  auto drainTraceRings = [&] {
+    if (!TraceOn)
+      return;
+    for (unsigned I = 0; I < W; ++I)
+      Tc.drainRing(Cb->TraceRings[I]);
+  };
 
   CheckpointRegion TheRegion;
   PrivateHighWater = heap(HeapKind::Private).highWater();
@@ -352,6 +404,9 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     if (Pid == 0)
       workerMain(I, Plan, Options, Body); // Never returns.
     Pids[I] = Pid;
+    if (TraceOn)
+      Tc.record(trace::Kind::WorkerFork, 0, monotonicNanos(),
+                static_cast<uint64_t>(Pid), 0, I);
   }
   if (ForkFailed) {
     // Fall back to sequential execution: discard the partially spawned
@@ -427,10 +482,15 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Res.Misspec = true;
     Res.Reason = Why;
     Res.MisspecPeriodEnd = slotEnd(P);
+    if (TraceOn)
+      Tc.record(trace::Kind::Misspec, 0, monotonicNanos(),
+                Plan.BaseIter + P * Plan.Period, P,
+                static_cast<uint32_t>(trace::reasonCode(Why.c_str())), Why);
     if (Remaining == 0)
       return;
     ++Stats.EarlyCutoffs;
     uint64_t CutStart = Plan.BaseIter + P * Plan.Period;
+    uint64_t SavedBefore = Stats.EarlyCutoffItersSaved;
     for (unsigned I = 0; I < W; ++I) {
       if (!Alive[I])
         continue;
@@ -439,6 +499,10 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       Stats.EarlyCutoffItersSaved +=
           cyclicShare(std::max(NextIter, CutStart), EpochEnd, I);
     }
+    if (TraceOn)
+      Tc.record(trace::Kind::EarlyCutoff, 0, monotonicNanos(),
+                Stats.EarlyCutoffItersSaved - SavedBefore, 0,
+                static_cast<uint32_t>(P));
     ControlBlock::storeMin(Cb->EarliestMisspecPeriod, P);
     ControlBlock::storeMin(Cb->EarliestMisspecIter,
                            Plan.BaseIter + P * Plan.Period);
@@ -484,6 +548,8 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       }
       bool Overlapped = Remaining > 0;
       double T0 = Overlapped ? wallSeconds() : 0;
+      uint64_t TraceT0 = TraceOn ? monotonicNanos() : 0;
+      uint64_t ScanBefore = CommitScan.BytesScanned;
       std::string Why;
       CheckpointRegion::CommitStatus St;
       {
@@ -500,6 +566,10 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
         failCommit(P, Why);
         return;
       }
+      if (TraceOn)
+        Tc.record(trace::Kind::CommitEager, 0, monotonicNanos(), TraceT0,
+                  CommitScan.BytesScanned - ScanBefore,
+                  static_cast<uint32_t>(P));
       Res.CommittedEnd = slotEnd(P);
       ++Stats.Checkpoints;
       ++NextCommit;
@@ -529,6 +599,9 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       bool Clean = WIFEXITED(Status) &&
                    (WEXITSTATUS(Status) == 0 ||
                     WEXITSTATUS(Status) == kMisspecExit);
+      if (TraceOn)
+        Tc.record(trace::Kind::WorkerExit, 0, monotonicNanos(),
+                  static_cast<uint64_t>(Status), Clean, I);
       if (!Clean) {
         // A worker died without reporting: treat its last known iteration
         // as misspeculated so recovery re-executes it non-speculatively.
@@ -560,6 +633,10 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
           // the death correctly even if a sibling races on the flag.
           StallKilled[I] = true;
           ++Stats.StalledWorkersKilled;
+          if (TraceOn)
+            Tc.record(trace::Kind::WorkerStallKill, 0, Now,
+                      Cb->WorkerIter[I].load(std::memory_order_relaxed),
+                      Now - Beat, I);
           kill(Pids[I], SIGKILL);
         }
       }
@@ -567,6 +644,7 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     bool Pumping = Pump && !CommitStopped && NextCommit < Plan.NumSlots;
     if (Pumping)
       pumpStep();
+    drainTraceRings();
     if (!Reaped) {
       // A SIGCHLD delivered before this point stays pending (the signal is
       // blocked), so sigtimedwait returns immediately: no lost wake-ups.
@@ -585,6 +663,7 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
   // what keeps the post-join sweep's work to at most the final slot).
   if (Pump && !CommitStopped)
     pumpStep();
+  drainTraceRings(); // All workers reaped: rings are quiescent from here.
   sigprocmask(SIG_SETMASK, &OldMask, nullptr);
 
   // Aggregate worker statistics.
@@ -633,6 +712,9 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       if (H->Lock.holder() != 0) {
         H->Lock.forceBreak();
         ++Stats.LocksBroken;
+        if (TraceOn)
+          Tc.record(trace::Kind::LockBroken, 0, monotonicNanos(), 0, 0,
+                    static_cast<uint32_t>(P));
         Res.Misspec = true;
         Res.Reason = "checkpoint slot lock orphaned by a dead worker";
         Res.MisspecPeriodEnd = SlotEnd;
@@ -658,6 +740,8 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
         break;
       }
       std::string Why;
+      uint64_t TraceT0 = TraceOn ? monotonicNanos() : 0;
+      uint64_t ScanBefore = CommitScan.BytesScanned;
       CheckpointRegion::CommitStatus St = TheRegion.commitSlot(
           P, MasterShadow, MasterPrivate, Redux,
           heap(HeapKind::Redux).base(), CommittedIo, Why, &CommitScan);
@@ -667,6 +751,10 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
         Res.MisspecPeriodEnd = SlotEnd;
         break;
       }
+      if (TraceOn)
+        Tc.record(trace::Kind::CommitPostJoin, 0, monotonicNanos(), TraceT0,
+                  CommitScan.BytesScanned - ScanBefore,
+                  static_cast<uint32_t>(P));
       Res.CommittedEnd = SlotEnd;
       ++Stats.Checkpoints;
     }
@@ -692,6 +780,16 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Res.Misspec = true;
     Res.Reason = Cb->MisspecReason;
   }
+  // The pump records its own misspecs inside failCommit (CommitStopped);
+  // everything classified after join — worker-raised flags, sweep-detected
+  // torn/lost slots — gets one consolidated record here, reason attached.
+  if (TraceOn && Res.Misspec && !CommitStopped)
+    Tc.record(trace::Kind::Misspec, 0, monotonicNanos(),
+              Flag ? Cb->EarliestMisspecIter.load(std::memory_order_relaxed)
+                   : Res.CommittedEnd,
+              Flag ? MisspecPeriod : 0,
+              static_cast<uint32_t>(trace::reasonCode(Res.Reason.c_str())),
+              Res.Reason);
   // Eager commits can outrun a late, conservative misspeculation
   // classification: a watchdog kill may report its victim's last known
   // iteration inside a period the pump already committed (the worker
@@ -699,8 +797,19 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
   // Committed slots are valid by construction — every worker published its
   // merge and validation passed — so recovery must never restart behind
   // them; clamp the recovery window to begin at the committed frontier.
-  if (Res.Misspec)
+  if (Res.Misspec) {
+    if (TraceOn && Res.MisspecPeriodEnd < Res.CommittedEnd)
+      Tc.record(trace::Kind::RecoveryClamp, 0, monotonicNanos(),
+                Res.MisspecPeriodEnd, Res.CommittedEnd, 0);
     Res.MisspecPeriodEnd = std::max(Res.MisspecPeriodEnd, Res.CommittedEnd);
+  }
+
+  if (TraceOn) {
+    for (unsigned I = 0; I < W; ++I)
+      Tc.noteDrops(I, Cb->TraceRings[I].dropped());
+    Tc.record(trace::Kind::Epoch, 0, monotonicNanos(), EpochStartNs,
+              Plan.BaseIter, static_cast<uint32_t>(Plan.NumSlots));
+  }
 
   Region = nullptr;
   Cb->~ControlBlock();
@@ -722,6 +831,15 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
   PendingIo.clear();
   IoSequence = 0;
 
+  // This worker's SPSC trace ring in the shared control block; row 1 + Id
+  // on the exported timeline (row 0 is the main process).
+  TraceRing = TraceOn ? &Cb->TraceRings[Id] : nullptr;
+  const uint16_t TraceRow = static_cast<uint16_t>(1 + Id);
+  if (TraceRing)
+    TraceRing->push(trace::makeEvent(trace::Kind::WorkerBegin, TraceRow,
+                                     monotonicNanos(),
+                                     static_cast<uint64_t>(getpid()), 0, Id));
+
   if (Spec) {
     Mode = ExecMode::SpeculativeWorker;
     // Copy-on-write isolation of all speculatively managed heaps (§3.2).
@@ -741,6 +859,7 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       ActiveWorkerId = Id;
       ActiveWorkerPeriodBase = Plan.BaseIter;
       ActiveWorkerPeriodLen = Plan.Period;
+      ActiveWorkerTraceRing = TraceRing;
       // The handler runs on its own stack (SA_ONSTACK) so an iteration
       // body that overflows the worker stack still reports misspeculation
       // instead of dying unclassified.
@@ -812,6 +931,10 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       if (++SinceBeat >= BeatEvery) {
         uint64_t Now = monotonicNanos();
         Cb->WorkerHeartbeat[Id].store(Now, std::memory_order_relaxed);
+        if (TraceRing)
+          TraceRing->push(
+              trace::makeEvent(trace::Kind::Heartbeat, TraceRow, Now, I, 0,
+                               Id));
         uint64_t Elapsed = Now - LastBeatNs;
         if (Elapsed * 2 < BeatTargetNs && BeatEvery < kBeatEveryMax)
           BeatEvery *= 2;
@@ -859,11 +982,23 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       break;
     if (Spec) {
       CategoryTimer Timer(LocalStats.CheckpointSec);
-      Cb->WorkerHeartbeat[Id].store(monotonicNanos(),
-                                    std::memory_order_relaxed);
+      uint64_t MergeStartNs = monotonicNanos();
+      Cb->WorkerHeartbeat[Id].store(MergeStartNs, std::memory_order_relaxed);
+      uint64_t ScanBefore = MergeScan.BytesScanned;
+      uint64_t SkipBefore = MergeScan.BytesSkipped;
       Region->workerMerge(P, LocalShadow, LocalPrivate, DirtyMask.data(),
                           Redux, heap(HeapKind::Redux).base(), PendingIo,
                           Executed, MergeCtx);
+      if (TraceRing) {
+        uint64_t MergeEndNs = monotonicNanos();
+        TraceRing->push(trace::makeEvent(trace::Kind::SlotMerge, TraceRow,
+                                         MergeEndNs, MergeStartNs, Executed,
+                                         static_cast<uint32_t>(P)));
+        TraceRing->push(trace::makeEvent(
+            trace::Kind::CheckpointScan, TraceRow, MergeEndNs,
+            MergeScan.BytesScanned - ScanBefore,
+            MergeScan.BytesSkipped - SkipBefore, static_cast<uint32_t>(P)));
+      }
       // MergeScan accumulates across periods; snapshot it after every merge
       // so the stats survive a later misspecAbort (which copies LocalStats
       // out and _exits).

@@ -53,6 +53,12 @@ void Runtime::initialize(const RuntimeConfig &C) {
 void Runtime::shutdown() {
   if (!Initialized)
     return;
+  // A traced session gets one final serialization, so events recorded
+  // after the last invocation's own flush are not lost.
+  if (trace::Collector::instance().enabled()) {
+    std::string Err;
+    trace::Collector::instance().flush(Err);
+  }
   for (SharedHeap &H : Heaps)
     H.destroy();
   Shadow.destroy();

@@ -107,6 +107,13 @@ struct ParallelOptions {
   /// Deterministic fault injection (tests and bench_fault); inert by
   /// default.
   FaultPlan Faults;
+
+  /// When non-empty, the invocation records a runtime event timeline
+  /// (epochs, forks, merges, commits, misspecs, recovery — see
+  /// support/Trace.h) and writes it to this path as Chrome-trace /
+  /// Perfetto JSON after every invocation.  Empty (the default) keeps
+  /// tracing fully off: workers skip the ring pushes entirely.
+  std::string TracePath;
 };
 
 /// Dynamic counters of one invocation; the raw material for Table 3 and
@@ -302,6 +309,12 @@ private:
   std::vector<IoRecord> PendingIo;
   uint32_t IoSequence = 0;
   WorkerStats LocalStats;
+  /// Tracing, armed per invocation by ParallelOptions::TracePath.  In a
+  /// worker process TraceRing points at this worker's SPSC ring inside the
+  /// shared control block; in the main process it stays null and events go
+  /// straight to the trace::Collector.
+  bool TraceOn = false;
+  trace::Ring *TraceRing = nullptr;
   std::FILE *SeqOut = nullptr; ///< Sink for immediate (sequential) output.
 };
 

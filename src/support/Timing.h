@@ -15,6 +15,7 @@
 #define PRIVATEER_SUPPORT_TIMING_H
 
 #include <cstdint>
+#include <cstdlib>
 #include <ctime>
 
 namespace privateer {
@@ -40,6 +41,21 @@ inline double cpuSeconds() {
   timespec Ts;
   clock_gettime(CLOCK_THREAD_CPUTIME_ID, &Ts);
   return static_cast<double>(Ts.tv_sec) + 1e-9 * Ts.tv_nsec;
+}
+
+/// Multiplier for wall-clock timeouts (watchdog stalls, test deadlines),
+/// read once from PRIVATEER_TIMEOUT_SCALE.  Sanitizer builds slow the
+/// runtime several-fold, so CI exports e.g. PRIVATEER_TIMEOUT_SCALE=4
+/// there; anything unset, unparsable, or non-positive means 1.
+inline double timeoutScale() {
+  static const double Scale = [] {
+    const char *Env = std::getenv("PRIVATEER_TIMEOUT_SCALE");
+    if (!Env)
+      return 1.0;
+    double V = std::atof(Env);
+    return V > 0.0 ? V : 1.0;
+  }();
+  return Scale;
 }
 
 /// RAII accumulation of CPU time into a category counter.

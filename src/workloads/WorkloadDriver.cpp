@@ -7,6 +7,7 @@
 #include "support/Timing.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 using namespace privateer;
 
@@ -66,6 +67,12 @@ std::string privateer::runWorkloadParallel(Workload &W,
     reportFatalError("tmpfile failed");
   ParallelOptions Opt = Options;
   Opt.Out = Io;
+  // Environment hook so workload harnesses (bench_fig8, CI sweeps) can be
+  // traced without plumbing an option through every call site; an explicit
+  // TracePath set by the caller wins.
+  if (Opt.TracePath.empty())
+    if (const char *Env = std::getenv("PRIVATEER_TRACE"))
+      Opt.TracePath = Env;
 
   Rt.setSequentialOutput(Io);
   for (uint64_t K = 0, E = W.invocations(); K < E; ++K) {

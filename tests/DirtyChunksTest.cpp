@@ -1,0 +1,253 @@
+//===- tests/DirtyChunksTest.cpp - Dirty-range tracking properties --------===//
+//
+// Property tests for the dirty-chunk bitmap primitives in
+// runtime/DirtyChunks.h, cross-checked against a naive per-byte reference
+// bitmap: accesses straddling 4 KiB chunk boundaries, the first and last
+// chunk of the footprint, clamping past the footprint, and footprints that
+// shrink and regrow between epochs (the high-water-mark sizing the runtime
+// relies on).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/DirtyChunks.h"
+#include "support/DeterministicRng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+using namespace privateer;
+
+namespace {
+
+/// Naive reference: mark every byte of the access, then derive chunks.
+struct ByteRef {
+  explicit ByteRef(uint64_t Bytes) : Touched(Bytes, false) {}
+
+  void mark(uint64_t Offset, uint64_t Bytes) {
+    for (uint64_t B = Offset; B < Offset + Bytes && B < Touched.size(); ++B)
+      Touched[B] = true;
+  }
+
+  bool chunkDirty(uint64_t C) const {
+    uint64_t Lo = C << kDirtyChunkShift;
+    uint64_t Hi = std::min<uint64_t>(Touched.size(), Lo + kDirtyChunkBytes);
+    for (uint64_t B = Lo; B < Hi; ++B)
+      if (Touched[B])
+        return true;
+    return false;
+  }
+
+  std::vector<bool> Touched;
+};
+
+/// The bitmap under test, with helpers matching the runtime's usage.
+struct MaskUnderTest {
+  explicit MaskUnderTest(uint64_t FootprintBytes)
+      : Chunks(dirtyChunkCount(FootprintBytes)),
+        Words(dirtyMaskWords(Chunks), 0) {}
+
+  void mark(uint64_t Offset, uint64_t Bytes) {
+    markDirtyChunks(Words.data(), Chunks, Offset, Bytes);
+  }
+
+  bool chunkDirty(uint64_t C) const {
+    return (Words[C >> 6] >> (C & 63)) & 1;
+  }
+
+  uint64_t Chunks;
+  std::vector<uint64_t> Words;
+};
+
+void expectMatchesReference(const MaskUnderTest &M, const ByteRef &Ref,
+                            const char *What) {
+  for (uint64_t C = 0; C < M.Chunks; ++C)
+    ASSERT_EQ(M.chunkDirty(C), Ref.chunkDirty(C))
+        << What << ": chunk " << C << " disagrees with per-byte reference";
+}
+
+TEST(DirtyChunks, GeometryBasics) {
+  EXPECT_EQ(dirtyChunkCount(0), 0u);
+  EXPECT_EQ(dirtyChunkCount(1), 1u);
+  EXPECT_EQ(dirtyChunkCount(kDirtyChunkBytes), 1u);
+  EXPECT_EQ(dirtyChunkCount(kDirtyChunkBytes + 1), 2u);
+  EXPECT_EQ(dirtyMaskWords(0), 0u);
+  EXPECT_EQ(dirtyMaskWords(1), 1u);
+  EXPECT_EQ(dirtyMaskWords(64), 1u);
+  EXPECT_EQ(dirtyMaskWords(65), 2u);
+}
+
+TEST(DirtyChunks, SingleChunkAccessMarksExactlyOneChunk) {
+  const uint64_t Footprint = 16 * kDirtyChunkBytes;
+  MaskUnderTest M(Footprint);
+  ByteRef Ref(Footprint);
+  // An 8-byte access wholly inside chunk 5.
+  M.mark(5 * kDirtyChunkBytes + 100, 8);
+  Ref.mark(5 * kDirtyChunkBytes + 100, 8);
+  expectMatchesReference(M, Ref, "single chunk");
+  for (uint64_t C = 0; C < M.Chunks; ++C)
+    EXPECT_EQ(M.chunkDirty(C), C == 5);
+}
+
+TEST(DirtyChunks, AccessStraddlingAChunkBoundary) {
+  const uint64_t Footprint = 8 * kDirtyChunkBytes;
+  // Every alignment of a 16-byte access across the chunk 2 -> 3 boundary,
+  // including exactly-at-boundary and one-byte-before cases.
+  for (uint64_t Back = 1; Back <= 16; ++Back) {
+    MaskUnderTest M(Footprint);
+    ByteRef Ref(Footprint);
+    uint64_t Offset = 3 * kDirtyChunkBytes - Back;
+    M.mark(Offset, 16);
+    Ref.mark(Offset, 16);
+    expectMatchesReference(M, Ref, "straddle");
+    EXPECT_TRUE(M.chunkDirty(2));
+    EXPECT_EQ(M.chunkDirty(3), Back < 16) << "back " << Back;
+  }
+}
+
+TEST(DirtyChunks, AccessSpanningManyChunks) {
+  const uint64_t Footprint = 70 * kDirtyChunkBytes; // Crosses a mask word.
+  MaskUnderTest M(Footprint);
+  ByteRef Ref(Footprint);
+  // From the middle of chunk 1 to the middle of chunk 67: spans the
+  // word-63/word-64 bitmap boundary.
+  uint64_t Offset = kDirtyChunkBytes + kDirtyChunkBytes / 2;
+  uint64_t Bytes = 66 * kDirtyChunkBytes;
+  M.mark(Offset, Bytes);
+  Ref.mark(Offset, Bytes);
+  expectMatchesReference(M, Ref, "many chunks");
+  EXPECT_FALSE(M.chunkDirty(0));
+  EXPECT_TRUE(M.chunkDirty(1));
+  EXPECT_TRUE(M.chunkDirty(67));
+  EXPECT_FALSE(M.chunkDirty(68));
+}
+
+TEST(DirtyChunks, FirstAndLastChunkOfFootprint) {
+  const uint64_t Footprint = 5 * kDirtyChunkBytes + 123; // Ragged tail.
+  MaskUnderTest M(Footprint);
+  ByteRef Ref(Footprint);
+  M.mark(0, 1); // Very first byte.
+  Ref.mark(0, 1);
+  M.mark(Footprint - 1, 1); // Very last byte, in the partial tail chunk.
+  Ref.mark(Footprint - 1, 1);
+  expectMatchesReference(M, Ref, "first/last");
+  EXPECT_TRUE(M.chunkDirty(0));
+  EXPECT_TRUE(M.chunkDirty(M.Chunks - 1));
+}
+
+TEST(DirtyChunks, AccessesPastTheFootprintClampOrDrop) {
+  const uint64_t Footprint = 4 * kDirtyChunkBytes;
+  MaskUnderTest M(Footprint);
+  // Entirely past the footprint: no bits, no out-of-bounds writes.
+  M.mark(10 * kDirtyChunkBytes, 64);
+  for (uint64_t C = 0; C < M.Chunks; ++C)
+    EXPECT_FALSE(M.chunkDirty(C));
+  // Starting inside, running past the end: clamps to the last chunk.
+  M.mark(3 * kDirtyChunkBytes + 8, 9 * kDirtyChunkBytes);
+  EXPECT_FALSE(M.chunkDirty(0));
+  EXPECT_FALSE(M.chunkDirty(1));
+  EXPECT_FALSE(M.chunkDirty(2));
+  EXPECT_TRUE(M.chunkDirty(3));
+}
+
+TEST(DirtyChunks, ZeroByteAccessMarksNothing) {
+  MaskUnderTest M(4 * kDirtyChunkBytes);
+  M.mark(kDirtyChunkBytes, 0);
+  for (uint64_t C = 0; C < M.Chunks; ++C)
+    EXPECT_FALSE(M.chunkDirty(C));
+}
+
+TEST(DirtyChunks, HighWaterShrinkAndRegrow) {
+  // The runtime sizes the mask from the private heap's high-water mark,
+  // which never retreats; model an epoch sequence where the *used*
+  // footprint shrinks and then regrows under a constant high water, and
+  // check the bitmap agrees with the reference at every step.
+  const uint64_t HighWater = 32 * kDirtyChunkBytes + 17;
+  DeterministicRng Rng(2026);
+  const uint64_t UsedBytes[] = {HighWater, 3 * kDirtyChunkBytes + 5,
+                                HighWater / 2, HighWater};
+  for (uint64_t Used : UsedBytes) {
+    MaskUnderTest M(HighWater); // Mask always covers the high water.
+    ByteRef Ref(HighWater);
+    for (int A = 0; A < 200; ++A) {
+      uint64_t Offset = Rng.nextBelow(Used);
+      uint64_t Bytes = 1 + Rng.nextBelow(3 * kDirtyChunkBytes);
+      M.mark(Offset, Bytes);
+      Ref.mark(Offset, Bytes);
+    }
+    expectMatchesReference(M, Ref, "shrink/regrow");
+    // Accesses confined to the used prefix must never dirty chunks past
+    // the prefix's own last chunk... unless they ran long; the reference
+    // establishes exactly which, so nothing more to assert here.
+  }
+}
+
+TEST(DirtyChunks, RandomizedAgainstPerByteReference) {
+  DeterministicRng Rng(7);
+  for (int Round = 0; Round < 20; ++Round) {
+    // Random ragged footprints, including tiny (sub-chunk) ones.
+    uint64_t Footprint = 1 + Rng.nextBelow(80 * kDirtyChunkBytes);
+    MaskUnderTest M(Footprint);
+    ByteRef Ref(Footprint);
+    for (int A = 0; A < 300; ++A) {
+      // Offsets biased toward chunk boundaries to stress the edges.
+      uint64_t Offset;
+      if (Rng.next() & 1) {
+        uint64_t C = Rng.nextBelow(dirtyChunkCount(Footprint) + 1);
+        uint64_t Jitter = Rng.nextBelow(33);
+        uint64_t Base = C << kDirtyChunkShift;
+        Offset = Base >= Jitter ? Base - Jitter : 0;
+      } else {
+        Offset = Rng.nextBelow(Footprint + kDirtyChunkBytes);
+      }
+      uint64_t Bytes = Rng.nextBelow(2 * kDirtyChunkBytes + 64);
+      M.mark(Offset, Bytes);
+      Ref.mark(Offset, Bytes);
+    }
+    expectMatchesReference(M, Ref, "randomized");
+  }
+}
+
+// --- Word-at-a-time byte predicates -------------------------------------
+
+TEST(DirtyChunks, WordHasByteAgainstPerByteScan) {
+  DeterministicRng Rng(99);
+  for (int Round = 0; Round < 2000; ++Round) {
+    uint64_t W = Rng.next();
+    if (Round % 3 == 0) {
+      // Force interesting byte values into random lanes.
+      unsigned Lane = Rng.nextBelow(8);
+      uint8_t V = static_cast<uint8_t>(Rng.nextBelow(4)); // 0,1,2,3
+      W = (W & ~(0xFFULL << (Lane * 8))) |
+          (static_cast<uint64_t>(V) << (Lane * 8));
+    }
+    for (uint8_t V : {uint8_t(0), uint8_t(1), uint8_t(2), uint8_t(255)}) {
+      bool Ref = false;
+      for (unsigned B = 0; B < 8; ++B)
+        if (((W >> (B * 8)) & 0xFF) == V)
+          Ref = true;
+      EXPECT_EQ(wordHasByte(W, V), Ref)
+          << std::hex << W << " value " << unsigned(V);
+    }
+  }
+}
+
+TEST(DirtyChunks, WordAllBelowReadLiveInAgainstPerByteScan) {
+  DeterministicRng Rng(123);
+  for (int Round = 0; Round < 2000; ++Round) {
+    uint64_t W = Rng.next();
+    if (Round & 1) {
+      // Half the rounds: words made only of 0/1 bytes (the skippable kind).
+      W = 0;
+      for (unsigned B = 0; B < 8; ++B)
+        W |= (Rng.next() & 1ULL) << (B * 8);
+    }
+    bool Ref = true;
+    for (unsigned B = 0; B < 8; ++B)
+      if (((W >> (B * 8)) & 0xFF) > 1)
+        Ref = false;
+    EXPECT_EQ(wordAllBelowReadLiveIn(W), Ref) << std::hex << W;
+  }
+}
+
+} // namespace

@@ -9,11 +9,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
 #include "runtime/Privateer.h"
 #include "support/DeterministicRng.h"
 #include "support/Fnv.h"
+#include "transform/Pipeline.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 using namespace privateer;
 
@@ -248,6 +253,234 @@ TEST(ParallelEdgeCases, NonSpeculativeDoallMode) {
   for (int I = 0; I < 64; ++I)
     EXPECT_EQ(Out[I], static_cast<long>(I) * I);
   Rt.shutdown();
+}
+
+// --- Randomized IR differential sweep through the parallel runtime ------
+//
+// Each seed generates a structurally privatizable IR loop with randomized
+// shape (scratch width, table/live-out sizes, arithmetic constants,
+// optional short-lived allocation, optional deferred print), runs it
+// through the full pipeline (profile -> classify -> transform), and then
+// executes the privatized loop in the *parallel runtime* across a
+// {workers x slots x EagerCommit x fault-injection} matrix, requiring
+// byte-identical stdout and return value against plain sequential
+// interpretation of the untransformed program.
+//
+// PRIVATEER_RANDOM_SWEEP_SEEDS scales the sweep (default 25 for PR CI;
+// nightly CI runs hundreds).  PRIVATEER_TRACE, when set, traces every
+// parallel run to that path so nightly failures come with a timeline.
+
+/// Seeded generator of a privatization-friendly kernel: write-then-read
+/// private scratch, a read-only table, per-iteration live-out stores, a
+/// load-add-store sum reduction — the shape the paper's Figure 2/4
+/// workloads share — with randomized sizes and constants.
+std::string randomIrProgram(uint64_t Seed, uint64_t &IterationsOut) {
+  DeterministicRng Rng(Seed * 0x9e3779b97f4a7c15ULL + 17);
+  uint64_t N = 96 + Rng.nextBelow(128); // Kernel trip count.
+  unsigned Slots = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+  uint64_t OutSlots = 16 + Rng.nextBelow(48);
+  uint64_t TabSlots = 8 + Rng.nextBelow(24);
+  uint64_t C1 = 1 + Rng.nextBelow(1000003);
+  uint64_t C2 = 1 + Rng.nextBelow(997);
+  uint64_t C3 = 2 + Rng.nextBelow(89);
+  uint64_t PrintMod = 3 + Rng.nextBelow(9);
+  bool ShortLived = (Rng.next() & 1) != 0;
+  bool Print = (Rng.next() & 1) != 0;
+  IterationsOut = N;
+
+  std::string S;
+  char Buf[512];
+  auto Emit = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    S += Buf;
+  };
+  auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
+
+  Emit("global @tab %llu\n", U(TabSlots * 8));
+  Emit("global @scratch %llu\n", U(Slots * 8));
+  Emit("global @out %llu\n", U(OutSlots * 8));
+  S += "global @acc 8\n\n";
+
+  // Fill the read-only table before the kernel runs.
+  S += "define void @fill(i64 %n) {\n"
+       "entry:\n  br loop\n"
+       "loop:\n  %i = phi [entry: 0], [latch: %inext]\n"
+       "  %c = icmp lt, %i, %n\n  condbr %c, latch, exit\n"
+       "latch:\n";
+  Emit("  %%h = mul %%i, %llu\n", U(C1));
+  Emit("  %%v = srem %%h, %llu\n", U(1 + C2));
+  S += "  %off = mul %i, 8\n  %p = gep @tab, %off\n  store %v, %p, 8\n"
+       "  %inext = add %i, 1\n  br loop\n"
+       "exit:\n  ret\n}\n\n";
+
+  S += "define void @kernel(i64 %n) {\n"
+       "entry:\n  br loop\n"
+       "loop:\n  %i = phi [entry: 0], [latch: %inext]\n"
+       "  %c = icmp lt, %i, %n\n  condbr %c, body, exit\n"
+       "body:\n";
+  // Read-only table load.
+  Emit("  %%tmod = srem %%i, %llu\n", U(TabSlots));
+  S += "  %toff = mul %tmod, 8\n  %tp = gep @tab, %toff\n"
+       "  %t = load i64, %tp, 8\n";
+  Emit("  %%h = mul %%i, %llu\n", U(C1));
+  // Private scratch: overwrite every slot, then read them all back, so
+  // each iteration's reads see only its own writes (privatizable).
+  for (unsigned J = 0; J < Slots; ++J) {
+    Emit("  %%w%u = add %%h, %llu\n", J, U(C2 + J * C3));
+    Emit("  %%sp%u = gep @scratch, %u\n", J, J * 8);
+    Emit("  store %%w%u, %%sp%u, 8\n", J, J);
+  }
+  S += "  %sum0 = add %t, 0\n";
+  for (unsigned J = 0; J < Slots; ++J) {
+    Emit("  %%r%u = load i64, %%sp%u, 8\n", J, J);
+    Emit("  %%m%u = srem %%r%u, %llu\n", J, J, U(1 + C3 + J));
+    Emit("  %%sum%u = add %%sum%u, %%m%u\n", J + 1, J, J);
+  }
+  Emit("  %%sum = xor %%sum%u, %%tmod\n", Slots);
+  if (ShortLived) {
+    // A node allocated and freed inside the iteration: lifetime
+    // speculation's short-lived heap.
+    S += "  %node = malloc 16\n"
+         "  store %sum, %node, 8\n"
+         "  %np = gep %node, 8\n"
+         "  store %h, %np, 8\n"
+         "  %nv0 = load i64, %node, 8\n"
+         "  %nv1 = load i64, %np, 8\n"
+         "  %nv = add %nv0, %nv1\n"
+         "  free %node\n";
+  } else {
+    S += "  %nv = add %sum, %h\n";
+  }
+  // Live-out store (last writer of the slot wins, like the native sweep).
+  Emit("  %%omod = srem %%i, %llu\n", U(OutSlots));
+  S += "  %ooff = mul %omod, 8\n  %op = gep @out, %ooff\n"
+       "  store %nv, %op, 8\n";
+  // Sum reduction (load-add-store on @acc).
+  S += "  %old = load i64, @acc, 8\n"
+       "  %new = add %old, %sum\n"
+       "  store %new, @acc, 8\n";
+  if (Print) {
+    Emit("  %%pm = srem %%sum, %llu\n", U(PrintMod));
+    S += "  %pc = icmp eq, %pm, 0\n"
+         "  condbr %pc, doprint, latch\n"
+         "doprint:\n"
+         "  print \"it %d v %d\\n\", %i, %sum\n"
+         "  br latch\n";
+  } else {
+    S += "  br latch\n";
+  }
+  S += "latch:\n  %inext = add %i, 1\n  br loop\n"
+       "exit:\n  ret\n}\n\n";
+
+  // @main prints every live-out so text comparison covers final state.
+  S += "define i64 @main() {\n"
+       "entry:\n";
+  Emit("  call @fill(%llu)\n", U(TabSlots));
+  Emit("  call @kernel(%llu)\n", U(N));
+  S += "  br sumloop\n"
+       "sumloop:\n"
+       "  %i = phi [entry: 0], [slatch: %inext]\n"
+       "  %acc = phi [entry: 0], [slatch: %acc2]\n";
+  Emit("  %%c = icmp lt, %%i, %llu\n", U(OutSlots));
+  S += "  condbr %c, slatch, done\n"
+       "slatch:\n"
+       "  %off = mul %i, 8\n  %p = gep @out, %off\n"
+       "  %v = load i64, %p, 8\n"
+       "  %acc2 = add %acc, %v\n"
+       "  %inext = add %i, 1\n  br sumloop\n"
+       "done:\n"
+       "  %red = load i64, @acc, 8\n"
+       "  print \"outsum %d red %d\\n\", %acc, %red\n"
+       "  %r = add %acc, %red\n"
+       "  ret %r\n}\n";
+  return S;
+}
+
+std::string readAllFile(std::FILE *F) {
+  std::string Out;
+  std::rewind(F);
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  return Out;
+}
+
+TEST(RandomizedIrSweep, ParallelRuntimeMatchesSequentialAcrossMatrix) {
+  unsigned Seeds = 25;
+  if (const char *Env = std::getenv("PRIVATEER_RANDOM_SWEEP_SEEDS"))
+    Seeds = static_cast<unsigned>(std::max(1, std::atoi(Env)));
+  const char *TraceEnv = std::getenv("PRIVATEER_TRACE");
+  const unsigned WorkerChoices[] = {2, 3, 4, 6, 8};
+
+  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    uint64_t N = 0;
+    std::string Text = randomIrProgram(Seed, N);
+
+    std::string Err;
+    auto MRef = ir::parseModule(Text, Err);
+    ASSERT_NE(MRef, nullptr) << Err << "\n" << Text;
+    ASSERT_TRUE(ir::verifyModule(*MRef).empty()) << Text;
+
+    // Reference: plain sequential interpretation of the pristine module.
+    std::FILE *RefOut = std::tmpfile();
+    interp::Cell RefRet = transform::executeSequential(
+        *MRef, transform::PipelineOptions(), RefOut);
+    std::string Expected = readAllFile(RefOut);
+    std::fclose(RefOut);
+
+    // Pipeline on a fresh copy (the transform mutates the module).
+    auto M = ir::parseModule(Text, Err);
+    ASSERT_NE(M, nullptr) << Err;
+    analysis::FunctionAnalyses FA(*M);
+    transform::PipelineOptions Opt;
+    std::FILE *TrainSink = std::tmpfile();
+    Runtime::get().setSequentialOutput(TrainSink);
+    transform::PipelineResult R = transform::runPrivateerPipeline(*M, FA, Opt);
+    Runtime::get().setSequentialOutput(nullptr);
+    std::fclose(TrainSink);
+    ASSERT_TRUE(R.Transformed)
+        << "pipeline rejected generated program:\n"
+        << (R.Log.empty() ? "" : R.Log.back()) << "\n" << Text;
+
+    // {EagerCommit on/off} x {faults on/off}; workers and slot budget
+    // drawn per configuration so the sweep covers the matrix across seeds.
+    DeterministicRng Cfg(Seed ^ 0xC0FFEEULL);
+    for (unsigned Conf = 0; Conf < 4; ++Conf) {
+      ParallelOptions Par;
+      Par.NumWorkers = WorkerChoices[Cfg.nextBelow(5)];
+      Par.CheckpointPeriod = 4 + Cfg.nextBelow(29);
+      Par.MaxSlotsPerEpoch = 2 + Cfg.nextBelow(15);
+      Par.EagerCommit = (Conf & 1) != 0;
+      bool Faults = (Conf & 2) != 0;
+      if (Faults) {
+        Par.InjectMisspecRate = 0.03;
+        Par.InjectSeed = Seed;
+        Par.Faults.Seed = Seed;
+        Par.Faults.KillRate = 0.01;
+      }
+      if (TraceEnv)
+        Par.TracePath = TraceEnv;
+      std::FILE *Out = std::tmpfile();
+      transform::ExecutionResult E = transform::executePrivatized(
+          *M, FA, R.Assignment, Opt, Par, RuntimeConfig(), Out);
+      std::string Got = readAllFile(Out);
+      std::fclose(Out);
+      std::string Where = "seed " + std::to_string(Seed) + " conf " +
+                          std::to_string(Conf) + " w" +
+                          std::to_string(Par.NumWorkers) + " k" +
+                          std::to_string(Par.CheckpointPeriod) + " s" +
+                          std::to_string(Par.MaxSlotsPerEpoch) +
+                          (Par.EagerCommit ? " eager" : " postjoin") +
+                          (Faults ? " faults" : "");
+      EXPECT_EQ(Got, Expected) << Where;
+      EXPECT_EQ(E.ReturnValue.asInt(), RefRet.asInt()) << Where;
+      if (!Faults)
+        EXPECT_EQ(E.Stats.Misspecs, 0u)
+            << Where << ": " << E.Stats.FirstMisspecReason;
+    }
+  }
 }
 
 TEST(ParallelEdgeCases, ManyEpochsWhenLoopExceedsSlotBudget) {

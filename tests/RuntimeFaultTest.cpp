@@ -10,6 +10,7 @@
 
 #include "runtime/Privateer.h"
 #include "support/Statistics.h"
+#include "support/Timing.h"
 
 #include <gtest/gtest.h>
 
@@ -117,7 +118,9 @@ TEST_F(RuntimeFaultTest, StalledWorkerIsReclaimedByWatchdog) {
   ParallelOptions Opt;
   Opt.NumWorkers = 4;
   Opt.CheckpointPeriod = 8;
-  Opt.StallTimeoutSec = 0.3;
+  // Scaled so sanitizer CI (several-fold slower) cannot see a healthy
+  // worker's merge mistaken for a stall.
+  Opt.StallTimeoutSec = 0.3 * timeoutScale();
   // Worker 2 hangs forever at iteration 2; without the watchdog the join
   // would deadlock and this test would never finish.
   Opt.Faults.StallWorker = 2;
@@ -217,7 +220,8 @@ TEST_F(RuntimeFaultTest, HealthyRunTriggersNoFaultMachinery) {
   ParallelOptions Opt;
   Opt.NumWorkers = 4;
   Opt.CheckpointPeriod = 16;
-  Opt.StallTimeoutSec = 0.5; // Watchdog armed but must stay quiet.
+  // Watchdog armed but must stay quiet; scaled for sanitizer builds.
+  Opt.StallTimeoutSec = 0.5 * timeoutScale();
 
   InvocationStats Stats = Runtime::get().runParallel(N, Opt, makeBody(Out));
 

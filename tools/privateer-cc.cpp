@@ -38,6 +38,8 @@ int usage(const char *Argv0) {
                "  --workers <n>     speculative workers (default 4)\n"
                "  --period <k>      checkpoint period (default 32)\n"
                "  --inject <rate>   inject misspeculation (fraction)\n"
+               "  --trace <f>       write a Chrome-trace/Perfetto event\n"
+               "                    timeline of the parallel run to <f>\n"
                "  --demo <name>     built-in program: dijkstra | redsum\n"
                "  --profile-out <f> save the training profile to <f>\n"
                "  --verbose         print the pipeline log\n",
@@ -70,6 +72,10 @@ int main(int Argc, char **Argv) {
       Par.CheckpointPeriod = static_cast<uint64_t>(std::atoll(Argv[++I]));
     else if (A == "--inject" && I + 1 < Argc)
       Par.InjectMisspecRate = std::atof(Argv[++I]);
+    else if (A == "--trace" && I + 1 < Argc)
+      Par.TracePath = Argv[++I];
+    else if (A.rfind("--trace=", 0) == 0)
+      Par.TracePath = A.substr(std::strlen("--trace="));
     else if (A == "--demo" && I + 1 < Argc)
       Demo = Argv[++I];
     else if (A == "--profile-out" && I + 1 < Argc)
@@ -176,5 +182,10 @@ int main(int Argc, char **Argv) {
                    ? "none"
                    : E.Stats.FirstMisspecReason.c_str(),
                static_cast<long long>(E.ReturnValue.asInt()));
+  if (!Par.TracePath.empty())
+    std::fprintf(stderr,
+                 "[privateer-cc] trace -> %s (open in ui.perfetto.dev or "
+                 "chrome://tracing)\n",
+                 Par.TracePath.c_str());
   return 0;
 }
