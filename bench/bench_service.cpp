@@ -1,0 +1,316 @@
+//===- bench/bench_service.cpp - Invocation-service latency/throughput ----===//
+//
+// Measures what the persistent daemon buys over one-shot invocation:
+//
+//   * cold vs warm submit latency — a cache miss pays parse + training
+//     profile + classification + transform before the supervisor even
+//     forks; a warm hit pays only fork + execute.  The acceptance
+//     criterion is a >= 5x warm advantage for a pipeline-heavy program.
+//   * jobs/sec with 1 vs 4 concurrent clients — per-job supervisor
+//     processes let independent jobs overlap.
+//   * supervisor-crash survival — a SIGKILLed supervisor must cost its
+//     own job only; the next job on the same connection succeeds.
+//
+// `--service-report[=path]` writes BENCH_service.json (CI uploads it) and
+// the exit code enforces the warm-speedup and survival checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "service/Protocol.h"
+#include "service/Server.h"
+#include "support/Timing.h"
+#include "workloads/IrPrograms.h"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace privateer;
+using namespace privateer::service;
+
+namespace {
+
+struct Daemon {
+  pid_t Pid = -1;
+  std::string Socket;
+
+  explicit Daemon(unsigned Budget) {
+    Socket = "/tmp/privateer-bench-" + std::to_string(::getpid()) + ".sock";
+    ServerOptions Opts;
+    Opts.SocketPath = Socket;
+    Opts.WorkerBudget = Budget;
+    Opts.QueueDepth = 64;
+    Pid = ::fork();
+    if (Pid == 0)
+      ::_exit(Server::serve(Opts));
+  }
+
+  ~Daemon() {
+    if (Pid > 0) {
+      ::kill(Pid, SIGKILL);
+      ::waitpid(Pid, nullptr, 0);
+    }
+    ::unlink(Socket.c_str());
+  }
+};
+
+/// The pipeline-heavy program: dijkstra's training profile interprets the
+/// whole O(N^2) relaxation under shadow instrumentation, so a cache miss
+/// dwarfs the plain execution a warm job pays.  The latency jobs run in
+/// Sequential mode — same cached pipeline, cheapest possible execution —
+/// to isolate what the warm cache saves.
+std::string heavyProgram(unsigned Salt) { return dijkstraIrText(40 + Salt); }
+
+double median(std::vector<double> V) {
+  std::sort(V.begin(), V.end());
+  return V.empty() ? 0 : V[V.size() / 2];
+}
+
+/// One submit, client-measured wall milliseconds (the daemon's WallSec
+/// starts after the cache lookup, so only the client sees pipeline cost).
+bool timedSubmit(Client &C, const JobRequest &Req, double &Ms,
+                 JobReply &R, std::string &Err) {
+  double T0 = wallSeconds();
+  if (!C.submit(Req, R, Err, 600 * timeoutScale()))
+    return false;
+  Ms = (wallSeconds() - T0) * 1e3;
+  if (R.Status != JobStatus::Ok) {
+    Err = std::string(jobStatusName(R.Status)) + ": " + R.Error;
+    return false;
+  }
+  return true;
+}
+
+struct Throughput {
+  double JobsPerSec1 = 0;
+  double JobsPerSec4 = 0;
+};
+
+bool measureThroughput(const std::string &Socket, Throughput &T,
+                       std::string &Err) {
+  JobRequest Req;
+  Req.ModuleText = reductionSumIrText(500);
+  Req.NumWorkers = 2;
+
+  // Warm the cache so neither arm pays the one-time pipeline.
+  {
+    Client C;
+    JobReply R;
+    if (!C.connect(Socket, Err, 10 * timeoutScale()) ||
+        !C.submit(Req, R, Err, 600 * timeoutScale()))
+      return false;
+  }
+
+  constexpr int TotalJobs = 24;
+  {
+    Client C;
+    if (!C.connect(Socket, Err))
+      return false;
+    double T0 = wallSeconds();
+    for (int J = 0; J < TotalJobs; ++J) {
+      JobReply R;
+      if (!C.submit(Req, R, Err, 600 * timeoutScale()))
+        return false;
+      if (R.Status != JobStatus::Ok) {
+        Err = R.Error;
+        return false;
+      }
+    }
+    T.JobsPerSec1 = TotalJobs / (wallSeconds() - T0);
+  }
+  {
+    constexpr int NumClients = 4;
+    std::vector<std::thread> Threads;
+    std::vector<std::string> Errors(NumClients);
+    double T0 = wallSeconds();
+    for (int I = 0; I < NumClients; ++I)
+      Threads.emplace_back([&, I] {
+        Client C;
+        std::string E;
+        if (!C.connect(Socket, E, 10 * timeoutScale())) {
+          Errors[I] = E;
+          return;
+        }
+        for (int J = 0; J < TotalJobs / NumClients; ++J) {
+          JobReply R;
+          if (!C.submit(Req, R, E, 600 * timeoutScale()) ||
+              R.Status != JobStatus::Ok) {
+            Errors[I] = E.empty() ? R.Error : E;
+            return;
+          }
+        }
+      });
+    for (auto &Th : Threads)
+      Th.join();
+    T.JobsPerSec4 = TotalJobs / (wallSeconds() - T0);
+    for (const std::string &E : Errors)
+      if (!E.empty()) {
+        Err = E;
+        return false;
+      }
+  }
+  return true;
+}
+
+/// The daemon-restart test: kill a supervisor out from under a job, then
+/// prove the same connection still works.
+bool measureKillSurvival(const std::string &Socket, std::string &Err) {
+  Client C;
+  if (!C.connect(Socket, Err, 10 * timeoutScale()))
+    return false;
+  JobRequest Bad;
+  Bad.ModuleText = reductionSumIrText(500);
+  Bad.NumWorkers = 2;
+  Bad.FaultKillSupervisor = true;
+  JobReply R;
+  if (!C.submit(Bad, R, Err, 600 * timeoutScale()))
+    return false;
+  if (R.Status != JobStatus::Crashed) {
+    Err = std::string("expected Crashed, got ") + jobStatusName(R.Status);
+    return false;
+  }
+  Bad.FaultKillSupervisor = false;
+  JobReply R2;
+  if (!C.submit(Bad, R2, Err, 600 * timeoutScale()))
+    return false;
+  if (R2.Status != JobStatus::Ok) {
+    Err = std::string("post-crash job failed: ") + R2.Error;
+    return false;
+  }
+  return true;
+}
+
+int runServiceReport(const std::string &Path) {
+  Daemon D(16);
+  std::string Err;
+  {
+    Client Probe;
+    if (!Probe.connect(D.Socket, Err, 30 * timeoutScale())) {
+      std::fprintf(stderr, "daemon did not come up: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  // Cold samples: distinct module texts, so every one is a cache miss.
+  // Warm samples: resubmissions of the first text.
+  constexpr int ColdSamples = 5, WarmSamples = 10;
+  std::vector<double> ColdMs, WarmMs;
+  {
+    Client C;
+    if (!C.connect(D.Socket, Err)) {
+      std::fprintf(stderr, "connect: %s\n", Err.c_str());
+      return 1;
+    }
+    for (int I = 0; I < ColdSamples; ++I) {
+      JobRequest Req;
+      Req.ModuleText = heavyProgram(I);
+      Req.Mode = JobMode::Sequential;
+      Req.NumWorkers = 2;
+      double Ms;
+      JobReply R;
+      if (!timedSubmit(C, Req, Ms, R, Err)) {
+        std::fprintf(stderr, "cold submit %d: %s\n", I, Err.c_str());
+        return 1;
+      }
+      if (R.CacheHit) {
+        std::fprintf(stderr, "cold submit %d unexpectedly hit the cache\n", I);
+        return 1;
+      }
+      ColdMs.push_back(Ms);
+    }
+    for (int I = 0; I < WarmSamples; ++I) {
+      JobRequest Req;
+      Req.ModuleText = heavyProgram(0);
+      Req.Mode = JobMode::Sequential;
+      Req.NumWorkers = 2;
+      double Ms;
+      JobReply R;
+      if (!timedSubmit(C, Req, Ms, R, Err)) {
+        std::fprintf(stderr, "warm submit %d: %s\n", I, Err.c_str());
+        return 1;
+      }
+      if (!R.CacheHit) {
+        std::fprintf(stderr, "warm submit %d missed the cache\n", I);
+        return 1;
+      }
+      WarmMs.push_back(Ms);
+    }
+  }
+  double Cold = median(ColdMs), Warm = median(WarmMs);
+  double Speedup = Warm > 0 ? Cold / Warm : 0;
+  std::printf("cold submit: %.2f ms median (%d samples)\n", Cold, ColdSamples);
+  std::printf("warm submit: %.2f ms median (%d samples), speedup %.1fx\n",
+              Warm, WarmSamples, Speedup);
+
+  Throughput T;
+  if (!measureThroughput(D.Socket, T, Err)) {
+    std::fprintf(stderr, "throughput: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("throughput: %.1f jobs/s (1 client), %.1f jobs/s (4 clients), "
+              "%.2fx\n",
+              T.JobsPerSec1, T.JobsPerSec4, T.JobsPerSec4 / T.JobsPerSec1);
+
+  bool Survived = measureKillSurvival(D.Socket, Err);
+  if (!Survived)
+    std::fprintf(stderr, "supervisor-kill survival: %s\n", Err.c_str());
+  std::printf("supervisor-kill survival: %s\n", Survived ? "yes" : "NO");
+
+  bool SpeedupPass = Speedup >= 5.0;
+  std::FILE *Out = std::fopen(Path.c_str(), "w");
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  auto List = [&](const std::vector<double> &V) {
+    std::fprintf(Out, "[");
+    for (size_t I = 0; I < V.size(); ++I)
+      std::fprintf(Out, "%s%.3f", I ? ", " : "", V[I]);
+    std::fprintf(Out, "]");
+  };
+  std::fprintf(Out, "{\n  \"cold_ms\": ");
+  List(ColdMs);
+  std::fprintf(Out, ",\n  \"warm_ms\": ");
+  List(WarmMs);
+  std::fprintf(Out,
+               ",\n  \"cold_median_ms\": %.3f,\n  \"warm_median_ms\": %.3f,\n"
+               "  \"warm_speedup\": %.2f,\n"
+               "  \"jobs_per_sec_1_client\": %.2f,\n"
+               "  \"jobs_per_sec_4_clients\": %.2f,\n"
+               "  \"client_scaling\": %.2f,\n"
+               "  \"supervisor_kill_survived\": %s,\n"
+               "  \"check_warm_speedup_ge_5x\": %s\n}\n",
+               Cold, Warm, Speedup, T.JobsPerSec1, T.JobsPerSec4,
+               T.JobsPerSec1 > 0 ? T.JobsPerSec4 / T.JobsPerSec1 : 0,
+               Survived ? "true" : "false", SpeedupPass ? "true" : "false");
+  std::fclose(Out);
+  std::printf("service report written to %s; warm speedup %.1fx (need "
+              ">=5x): %s\n",
+              Path.c_str(), Speedup,
+              SpeedupPass && Survived ? "PASS" : "FAIL");
+  return SpeedupPass && Survived ? 0 : 1;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Path = "BENCH_service.json";
+  for (int I = 1; I < Argc; ++I) {
+    std::string A(Argv[I]);
+    if (A.rfind("--service-report=", 0) == 0)
+      Path = A.substr(sizeof("--service-report=") - 1);
+    else if (A != "--service-report") {
+      std::fprintf(stderr, "usage: %s [--service-report[=path]]\n", Argv[0]);
+      return 2;
+    }
+  }
+  return runServiceReport(Path);
+}

@@ -1,0 +1,110 @@
+//===- service/Client.cpp -------------------------------------------------===//
+
+#include "service/Client.h"
+
+#include "support/Timing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace privateer;
+using namespace privateer::service;
+
+bool Client::connect(const std::string &SocketPath, std::string &Err,
+                     double TimeoutSec) {
+  close();
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + SocketPath;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+
+  double Deadline = wallSeconds() + TimeoutSec;
+  while (true) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (Fd < 0) {
+      Err = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      return true;
+    int E = errno;
+    ::close(Fd);
+    Fd = -1;
+    if (wallSeconds() >= Deadline) {
+      Err = "connect " + SocketPath + ": " + std::strerror(E);
+      return false;
+    }
+    ::usleep(20'000); // daemon may still be binding
+  }
+}
+
+void Client::close() {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = -1;
+}
+
+bool Client::roundTrip(MsgType Send, const std::string &Body, MsgType Expect,
+                       std::string &ReplyBody, std::string &Err,
+                       double TimeoutSec) {
+  if (Fd < 0) {
+    Err = "not connected";
+    return false;
+  }
+  if (!writeFrame(Fd, Send, Body, Err))
+    return false;
+  MsgType Type;
+  ReadStatus S = readFrame(Fd, Type, ReplyBody, Err, TimeoutSec);
+  if (S == ReadStatus::Eof) {
+    Err = "daemon closed the connection";
+    return false;
+  }
+  if (S == ReadStatus::Timeout) {
+    Err = "timed out waiting for reply";
+    return false;
+  }
+  if (S != ReadStatus::Ok)
+    return false;
+  if (Type == MsgType::Error) {
+    Err = "daemon: " + ReplyBody;
+    return false;
+  }
+  if (Type != Expect) {
+    Err = "unexpected reply frame type " +
+          std::to_string(static_cast<unsigned>(Type));
+    return false;
+  }
+  return true;
+}
+
+bool Client::submit(const JobRequest &Req, JobReply &Reply, std::string &Err,
+                    double TimeoutSec) {
+  std::string Body;
+  if (!roundTrip(MsgType::SubmitJob, encodeJobRequest(Req),
+                 MsgType::JobResult, Body, Err, TimeoutSec))
+    return false;
+  return decodeJobReply(Body, Reply, Err);
+}
+
+bool Client::status(std::string &Json, std::string &Err, double TimeoutSec) {
+  return roundTrip(MsgType::StatusRequest, "", MsgType::StatusReply, Json,
+                   Err, TimeoutSec);
+}
+
+bool Client::drain(std::string &Err, double TimeoutSec) {
+  std::string Body;
+  return roundTrip(MsgType::Drain, "", MsgType::Ack, Body, Err, TimeoutSec);
+}
+
+bool Client::shutdownServer(std::string &Err, double TimeoutSec) {
+  std::string Body;
+  return roundTrip(MsgType::Shutdown, "", MsgType::Ack, Body, Err,
+                   TimeoutSec);
+}

@@ -1,0 +1,63 @@
+//===- service/Client.h - privateer-served client ---------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small synchronous client for the invocation service: one connection,
+/// one outstanding job at a time (the protocol the daemon enforces).
+/// privateer-client, `privateer-cc --connect`, the service tests, and
+/// bench_service all speak through this class.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SERVICE_CLIENT_H
+#define PRIVATEER_SERVICE_CLIENT_H
+
+#include "service/Protocol.h"
+
+namespace privateer {
+namespace service {
+
+class Client {
+public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client &) = delete;
+  Client &operator=(const Client &) = delete;
+
+  /// Connects to the daemon socket; retries until \p TimeoutSec so a
+  /// just-spawned daemon has time to bind.
+  bool connect(const std::string &SocketPath, std::string &Err,
+               double TimeoutSec = 5.0);
+
+  bool connected() const { return Fd >= 0; }
+  int fd() const { return Fd; }
+  void close();
+
+  /// Submits one job and blocks for its JobResult (0 timeout: forever).
+  bool submit(const JobRequest &Req, JobReply &Reply, std::string &Err,
+              double TimeoutSec = 0);
+
+  /// Fetches the daemon's status counters as JSON.
+  bool status(std::string &Json, std::string &Err, double TimeoutSec = 10);
+
+  /// Asks the daemon to drain (finish queue, then exit) or shut down
+  /// (cancel everything, then exit); waits for the Ack.
+  bool drain(std::string &Err, double TimeoutSec = 10);
+  bool shutdownServer(std::string &Err, double TimeoutSec = 10);
+
+private:
+  bool roundTrip(MsgType Send, const std::string &Body, MsgType Expect,
+                 std::string &ReplyBody, std::string &Err,
+                 double TimeoutSec);
+
+  int Fd = -1;
+};
+
+} // namespace service
+} // namespace privateer
+
+#endif // PRIVATEER_SERVICE_CLIENT_H

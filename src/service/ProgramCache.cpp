@@ -1,0 +1,68 @@
+//===- service/ProgramCache.cpp -------------------------------------------===//
+
+#include "service/ProgramCache.h"
+
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "support/Fnv.h"
+#include "support/Statistics.h"
+#include "support/Timing.h"
+
+using namespace privateer;
+using namespace privateer::service;
+
+std::shared_ptr<CachedProgram>
+ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
+  uint64_t Key = fnv1a(Text);
+  auto It = Entries.find(Key);
+  if (It != Entries.end() && It->second->Text == Text) {
+    Hit = true;
+    ++Hits;
+    return It->second;
+  }
+  Hit = false;
+  ++Misses;
+
+  double T0 = wallSeconds();
+  auto Entry = std::make_shared<CachedProgram>();
+  Entry->Key = Key;
+  Entry->Text = Text;
+  Entry->M = ir::parseModule(Text, Err);
+  if (!Entry->M) {
+    Err = "parse error: " + Err;
+    return nullptr;
+  }
+  auto Diags = ir::verifyModule(*Entry->M);
+  if (!Diags.empty()) {
+    Err = "verifier: " + Diags.front();
+    return nullptr;
+  }
+
+  Entry->FA = std::make_unique<analysis::FunctionAnalyses>(*Entry->M);
+
+  // The training run interprets the whole program; its output must not
+  // leak into the daemon's stdout.
+  std::FILE *TrainSink = std::tmpfile();
+  Runtime::get().setSequentialOutput(TrainSink);
+  Entry->Pipeline = transform::runPrivateerPipeline(
+      *Entry->M, *Entry->FA, transform::PipelineOptions());
+  Runtime::get().setSequentialOutput(nullptr);
+  if (TrainSink)
+    std::fclose(TrainSink);
+  Entry->PipelineSec = wallSeconds() - T0;
+  StatisticRegistry::instance().real("service", "pipeline_sec") +=
+      Entry->PipelineSec;
+
+  while (Entries.size() >= MaxEntries && !InsertionOrder.empty()) {
+    Entries.erase(InsertionOrder.front());
+    InsertionOrder.pop_front();
+    ++Evictions;
+  }
+  // A hash collision with different text replaces the older entry (jobs
+  // already holding it keep their shared_ptr).
+  if (Entries.emplace(Key, Entry).second)
+    InsertionOrder.push_back(Key);
+  else
+    Entries[Key] = Entry;
+  return Entry;
+}

@@ -1,0 +1,78 @@
+//===- service/ProgramCache.h - Warm compiled-program cache -----*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's warm program cache: module text is hashed with FNV-1a and
+/// the expensive front half of a Privateer run — parse, verify, training
+/// profile, classification, transformation — executes at most once per
+/// distinct program.  The cached transformed module, its analyses, and
+/// the heap assignment are then reused by every subsequent job: the
+/// per-job supervisor process inherits them read-only across fork(), so
+/// a warm submit pays only fork + execution.
+///
+/// Entries are handed out as shared_ptr: eviction (bounded FIFO) drops
+/// the cache's reference, while jobs still queued against the entry keep
+/// it alive until their supervisor has forked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SERVICE_PROGRAMCACHE_H
+#define PRIVATEER_SERVICE_PROGRAMCACHE_H
+
+#include "analysis/FunctionAnalyses.h"
+#include "ir/IR.h"
+#include "transform/Pipeline.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace privateer {
+namespace service {
+
+/// One fully prepared program.  The PipelineResult's loop / global
+/// pointers point into *M, and FA holds analyses over *M, so the three
+/// must live and die together.
+struct CachedProgram {
+  uint64_t Key = 0;
+  std::string Text; ///< verbatim module text (collision check)
+  std::unique_ptr<ir::Module> M;
+  std::unique_ptr<analysis::FunctionAnalyses> FA;
+  transform::PipelineResult Pipeline;
+  double PipelineSec = 0; ///< cost of the cold half, paid once
+};
+
+class ProgramCache {
+public:
+  explicit ProgramCache(size_t MaxEntries = 32) : MaxEntries(MaxEntries) {}
+
+  /// Looks up (or builds) the prepared program for \p Text.  On a miss
+  /// this runs the full pipeline in the calling process — the training
+  /// run's output is swallowed.  Returns nullptr with \p Err set when the
+  /// text does not parse or verify; a program whose pipeline finds no
+  /// parallelizable loop is still cached (Pipeline.Transformed == false)
+  /// so repeated submits stay cheap.
+  std::shared_ptr<CachedProgram> lookup(const std::string &Text,
+                                        std::string &Err, bool &Hit);
+
+  size_t size() const { return Entries.size(); }
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+  uint64_t evictions() const { return Evictions; }
+
+private:
+  size_t MaxEntries;
+  std::map<uint64_t, std::shared_ptr<CachedProgram>> Entries;
+  std::deque<uint64_t> InsertionOrder; ///< FIFO eviction
+  uint64_t Hits = 0, Misses = 0, Evictions = 0;
+};
+
+} // namespace service
+} // namespace privateer
+
+#endif // PRIVATEER_SERVICE_PROGRAMCACHE_H

@@ -1,0 +1,352 @@
+//===- service/Protocol.cpp -----------------------------------------------===//
+
+#include "service/Protocol.h"
+
+#include "support/Timing.h"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <unistd.h>
+
+using namespace privateer;
+using namespace privateer::service;
+
+const char *service::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Ok:
+    return "ok";
+  case JobStatus::Rejected:
+    return "rejected";
+  case JobStatus::ParseError:
+    return "parse-error";
+  case JobStatus::NotParallelizable:
+    return "not-parallelizable";
+  case JobStatus::Crashed:
+    return "crashed";
+  case JobStatus::TimedOut:
+    return "timed-out";
+  case JobStatus::Canceled:
+    return "canceled";
+  case JobStatus::Draining:
+    return "draining";
+  case JobStatus::InternalError:
+    return "internal-error";
+  }
+  return "unknown";
+}
+
+// --- Flat field encoding -------------------------------------------------
+
+namespace {
+
+void putU8(std::string &B, uint8_t V) { B.push_back(static_cast<char>(V)); }
+
+void putU32(std::string &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putF64(std::string &B, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(B, Bits);
+}
+
+void putStr(std::string &B, const std::string &S) {
+  putU32(B, static_cast<uint32_t>(S.size()));
+  B.append(S);
+}
+
+/// Bounds-checked sequential reader over a body.  Every get* returns
+/// false once the body is exhausted, so truncated frames decode to a
+/// clean error rather than UB.
+struct Cursor {
+  const uint8_t *P;
+  size_t Left;
+
+  explicit Cursor(const std::string &B)
+      : P(reinterpret_cast<const uint8_t *>(B.data())), Left(B.size()) {}
+
+  bool getU8(uint8_t &V) {
+    if (Left < 1)
+      return false;
+    V = *P++;
+    --Left;
+    return true;
+  }
+
+  bool getU32(uint32_t &V) {
+    if (Left < 4)
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(P[I]) << (8 * I);
+    P += 4;
+    Left -= 4;
+    return true;
+  }
+
+  bool getU64(uint64_t &V) {
+    if (Left < 8)
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(P[I]) << (8 * I);
+    P += 8;
+    Left -= 8;
+    return true;
+  }
+
+  bool getF64(double &V) {
+    uint64_t Bits;
+    if (!getU64(Bits))
+      return false;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return true;
+  }
+
+  bool getStr(std::string &S) {
+    uint32_t Len;
+    if (!getU32(Len) || Left < Len)
+      return false;
+    S.assign(reinterpret_cast<const char *>(P), Len);
+    P += Len;
+    Left -= Len;
+    return true;
+  }
+};
+
+} // namespace
+
+std::string service::encodeJobRequest(const JobRequest &R) {
+  std::string B;
+  putU8(B, kProtocolVersion);
+  putStr(B, R.ModuleText);
+  putU8(B, static_cast<uint8_t>(R.Mode));
+  putU32(B, R.NumWorkers);
+  putU64(B, R.CheckpointPeriod);
+  putU64(B, R.MaxSlotsPerEpoch);
+  putF64(B, R.InjectMisspecRate);
+  putU64(B, R.InjectSeed);
+  putU8(B, R.EagerCommit ? 1 : 0);
+  putF64(B, R.StallTimeoutSec);
+  putF64(B, R.DeadlineSec);
+  putStr(B, R.TracePath);
+  putU8(B, R.FaultKillSupervisor ? 1 : 0);
+  putU32(B, R.FaultKillWorker);
+  putU64(B, R.FaultKillAtIter);
+  putU32(B, R.FaultStallWorker);
+  putU64(B, R.FaultStallAtIter);
+  putF64(B, R.FaultStallSeconds);
+  putF64(B, R.FaultKillRate);
+  putU64(B, R.FaultSeed);
+  return B;
+}
+
+bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
+                               std::string &Err) {
+  Cursor C(Body);
+  uint8_t Version = 0, Mode = 0, Eager = 0, KillSup = 0;
+  if (!C.getU8(Version)) {
+    Err = "empty SubmitJob body";
+    return false;
+  }
+  if (Version != kProtocolVersion) {
+    Err = "unsupported protocol version " + std::to_string(Version);
+    return false;
+  }
+  if (!C.getStr(R.ModuleText) || !C.getU8(Mode) || !C.getU32(R.NumWorkers) ||
+      !C.getU64(R.CheckpointPeriod) || !C.getU64(R.MaxSlotsPerEpoch) ||
+      !C.getF64(R.InjectMisspecRate) || !C.getU64(R.InjectSeed) ||
+      !C.getU8(Eager) || !C.getF64(R.StallTimeoutSec) ||
+      !C.getF64(R.DeadlineSec) || !C.getStr(R.TracePath) ||
+      !C.getU8(KillSup) || !C.getU32(R.FaultKillWorker) ||
+      !C.getU64(R.FaultKillAtIter) || !C.getU32(R.FaultStallWorker) ||
+      !C.getU64(R.FaultStallAtIter) || !C.getF64(R.FaultStallSeconds) ||
+      !C.getF64(R.FaultKillRate) || !C.getU64(R.FaultSeed)) {
+    Err = "truncated SubmitJob body";
+    return false;
+  }
+  if (Mode > static_cast<uint8_t>(JobMode::Sequential)) {
+    Err = "bad job mode " + std::to_string(Mode);
+    return false;
+  }
+  R.Mode = static_cast<JobMode>(Mode);
+  R.EagerCommit = Eager != 0;
+  R.FaultKillSupervisor = KillSup != 0;
+  return true;
+}
+
+std::string service::encodeJobReply(const JobReply &R) {
+  std::string B;
+  putU8(B, kProtocolVersion);
+  putU8(B, static_cast<uint8_t>(R.Status));
+  putStr(B, R.Error);
+  putStr(B, R.Output);
+  putU64(B, static_cast<uint64_t>(R.ExitValue));
+  putU8(B, R.CacheHit ? 1 : 0);
+  putU64(B, R.Iterations);
+  putU64(B, R.Checkpoints);
+  putU64(B, R.Misspecs);
+  putU64(B, R.RecoveredIterations);
+  putStr(B, R.MisspecReason);
+  putF64(B, R.PipelineSec);
+  putF64(B, R.ExecSec);
+  putF64(B, R.QueueSec);
+  putF64(B, R.WallSec);
+  return B;
+}
+
+bool service::decodeJobReply(const std::string &Body, JobReply &R,
+                             std::string &Err) {
+  Cursor C(Body);
+  uint8_t Version = 0, Status = 0, CacheHit = 0;
+  uint64_t Exit = 0;
+  if (!C.getU8(Version)) {
+    Err = "empty JobResult body";
+    return false;
+  }
+  if (Version != kProtocolVersion) {
+    Err = "unsupported protocol version " + std::to_string(Version);
+    return false;
+  }
+  if (!C.getU8(Status) || !C.getStr(R.Error) || !C.getStr(R.Output) ||
+      !C.getU64(Exit) || !C.getU8(CacheHit) || !C.getU64(R.Iterations) ||
+      !C.getU64(R.Checkpoints) || !C.getU64(R.Misspecs) ||
+      !C.getU64(R.RecoveredIterations) || !C.getStr(R.MisspecReason) ||
+      !C.getF64(R.PipelineSec) || !C.getF64(R.ExecSec) ||
+      !C.getF64(R.QueueSec) || !C.getF64(R.WallSec)) {
+    Err = "truncated JobResult body";
+    return false;
+  }
+  if (Status > static_cast<uint8_t>(JobStatus::InternalError)) {
+    Err = "bad job status " + std::to_string(Status);
+    return false;
+  }
+  R.Status = static_cast<JobStatus>(Status);
+  R.ExitValue = static_cast<int64_t>(Exit);
+  R.CacheHit = CacheHit != 0;
+  return true;
+}
+
+// --- Frame I/O -----------------------------------------------------------
+
+bool service::writeFrame(int Fd, MsgType Type, const std::string &Body,
+                         std::string &Err) {
+  std::string Frame;
+  Frame.reserve(5 + Body.size());
+  putU32(Frame, static_cast<uint32_t>(1 + Body.size()));
+  putU8(Frame, static_cast<uint8_t>(Type));
+  Frame.append(Body);
+
+  size_t Done = 0;
+  while (Done < Frame.size()) {
+    ssize_t N = ::write(Fd, Frame.data() + Done, Frame.size() - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Callers use blocking fds; a non-blocking fd that fills mid-frame
+        // waits for drain rather than corrupting the stream.
+        pollfd P{Fd, POLLOUT, 0};
+        ::poll(&P, 1, 100);
+        continue;
+      }
+      Err = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+ReadStatus service::readFrame(int Fd, MsgType &Type, std::string &Body,
+                              std::string &Err, double TimeoutSec,
+                              size_t MaxFrame) {
+  double Deadline = TimeoutSec > 0 ? wallSeconds() + TimeoutSec : 0;
+  auto ReadExact = [&](void *Dst, size_t Len, bool &SawAny) -> ReadStatus {
+    size_t Done = 0;
+    while (Done < Len) {
+      if (Deadline > 0) {
+        double Left = Deadline - wallSeconds();
+        if (Left <= 0)
+          return ReadStatus::Timeout;
+        pollfd P{Fd, POLLIN, 0};
+        int R = ::poll(&P, 1, static_cast<int>(Left * 1000) + 1);
+        if (R < 0 && errno != EINTR) {
+          Err = std::string("poll: ") + std::strerror(errno);
+          return ReadStatus::Error;
+        }
+        if (R <= 0)
+          continue;
+      }
+      ssize_t N = ::read(Fd, static_cast<char *>(Dst) + Done, Len - Done);
+      if (N < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+          continue;
+        Err = std::string("read: ") + std::strerror(errno);
+        return ReadStatus::Error;
+      }
+      if (N == 0) {
+        if (!SawAny && Done == 0)
+          return ReadStatus::Eof;
+        Err = "connection closed mid-frame";
+        return ReadStatus::Error;
+      }
+      SawAny = true;
+      Done += static_cast<size_t>(N);
+    }
+    return ReadStatus::Ok;
+  };
+
+  bool SawAny = false;
+  uint8_t Hdr[4];
+  ReadStatus S = ReadExact(Hdr, 4, SawAny);
+  if (S != ReadStatus::Ok)
+    return S;
+  uint32_t PayloadLen = 0;
+  for (int I = 0; I < 4; ++I)
+    PayloadLen |= static_cast<uint32_t>(Hdr[I]) << (8 * I);
+  if (PayloadLen == 0 || PayloadLen > MaxFrame) {
+    Err = "bad frame length " + std::to_string(PayloadLen);
+    return ReadStatus::Error;
+  }
+  uint8_t TypeByte;
+  S = ReadExact(&TypeByte, 1, SawAny);
+  if (S != ReadStatus::Ok)
+    return S == ReadStatus::Eof ? ReadStatus::Error : S;
+  Body.resize(PayloadLen - 1);
+  if (PayloadLen > 1) {
+    S = ReadExact(Body.data(), PayloadLen - 1, SawAny);
+    if (S != ReadStatus::Ok)
+      return S == ReadStatus::Eof ? ReadStatus::Error : S;
+  }
+  Type = static_cast<MsgType>(TypeByte);
+  return ReadStatus::Ok;
+}
+
+FrameAssembler::Result FrameAssembler::next(MsgType &Type, std::string &Body,
+                                            std::string &Err) {
+  if (Buf.size() < 4)
+    return Result::NeedMore;
+  uint32_t PayloadLen = 0;
+  for (int I = 0; I < 4; ++I)
+    PayloadLen |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[I]))
+                  << (8 * I);
+  if (PayloadLen == 0 || PayloadLen > MaxFrame) {
+    Err = "bad frame length " + std::to_string(PayloadLen);
+    return Result::Malformed;
+  }
+  if (Buf.size() < 4 + static_cast<size_t>(PayloadLen))
+    return Result::NeedMore;
+  Type = static_cast<MsgType>(static_cast<uint8_t>(Buf[4]));
+  Body.assign(Buf, 5, PayloadLen - 1);
+  Buf.erase(0, 4 + static_cast<size_t>(PayloadLen));
+  return Result::Frame;
+}

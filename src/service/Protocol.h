@@ -1,0 +1,181 @@
+//===- service/Protocol.h - privateer-served wire protocol ------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The length-prefixed binary protocol spoken between `privateer-served`
+/// and its clients over a Unix-domain socket, and between the daemon and
+/// the per-job supervisor processes over a result pipe.
+///
+/// Frame layout (everything little-endian):
+///
+///   +----------------+-------------+------------------------+
+///   | u32 PayloadLen  | u8 MsgType | PayloadLen-1 body bytes |
+///   +----------------+-------------+------------------------+
+///
+/// PayloadLen counts the type byte plus the body, so a bare control frame
+/// (Ack, Drain, ...) has PayloadLen == 1.  A frame whose PayloadLen is 0
+/// or exceeds the receiver's limit (kMaxFrameBytes by default) is a
+/// protocol violation: the daemon answers with one best-effort Error
+/// frame, closes that connection, and keeps serving every other client.
+///
+/// Bodies are flat field sequences (no tags): u8/u32/u64/f64 fixed-width
+/// scalars and u32-length-prefixed strings, decoded by a bounds-checked
+/// cursor so truncated or oversized frames fail cleanly instead of
+/// reading out of bounds.  A version byte leads every SubmitJob/JobResult
+/// body so the format can evolve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SERVICE_PROTOCOL_H
+#define PRIVATEER_SERVICE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+
+namespace privateer {
+namespace service {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+/// Default ceiling on one frame (module texts and job output both ride in
+/// frames; 64 MiB is far above any bundled program).
+inline constexpr size_t kMaxFrameBytes = 64u << 20;
+
+enum class MsgType : uint8_t {
+  SubmitJob = 1,   ///< client -> daemon: module text + execution knobs
+  JobResult = 2,   ///< daemon -> client (and supervisor -> daemon)
+  StatusRequest = 3, ///< client -> daemon
+  StatusReply = 4,   ///< daemon -> client: service counters as JSON
+  Drain = 5,       ///< client -> daemon: stop accepting, finish the queue
+  Shutdown = 6,    ///< client -> daemon: cancel everything and exit
+  Ack = 7,         ///< daemon -> client: Drain/Shutdown accepted
+  Error = 8,       ///< daemon -> client: protocol violation, closing
+};
+
+/// How the daemon should execute the submitted module.
+enum class JobMode : uint8_t {
+  Speculative = 0, ///< full pipeline result run under the parallel runtime
+  Sequential = 1,  ///< plain interpretation (baseline / fallback)
+};
+
+/// Terminal state of one job, carried in JobResult.
+enum class JobStatus : uint8_t {
+  Ok = 0,
+  Rejected = 1,          ///< admission control: queue full (backpressure)
+  ParseError = 2,        ///< module text did not parse / verify
+  NotParallelizable = 3, ///< pipeline found no speculatable loop
+  Crashed = 4,           ///< supervisor died (signal / truncated result)
+  TimedOut = 5,          ///< per-job deadline expired; supervisor killed
+  Canceled = 6,          ///< client vanished / shutdown mid-flight
+  Draining = 7,          ///< daemon is draining; resubmit elsewhere
+  InternalError = 8,
+};
+
+const char *jobStatusName(JobStatus S);
+
+/// A SubmitJob body: the program plus the subset of ParallelOptions and
+/// FaultPlan knobs a remote caller may set.  Defaults mirror
+/// ParallelOptions so an empty request behaves like local privateer-cc.
+struct JobRequest {
+  std::string ModuleText;
+  JobMode Mode = JobMode::Speculative;
+  uint32_t NumWorkers = 4;
+  uint64_t CheckpointPeriod = 64;
+  uint64_t MaxSlotsPerEpoch = 32;
+  double InjectMisspecRate = 0.0;
+  uint64_t InjectSeed = 1;
+  bool EagerCommit = true;
+  double StallTimeoutSec = 10.0;
+  /// Wall-clock deadline for the whole job once it starts executing; the
+  /// daemon multiplies it by timeoutScale() (PRIVATEER_TIMEOUT_SCALE) so
+  /// sanitizer CI does not reap slow-but-healthy jobs.  0 = daemon default.
+  double DeadlineSec = 0.0;
+  /// When non-empty the supervisor records a runtime timeline to this path.
+  std::string TracePath;
+
+  // --- Fault injection (tests and bench_service) -------------------------
+  /// Supervisor raises SIGKILL on itself mid-job; the daemon must report
+  /// the job Crashed and keep serving the same connection.
+  bool FaultKillSupervisor = false;
+  uint32_t FaultKillWorker = ~0u;
+  uint64_t FaultKillAtIter = ~0ULL;
+  uint32_t FaultStallWorker = ~0u;
+  uint64_t FaultStallAtIter = ~0ULL;
+  double FaultStallSeconds = 3600.0;
+  double FaultKillRate = 0.0;
+  uint64_t FaultSeed = 1;
+};
+
+/// A JobResult body.
+struct JobReply {
+  JobStatus Status = JobStatus::InternalError;
+  std::string Error;
+  std::string Output; ///< the program's (deferred) output, byte-exact
+  int64_t ExitValue = 0;
+  bool CacheHit = false;
+  uint64_t Iterations = 0;
+  uint64_t Checkpoints = 0;
+  uint64_t Misspecs = 0;
+  uint64_t RecoveredIterations = 0;
+  std::string MisspecReason;
+  double PipelineSec = 0; ///< parse+profile+classify+transform (cache miss)
+  double ExecSec = 0;     ///< supervisor wall time
+  double QueueSec = 0;    ///< admission queue wait
+  double WallSec = 0;     ///< submit-to-result, measured by the daemon
+};
+
+// --- Body serialization --------------------------------------------------
+
+std::string encodeJobRequest(const JobRequest &R);
+bool decodeJobRequest(const std::string &Body, JobRequest &R,
+                      std::string &Err);
+
+std::string encodeJobReply(const JobReply &R);
+bool decodeJobReply(const std::string &Body, JobReply &R, std::string &Err);
+
+// --- Frame I/O -----------------------------------------------------------
+
+/// Blocking frame write (loops over partial writes and EINTR).  \p Body is
+/// the payload after the type byte.
+bool writeFrame(int Fd, MsgType Type, const std::string &Body,
+                std::string &Err);
+
+enum class ReadStatus : uint8_t { Ok, Eof, Timeout, Error };
+
+/// Blocking frame read with an optional wall deadline (<= 0: wait
+/// forever).  Returns Error (with \p Err set) for malformed length
+/// prefixes, Eof for a clean close before any byte of the frame.
+ReadStatus readFrame(int Fd, MsgType &Type, std::string &Body,
+                     std::string &Err, double TimeoutSec = 0,
+                     size_t MaxFrame = kMaxFrameBytes);
+
+/// Incremental frame parser for the daemon's non-blocking reads: feed()
+/// appends raw bytes; next() pops one complete frame per call.
+class FrameAssembler {
+public:
+  enum class Result : uint8_t { NeedMore, Frame, Malformed };
+
+  explicit FrameAssembler(size_t MaxFrame = kMaxFrameBytes)
+      : MaxFrame(MaxFrame) {}
+
+  void feed(const char *Data, size_t Len) { Buf.append(Data, Len); }
+
+  /// Pops the next complete frame into \p Type / \p Body.  Malformed means
+  /// the byte stream is unrecoverable (bad length prefix): the connection
+  /// must be dropped.
+  Result next(MsgType &Type, std::string &Body, std::string &Err);
+
+  size_t buffered() const { return Buf.size(); }
+
+private:
+  std::string Buf;
+  size_t MaxFrame;
+};
+
+} // namespace service
+} // namespace privateer
+
+#endif // PRIVATEER_SERVICE_PROTOCOL_H

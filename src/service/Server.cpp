@@ -1,0 +1,872 @@
+//===- service/Server.cpp - privateer-served event loop -------------------===//
+
+#include "service/Server.h"
+
+#include "runtime/ControlBlock.h"
+#include "support/Statistics.h"
+#include "support/Timing.h"
+#include "transform/Pipeline.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace privateer;
+using namespace privateer::service;
+
+// --- Signal plumbing -----------------------------------------------------
+//
+// Handlers set a flag and poke the self-pipe so poll() wakes promptly;
+// all real work happens in the event loop.
+
+namespace {
+
+volatile sig_atomic_t GotSigChld = 0;
+volatile sig_atomic_t GotSigTerm = 0;
+volatile sig_atomic_t GotSigInt = 0;
+int SigWakeFd = -1;
+
+void onSignal(int Sig) {
+  if (Sig == SIGCHLD)
+    GotSigChld = 1;
+  else if (Sig == SIGTERM)
+    GotSigTerm = 1;
+  else if (Sig == SIGINT)
+    GotSigInt = 1;
+  if (SigWakeFd >= 0) {
+    char B = 1;
+    [[maybe_unused]] ssize_t N = ::write(SigWakeFd, &B, 1);
+  }
+}
+
+void setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK);
+}
+
+/// True when \p Buf starts with one complete frame.
+bool holdsCompleteFrame(const std::string &Buf) {
+  if (Buf.size() < 4)
+    return false;
+  uint32_t Len = 0;
+  for (int I = 0; I < 4; ++I)
+    Len |= static_cast<uint32_t>(static_cast<uint8_t>(Buf[I])) << (8 * I);
+  return Len >= 1 && Len <= kMaxFrameBytes && Buf.size() >= 4 + size_t(Len);
+}
+
+} // namespace
+
+uint64_t &Server::stat(const char *Name) const {
+  return StatisticRegistry::instance().counter("service", Name);
+}
+
+Server::Server(ServerOptions O)
+    : Opts(std::move(O)), Cache(Opts.CacheEntries) {
+  // Pre-register every counter so the status JSON always carries the full
+  // schema, not just the events that have happened to occur yet.
+  for (const char *Name :
+       {"connections_accepted", "connections_closed", "malformed_frames",
+        "jobs_submitted", "jobs_accepted", "jobs_rejected", "jobs_completed",
+        "jobs_failed", "jobs_crashed", "jobs_canceled", "jobs_timeout",
+        "cache_hits", "cache_misses", "cache_evictions", "queue_peak"})
+    stat(Name);
+}
+
+Server::~Server() {
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ::unlink(Opts.SocketPath.c_str());
+  }
+  for (int Fd : {SigPipe[0], SigPipe[1]})
+    if (Fd >= 0)
+      ::close(Fd);
+  for (auto &[Fd, C] : Conns)
+    ::close(Fd);
+  for (auto &[Id, J] : Jobs)
+    if (J.ResultFd >= 0)
+      ::close(J.ResultFd);
+}
+
+bool Server::start(std::string &Err) {
+  if (Opts.SocketPath.empty()) {
+    Err = "no socket path";
+    return false;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Opts.SocketPath;
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (ListenFd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(Opts.SocketPath.c_str());
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    Err = "bind " + Opts.SocketPath + ": " + std::strerror(errno);
+    return false;
+  }
+  if (::listen(ListenFd, 64) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  setNonBlocking(ListenFd);
+
+  if (::pipe(SigPipe) < 0) {
+    Err = std::string("pipe: ") + std::strerror(errno);
+    return false;
+  }
+  setNonBlocking(SigPipe[0]);
+  setNonBlocking(SigPipe[1]);
+  SigWakeFd = SigPipe[1];
+
+  struct sigaction Sa{};
+  Sa.sa_handler = onSignal;
+  sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGCHLD, &Sa, nullptr);
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  ::sigaction(SIGINT, &Sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  StartTime = wallSeconds();
+  if (Opts.Verbose)
+    std::fprintf(stderr, "[privateer-served] listening on %s (budget %u, "
+                 "queue %zu)\n",
+                 Opts.SocketPath.c_str(), Opts.WorkerBudget, Opts.QueueDepth);
+  return true;
+}
+
+int Server::serve(const ServerOptions &O) {
+  Server S(O);
+  std::string Err;
+  if (!S.start(Err)) {
+    std::fprintf(stderr, "privateer-served: %s\n", Err.c_str());
+    return 1;
+  }
+  return S.run();
+}
+
+// --- Event loop ----------------------------------------------------------
+
+int Server::run() {
+  while (true) {
+    if (GotSigChld) {
+      GotSigChld = 0;
+      reapChildren();
+    }
+    if (GotSigTerm) {
+      GotSigTerm = 0;
+      beginDrain();
+    }
+    if (GotSigInt) {
+      GotSigInt = 0;
+      beginShutdown();
+    }
+
+    double Now = wallSeconds();
+    checkDeadlines(Now);
+
+    // Finalize any job whose supervisor is reaped and whose result pipe
+    // has either drained to EOF or already holds a complete frame.
+    std::vector<uint64_t> Done;
+    for (auto &[Id, J] : Jobs)
+      if (J.Running && J.Reaped &&
+          (J.ResultEof || holdsCompleteFrame(J.ResultBuf)))
+        Done.push_back(Id);
+    for (uint64_t Id : Done) {
+      auto It = Jobs.find(Id);
+      if (It != Jobs.end())
+        finishJob(It->second);
+    }
+
+    if (Draining && Jobs.empty() && Queue.empty()) {
+      // Flush straggling replies, then leave.
+      for (auto &[Fd, C] : Conns) {
+        if (!C.Out.empty()) {
+          std::string Err;
+          size_t DoneB = 0;
+          double Deadline = wallSeconds() + 2.0;
+          while (DoneB < C.Out.size() && wallSeconds() < Deadline) {
+            ssize_t N =
+                ::write(Fd, C.Out.data() + DoneB, C.Out.size() - DoneB);
+            if (N > 0)
+              DoneB += static_cast<size_t>(N);
+            else if (N < 0 && errno != EAGAIN && errno != EINTR)
+              break;
+          }
+        }
+        ::close(Fd);
+      }
+      Conns.clear();
+      if (ListenFd >= 0) {
+        ::close(ListenFd);
+        ListenFd = -1;
+        ::unlink(Opts.SocketPath.c_str());
+      }
+      if (Opts.Verbose)
+        std::fprintf(stderr, "[privateer-served] drained, exiting\n");
+      return 0;
+    }
+
+    std::vector<pollfd> Pfds;
+    std::vector<std::pair<char, uint64_t>> What; // ('l'|'s'|'c'|'r', key)
+    if (ListenFd >= 0) {
+      Pfds.push_back({ListenFd, POLLIN, 0});
+      What.push_back({'l', 0});
+    }
+    Pfds.push_back({SigPipe[0], POLLIN, 0});
+    What.push_back({'s', 0});
+    for (auto &[Fd, C] : Conns) {
+      short Ev = POLLIN;
+      if (!C.Out.empty())
+        Ev |= POLLOUT;
+      Pfds.push_back({Fd, Ev, 0});
+      What.push_back({'c', static_cast<uint64_t>(Fd)});
+    }
+    for (auto &[Id, J] : Jobs)
+      if (J.Running && J.ResultFd >= 0 && !J.ResultEof) {
+        Pfds.push_back({J.ResultFd, POLLIN, 0});
+        What.push_back({'r', Id});
+      }
+
+    int TimeoutMs = 500;
+    for (auto &[Id, J] : Jobs)
+      if (J.Running && J.DeadlineAbs > 0) {
+        int Ms = static_cast<int>((J.DeadlineAbs - Now) * 1000) + 1;
+        TimeoutMs = std::min(TimeoutMs, std::max(1, Ms));
+      }
+
+    int R = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      std::fprintf(stderr, "privateer-served: poll: %s\n",
+                   std::strerror(errno));
+      return 1;
+    }
+
+    for (size_t I = 0; I < Pfds.size(); ++I) {
+      if (Pfds[I].revents == 0)
+        continue;
+      char Kind = What[I].first;
+      if (Kind == 'l') {
+        acceptClients();
+      } else if (Kind == 's') {
+        char Buf[64];
+        while (::read(SigPipe[0], Buf, sizeof(Buf)) > 0) {
+        }
+      } else if (Kind == 'c') {
+        int Fd = static_cast<int>(What[I].second);
+        auto It = Conns.find(Fd);
+        if (It == Conns.end())
+          continue;
+        if (Pfds[I].revents & (POLLERR | POLLNVAL)) {
+          dropConn(Fd, "socket error");
+          continue;
+        }
+        if (Pfds[I].revents & POLLOUT)
+          flushConn(It->second);
+        if (Pfds[I].revents & (POLLIN | POLLHUP)) {
+          // readConn may drop the connection; re-find afterwards.
+          readConn(It->second);
+        }
+      } else if (Kind == 'r') {
+        auto It = Jobs.find(What[I].second);
+        if (It == Jobs.end())
+          continue;
+        Job &J = It->second;
+        char Buf[64 << 10];
+        while (true) {
+          ssize_t N = ::read(J.ResultFd, Buf, sizeof(Buf));
+          if (N > 0) {
+            J.ResultBuf.append(Buf, static_cast<size_t>(N));
+            continue;
+          }
+          if (N == 0)
+            J.ResultEof = true;
+          else if (errno == EINTR)
+            continue;
+          else if (errno != EAGAIN && errno != EWOULDBLOCK)
+            J.ResultEof = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// --- Connections ---------------------------------------------------------
+
+void Server::acceptClients() {
+  while (true) {
+    int Fd = ::accept4(ListenFd, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (Fd < 0)
+      return;
+    Conn C;
+    C.Fd = Fd;
+    C.Frames = FrameAssembler(Opts.MaxFrameBytes);
+    Conns.emplace(Fd, std::move(C));
+    ++stat("connections_accepted");
+  }
+}
+
+void Server::readConn(Conn &C) {
+  int Fd = C.Fd;
+  char Buf[64 << 10];
+  bool Closed = false;
+  while (true) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N > 0) {
+      C.Frames.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      Closed = true;
+    else if (errno == EINTR)
+      continue;
+    else if (errno != EAGAIN && errno != EWOULDBLOCK)
+      Closed = true;
+    break;
+  }
+
+  while (true) {
+    MsgType Type;
+    std::string Body, Err;
+    FrameAssembler::Result R = C.Frames.next(Type, Body, Err);
+    if (R == FrameAssembler::Result::NeedMore)
+      break;
+    if (R == FrameAssembler::Result::Malformed) {
+      protocolError(C, Err);
+      return;
+    }
+    handleFrame(C, Type, Body);
+    if (Conns.find(Fd) == Conns.end())
+      return; // handler dropped the connection
+  }
+
+  if (Closed)
+    dropConn(Fd, "client closed");
+}
+
+void Server::handleFrame(Conn &C, MsgType Type, const std::string &Body) {
+  switch (Type) {
+  case MsgType::SubmitJob:
+    handleSubmit(C, Body);
+    return;
+  case MsgType::StatusRequest:
+    sendFrame(C, MsgType::StatusReply, statusJson());
+    return;
+  case MsgType::Drain:
+    sendFrame(C, MsgType::Ack, "");
+    beginDrain();
+    return;
+  case MsgType::Shutdown:
+    sendFrame(C, MsgType::Ack, "");
+    beginShutdown();
+    return;
+  default:
+    protocolError(C, "unexpected frame type " +
+                         std::to_string(static_cast<unsigned>(Type)));
+    return;
+  }
+}
+
+void Server::protocolError(Conn &C, const std::string &Why) {
+  ++stat("malformed_frames");
+  if (Opts.Verbose)
+    std::fprintf(stderr, "[privateer-served] protocol error on fd %d: %s\n",
+                 C.Fd, Why.c_str());
+  // Best-effort courtesy frame; the stream may already be garbage.
+  std::string Err;
+  writeFrame(C.Fd, MsgType::Error, Why, Err);
+  dropConn(C.Fd, "protocol error");
+}
+
+void Server::dropConn(int Fd, const char *Why) {
+  auto It = Conns.find(Fd);
+  if (It == Conns.end())
+    return;
+  Conn &C = It->second;
+  if (C.ActiveJob != 0) {
+    auto JIt = Jobs.find(C.ActiveJob);
+    if (JIt != Jobs.end()) {
+      Job &J = JIt->second;
+      if (J.Running) {
+        // Mid-invocation disconnect: kill the supervisor tree; the reap
+        // path frees the admission slot and counts the cancellation.
+        killJob(J, KillCause::ClientGone);
+      } else {
+        Queue.erase(std::remove(Queue.begin(), Queue.end(), J.Id),
+                    Queue.end());
+        ++stat("jobs_canceled");
+        Jobs.erase(JIt);
+      }
+    }
+  }
+  if (Opts.Verbose)
+    std::fprintf(stderr, "[privateer-served] closing fd %d (%s)\n", Fd, Why);
+  ::close(Fd);
+  Conns.erase(It);
+  ++stat("connections_closed");
+  pumpQueue();
+}
+
+void Server::sendFrame(Conn &C, MsgType Type, const std::string &Body) {
+  std::string Frame;
+  uint32_t Len = static_cast<uint32_t>(1 + Body.size());
+  for (int I = 0; I < 4; ++I)
+    Frame.push_back(static_cast<char>((Len >> (8 * I)) & 0xff));
+  Frame.push_back(static_cast<char>(Type));
+  Frame.append(Body);
+  C.Out.append(Frame);
+  flushConn(C);
+}
+
+void Server::flushConn(Conn &C) {
+  while (!C.Out.empty()) {
+    ssize_t N = ::write(C.Fd, C.Out.data(), C.Out.size());
+    if (N > 0) {
+      C.Out.erase(0, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    break; // EAGAIN: wait for POLLOUT; hard errors surface via POLLIN/ERR
+  }
+  if (C.Out.empty() && C.CloseAfterFlush)
+    dropConn(C.Fd, "flushed");
+}
+
+// --- Jobs ----------------------------------------------------------------
+
+void Server::handleSubmit(Conn &C, const std::string &Body) {
+  ++stat("jobs_submitted");
+  JobRequest Req;
+  std::string Err;
+  if (!decodeJobRequest(Body, Req, Err)) {
+    protocolError(C, Err);
+    return;
+  }
+  auto Reject = [&](JobStatus S, const std::string &Why) {
+    JobReply R;
+    R.Status = S;
+    R.Error = Why;
+    sendFrame(C, MsgType::JobResult, encodeJobReply(R));
+  };
+  if (Draining) {
+    Reject(JobStatus::Draining, "daemon is draining");
+    return;
+  }
+  if (C.ActiveJob != 0) {
+    protocolError(C, "second SubmitJob while a job is outstanding");
+    return;
+  }
+  if (Req.NumWorkers == 0)
+    Req.NumWorkers = 1;
+  if (Req.NumWorkers > kMaxWorkers)
+    Req.NumWorkers = kMaxWorkers;
+  unsigned Cost = Req.NumWorkers + 1;
+  if (Cost > Opts.WorkerBudget) {
+    ++stat("jobs_rejected");
+    Reject(JobStatus::Rejected,
+           "job needs " + std::to_string(Cost) + " processes, budget is " +
+               std::to_string(Opts.WorkerBudget));
+    return;
+  }
+  if (Queue.size() >= Opts.QueueDepth) {
+    ++stat("jobs_rejected");
+    Reject(JobStatus::Rejected, "admission queue full");
+    return;
+  }
+
+  // Warm program cache: parse + pipeline happen at most once per program.
+  bool Hit = false;
+  std::shared_ptr<CachedProgram> Prog = Cache.lookup(Req.ModuleText, Err, Hit);
+  stat("cache_hits") = Cache.hits();
+  stat("cache_misses") = Cache.misses();
+  stat("cache_evictions") = Cache.evictions();
+  if (!Prog) {
+    ++stat("jobs_failed");
+    Reject(JobStatus::ParseError, Err);
+    return;
+  }
+  if (Req.Mode == JobMode::Speculative && !Prog->Pipeline.Transformed) {
+    ++stat("jobs_failed");
+    std::string Why = "no parallelizable loop";
+    if (!Prog->Pipeline.Log.empty())
+      Why += ": " + Prog->Pipeline.Log.back();
+    Reject(JobStatus::NotParallelizable, Why);
+    return;
+  }
+
+  Job J;
+  J.Id = NextJobId++;
+  J.ConnFd = C.Fd;
+  J.Req = std::move(Req);
+  J.Prog = std::move(Prog);
+  J.CacheHit = Hit;
+  J.SubmitT = wallSeconds();
+  J.Cost = Cost;
+  C.ActiveJob = J.Id;
+  ++stat("jobs_accepted");
+  uint64_t Id = J.Id;
+  Jobs.emplace(Id, std::move(J));
+  Queue.push_back(Id);
+  QueuePeak = std::max(QueuePeak, Queue.size());
+  stat("queue_peak") = QueuePeak;
+  pumpQueue();
+}
+
+void Server::pumpQueue() {
+  // Strict FIFO: the head either fits the remaining budget or everyone
+  // waits — no overtaking, so a wide job cannot starve.
+  while (!Queue.empty()) {
+    auto It = Jobs.find(Queue.front());
+    if (It == Jobs.end()) {
+      Queue.pop_front();
+      continue;
+    }
+    Job &J = It->second;
+    if (WorkersInUse + J.Cost > Opts.WorkerBudget)
+      return;
+    Queue.pop_front();
+    startJob(J);
+  }
+}
+
+void Server::startJob(Job &J) {
+  int P[2];
+  if (::pipe2(P, O_CLOEXEC) < 0) {
+    JobReply R;
+    R.Status = JobStatus::InternalError;
+    R.Error = std::string("pipe: ") + std::strerror(errno);
+    replyToJob(J, std::move(R));
+    Jobs.erase(J.Id);
+    return;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(P[0]);
+    ::close(P[1]);
+    JobReply R;
+    R.Status = JobStatus::InternalError;
+    R.Error = std::string("fork: ") + std::strerror(errno);
+    replyToJob(J, std::move(R));
+    Jobs.erase(J.Id);
+    return;
+  }
+  if (Pid == 0) {
+    ::close(P[0]);
+    J.ResultFd = P[1];
+    runSupervisor(J); // never returns
+  }
+  ::close(P[1]);
+  // Mirror the child's setpgid so a kill(-pid) that races supervisor
+  // startup still finds the group.
+  ::setpgid(Pid, Pid);
+  setNonBlocking(P[0]);
+  J.Running = true;
+  J.Pid = Pid;
+  J.ResultFd = P[0];
+  J.StartT = wallSeconds();
+  double DeadlineSec =
+      J.Req.DeadlineSec > 0 ? J.Req.DeadlineSec : Opts.DefaultDeadlineSec;
+  if (DeadlineSec > 0)
+    J.DeadlineAbs = J.StartT + DeadlineSec * timeoutScale();
+  WorkersInUse += J.Cost;
+  if (Opts.Verbose)
+    std::fprintf(stderr,
+                 "[privateer-served] job %llu -> supervisor %d (%s, %u "
+                 "workers, cache %s)\n",
+                 static_cast<unsigned long long>(J.Id), Pid,
+                 J.Req.Mode == JobMode::Sequential ? "seq" : "spec",
+                 J.Req.NumWorkers, J.CacheHit ? "hit" : "miss");
+}
+
+void Server::runSupervisor(const Job &J) {
+  // Own process group: the daemon kills the whole worker tree with one
+  // kill(-pid) when the job is canceled or overruns its deadline.
+  ::setpgid(0, 0);
+  ::signal(SIGTERM, SIG_DFL);
+  ::signal(SIGINT, SIG_DFL);
+  ::signal(SIGCHLD, SIG_DFL);
+  ::signal(SIGPIPE, SIG_IGN);
+  SigWakeFd = -1;
+
+  // Drop every daemon fd except this job's result pipe.
+  if (ListenFd >= 0)
+    ::close(ListenFd);
+  for (int Fd : {SigPipe[0], SigPipe[1]})
+    if (Fd >= 0)
+      ::close(Fd);
+  for (auto &[Fd, C] : Conns)
+    ::close(Fd);
+  for (auto &[Id, Other] : Jobs)
+    if (Id != J.Id && Other.ResultFd >= 0)
+      ::close(Other.ResultFd);
+
+  if (J.Req.FaultKillSupervisor)
+    ::raise(SIGKILL); // fault injection: die without a result
+
+  JobReply R;
+  R.CacheHit = J.CacheHit;
+  R.PipelineSec = J.CacheHit ? 0 : J.Prog->PipelineSec;
+
+  char *OutBuf = nullptr;
+  size_t OutLen = 0;
+  std::FILE *Out = ::open_memstream(&OutBuf, &OutLen);
+  if (!Out)
+    ::_exit(3);
+
+  ParallelOptions Par;
+  Par.NumWorkers = J.Req.NumWorkers;
+  Par.CheckpointPeriod = J.Req.CheckpointPeriod;
+  Par.MaxSlotsPerEpoch = J.Req.MaxSlotsPerEpoch;
+  Par.InjectMisspecRate = J.Req.InjectMisspecRate;
+  Par.InjectSeed = J.Req.InjectSeed;
+  Par.EagerCommit = J.Req.EagerCommit;
+  // Honor PRIVATEER_TIMEOUT_SCALE here exactly like the per-job deadline:
+  // sanitizer builds run several-fold slower and the watchdog must not
+  // reap healthy workers.
+  Par.StallTimeoutSec = J.Req.StallTimeoutSec * timeoutScale();
+  Par.TracePath = J.Req.TracePath;
+  Par.Faults.Seed = J.Req.FaultSeed;
+  Par.Faults.KillWorker = J.Req.FaultKillWorker;
+  Par.Faults.KillAtIter = J.Req.FaultKillAtIter;
+  Par.Faults.StallWorker = J.Req.FaultStallWorker;
+  Par.Faults.StallAtIter = J.Req.FaultStallAtIter;
+  Par.Faults.StallSeconds = J.Req.FaultStallSeconds;
+  Par.Faults.KillRate = J.Req.FaultKillRate;
+
+  double T0 = wallSeconds();
+  try {
+    if (J.Req.Mode == JobMode::Sequential) {
+      interp::Cell V = transform::executeSequential(
+          *J.Prog->M, transform::PipelineOptions(), Out);
+      R.ExitValue = V.asInt();
+      R.Status = JobStatus::Ok;
+    } else {
+      transform::ExecutionResult E = transform::executePrivatized(
+          *J.Prog->M, *J.Prog->FA, J.Prog->Pipeline.Assignment,
+          transform::PipelineOptions(), Par, RuntimeConfig(), Out);
+      R.ExitValue = E.ReturnValue.asInt();
+      R.Iterations = E.Stats.Iterations;
+      R.Checkpoints = E.Stats.Checkpoints;
+      R.Misspecs = E.Stats.Misspecs;
+      R.RecoveredIterations = E.Stats.RecoveredIterations;
+      R.MisspecReason = E.Stats.FirstMisspecReason;
+      R.Status = JobStatus::Ok;
+    }
+  } catch (const std::exception &E) {
+    R.Status = JobStatus::InternalError;
+    R.Error = E.what();
+  }
+  R.ExecSec = wallSeconds() - T0;
+
+  std::fclose(Out);
+  R.Output.assign(OutBuf, OutLen);
+  std::free(OutBuf);
+
+  std::string Err;
+  if (!writeFrame(J.ResultFd, MsgType::JobResult, encodeJobReply(R), Err))
+    ::_exit(4);
+  ::close(J.ResultFd);
+  ::_exit(0);
+}
+
+void Server::reapChildren() {
+  while (true) {
+    int St = 0;
+    pid_t Pid = ::waitpid(-1, &St, WNOHANG);
+    if (Pid <= 0)
+      return;
+    for (auto &[Id, J] : Jobs)
+      if (J.Running && J.Pid == Pid) {
+        J.Reaped = true;
+        J.WaitStatus = St;
+        // Drain whatever the supervisor managed to write.
+        char Buf[64 << 10];
+        while (J.ResultFd >= 0) {
+          ssize_t N = ::read(J.ResultFd, Buf, sizeof(Buf));
+          if (N > 0) {
+            J.ResultBuf.append(Buf, static_cast<size_t>(N));
+            continue;
+          }
+          if (N == 0)
+            J.ResultEof = true;
+          else if (errno == EINTR)
+            continue;
+          break;
+        }
+        break;
+      }
+  }
+}
+
+void Server::checkDeadlines(double Now) {
+  for (auto &[Id, J] : Jobs)
+    if (J.Running && !J.Reaped && J.Killed == KillCause::None &&
+        J.DeadlineAbs > 0 && Now > J.DeadlineAbs)
+      killJob(J, KillCause::Deadline);
+}
+
+void Server::killJob(Job &J, KillCause Cause) {
+  if (!J.Running || J.Killed != KillCause::None)
+    return;
+  J.Killed = Cause;
+  if (J.Pid > 0) {
+    ::kill(-J.Pid, SIGKILL); // the whole supervisor process group
+    ::kill(J.Pid, SIGKILL);  // belt and braces if setpgid lost the race
+  }
+}
+
+void Server::replyToJob(const Job &J, JobReply R) {
+  auto It = Conns.find(J.ConnFd);
+  if (It == Conns.end())
+    return;
+  double Now = wallSeconds();
+  R.QueueSec = J.StartT > 0 ? J.StartT - J.SubmitT : Now - J.SubmitT;
+  R.WallSec = Now - J.SubmitT;
+  R.CacheHit = J.CacheHit;
+  sendFrame(It->second, MsgType::JobResult, encodeJobReply(R));
+  It->second.ActiveJob = 0;
+}
+
+void Server::finishJob(Job &J) {
+  double Now = wallSeconds();
+  StatisticRegistry &Reg = StatisticRegistry::instance();
+  Reg.real("service", "exec_sec") += Now - J.StartT;
+  Reg.real("service", "queue_wait_sec") += J.StartT - J.SubmitT;
+
+  JobReply R;
+  bool Reply = true;
+  if (J.Killed == KillCause::ClientGone) {
+    ++stat("jobs_canceled");
+    Reply = false; // no one to tell
+  } else if (J.Killed == KillCause::Deadline) {
+    ++stat("jobs_timeout");
+    R.Status = JobStatus::TimedOut;
+    R.Error = "deadline exceeded; supervisor killed";
+  } else if (J.Killed == KillCause::Shutdown) {
+    ++stat("jobs_canceled");
+    R.Status = JobStatus::Canceled;
+    R.Error = "daemon shut down";
+  } else {
+    // Parse the supervisor's result frame.
+    FrameAssembler A(Opts.MaxFrameBytes);
+    A.feed(J.ResultBuf.data(), J.ResultBuf.size());
+    MsgType Type;
+    std::string Body, Err;
+    bool Clean = WIFEXITED(J.WaitStatus) && WEXITSTATUS(J.WaitStatus) == 0;
+    if (Clean && A.next(Type, Body, Err) == FrameAssembler::Result::Frame &&
+        Type == MsgType::JobResult && decodeJobReply(Body, R, Err)) {
+      if (R.Status == JobStatus::Ok)
+        ++stat("jobs_completed");
+      else
+        ++stat("jobs_failed");
+    } else {
+      ++stat("jobs_crashed");
+      R = JobReply();
+      R.Status = JobStatus::Crashed;
+      if (WIFSIGNALED(J.WaitStatus))
+        R.Error = std::string("supervisor killed by signal ") +
+                  std::to_string(WTERMSIG(J.WaitStatus));
+      else if (!Clean)
+        R.Error = "supervisor exited with status " +
+                  std::to_string(WEXITSTATUS(J.WaitStatus));
+      else
+        R.Error = "supervisor result truncated: " + Err;
+    }
+  }
+
+  if (Opts.Verbose)
+    std::fprintf(stderr, "[privateer-served] job %llu done: %s\n",
+                 static_cast<unsigned long long>(J.Id),
+                 jobStatusName(R.Status));
+
+  if (Reply)
+    replyToJob(J, std::move(R));
+  else {
+    auto It = Conns.find(J.ConnFd);
+    if (It != Conns.end())
+      It->second.ActiveJob = 0;
+  }
+
+  WorkersInUse -= J.Cost;
+  if (J.ResultFd >= 0)
+    ::close(J.ResultFd);
+  Jobs.erase(J.Id);
+  pumpQueue();
+}
+
+// --- Control plane -------------------------------------------------------
+
+void Server::beginDrain() {
+  if (Draining)
+    return;
+  Draining = true;
+  if (Opts.Verbose)
+    std::fprintf(stderr, "[privateer-served] draining: %zu queued, %zu "
+                 "total jobs\n",
+                 Queue.size(), Jobs.size());
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+    ::unlink(Opts.SocketPath.c_str());
+  }
+}
+
+void Server::beginShutdown() {
+  // Cancel the queue first so pumpQueue cannot start new supervisors as
+  // running jobs die.
+  for (uint64_t Id : Queue) {
+    auto It = Jobs.find(Id);
+    if (It == Jobs.end())
+      continue;
+    ++stat("jobs_canceled");
+    JobReply R;
+    R.Status = JobStatus::Canceled;
+    R.Error = "daemon shut down";
+    replyToJob(It->second, std::move(R));
+    Jobs.erase(It);
+  }
+  Queue.clear();
+  for (auto &[Id, J] : Jobs)
+    if (J.Running)
+      killJob(J, KillCause::Shutdown);
+  beginDrain();
+}
+
+std::string Server::statusJson() const {
+  stat("cache_hits") = Cache.hits();
+  stat("cache_misses") = Cache.misses();
+  stat("cache_evictions") = Cache.evictions();
+  char Head[512];
+  std::snprintf(Head, sizeof(Head),
+                "{\"pid\": %d, \"uptime_sec\": %.3f, \"draining\": %s, "
+                "\"queue_depth\": %zu, \"active_jobs\": %zu, "
+                "\"workers_in_use\": %u, \"worker_budget\": %u, "
+                "\"cache_entries\": %zu, \"counters\": ",
+                static_cast<int>(::getpid()), wallSeconds() - StartTime,
+                Draining ? "true" : "false", Queue.size(),
+                Jobs.size() - Queue.size(), WorkersInUse, Opts.WorkerBudget,
+                Cache.size());
+  return std::string(Head) + StatisticRegistry::instance().toJson() + "}";
+}

@@ -1,0 +1,155 @@
+//===- service/Server.h - The privateer-served daemon -----------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistent invocation service.  One single-threaded control plane
+/// (poll loop over the listening Unix socket, client connections, signal
+/// self-pipe, and supervisor result pipes) owns the warm ProgramCache,
+/// a bounded FIFO job queue with admission control, and the per-job
+/// supervisor processes.
+///
+/// Why a supervisor *process* per job: the runtime maps its tagged
+/// logical heaps at fixed virtual addresses, installs a process-global
+/// SIGSEGV handler, and forks its own worker tree — none of which can be
+/// shared by concurrent invocations inside one address space.  Each job
+/// therefore runs in a forked child (its own process group) that inherits
+/// the cached transformed module copy-on-write, executes it, and streams
+/// the JobResult back through a pipe.  A supervisor that crashes — or is
+/// SIGKILLed by fault injection — is reaped as one failed job; the daemon
+/// and every other job keep running.
+///
+/// Admission control: a job with W workers costs W+1 processes
+/// (supervisor + its worker tree).  Jobs start strictly in FIFO order
+/// while the total cost of running jobs fits WorkerBudget; when the
+/// bounded queue is full, SubmitJob is answered immediately with
+/// JobStatus::Rejected (backpressure, the client retries elsewhere).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SERVICE_SERVER_H
+#define PRIVATEER_SERVICE_SERVER_H
+
+#include "service/ProgramCache.h"
+#include "service/Protocol.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <sys/types.h>
+
+namespace privateer {
+namespace service {
+
+struct ServerOptions {
+  std::string SocketPath;
+  /// Total concurrent processes across jobs (each job: NumWorkers + 1
+  /// supervisor).  Requests that can never fit are rejected outright.
+  unsigned WorkerBudget = 16;
+  /// Bounded FIFO admission queue (jobs waiting for budget).
+  size_t QueueDepth = 16;
+  size_t CacheEntries = 32;
+  size_t MaxFrameBytes = kMaxFrameBytes;
+  /// Default per-job deadline when the request leaves DeadlineSec at 0;
+  /// 0 here means no deadline.  Scaled by timeoutScale() like the
+  /// request's own value.
+  double DefaultDeadlineSec = 0;
+  bool Verbose = false;
+};
+
+class Server {
+public:
+  explicit Server(ServerOptions Opts);
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens on Opts.SocketPath and installs signal handlers
+  /// (SIGTERM -> drain, SIGINT -> shutdown, SIGCHLD -> reap).
+  bool start(std::string &Err);
+
+  /// Serves until drained / shut down.  Returns the process exit code.
+  int run();
+
+  /// start() + run() + perror, for forked daemon children in tests and
+  /// bench harnesses: `if (fork() == 0) _exit(Server::serve(Opts));`
+  static int serve(const ServerOptions &Opts);
+
+private:
+  struct Conn {
+    int Fd = -1;
+    FrameAssembler Frames;
+    std::string Out;        ///< bytes waiting for POLLOUT
+    uint64_t ActiveJob = 0; ///< one outstanding job per connection
+    bool CloseAfterFlush = false;
+  };
+
+  enum class KillCause : uint8_t { None, Deadline, ClientGone, Shutdown };
+
+  struct Job {
+    uint64_t Id = 0;
+    int ConnFd = -1;
+    JobRequest Req;
+    std::shared_ptr<CachedProgram> Prog;
+    bool CacheHit = false;
+    bool Running = false;
+    pid_t Pid = -1;
+    int ResultFd = -1;
+    std::string ResultBuf;
+    bool ResultEof = false;
+    bool Reaped = false;
+    int WaitStatus = 0;
+    KillCause Killed = KillCause::None;
+    double SubmitT = 0, StartT = 0;
+    double DeadlineAbs = 0; ///< wallSeconds() deadline; 0 = none
+    unsigned Cost = 0;      ///< admission cost: NumWorkers + 1
+  };
+
+  // Event handlers.
+  void acceptClients();
+  void readConn(Conn &C);
+  void handleFrame(Conn &C, MsgType Type, const std::string &Body);
+  void handleSubmit(Conn &C, const std::string &Body);
+  void dropConn(int Fd, const char *Why);
+  void protocolError(Conn &C, const std::string &Why);
+
+  // Job lifecycle.
+  void pumpQueue();
+  void startJob(Job &J);
+  [[noreturn]] void runSupervisor(const Job &J);
+  void reapChildren();
+  void finishJob(Job &J);
+  void checkDeadlines(double Now);
+  void killJob(Job &J, KillCause Cause);
+  void replyToJob(const Job &J, JobReply R);
+
+  // Control plane.
+  void beginDrain();
+  void beginShutdown();
+  std::string statusJson() const;
+  void sendFrame(Conn &C, MsgType Type, const std::string &Body);
+  void flushConn(Conn &C);
+  uint64_t &stat(const char *Name) const;
+
+  ServerOptions Opts;
+  ProgramCache Cache;
+  int ListenFd = -1;
+  int SigPipe[2] = {-1, -1};
+  bool Draining = false;
+  double StartTime = 0;
+  uint64_t NextJobId = 1;
+  unsigned WorkersInUse = 0;
+  size_t QueuePeak = 0;
+  std::map<int, Conn> Conns;
+  std::map<uint64_t, Job> Jobs;
+  std::deque<uint64_t> Queue; ///< job ids waiting for admission
+};
+
+} // namespace service
+} // namespace privateer
+
+#endif // PRIVATEER_SERVICE_SERVER_H

@@ -42,6 +42,10 @@ public:
 
   void reset();
 
+  /// Serializes every counter (integer and real planes) as a JSON object
+  /// keyed group -> name -> value; the daemon's Status reply embeds this.
+  std::string toJson() const;
+
   template <typename Fn> void forEach(Fn Visit) const {
     for (const auto &[Key, Value] : Counters)
       Visit(Key.first, Key.second, Value);

@@ -11,6 +11,8 @@
 //   privateer-cc prog.pir --workers 8 --period 32 --inject 0.01
 //   privateer-cc prog.pir --demo dijkstra      # ignore file, use the
 //                                              # bundled dijkstra program
+//   privateer-cc prog.pir --connect /tmp/p.sock  # submit to a running
+//                                                # privateer-served daemon
 //
 //===----------------------------------------------------------------------===//
 
@@ -18,6 +20,7 @@
 #include "ir/IRPrinter.h"
 #include "ir/Verifier.h"
 #include "profiling/ProfileSerialization.h"
+#include "service/Client.h"
 #include "transform/Pipeline.h"
 #include "workloads/IrPrograms.h"
 
@@ -36,12 +39,15 @@ int usage(const char *Argv0) {
                "  --emit            print the transformed module and stop\n"
                "  --seq             run sequentially (no speculation)\n"
                "  --workers <n>     speculative workers (default 4)\n"
-               "  --period <k>      checkpoint period (default 32)\n"
+               "  --period <k>      checkpoint period (default 64)\n"
                "  --inject <rate>   inject misspeculation (fraction)\n"
                "  --trace <f>       write a Chrome-trace/Perfetto event\n"
                "                    timeline of the parallel run to <f>\n"
                "  --demo <name>     built-in program: dijkstra | redsum\n"
                "  --profile-out <f> save the training profile to <f>\n"
+               "  --connect <sock>  submit the job to the privateer-served\n"
+               "                    daemon on <sock> instead of running the\n"
+               "                    pipeline locally\n"
                "  --verbose         print the pipeline log\n",
                Argv0);
   return 2;
@@ -53,10 +59,11 @@ int main(int Argc, char **Argv) {
   std::string Path;
   std::string Demo;
   std::string ProfileOut;
+  std::string ConnectSock;
   bool Emit = false, Seq = false, Verbose = false;
+  // Knob defaults are ParallelOptions' own (4 workers, period 64), so the
+  // usage text, local runs, and service submissions all agree.
   ParallelOptions Par;
-  Par.NumWorkers = 4;
-  Par.CheckpointPeriod = 32;
 
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -80,6 +87,8 @@ int main(int Argc, char **Argv) {
       Demo = Argv[++I];
     else if (A == "--profile-out" && I + 1 < Argc)
       ProfileOut = Argv[++I];
+    else if (A == "--connect" && I + 1 < Argc)
+      ConnectSock = Argv[++I];
     else if (A.rfind("--", 0) == 0)
       return usage(Argv[0]);
     else
@@ -107,6 +116,47 @@ int main(int Argc, char **Argv) {
     Text = Ss.str();
   } else {
     return usage(Argv[0]);
+  }
+
+  if (!ConnectSock.empty()) {
+    // Remote mode: the daemon owns the pipeline (and its warm cache);
+    // this process just ships the module text and prints the result.
+    if (Emit) {
+      std::fprintf(stderr, "error: --emit is a local-only option\n");
+      return 2;
+    }
+    service::Client C;
+    std::string CErr;
+    if (!C.connect(ConnectSock, CErr)) {
+      std::fprintf(stderr, "privateer-cc: %s\n", CErr.c_str());
+      return 1;
+    }
+    service::JobRequest Req;
+    Req.ModuleText = Text;
+    Req.Mode = Seq ? service::JobMode::Sequential
+                   : service::JobMode::Speculative;
+    Req.NumWorkers = Par.NumWorkers;
+    Req.CheckpointPeriod = Par.CheckpointPeriod;
+    Req.InjectMisspecRate = Par.InjectMisspecRate;
+    Req.TracePath = Par.TracePath;
+    service::JobReply R;
+    if (!C.submit(Req, R, CErr)) {
+      std::fprintf(stderr, "privateer-cc: %s\n", CErr.c_str());
+      return 1;
+    }
+    std::fwrite(R.Output.data(), 1, R.Output.size(), stdout);
+    std::fprintf(stderr,
+                 "[privateer-cc] served job: %s, cache %s, %llu iterations, "
+                 "%llu misspecs (%s), exit value %lld\n",
+                 service::jobStatusName(R.Status),
+                 R.CacheHit ? "hit" : "miss",
+                 static_cast<unsigned long long>(R.Iterations),
+                 static_cast<unsigned long long>(R.Misspecs),
+                 R.MisspecReason.empty() ? "none" : R.MisspecReason.c_str(),
+                 static_cast<long long>(R.ExitValue));
+    if (!R.Error.empty())
+      std::fprintf(stderr, "[privateer-cc] %s\n", R.Error.c_str());
+    return R.Status == service::JobStatus::Ok ? 0 : 1;
   }
 
   std::string Err;

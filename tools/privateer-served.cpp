@@ -1,0 +1,71 @@
+//===- tools/privateer-served.cpp - Persistent invocation daemon ----------===//
+//
+// The Privateer invocation service: a long-lived daemon that keeps
+// compiled pipelines warm and executes submitted .pir jobs in isolated
+// per-job supervisor processes.
+//
+//   privateer-served --socket /tmp/p.sock &
+//   privateer-client --socket /tmp/p.sock --demo redsum
+//   kill -TERM <pid>        # drain: finish the queue, then exit
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Server.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace privateer::service;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --socket <path> [options]\n"
+      "  --socket <path>   Unix-domain socket to listen on (required)\n"
+      "  --budget <n>      max concurrent processes across jobs, each job\n"
+      "                    costing workers+1 (default 16)\n"
+      "  --queue <n>       admission queue depth; full -> reject (default "
+      "16)\n"
+      "  --cache <n>       warm program cache entries (default 32)\n"
+      "  --deadline <sec>  default per-job deadline, scaled by\n"
+      "                    PRIVATEER_TIMEOUT_SCALE (default: none)\n"
+      "  --verbose         log accepts, jobs, and drains to stderr\n"
+      "\n"
+      "SIGTERM drains (stop accepting, finish the queue, reap\n"
+      "supervisors); SIGINT cancels running jobs and exits.\n",
+      Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServerOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--socket" && I + 1 < Argc)
+      Opts.SocketPath = Argv[++I];
+    else if (A == "--budget" && I + 1 < Argc)
+      Opts.WorkerBudget = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else if (A == "--queue" && I + 1 < Argc)
+      Opts.QueueDepth = static_cast<size_t>(std::atoll(Argv[++I]));
+    else if (A == "--cache" && I + 1 < Argc)
+      Opts.CacheEntries = static_cast<size_t>(std::atoll(Argv[++I]));
+    else if (A == "--deadline" && I + 1 < Argc)
+      Opts.DefaultDeadlineSec = std::atof(Argv[++I]);
+    else if (A == "--verbose")
+      Opts.Verbose = true;
+    else
+      return usage(Argv[0]);
+  }
+  if (Opts.SocketPath.empty())
+    return usage(Argv[0]);
+  if (Opts.WorkerBudget == 0 || Opts.QueueDepth == 0) {
+    std::fprintf(stderr, "privateer-served: budget and queue must be > 0\n");
+    return 2;
+  }
+  return Server::serve(Opts);
+}
