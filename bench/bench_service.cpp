@@ -16,20 +16,26 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "ir/IRParser.h"
+#include "runtime/HeapKind.h" // PRIVATEER_ASAN
 #include "service/Client.h"
 #include "service/Protocol.h"
 #include "service/Server.h"
 #include "support/Timing.h"
+#include "transform/Pipeline.h"
 #include "workloads/IrPrograms.h"
 
 #include <algorithm>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -42,22 +48,34 @@ struct Daemon {
   pid_t Pid = -1;
   std::string Socket;
 
-  explicit Daemon(unsigned Budget) {
-    Socket = "/tmp/privateer-bench-" + std::to_string(::getpid()) + ".sock";
-    ServerOptions Opts;
+  explicit Daemon(unsigned Budget, const char *Suffix = "",
+                  ServerOptions Opts = ServerOptions()) {
+    Socket = "/tmp/privateer-bench-" + std::to_string(::getpid()) + Suffix +
+             ".sock";
     Opts.SocketPath = Socket;
     Opts.WorkerBudget = Budget;
-    Opts.QueueDepth = 64;
+    if (Opts.QueueDepth < 64)
+      Opts.QueueDepth = 64;
     Pid = ::fork();
     if (Pid == 0)
       ::_exit(Server::serve(Opts));
   }
 
-  ~Daemon() {
+  /// Induced kill (chaos scenarios): not a daemon crash.
+  void kill() {
     if (Pid > 0) {
       ::kill(Pid, SIGKILL);
       ::waitpid(Pid, nullptr, 0);
+      Pid = -1;
     }
+  }
+
+  bool alive() {
+    return Pid > 0 && ::waitpid(Pid, nullptr, WNOHANG) == 0;
+  }
+
+  ~Daemon() {
+    kill();
     ::unlink(Socket.c_str());
   }
 };
@@ -188,7 +206,419 @@ bool measureKillSurvival(const std::string &Socket, std::string &Err) {
   return true;
 }
 
-int runServiceReport(const std::string &Path) {
+// --- Chaos report --------------------------------------------------------
+//
+// `--chaos-report` drives the failure scenarios from the resilience layer
+// end to end and gates the exit code on the acceptance invariants: zero
+// daemon crashes, every submitted job answered with a typed reply, and
+// every retried job byte-identical to sequential execution.
+
+/// Ground truth for the byte-identical checks.
+std::string sequentialOutput(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, Err);
+  if (!M)
+    return "<parse error>";
+  char *Buf = nullptr;
+  size_t Len = 0;
+  std::FILE *Out = open_memstream(&Buf, &Len);
+  transform::executeSequential(*M, transform::PipelineOptions(), Out);
+  std::fclose(Out);
+  std::string S(Buf, Len);
+  std::free(Buf);
+  return S;
+}
+
+/// A sequential program printing one line per iteration, for the
+/// slow-reader scenario.
+std::string chattyIrText(uint64_t Lines) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "define i64 @main() {\n"
+                "entry:\n"
+                "  br loop\n"
+                "loop:\n"
+                "  %%i = phi [entry: 0], [latch: %%inext]\n"
+                "  %%c = icmp lt, %%i, %llu\n"
+                "  condbr %%c, body, exit\n"
+                "body:\n"
+                "  print \"line %%d\\n\", %%i\n"
+                "  br latch\n"
+                "latch:\n"
+                "  %%inext = add %%i, 1\n"
+                "  br loop\n"
+                "exit:\n"
+                "  %%z = add %%i, 0\n"
+                "  ret %%z\n"
+                "}\n",
+                static_cast<unsigned long long>(Lines));
+  return Buf;
+}
+
+struct ChaosStats {
+  int Submitted = 0;         ///< jobs sent by chaos clients
+  int Typed = 0;             ///< replies with the expected typed verdict
+  int DaemonCrashes = 0;     ///< un-induced daemon deaths
+  int Retried = 0;           ///< jobs that went through the retry ladder
+  int RetriedIdentical = 0;  ///< ... whose output matched sequential
+  int ScenariosRun = 0;
+  int ScenariosPassed = 0;
+  std::vector<std::string> Failures;
+};
+
+void chaosFail(ChaosStats &S, const std::string &Why) {
+  S.Failures.push_back(Why);
+  std::fprintf(stderr, "chaos: %s\n", Why.c_str());
+}
+
+/// One submit that must come back with a definite verdict.  Counts toward
+/// Submitted/Typed; returns false (and records a failure) otherwise.
+bool chaosSubmit(ChaosStats &S, Client &C, const JobRequest &Req,
+                 JobReply &R, const char *What) {
+  ++S.Submitted;
+  std::string Err;
+  if (!C.submit(Req, R, Err, 300 * timeoutScale())) {
+    chaosFail(S, std::string(What) + ": no reply: " + Err);
+    return false;
+  }
+  ++S.Typed;
+  return true;
+}
+
+void chaosSignalMatrix(ChaosStats &S) {
+  ++S.ScenariosRun;
+  Daemon D(16, "-chaos");
+  Client C;
+  std::string Err;
+  if (!C.connect(D.Socket, Err, 30 * timeoutScale())) {
+    chaosFail(S, "signal matrix: connect: " + Err);
+    return;
+  }
+  struct Case {
+    const char *Name;
+    uint32_t Signal, Exit;
+    FailureCause Cause;
+  };
+  const Case Matrix[] = {
+      {"SIGSEGV", SIGSEGV, kNoFaultExit, FailureCause::Signal},
+      {"SIGBUS", SIGBUS, kNoFaultExit, FailureCause::Signal},
+      {"SIGABRT", SIGABRT, kNoFaultExit, FailureCause::Signal},
+      {"SIGKILL", SIGKILL, kNoFaultExit, FailureCause::Signal},
+      {"exit(7)", 0, 7, FailureCause::NonzeroExit},
+  };
+  bool Pass = true;
+  int Salt = 0;
+  for (const Case &K : Matrix) {
+    JobRequest Req;
+    Req.ModuleText = reductionSumIrText(7000 + Salt++);
+    Req.NumWorkers = 2;
+    Req.FaultSupervisorSignal = K.Signal;
+    Req.FaultSupervisorExit = K.Exit;
+    JobReply R;
+    if (!chaosSubmit(S, C, Req, R, K.Name)) {
+      Pass = false;
+      continue;
+    }
+    if (R.Status != JobStatus::Crashed || R.Cause != K.Cause) {
+      chaosFail(S, std::string("signal matrix ") + K.Name +
+                       ": wrong verdict: " + jobStatusName(R.Status));
+      Pass = false;
+    }
+    JobRequest Healthy;
+    Healthy.ModuleText = reductionSumIrText(500);
+    Healthy.NumWorkers = 2;
+    JobReply H;
+    if (!chaosSubmit(S, C, Healthy, H, "post-crash health") ||
+        H.Status != JobStatus::Ok) {
+      chaosFail(S, std::string("signal matrix ") + K.Name +
+                       ": daemon unhealthy after crash");
+      Pass = false;
+    }
+  }
+  if (!D.alive()) {
+    ++S.DaemonCrashes;
+    Pass = false;
+  }
+  if (Pass)
+    ++S.ScenariosPassed;
+}
+
+void chaosOomRetry(ChaosStats &S) {
+  ++S.ScenariosRun;
+  Daemon D(16, "-chaos");
+  Client C;
+  std::string Err;
+  if (!C.connect(D.Socket, Err, 30 * timeoutScale())) {
+    chaosFail(S, "oom retry: connect: " + Err);
+    return;
+  }
+  bool Pass = true;
+  JobRequest Req;
+  Req.ModuleText = reductionSumIrText(5000);
+  Req.NumWorkers = 4;
+  Req.FaultOomAttempts = 2;
+  JobReply R;
+  if (chaosSubmit(S, C, Req, R, "oom retry ladder")) {
+    ++S.Retried;
+    if (R.Status != JobStatus::Ok || R.Attempts != 3) {
+      chaosFail(S, "oom retry ladder: expected Ok after 3 attempts, got " +
+                       std::string(jobStatusName(R.Status)));
+      Pass = false;
+    } else if (R.Output != sequentialOutput(Req.ModuleText)) {
+      chaosFail(S, "oom retry ladder: output diverged from sequential");
+      Pass = false;
+    } else {
+      ++S.RetriedIdentical;
+    }
+  } else {
+    Pass = false;
+  }
+
+  // Exhausted ladder: the typed final verdict, not a hang or a crash.
+  JobRequest Hopeless;
+  Hopeless.ModuleText = reductionSumIrText(5001);
+  Hopeless.NumWorkers = 4;
+  Hopeless.FaultOomAttempts = 99;
+  JobReply R2;
+  if (!chaosSubmit(S, C, Hopeless, R2, "oom exhausted") ||
+      R2.Status != JobStatus::ResourceLimit ||
+      R2.Cause != FailureCause::OutOfMemory) {
+    chaosFail(S, "oom exhausted: expected typed OutOfMemory verdict");
+    Pass = false;
+  }
+
+#if PRIVATEER_ASAN
+  const char *AsanOpts = ::getenv("ASAN_OPTIONS");
+  bool RealAlloc = AsanOpts && std::string(AsanOpts).find(
+                                   "allocator_may_return_null=1") !=
+                                   std::string::npos;
+#else
+  bool RealAlloc = true;
+#endif
+  if (RealAlloc) {
+    JobRequest Bomb;
+    Bomb.ModuleText = reductionSumIrText(5002);
+    Bomb.NumWorkers = 2;
+    Bomb.FaultAllocBytes = 1ULL << 62;
+    JobReply R3;
+    if (!chaosSubmit(S, C, Bomb, R3, "alloc bomb") ||
+        R3.Status != JobStatus::ResourceLimit ||
+        R3.Cause != FailureCause::OutOfMemory) {
+      chaosFail(S, "alloc bomb: expected typed OutOfMemory verdict");
+      Pass = false;
+    }
+  } else {
+    std::fprintf(stderr, "chaos: skipping real-alloc bomb (ASan without "
+                         "allocator_may_return_null=1)\n");
+  }
+  if (!D.alive()) {
+    ++S.DaemonCrashes;
+    Pass = false;
+  }
+  if (Pass)
+    ++S.ScenariosPassed;
+}
+
+void chaosCpuLimit(ChaosStats &S) {
+  ++S.ScenariosRun;
+  Daemon D(16, "-chaos");
+  Client C;
+  std::string Err;
+  if (!C.connect(D.Socket, Err, 30 * timeoutScale())) {
+    chaosFail(S, "cpu limit: connect: " + Err);
+    return;
+  }
+  bool Pass = true;
+  JobRequest Req;
+  Req.ModuleText = reductionSumIrText(5100);
+  Req.NumWorkers = 2;
+  Req.MaxCpuSec = 1;
+  Req.FaultBurnCpuSec = 120;
+  JobReply R;
+  if (!chaosSubmit(S, C, Req, R, "cpu burn") ||
+      R.Status != JobStatus::ResourceLimit ||
+      R.Cause != FailureCause::CpuLimit) {
+    chaosFail(S, "cpu burn: expected typed CpuLimit verdict");
+    Pass = false;
+  }
+  if (!D.alive()) {
+    ++S.DaemonCrashes;
+    Pass = false;
+  }
+  if (Pass)
+    ++S.ScenariosPassed;
+}
+
+void chaosDaemonRestart(ChaosStats &S) {
+  ++S.ScenariosRun;
+  bool Pass = true;
+  const std::string Text = reductionSumIrText(6000);
+  Daemon A(16, "-chaos");
+  Client C;
+  std::string Err;
+  if (!C.connect(A.Socket, Err, 30 * timeoutScale())) {
+    chaosFail(S, "restart: connect: " + Err);
+    return;
+  }
+  JobRequest Req;
+  Req.ModuleText = Text;
+  Req.NumWorkers = 2;
+  JobReply Warm;
+  if (!chaosSubmit(S, C, Req, Warm, "restart warmup") ||
+      Warm.Status != JobStatus::Ok)
+    Pass = false;
+
+  A.kill(); // induced: SIGKILL mid-service, stale socket left behind
+  Daemon B(16, "-chaos");
+  JobReply R;
+  if (!chaosSubmit(S, C, Req, R, "restart resubmit") ||
+      R.Status != JobStatus::Ok) {
+    chaosFail(S, "restart: resubmit after daemon SIGKILL failed");
+    Pass = false;
+  } else {
+    ++S.Retried;
+    if (R.Output == sequentialOutput(Text))
+      ++S.RetriedIdentical;
+    else {
+      chaosFail(S, "restart: resubmitted output diverged from sequential");
+      Pass = false;
+    }
+  }
+  if (C.reconnects() < 1) {
+    chaosFail(S, "restart: client never reconnected");
+    Pass = false;
+  }
+  if (!B.alive()) {
+    ++S.DaemonCrashes;
+    Pass = false;
+  }
+  if (Pass)
+    ++S.ScenariosPassed;
+}
+
+void chaosSlowReader(ChaosStats &S) {
+  ++S.ScenariosRun;
+  ServerOptions Opts;
+  Opts.SendBufBytes = 8 << 10;
+  Opts.MaxConnBufferBytes = 4 << 10;
+  Daemon D(16, "-chaos", Opts);
+  bool Pass = true;
+  {
+    Client Ready;
+    std::string Err;
+    if (!Ready.connect(D.Socket, Err, 30 * timeoutScale())) {
+      chaosFail(S, "slow reader: connect: " + Err);
+      return;
+    }
+  }
+  // Raw client: submit a chatty job and never read the reply.
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, D.Socket.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    chaosFail(S, "slow reader: raw connect failed");
+    ::close(Fd);
+    return;
+  }
+  JobRequest Req;
+  Req.ModuleText = chattyIrText(20000);
+  Req.Mode = JobMode::Sequential;
+  std::string Body = encodeJobRequest(Req);
+  std::string Frame;
+  uint32_t Len = static_cast<uint32_t>(1 + Body.size());
+  for (int I = 0; I < 4; ++I)
+    Frame.push_back(static_cast<char>((Len >> (8 * I)) & 0xff));
+  Frame.push_back(static_cast<char>(MsgType::SubmitJob));
+  Frame.append(Body);
+  if (::write(Fd, Frame.data(), Frame.size()) !=
+      static_cast<ssize_t>(Frame.size())) {
+    chaosFail(S, "slow reader: raw submit failed");
+    ::close(Fd);
+    return;
+  }
+
+  // The daemon must evict the stalled reader, then keep serving.
+  bool Evicted = false;
+  double Deadline = wallSeconds() + 60 * timeoutScale();
+  while (wallSeconds() < Deadline) {
+    Client Poll;
+    std::string Err, Json;
+    if (Poll.connect(D.Socket, Err, 1.0) && Poll.status(Json, Err) &&
+        Json.find("\"slow_client_drops\": 1") != std::string::npos) {
+      Evicted = true;
+      break;
+    }
+    ::usleep(50'000);
+  }
+  ::close(Fd);
+  if (!Evicted) {
+    chaosFail(S, "slow reader: never evicted");
+    Pass = false;
+  }
+  Client C;
+  std::string Err;
+  JobRequest Healthy;
+  Healthy.ModuleText = reductionSumIrText(500);
+  Healthy.NumWorkers = 2;
+  JobReply R;
+  if (!C.connect(D.Socket, Err, 30 * timeoutScale()) ||
+      !chaosSubmit(S, C, Healthy, R, "post-eviction health") ||
+      R.Status != JobStatus::Ok) {
+    chaosFail(S, "slow reader: daemon unhealthy after eviction");
+    Pass = false;
+  }
+  if (!D.alive()) {
+    ++S.DaemonCrashes;
+    Pass = false;
+  }
+  if (Pass)
+    ++S.ScenariosPassed;
+}
+
+int runChaosReport(std::string &ChaosJson) {
+  ChaosStats S;
+  chaosSignalMatrix(S);
+  chaosOomRetry(S);
+  chaosCpuLimit(S);
+  chaosDaemonRestart(S);
+  chaosSlowReader(S);
+
+  bool ZeroCrashes = S.DaemonCrashes == 0;
+  bool AllTyped = S.Typed == S.Submitted;
+  bool RetriesIdentical = S.RetriedIdentical == S.Retried;
+  bool AllPassed = S.ScenariosPassed == S.ScenariosRun;
+  char Buf[768];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\n"
+      "    \"jobs_submitted\": %d,\n"
+      "    \"typed_replies\": %d,\n"
+      "    \"daemon_crashes\": %d,\n"
+      "    \"retried_jobs\": %d,\n"
+      "    \"retried_byte_identical\": %d,\n"
+      "    \"scenarios_run\": %d,\n"
+      "    \"scenarios_passed\": %d,\n"
+      "    \"check_zero_daemon_crashes\": %s,\n"
+      "    \"check_all_replies_typed\": %s,\n"
+      "    \"check_retries_byte_identical\": %s\n"
+      "  }",
+      S.Submitted, S.Typed, S.DaemonCrashes, S.Retried, S.RetriedIdentical,
+      S.ScenariosRun, S.ScenariosPassed, ZeroCrashes ? "true" : "false",
+      AllTyped ? "true" : "false", RetriesIdentical ? "true" : "false");
+  ChaosJson = Buf;
+
+  std::printf("chaos: %d scenarios, %d passed; %d jobs, %d typed replies, "
+              "%d daemon crashes, %d/%d retried jobs byte-identical: %s\n",
+              S.ScenariosRun, S.ScenariosPassed, S.Submitted, S.Typed,
+              S.DaemonCrashes, S.RetriedIdentical, S.Retried,
+              ZeroCrashes && AllTyped && RetriesIdentical && AllPassed
+                  ? "PASS"
+                  : "FAIL");
+  return ZeroCrashes && AllTyped && RetriesIdentical && AllPassed ? 0 : 1;
+}
+
+int runServiceReport(const std::string &Path, const std::string &ChaosJson) {
   Daemon D(16);
   std::string Err;
   {
@@ -287,10 +717,13 @@ int runServiceReport(const std::string &Path) {
                "  \"jobs_per_sec_4_clients\": %.2f,\n"
                "  \"client_scaling\": %.2f,\n"
                "  \"supervisor_kill_survived\": %s,\n"
-               "  \"check_warm_speedup_ge_5x\": %s\n}\n",
+               "  \"check_warm_speedup_ge_5x\": %s",
                Cold, Warm, Speedup, T.JobsPerSec1, T.JobsPerSec4,
                T.JobsPerSec1 > 0 ? T.JobsPerSec4 / T.JobsPerSec1 : 0,
                Survived ? "true" : "false", SpeedupPass ? "true" : "false");
+  if (!ChaosJson.empty())
+    std::fprintf(Out, ",\n  \"chaos\": %s", ChaosJson.c_str());
+  std::fprintf(Out, "\n}\n");
   std::fclose(Out);
   std::printf("service report written to %s; warm speedup %.1fx (need "
               ">=5x): %s\n",
@@ -303,14 +736,46 @@ int runServiceReport(const std::string &Path) {
 
 int main(int Argc, char **Argv) {
   std::string Path = "BENCH_service.json";
+  bool DoService = false, DoChaos = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A(Argv[I]);
-    if (A.rfind("--service-report=", 0) == 0)
+    if (A.rfind("--service-report=", 0) == 0) {
       Path = A.substr(sizeof("--service-report=") - 1);
-    else if (A != "--service-report") {
-      std::fprintf(stderr, "usage: %s [--service-report[=path]]\n", Argv[0]);
+      DoService = true;
+    } else if (A == "--service-report") {
+      DoService = true;
+    } else if (A.rfind("--chaos-report=", 0) == 0) {
+      Path = A.substr(sizeof("--chaos-report=") - 1);
+      DoChaos = true;
+    } else if (A == "--chaos-report") {
+      DoChaos = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--service-report[=path]] "
+                   "[--chaos-report[=path]]\n",
+                   Argv[0]);
       return 2;
     }
   }
-  return runServiceReport(Path);
+  if (!DoService && !DoChaos)
+    DoService = true;
+
+  int Rc = 0;
+  std::string ChaosJson;
+  if (DoChaos)
+    Rc |= runChaosReport(ChaosJson);
+  if (DoService) {
+    Rc |= runServiceReport(Path, ChaosJson);
+  } else {
+    // Chaos-only invocation still leaves a machine-readable artifact.
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+      return 1;
+    }
+    std::fprintf(Out, "{\n  \"chaos\": %s\n}\n", ChaosJson.c_str());
+    std::fclose(Out);
+    std::printf("chaos report written to %s\n", Path.c_str());
+  }
+  return Rc;
 }

@@ -282,6 +282,7 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   Reg.counter("fault", "stalled-workers-killed") += Stats.StalledWorkersKilled;
   Reg.counter("fault", "locks-broken") += Stats.LocksBroken;
   Reg.counter("fault", "fork-failures") += Stats.ForkFailures;
+  Reg.counter("fault", "resource-failures") += Stats.ResourceFailures;
   Reg.counter("fault", "degraded-epochs") += Stats.DegradedEpochs;
   Reg.counter("fault", "degraded-iterations") += Stats.DegradedIterations;
   Reg.counter("checkpoint", "dirty_chunks") += Stats.CheckpointDirtyChunks;
@@ -322,7 +323,13 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
                      MAP_SHARED | MAP_ANONYMOUS, -1, 0);
   if (CbMem == MAP_FAILED) {
     Res.Degraded = true;
-    Res.Reason = std::string("mmap control block: ") + std::strerror(errno);
+    if (errno == ENOMEM) {
+      ++Stats.ResourceFailures;
+      Res.Reason = "out of memory: mmap control block: ";
+    } else {
+      Res.Reason = "mmap control block: ";
+    }
+    Res.Reason += std::strerror(errno);
     return Res;
   }
   Cb = new (CbMem) ControlBlock();
@@ -370,8 +377,13 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       munmap(CbMem, sizeof(ControlBlock));
       Cb = nullptr;
       Res.Degraded = true;
-      Res.Reason =
-          std::string("mmap checkpoint region: ") + std::strerror(errno);
+      if (errno == ENOMEM) {
+        ++Stats.ResourceFailures;
+        Res.Reason = "out of memory: mmap checkpoint region: ";
+      } else {
+        Res.Reason = "mmap checkpoint region: ";
+      }
+      Res.Reason += std::strerror(errno);
       return Res;
     }
     Region = &TheRegion;
@@ -398,7 +410,15 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     }
     if (Pid < 0) {
       ForkFailed = true;
-      Res.Reason = std::string("fork: ") + std::strerror(errno);
+      // EAGAIN from fork means the process/memory budget is exhausted —
+      // the same resource class as ENOMEM for triage purposes.
+      if (errno == ENOMEM || errno == EAGAIN) {
+        ++Stats.ResourceFailures;
+        Res.Reason = std::string("out of memory: fork: ") +
+                     std::strerror(errno);
+      } else {
+        Res.Reason = std::string("fork: ") + std::strerror(errno);
+      }
       break;
     }
     if (Pid == 0)

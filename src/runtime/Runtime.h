@@ -158,6 +158,9 @@ struct InvocationStats {
   uint64_t StalledWorkersKilled = 0; ///< Hung workers SIGKILLed by watchdog.
   uint64_t LocksBroken = 0; ///< Slot locks reclaimed from dead holders.
   uint64_t ForkFailures = 0;
+  /// fork/mmap failures whose errno was ENOMEM/EAGAIN — memory pressure,
+  /// reported distinctly so the service tier can triage OOM as such.
+  uint64_t ResourceFailures = 0;
   uint64_t DegradedEpochs = 0; ///< Windows run sequentially by fallback.
   uint64_t DegradedIterations = 0;
   std::string FirstDegradeReason;

@@ -4,8 +4,10 @@
 
 #include "support/Timing.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <random>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -13,9 +15,10 @@
 using namespace privateer;
 using namespace privateer::service;
 
-bool Client::connect(const std::string &SocketPath, std::string &Err,
+bool Client::connect(const std::string &Path, std::string &Err,
                      double TimeoutSec) {
   close();
+  SocketPath = Path;
   sockaddr_un Addr{};
   Addr.sun_family = AF_UNIX;
   if (SocketPath.size() >= sizeof(Addr.sun_path)) {
@@ -51,46 +54,118 @@ void Client::close() {
   Fd = -1;
 }
 
-bool Client::roundTrip(MsgType Send, const std::string &Body, MsgType Expect,
-                       std::string &ReplyBody, std::string &Err,
-                       double TimeoutSec) {
+Client::RtStatus Client::roundTripStatus(MsgType Send,
+                                         const std::string &Body,
+                                         MsgType Expect,
+                                         std::string &ReplyBody,
+                                         std::string &Err,
+                                         double TimeoutSec) {
   if (Fd < 0) {
     Err = "not connected";
-    return false;
+    return RtStatus::Transport;
   }
   if (!writeFrame(Fd, Send, Body, Err))
-    return false;
+    return RtStatus::Transport;
   MsgType Type;
   ReadStatus S = readFrame(Fd, Type, ReplyBody, Err, TimeoutSec);
   if (S == ReadStatus::Eof) {
     Err = "daemon closed the connection";
-    return false;
+    return RtStatus::Transport;
   }
   if (S == ReadStatus::Timeout) {
     Err = "timed out waiting for reply";
-    return false;
+    return RtStatus::Fatal;
   }
   if (S != ReadStatus::Ok)
-    return false;
+    return RtStatus::Transport;
   if (Type == MsgType::Error) {
     Err = "daemon: " + ReplyBody;
-    return false;
+    return RtStatus::Fatal;
   }
   if (Type != Expect) {
     Err = "unexpected reply frame type " +
           std::to_string(static_cast<unsigned>(Type));
-    return false;
+    return RtStatus::Fatal;
   }
-  return true;
+  return RtStatus::Ok;
+}
+
+bool Client::roundTrip(MsgType Send, const std::string &Body, MsgType Expect,
+                       std::string &ReplyBody, std::string &Err,
+                       double TimeoutSec) {
+  return roundTripStatus(Send, Body, Expect, ReplyBody, Err, TimeoutSec) ==
+         RtStatus::Ok;
+}
+
+uint64_t Client::nextRand() {
+  if (RngState == 0) {
+    std::random_device Rd;
+    RngState = (static_cast<uint64_t>(Rd()) << 32) ^ Rd() ^
+               (static_cast<uint64_t>(::getpid()) << 16) ^
+               static_cast<uint64_t>(wallSeconds() * 1e6);
+    if (RngState == 0)
+      RngState = 0x9e3779b97f4a7c15ULL;
+  }
+  // splitmix64
+  RngState += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = RngState;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
 }
 
 bool Client::submit(const JobRequest &Req, JobReply &Reply, std::string &Err,
                     double TimeoutSec) {
-  std::string Body;
-  if (!roundTrip(MsgType::SubmitJob, encodeJobRequest(Req),
-                 MsgType::JobResult, Body, Err, TimeoutSec))
-    return false;
-  return decodeJobReply(Body, Reply, Err);
+  // Stamp an idempotency key so a resubmission after a lost reply replays
+  // the remembered answer instead of executing twice.  The caller's own
+  // key (if any) is respected.
+  JobRequest Stamped = Req;
+  if (Retry.Enabled && Stamped.IdempotencyKey == 0) {
+    Stamped.IdempotencyKey = nextRand();
+    if (Stamped.IdempotencyKey == 0)
+      Stamped.IdempotencyKey = 1;
+  }
+  const std::string Body = encodeJobRequest(Stamped);
+
+  double Budget = Retry.Enabled && Retry.BudgetSec > 0
+                      ? wallSeconds() + Retry.BudgetSec * timeoutScale()
+                      : 0;
+  double Backoff = Retry.InitialBackoffSec;
+  unsigned Attempt = 0;
+  while (true) {
+    ++Attempt;
+    std::string ReplyBody;
+    RtStatus S = RtStatus::Transport;
+    if (Fd >= 0)
+      S = roundTripStatus(MsgType::SubmitJob, Body, MsgType::JobResult,
+                          ReplyBody, Err, TimeoutSec);
+    if (S == RtStatus::Ok)
+      return decodeJobReply(ReplyBody, Reply, Err);
+    if (S == RtStatus::Fatal || !Retry.Enabled || SocketPath.empty())
+      return false;
+    if (Attempt >= Retry.MaxAttempts ||
+        (Budget > 0 && wallSeconds() >= Budget)) {
+      Err = "submit failed after " + std::to_string(Attempt) +
+            " attempt(s): " + Err;
+      return false;
+    }
+    // Capped exponential backoff with +/-50% jitter, then reconnect.
+    double Sleep =
+        Backoff * (0.5 + static_cast<double>(nextRand() % 1000) / 1000.0);
+    if (Budget > 0)
+      Sleep = std::min(Sleep, std::max(0.0, Budget - wallSeconds()));
+    if (Sleep > 0)
+      ::usleep(static_cast<useconds_t>(Sleep * 1e6));
+    Backoff = std::min(Backoff * 2, Retry.MaxBackoffSec);
+    ++Reconnects;
+    double Window = Retry.ReconnectSec;
+    if (Budget > 0)
+      Window = std::min(Window, std::max(0.05, Budget - wallSeconds()));
+    std::string CErr;
+    std::string Path = SocketPath; // connect() resets members via close()
+    if (!connect(Path, CErr, Window))
+      Err = "reconnect: " + CErr;
+  }
 }
 
 bool Client::status(std::string &Json, std::string &Err, double TimeoutSec) {

@@ -18,10 +18,30 @@ ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
   if (It != Entries.end() && It->second->Text == Text) {
     Hit = true;
     ++Hits;
+    if (!It->second->ParseError.empty()) {
+      // Cached negative verdict: the text is known not to parse/verify.
+      Err = It->second->ParseError;
+      return nullptr;
+    }
     return It->second;
   }
   Hit = false;
   ++Misses;
+
+  // Caches the entry (positive or negative) under FIFO eviction.
+  auto Insert = [this](std::shared_ptr<CachedProgram> E) {
+    while (Entries.size() >= MaxEntries && !InsertionOrder.empty()) {
+      Entries.erase(InsertionOrder.front());
+      InsertionOrder.pop_front();
+      ++Evictions;
+    }
+    // A hash collision with different text replaces the older entry (jobs
+    // already holding it keep their shared_ptr).
+    if (Entries.emplace(E->Key, E).second)
+      InsertionOrder.push_back(E->Key);
+    else
+      Entries[E->Key] = E;
+  };
 
   double T0 = wallSeconds();
   auto Entry = std::make_shared<CachedProgram>();
@@ -30,11 +50,16 @@ ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
   Entry->M = ir::parseModule(Text, Err);
   if (!Entry->M) {
     Err = "parse error: " + Err;
+    Entry->ParseError = Err;
+    Insert(Entry);
     return nullptr;
   }
   auto Diags = ir::verifyModule(*Entry->M);
   if (!Diags.empty()) {
     Err = "verifier: " + Diags.front();
+    Entry->ParseError = Err;
+    Entry->M.reset();
+    Insert(Entry);
     return nullptr;
   }
 
@@ -53,16 +78,6 @@ ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
   StatisticRegistry::instance().real("service", "pipeline_sec") +=
       Entry->PipelineSec;
 
-  while (Entries.size() >= MaxEntries && !InsertionOrder.empty()) {
-    Entries.erase(InsertionOrder.front());
-    InsertionOrder.pop_front();
-    ++Evictions;
-  }
-  // A hash collision with different text replaces the older entry (jobs
-  // already holding it keep their shared_ptr).
-  if (Entries.emplace(Key, Entry).second)
-    InsertionOrder.push_back(Key);
-  else
-    Entries[Key] = Entry;
+  Insert(Entry);
   return Entry;
 }

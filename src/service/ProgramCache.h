@@ -25,6 +25,7 @@
 
 #include "analysis/FunctionAnalyses.h"
 #include "ir/IR.h"
+#include "service/Protocol.h"
 #include "transform/Pipeline.h"
 
 #include <deque>
@@ -45,6 +46,15 @@ struct CachedProgram {
   std::unique_ptr<analysis::FunctionAnalyses> FA;
   transform::PipelineResult Pipeline;
   double PipelineSec = 0; ///< cost of the cold half, paid once
+
+  /// Negative verdict: set when a supervisor running this exact text died
+  /// on a deterministic program-class signal (SIGSEGV/SIGBUS/SIGABRT/
+  /// SIGFPE/SIGILL).  Later submits answer from PoisonReply instead of
+  /// crashing another supervisor.  M is null for entries caching a parse
+  /// or verifier error (ParseError holds the message).
+  bool Poisoned = false;
+  JobReply PoisonReply;
+  std::string ParseError;
 };
 
 class ProgramCache {

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <cstring>
 #include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace privateer;
@@ -32,6 +33,34 @@ const char *service::jobStatusName(JobStatus S) {
     return "draining";
   case JobStatus::InternalError:
     return "internal-error";
+  case JobStatus::ResourceLimit:
+    return "resource-limit";
+  }
+  return "unknown";
+}
+
+const char *service::failureCauseName(FailureCause C) {
+  switch (C) {
+  case FailureCause::None:
+    return "none";
+  case FailureCause::Deadline:
+    return "deadline";
+  case FailureCause::ClientGone:
+    return "client-gone";
+  case FailureCause::OutOfMemory:
+    return "out-of-memory";
+  case FailureCause::CpuLimit:
+    return "cpu-limit";
+  case FailureCause::Signal:
+    return "signal";
+  case FailureCause::NonzeroExit:
+    return "nonzero-exit";
+  case FailureCause::InfraFork:
+    return "infra-fork";
+  case FailureCause::ResultTruncated:
+    return "result-truncated";
+  case FailureCause::Shutdown:
+    return "shutdown";
   }
   return "unknown";
 }
@@ -138,6 +167,10 @@ std::string service::encodeJobRequest(const JobRequest &R) {
   putF64(B, R.StallTimeoutSec);
   putF64(B, R.DeadlineSec);
   putStr(B, R.TracePath);
+  putU64(B, R.IdempotencyKey);
+  putU64(B, R.MaxMemoryBytes);
+  putU32(B, R.MaxCpuSec);
+  putU32(B, R.MaxOpenFiles);
   putU8(B, R.FaultKillSupervisor ? 1 : 0);
   putU32(B, R.FaultKillWorker);
   putU64(B, R.FaultKillAtIter);
@@ -146,6 +179,11 @@ std::string service::encodeJobRequest(const JobRequest &R) {
   putF64(B, R.FaultStallSeconds);
   putF64(B, R.FaultKillRate);
   putU64(B, R.FaultSeed);
+  putU32(B, R.FaultSupervisorSignal);
+  putU32(B, R.FaultSupervisorExit);
+  putU32(B, R.FaultOomAttempts);
+  putU64(B, R.FaultAllocBytes);
+  putF64(B, R.FaultBurnCpuSec);
   return B;
 }
 
@@ -166,10 +204,15 @@ bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
       !C.getF64(R.InjectMisspecRate) || !C.getU64(R.InjectSeed) ||
       !C.getU8(Eager) || !C.getF64(R.StallTimeoutSec) ||
       !C.getF64(R.DeadlineSec) || !C.getStr(R.TracePath) ||
+      !C.getU64(R.IdempotencyKey) || !C.getU64(R.MaxMemoryBytes) ||
+      !C.getU32(R.MaxCpuSec) || !C.getU32(R.MaxOpenFiles) ||
       !C.getU8(KillSup) || !C.getU32(R.FaultKillWorker) ||
       !C.getU64(R.FaultKillAtIter) || !C.getU32(R.FaultStallWorker) ||
       !C.getU64(R.FaultStallAtIter) || !C.getF64(R.FaultStallSeconds) ||
-      !C.getF64(R.FaultKillRate) || !C.getU64(R.FaultSeed)) {
+      !C.getF64(R.FaultKillRate) || !C.getU64(R.FaultSeed) ||
+      !C.getU32(R.FaultSupervisorSignal) || !C.getU32(R.FaultSupervisorExit) ||
+      !C.getU32(R.FaultOomAttempts) || !C.getU64(R.FaultAllocBytes) ||
+      !C.getF64(R.FaultBurnCpuSec)) {
     Err = "truncated SubmitJob body";
     return false;
   }
@@ -187,6 +230,11 @@ std::string service::encodeJobReply(const JobReply &R) {
   std::string B;
   putU8(B, kProtocolVersion);
   putU8(B, static_cast<uint8_t>(R.Status));
+  putU8(B, static_cast<uint8_t>(R.Cause));
+  putU32(B, R.TermSignal);
+  putU32(B, R.SupExitCode);
+  putU32(B, R.Attempts);
+  putU8(B, R.IdempotentReplay ? 1 : 0);
   putStr(B, R.Error);
   putStr(B, R.Output);
   putU64(B, static_cast<uint64_t>(R.ExitValue));
@@ -206,7 +254,7 @@ std::string service::encodeJobReply(const JobReply &R) {
 bool service::decodeJobReply(const std::string &Body, JobReply &R,
                              std::string &Err) {
   Cursor C(Body);
-  uint8_t Version = 0, Status = 0, CacheHit = 0;
+  uint8_t Version = 0, Status = 0, Cause = 0, Replay = 0, CacheHit = 0;
   uint64_t Exit = 0;
   if (!C.getU8(Version)) {
     Err = "empty JobResult body";
@@ -216,7 +264,9 @@ bool service::decodeJobReply(const std::string &Body, JobReply &R,
     Err = "unsupported protocol version " + std::to_string(Version);
     return false;
   }
-  if (!C.getU8(Status) || !C.getStr(R.Error) || !C.getStr(R.Output) ||
+  if (!C.getU8(Status) || !C.getU8(Cause) || !C.getU32(R.TermSignal) ||
+      !C.getU32(R.SupExitCode) || !C.getU32(R.Attempts) ||
+      !C.getU8(Replay) || !C.getStr(R.Error) || !C.getStr(R.Output) ||
       !C.getU64(Exit) || !C.getU8(CacheHit) || !C.getU64(R.Iterations) ||
       !C.getU64(R.Checkpoints) || !C.getU64(R.Misspecs) ||
       !C.getU64(R.RecoveredIterations) || !C.getStr(R.MisspecReason) ||
@@ -225,11 +275,17 @@ bool service::decodeJobReply(const std::string &Body, JobReply &R,
     Err = "truncated JobResult body";
     return false;
   }
-  if (Status > static_cast<uint8_t>(JobStatus::InternalError)) {
+  if (Status > static_cast<uint8_t>(JobStatus::ResourceLimit)) {
     Err = "bad job status " + std::to_string(Status);
     return false;
   }
+  if (Cause > static_cast<uint8_t>(FailureCause::Shutdown)) {
+    Err = "bad failure cause " + std::to_string(Cause);
+    return false;
+  }
   R.Status = static_cast<JobStatus>(Status);
+  R.Cause = static_cast<FailureCause>(Cause);
+  R.IdempotentReplay = Replay != 0;
   R.ExitValue = static_cast<int64_t>(Exit);
   R.CacheHit = CacheHit != 0;
   return true;
@@ -247,7 +303,13 @@ bool service::writeFrame(int Fd, MsgType Type, const std::string &Body,
 
   size_t Done = 0;
   while (Done < Frame.size()) {
-    ssize_t N = ::write(Fd, Frame.data() + Done, Frame.size() - Done);
+    // MSG_NOSIGNAL: a peer that died mid-conversation must surface as
+    // EPIPE for the reconnect path, not as a process-killing SIGPIPE.
+    // Supervisor result pipes are not sockets; fall back to write().
+    ssize_t N = ::send(Fd, Frame.data() + Done, Frame.size() - Done,
+                       MSG_NOSIGNAL);
+    if (N < 0 && errno == ENOTSOCK)
+      N = ::write(Fd, Frame.data() + Done, Frame.size() - Done);
     if (N < 0) {
       if (errno == EINTR)
         continue;

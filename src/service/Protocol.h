@@ -39,10 +39,12 @@
 namespace privateer {
 namespace service {
 
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
 /// Default ceiling on one frame (module texts and job output both ride in
 /// frames; 64 MiB is far above any bundled program).
 inline constexpr size_t kMaxFrameBytes = 64u << 20;
+/// Sentinel for "no forced supervisor exit" in JobRequest fault knobs.
+inline constexpr uint32_t kNoFaultExit = ~0u;
 
 enum class MsgType : uint8_t {
   SubmitJob = 1,   ///< client -> daemon: module text + execution knobs
@@ -72,9 +74,40 @@ enum class JobStatus : uint8_t {
   Canceled = 6,          ///< client vanished / shutdown mid-flight
   Draining = 7,          ///< daemon is draining; resubmit elsewhere
   InternalError = 8,
+  ResourceLimit = 9,     ///< rlimit / allocation failure (OOM, CPU budget)
 };
 
 const char *jobStatusName(JobStatus S);
+
+/// Why a job failed, decoded from the supervisor's waitpid status plus the
+/// daemon's own bookkeeping; carried in JobResult so every client sees a
+/// typed cause, never just a dead socket.  Infra-class causes (see
+/// isInfraFailure) are transient resource exhaustion the daemon retries
+/// in-place with a degraded config; program-class causes are properties of
+/// the submitted job and are final (and, for deterministic crash signals,
+/// cached as negative verdicts against the program).
+enum class FailureCause : uint8_t {
+  None = 0,        ///< no failure (or the job never started executing)
+  Deadline,        ///< daemon killed the supervisor group on its deadline
+  ClientGone,      ///< submitting client vanished mid-job
+  OutOfMemory,     ///< bad_alloc / fork or mmap ENOMEM / RLIMIT_AS
+  CpuLimit,        ///< RLIMIT_CPU exhausted (SIGXCPU)
+  Signal,          ///< supervisor killed by TermSignal
+  NonzeroExit,     ///< supervisor exited cleanly with SupExitCode != 0
+  InfraFork,       ///< daemon could not fork/pipe the supervisor
+  ResultTruncated, ///< supervisor's result frame was short or unwritable
+  Shutdown,        ///< daemon shut down underneath the job
+};
+
+const char *failureCauseName(FailureCause C);
+
+/// Infra-class failures are resource exhaustion that a cheaper retry can
+/// dodge (halve the workers, then go sequential); everything else is a
+/// property of the program or of the caller and retrying cannot help.
+inline bool isInfraFailure(FailureCause C) {
+  return C == FailureCause::OutOfMemory || C == FailureCause::InfraFork ||
+         C == FailureCause::ResultTruncated;
+}
 
 /// A SubmitJob body: the program plus the subset of ParallelOptions and
 /// FaultPlan knobs a remote caller may set.  Defaults mirror
@@ -96,6 +129,20 @@ struct JobRequest {
   /// When non-empty the supervisor records a runtime timeline to this path.
   std::string TracePath;
 
+  /// Client-generated idempotency key (0 = none).  The daemon remembers
+  /// the replies of recently finished keyed jobs; a resubmission carrying
+  /// the same key — e.g. after a reconnect that raced the original reply —
+  /// replays the remembered reply instead of executing the job twice.
+  uint64_t IdempotencyKey = 0;
+
+  // --- Per-job resource ceilings (0 = daemon default) --------------------
+  /// The supervisor (and, inherited across fork, its whole worker tree)
+  /// runs under these rlimits.  A request can lower but never raise the
+  /// daemon's configured ceiling.
+  uint64_t MaxMemoryBytes = 0; ///< RLIMIT_AS
+  uint32_t MaxCpuSec = 0;      ///< RLIMIT_CPU, scaled by timeoutScale()
+  uint32_t MaxOpenFiles = 0;   ///< RLIMIT_NOFILE
+
   // --- Fault injection (tests and bench_service) -------------------------
   /// Supervisor raises SIGKILL on itself mid-job; the daemon must report
   /// the job Crashed and keep serving the same connection.
@@ -107,11 +154,37 @@ struct JobRequest {
   double FaultStallSeconds = 3600.0;
   double FaultKillRate = 0.0;
   uint64_t FaultSeed = 1;
+  /// Supervisor raises this signal on itself before running (0 = off);
+  /// drives the supervisor-death signal matrix.
+  uint32_t FaultSupervisorSignal = 0;
+  /// Supervisor _exit()s with this code before running (kNoFaultExit =
+  /// off); exercises the clean-nonzero-exit triage path.
+  uint32_t FaultSupervisorExit = kNoFaultExit;
+  /// While the job's attempt ordinal is below this, the supervisor reports
+  /// a typed out-of-memory failure without running — a deterministic way
+  /// to exercise the daemon's infra-retry ladder.
+  uint32_t FaultOomAttempts = 0;
+  /// Supervisor attempts one allocation of this many bytes before running
+  /// (0 = off); sized past the address space it drives the real
+  /// bad_alloc -> typed-OOM path.
+  uint64_t FaultAllocBytes = 0;
+  /// Supervisor burns this much CPU time before running (0 = off); with a
+  /// small MaxCpuSec it deterministically draws SIGXCPU.
+  double FaultBurnCpuSec = 0.0;
 };
 
 /// A JobResult body.
 struct JobReply {
   JobStatus Status = JobStatus::InternalError;
+  FailureCause Cause = FailureCause::None;
+  uint32_t TermSignal = 0;  ///< when Cause is Signal / CpuLimit
+  uint32_t SupExitCode = 0; ///< when Cause is NonzeroExit
+  /// Execution attempts, counting the daemon's degraded infra retries;
+  /// 1 means the first attempt answered.
+  uint32_t Attempts = 1;
+  /// True when this reply was replayed from the idempotency cache rather
+  /// than executed.
+  bool IdempotentReplay = false;
   std::string Error;
   std::string Output; ///< the program's (deferred) output, byte-exact
   int64_t ExitValue = 0;

@@ -9,12 +9,16 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <csignal>
 #include <cstdlib>
 #include <cstring>
 #include <fcntl.h>
+#include <new>
 #include <poll.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -77,7 +81,10 @@ Server::Server(ServerOptions O)
        {"connections_accepted", "connections_closed", "malformed_frames",
         "jobs_submitted", "jobs_accepted", "jobs_rejected", "jobs_completed",
         "jobs_failed", "jobs_crashed", "jobs_canceled", "jobs_timeout",
-        "cache_hits", "cache_misses", "cache_evictions", "queue_peak"})
+        "jobs_resource_limit", "cache_hits", "cache_misses",
+        "cache_evictions", "queue_peak", "retries", "retry_success",
+        "slow_client_drops", "idempotent_replays", "negative_verdicts",
+        "socket_reclaimed"})
     stat(Name);
 }
 
@@ -115,7 +122,38 @@ bool Server::start(std::string &Err) {
     Err = std::string("socket: ") + std::strerror(errno);
     return false;
   }
-  ::unlink(Opts.SocketPath.c_str());
+  // Crash-only restart: a daemon killed by SIGKILL leaves its socket file
+  // behind and a naive bind() fails with EADDRINUSE.  Probe the path
+  // first — a live daemon accepts the connect and we refuse to steal its
+  // socket; a dead one answers ECONNREFUSED and the stale file is
+  // reclaimed.
+  struct stat St{};
+  if (::lstat(Opts.SocketPath.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      Err = Opts.SocketPath + " exists and is not a socket";
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    bool Alive =
+        Probe >= 0 &&
+        ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+            0;
+    if (Probe >= 0)
+      ::close(Probe);
+    if (Alive) {
+      Err = "another daemon is already serving " + Opts.SocketPath;
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    ::unlink(Opts.SocketPath.c_str());
+    ++stat("socket_reclaimed");
+    if (Opts.Verbose)
+      std::fprintf(stderr, "[privateer-served] reclaimed stale socket %s\n",
+                   Opts.SocketPath.c_str());
+  }
   if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
       0) {
     Err = "bind " + Opts.SocketPath + ": " + std::strerror(errno);
@@ -181,6 +219,7 @@ int Server::run() {
 
     double Now = wallSeconds();
     checkDeadlines(Now);
+    checkConnHealth(Now);
 
     // Finalize any job whose supervisor is reaped and whose result pipe
     // has either drained to EOF or already holds a complete frame.
@@ -196,19 +235,32 @@ int Server::run() {
     }
 
     if (Draining && Jobs.empty() && Queue.empty()) {
-      // Flush straggling replies, then leave.
+      // Flush straggling replies, then leave.  Sleep in poll(POLLOUT) for
+      // the remaining deadline instead of busy-spinning on EAGAIN.
       for (auto &[Fd, C] : Conns) {
         if (!C.Out.empty()) {
-          std::string Err;
           size_t DoneB = 0;
-          double Deadline = wallSeconds() + 2.0;
-          while (DoneB < C.Out.size() && wallSeconds() < Deadline) {
+          double Deadline = wallSeconds() + 2.0 * timeoutScale();
+          while (DoneB < C.Out.size()) {
             ssize_t N =
                 ::write(Fd, C.Out.data() + DoneB, C.Out.size() - DoneB);
-            if (N > 0)
+            if (N > 0) {
               DoneB += static_cast<size_t>(N);
-            else if (N < 0 && errno != EAGAIN && errno != EINTR)
-              break;
+              continue;
+            }
+            if (N < 0 && errno == EINTR)
+              continue;
+            if (N < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+              double Left = Deadline - wallSeconds();
+              if (Left <= 0)
+                break;
+              pollfd P{Fd, POLLOUT, 0};
+              int PR = ::poll(&P, 1, static_cast<int>(Left * 1000) + 1);
+              if (PR < 0 && errno != EINTR)
+                break;
+              continue;
+            }
+            break; // hard error: the client is gone, stop trying
           }
         }
         ::close(Fd);
@@ -280,8 +332,13 @@ int Server::run() {
           dropConn(Fd, "socket error");
           continue;
         }
-        if (Pfds[I].revents & POLLOUT)
+        if (Pfds[I].revents & POLLOUT) {
           flushConn(It->second);
+          // flushConn may drop the connection (CloseAfterFlush).
+          It = Conns.find(Fd);
+          if (It == Conns.end())
+            continue;
+        }
         if (Pfds[I].revents & (POLLIN | POLLHUP)) {
           // readConn may drop the connection; re-find afterwards.
           readConn(It->second);
@@ -319,6 +376,9 @@ void Server::acceptClients() {
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (Fd < 0)
       return;
+    if (Opts.SendBufBytes > 0)
+      ::setsockopt(Fd, SOL_SOCKET, SO_SNDBUF, &Opts.SendBufBytes,
+                   sizeof(int));
     Conn C;
     C.Fd = Fd;
     C.Frames = FrameAssembler(Opts.MaxFrameBytes);
@@ -444,14 +504,48 @@ void Server::flushConn(Conn &C) {
     ssize_t N = ::write(C.Fd, C.Out.data(), C.Out.size());
     if (N > 0) {
       C.Out.erase(0, static_cast<size_t>(N));
+      C.LastWriteProgress = wallSeconds();
       continue;
     }
     if (N < 0 && errno == EINTR)
       continue;
     break; // EAGAIN: wait for POLLOUT; hard errors surface via POLLIN/ERR
   }
-  if (C.Out.empty() && C.CloseAfterFlush)
-    dropConn(C.Fd, "flushed");
+  if (C.Out.empty()) {
+    C.LastWriteProgress = 0;
+    if (C.CloseAfterFlush)
+      dropConn(C.Fd, "flushed");
+    return;
+  }
+  // Output is pending: start the stall clock if it isn't running, and mark
+  // connections whose backlog outgrew the cap.  The drop itself is
+  // deferred to checkConnHealth so reply paths holding this Conn& (and
+  // the event loop's iterators) stay valid.
+  if (C.LastWriteProgress == 0)
+    C.LastWriteProgress = wallSeconds();
+  if (Opts.MaxConnBufferBytes > 0 && C.Out.size() > Opts.MaxConnBufferBytes &&
+      !C.Doomed) {
+    C.Doomed = true;
+    C.DoomWhy = "slow reader: output buffer cap exceeded";
+  }
+}
+
+void Server::checkConnHealth(double Now) {
+  std::vector<std::pair<int, const char *>> Drop;
+  for (auto &[Fd, C] : Conns) {
+    if (C.Doomed) {
+      Drop.push_back({Fd, C.DoomWhy});
+      continue;
+    }
+    if (C.Out.empty() || C.LastWriteProgress == 0 || Opts.WriteStallSec <= 0)
+      continue;
+    if (Now - C.LastWriteProgress > Opts.WriteStallSec * timeoutScale())
+      Drop.push_back({Fd, "slow reader: no write progress before deadline"});
+  }
+  for (auto &[Fd, Why] : Drop) {
+    ++stat("slow_client_drops");
+    dropConn(Fd, Why);
+  }
 }
 
 // --- Jobs ----------------------------------------------------------------
@@ -470,6 +564,18 @@ void Server::handleSubmit(Conn &C, const std::string &Body) {
     R.Error = Why;
     sendFrame(C, MsgType::JobResult, encodeJobReply(R));
   };
+  // Idempotent resubmission: a client that reconnected after losing the
+  // original reply gets the remembered answer instead of a second run.
+  if (Req.IdempotencyKey != 0) {
+    auto RIt = Replay.find(Req.IdempotencyKey);
+    if (RIt != Replay.end()) {
+      ++stat("idempotent_replays");
+      JobReply R = RIt->second;
+      R.IdempotentReplay = true;
+      sendFrame(C, MsgType::JobResult, encodeJobReply(R));
+      return;
+    }
+  }
   if (Draining) {
     Reject(JobStatus::Draining, "daemon is draining");
     return;
@@ -505,6 +611,17 @@ void Server::handleSubmit(Conn &C, const std::string &Body) {
   if (!Prog) {
     ++stat("jobs_failed");
     Reject(JobStatus::ParseError, Err);
+    return;
+  }
+  if (Prog->Poisoned) {
+    // This exact program text already killed a supervisor with a
+    // deterministic program-class signal; answer from the cached negative
+    // verdict instead of crashing another one.
+    ++stat("negative_verdicts");
+    ++stat("jobs_failed");
+    JobReply R = Prog->PoisonReply;
+    R.CacheHit = true;
+    sendFrame(C, MsgType::JobResult, encodeJobReply(R));
     return;
   }
   if (Req.Mode == JobMode::Speculative && !Prog->Pipeline.Transformed) {
@@ -552,24 +669,25 @@ void Server::pumpQueue() {
 }
 
 void Server::startJob(Job &J) {
-  int P[2];
-  if (::pipe2(P, O_CLOEXEC) < 0) {
+  // pipe/fork failures (EMFILE, EAGAIN/ENOMEM under load) are infra-class:
+  // they go through the retry ladder like any other resource exhaustion.
+  auto Infra = [&](const char *What) {
     JobReply R;
     R.Status = JobStatus::InternalError;
-    R.Error = std::string("pipe: ") + std::strerror(errno);
-    replyToJob(J, std::move(R));
-    Jobs.erase(J.Id);
+    R.Cause = FailureCause::InfraFork;
+    R.Error = std::string(What) + ": " + std::strerror(errno);
+    retryOrFail(J, std::move(R));
+  };
+  int P[2];
+  if (::pipe2(P, O_CLOEXEC) < 0) {
+    Infra("pipe");
     return;
   }
   pid_t Pid = ::fork();
   if (Pid < 0) {
     ::close(P[0]);
     ::close(P[1]);
-    JobReply R;
-    R.Status = JobStatus::InternalError;
-    R.Error = std::string("fork: ") + std::strerror(errno);
-    replyToJob(J, std::move(R));
-    Jobs.erase(J.Id);
+    Infra("fork");
     return;
   }
   if (Pid == 0) {
@@ -622,12 +740,57 @@ void Server::runSupervisor(const Job &J) {
     if (Id != J.Id && Other.ResultFd >= 0)
       ::close(Other.ResultFd);
 
+  applySupervisorLimits(J.Req);
+
   if (J.Req.FaultKillSupervisor)
     ::raise(SIGKILL); // fault injection: die without a result
+  if (J.Req.FaultSupervisorSignal != 0) {
+    // Reset first: the daemon may have inherited the runtime's SIGSEGV
+    // speculation handler from an in-process training run.
+    ::signal(static_cast<int>(J.Req.FaultSupervisorSignal), SIG_DFL);
+    ::raise(static_cast<int>(J.Req.FaultSupervisorSignal));
+  }
+  if (J.Req.FaultSupervisorExit != kNoFaultExit)
+    ::_exit(static_cast<int>(J.Req.FaultSupervisorExit));
+  if (J.Req.FaultBurnCpuSec > 0) {
+    double End = cpuSeconds() + J.Req.FaultBurnCpuSec;
+    volatile uint64_t Sink = 0;
+    while (cpuSeconds() < End)
+      for (int I = 0; I < 4096; ++I)
+        Sink += static_cast<uint64_t>(I) * 2654435761u;
+  }
 
   JobReply R;
   R.CacheHit = J.CacheHit;
   R.PipelineSec = J.CacheHit ? 0 : J.Prog->PipelineSec;
+
+  // Typed out-of-memory reporting: deliver a clean JobResult frame and
+  // exit 0 so the daemon triages the failure from the reply body, not from
+  // a corpse.  Both fault knobs below funnel through this path, as does
+  // any bad_alloc thrown during execution.
+  auto ReportOom = [&](const std::string &Why) {
+    R.Status = JobStatus::ResourceLimit;
+    R.Cause = FailureCause::OutOfMemory;
+    R.Error = Why;
+    std::string E2;
+    writeFrame(J.ResultFd, MsgType::JobResult, encodeJobReply(R), E2);
+    ::close(J.ResultFd);
+    ::_exit(0);
+  };
+  if (J.Attempt < J.Req.FaultOomAttempts)
+    ReportOom("fault injection: simulated allocation failure on attempt " +
+              std::to_string(J.Attempt + 1));
+  if (J.Req.FaultAllocBytes > 0) {
+    try {
+      // Direct operator call: a new[]/delete[] pair is elidable at -O3,
+      // which would silently defuse the fault.
+      void *P = ::operator new[](J.Req.FaultAllocBytes);
+      ::operator delete[](P);
+    } catch (const std::bad_alloc &) {
+      ReportOom("allocation of " + std::to_string(J.Req.FaultAllocBytes) +
+                " bytes failed (bad_alloc)");
+    }
+  }
 
   char *OutBuf = nullptr;
   size_t OutLen = 0;
@@ -674,6 +837,10 @@ void Server::runSupervisor(const Job &J) {
       R.MisspecReason = E.Stats.FirstMisspecReason;
       R.Status = JobStatus::Ok;
     }
+  } catch (const std::bad_alloc &) {
+    R.Status = JobStatus::ResourceLimit;
+    R.Cause = FailureCause::OutOfMemory;
+    R.Error = "out of memory (bad_alloc) during execution";
   } catch (const std::exception &E) {
     R.Status = JobStatus::InternalError;
     R.Error = E.what();
@@ -689,6 +856,40 @@ void Server::runSupervisor(const Job &J) {
     ::_exit(4);
   ::close(J.ResultFd);
   ::_exit(0);
+}
+
+void Server::applySupervisorLimits(const JobRequest &Req) {
+  // A crashing supervisor must not dump multi-GiB tagged heaps to disk.
+  rlimit Core{0, 0};
+  ::setrlimit(RLIMIT_CORE, &Core);
+  // Effective ceiling: the request can lower the daemon's default but
+  // never raise it (0 on either side means "no opinion").
+  auto Effective = [](uint64_t Mine, uint64_t Daemon) -> uint64_t {
+    if (Mine == 0)
+      return Daemon;
+    if (Daemon == 0)
+      return Mine;
+    return std::min(Mine, Daemon);
+  };
+  if (uint64_t Mem = Effective(Req.MaxMemoryBytes, Opts.MaxMemoryBytes)) {
+    rlimit L{static_cast<rlim_t>(Mem), static_cast<rlim_t>(Mem)};
+    ::setrlimit(RLIMIT_AS, &L);
+  }
+  if (uint64_t Cpu = Effective(Req.MaxCpuSec, Opts.MaxCpuSec)) {
+    // Scaled like deadlines: sanitizer builds are several-fold slower and
+    // must not burn their CPU budget on healthy work.  Hard limit sits a
+    // little above the soft one so SIGXCPU fires first, with SIGKILL as
+    // the kernel's backstop.
+    rlim_t Soft = static_cast<rlim_t>(
+        std::max(1.0, std::ceil(static_cast<double>(Cpu) * timeoutScale())));
+    rlimit L{Soft, Soft + 2};
+    ::setrlimit(RLIMIT_CPU, &L);
+  }
+  if (uint64_t Files = Effective(Req.MaxOpenFiles, Opts.MaxOpenFiles)) {
+    rlim_t V = static_cast<rlim_t>(std::max<uint64_t>(Files, 8));
+    rlimit L{V, V};
+    ::setrlimit(RLIMIT_NOFILE, &L);
+  }
 }
 
 void Server::reapChildren() {
@@ -738,15 +939,144 @@ void Server::killJob(Job &J, KillCause Cause) {
 }
 
 void Server::replyToJob(const Job &J, JobReply R) {
-  auto It = Conns.find(J.ConnFd);
-  if (It == Conns.end())
-    return;
   double Now = wallSeconds();
   R.QueueSec = J.StartT > 0 ? J.StartT - J.SubmitT : Now - J.SubmitT;
   R.WallSec = Now - J.SubmitT;
   R.CacheHit = J.CacheHit;
+  R.Attempts = J.Attempt + 1;
+  // Remember the reply before looking for the connection: an answer
+  // computed for a client that vanished mid-send must still be replayable
+  // when that client reconnects with the same idempotency key.
+  rememberReply(J, R);
+  auto It = Conns.find(J.ConnFd);
+  if (It == Conns.end())
+    return;
   sendFrame(It->second, MsgType::JobResult, encodeJobReply(R));
+  // sendFrame may have doomed a slow reader, but the Conn object survives
+  // until checkConnHealth, so this write stays valid.
   It->second.ActiveJob = 0;
+}
+
+void Server::rememberReply(const Job &J, const JobReply &R) {
+  if (J.Req.IdempotencyKey == 0 || Opts.ReplayEntries == 0)
+    return;
+  // Backpressure and shutdown verdicts are retryable conditions, not
+  // outcomes of the job itself; replaying them would wedge the client.
+  if (R.Status == JobStatus::Rejected || R.Status == JobStatus::Draining ||
+      R.Status == JobStatus::Canceled)
+    return;
+  if (Replay.emplace(J.Req.IdempotencyKey, R).second) {
+    ReplayOrder.push_back(J.Req.IdempotencyKey);
+    while (ReplayOrder.size() > Opts.ReplayEntries) {
+      Replay.erase(ReplayOrder.front());
+      ReplayOrder.pop_front();
+    }
+  }
+}
+
+JobReply Server::triageFailure(const Job &J) {
+  JobReply R;
+  int St = J.WaitStatus;
+  if (WIFSIGNALED(St)) {
+    int Sig = WTERMSIG(St);
+    R.TermSignal = static_cast<uint32_t>(Sig);
+    if (Sig == SIGXCPU) {
+      R.Status = JobStatus::ResourceLimit;
+      R.Cause = FailureCause::CpuLimit;
+      R.Error = "supervisor exceeded its CPU budget (SIGXCPU)";
+    } else {
+      R.Status = JobStatus::Crashed;
+      R.Cause = FailureCause::Signal;
+      R.Error = std::string("supervisor killed by signal ") +
+                std::to_string(Sig);
+      if (const char *Name = ::strsignal(Sig))
+        R.Error += std::string(" (") + Name + ")";
+    }
+  } else if (WIFEXITED(St) && WEXITSTATUS(St) != 0) {
+    int Code = WEXITSTATUS(St);
+    R.SupExitCode = static_cast<uint32_t>(Code);
+    if (Code == 3 || Code == 4) {
+      // The supervisor's own _exit codes: open_memstream failed (3) or the
+      // result pipe write failed (4) — infrastructure, not the program.
+      R.Status = JobStatus::InternalError;
+      R.Cause = FailureCause::ResultTruncated;
+      R.Error =
+          "supervisor could not deliver its result (exit " +
+          std::to_string(Code) + ")";
+    } else {
+      R.Status = JobStatus::Crashed;
+      R.Cause = FailureCause::NonzeroExit;
+      R.Error =
+          "supervisor exited with status " + std::to_string(Code);
+    }
+  } else {
+    // Exited 0 but the result frame never parsed.
+    R.Status = JobStatus::Crashed;
+    R.Cause = FailureCause::ResultTruncated;
+    R.Error = "supervisor result truncated";
+  }
+  return R;
+}
+
+bool Server::retryOrFail(Job &J, JobReply R) {
+  if (isInfraFailure(R.Cause) && J.Attempt < Opts.MaxRetries) {
+    // Degrade ladder: attempt 1 halves the workers, attempt 2 runs
+    // sequentially.  The requeued job goes to the front so its client is
+    // not re-penalized with another full queue wait.
+    ++J.Attempt;
+    ++stat("retries");
+    if (J.Req.Mode != JobMode::Sequential) {
+      if (J.Attempt >= 2 || J.Req.NumWorkers <= 2) {
+        J.Req.Mode = JobMode::Sequential;
+        J.Req.NumWorkers = 1;
+      } else {
+        J.Req.NumWorkers = std::max(1u, J.Req.NumWorkers / 2);
+      }
+    }
+    J.Cost = J.Req.NumWorkers + 1;
+    J.Running = false;
+    J.Pid = -1;
+    if (J.ResultFd >= 0) {
+      ::close(J.ResultFd);
+      J.ResultFd = -1;
+    }
+    J.ResultBuf.clear();
+    J.ResultEof = false;
+    J.Reaped = false;
+    J.WaitStatus = 0;
+    J.Killed = KillCause::None;
+    J.DeadlineAbs = 0;
+    if (Opts.Verbose)
+      std::fprintf(stderr,
+                   "[privateer-served] job %llu retry %u (%s): %s — now %s "
+                   "with %u workers\n",
+                   static_cast<unsigned long long>(J.Id), J.Attempt,
+                   failureCauseName(R.Cause), R.Error.c_str(),
+                   J.Req.Mode == JobMode::Sequential ? "sequential"
+                                                     : "speculative",
+                   J.Req.NumWorkers);
+    Queue.push_front(J.Id);
+    return true;
+  }
+
+  switch (R.Status) {
+  case JobStatus::Crashed:
+    ++stat("jobs_crashed");
+    break;
+  case JobStatus::ResourceLimit:
+    ++stat("jobs_resource_limit");
+    break;
+  default:
+    ++stat("jobs_failed");
+    break;
+  }
+  if (Opts.Verbose)
+    std::fprintf(stderr, "[privateer-served] job %llu failed: %s (%s)\n",
+                 static_cast<unsigned long long>(J.Id),
+                 jobStatusName(R.Status), failureCauseName(R.Cause));
+  replyToJob(J, std::move(R));
+  Jobs.erase(J.Id);
+  return false;
 }
 
 void Server::finishJob(Job &J) {
@@ -755,64 +1085,90 @@ void Server::finishJob(Job &J) {
   Reg.real("service", "exec_sec") += Now - J.StartT;
   Reg.real("service", "queue_wait_sec") += J.StartT - J.SubmitT;
 
-  JobReply R;
-  bool Reply = true;
-  if (J.Killed == KillCause::ClientGone) {
-    ++stat("jobs_canceled");
-    Reply = false; // no one to tell
-  } else if (J.Killed == KillCause::Deadline) {
-    ++stat("jobs_timeout");
-    R.Status = JobStatus::TimedOut;
-    R.Error = "deadline exceeded; supervisor killed";
-  } else if (J.Killed == KillCause::Shutdown) {
-    ++stat("jobs_canceled");
-    R.Status = JobStatus::Canceled;
-    R.Error = "daemon shut down";
-  } else {
-    // Parse the supervisor's result frame.
-    FrameAssembler A(Opts.MaxFrameBytes);
-    A.feed(J.ResultBuf.data(), J.ResultBuf.size());
-    MsgType Type;
-    std::string Body, Err;
-    bool Clean = WIFEXITED(J.WaitStatus) && WEXITSTATUS(J.WaitStatus) == 0;
-    if (Clean && A.next(Type, Body, Err) == FrameAssembler::Result::Frame &&
-        Type == MsgType::JobResult && decodeJobReply(Body, R, Err)) {
-      if (R.Status == JobStatus::Ok)
-        ++stat("jobs_completed");
-      else
-        ++stat("jobs_failed");
-    } else {
-      ++stat("jobs_crashed");
-      R = JobReply();
-      R.Status = JobStatus::Crashed;
-      if (WIFSIGNALED(J.WaitStatus))
-        R.Error = std::string("supervisor killed by signal ") +
-                  std::to_string(WTERMSIG(J.WaitStatus));
-      else if (!Clean)
-        R.Error = "supervisor exited with status " +
-                  std::to_string(WEXITSTATUS(J.WaitStatus));
-      else
-        R.Error = "supervisor result truncated: " + Err;
-    }
+  // Release this attempt's budget and pipe before anything else; a retry
+  // re-acquires admission at its (possibly smaller) degraded cost.
+  WorkersInUse -= J.Cost;
+  if (J.ResultFd >= 0) {
+    ::close(J.ResultFd);
+    J.ResultFd = -1;
   }
 
-  if (Opts.Verbose)
-    std::fprintf(stderr, "[privateer-served] job %llu done: %s\n",
-                 static_cast<unsigned long long>(J.Id),
-                 jobStatusName(R.Status));
-
-  if (Reply)
-    replyToJob(J, std::move(R));
-  else {
+  if (J.Killed == KillCause::ClientGone) {
+    ++stat("jobs_canceled");
     auto It = Conns.find(J.ConnFd);
     if (It != Conns.end())
       It->second.ActiveJob = 0;
+    Jobs.erase(J.Id);
+    pumpQueue();
+    return;
+  }
+  if (J.Killed == KillCause::Deadline || J.Killed == KillCause::Shutdown) {
+    JobReply R;
+    if (J.Killed == KillCause::Deadline) {
+      ++stat("jobs_timeout");
+      R.Status = JobStatus::TimedOut;
+      R.Cause = FailureCause::Deadline;
+      R.Error = "deadline exceeded; supervisor killed";
+    } else {
+      ++stat("jobs_canceled");
+      R.Status = JobStatus::Canceled;
+      R.Cause = FailureCause::Shutdown;
+      R.Error = "daemon shut down";
+    }
+    if (Opts.Verbose)
+      std::fprintf(stderr, "[privateer-served] job %llu done: %s\n",
+                   static_cast<unsigned long long>(J.Id),
+                   jobStatusName(R.Status));
+    replyToJob(J, std::move(R));
+    Jobs.erase(J.Id);
+    pumpQueue();
+    return;
   }
 
-  WorkersInUse -= J.Cost;
-  if (J.ResultFd >= 0)
-    ::close(J.ResultFd);
-  Jobs.erase(J.Id);
+  // The supervisor finished on its own: decode its result frame, or triage
+  // its corpse into a typed failure.
+  FrameAssembler A(Opts.MaxFrameBytes);
+  A.feed(J.ResultBuf.data(), J.ResultBuf.size());
+  MsgType Type;
+  std::string Body, Err;
+  JobReply R;
+  bool Clean = WIFEXITED(J.WaitStatus) && WEXITSTATUS(J.WaitStatus) == 0;
+  bool Decoded = Clean &&
+                 A.next(Type, Body, Err) == FrameAssembler::Result::Frame &&
+                 Type == MsgType::JobResult && decodeJobReply(Body, R, Err);
+  if (Decoded && R.Status == JobStatus::Ok) {
+    ++stat("jobs_completed");
+    if (J.Attempt > 0)
+      ++stat("retry_success");
+    if (Opts.Verbose)
+      std::fprintf(stderr, "[privateer-served] job %llu done: ok%s\n",
+                   static_cast<unsigned long long>(J.Id),
+                   J.Attempt > 0 ? " (after retry)" : "");
+    replyToJob(J, std::move(R));
+    Jobs.erase(J.Id);
+    pumpQueue();
+    return;
+  }
+  if (!Decoded) {
+    R = triageFailure(J);
+    // Deterministic program-class crash signals poison the cached program:
+    // resubmitting the same text answers from the negative verdict instead
+    // of crashing another supervisor.  External SIGKILL/SIGTERM say
+    // nothing about the program and never poison.
+    if (J.Prog && R.Cause == FailureCause::Signal) {
+      int Sig = static_cast<int>(R.TermSignal);
+      if (Sig == SIGSEGV || Sig == SIGBUS || Sig == SIGABRT ||
+          Sig == SIGFPE || Sig == SIGILL) {
+        J.Prog->Poisoned = true;
+        J.Prog->PoisonReply = JobReply();
+        J.Prog->PoisonReply.Status = R.Status;
+        J.Prog->PoisonReply.Cause = R.Cause;
+        J.Prog->PoisonReply.TermSignal = R.TermSignal;
+        J.Prog->PoisonReply.Error = "cached negative verdict: " + R.Error;
+      }
+    }
+  }
+  retryOrFail(J, std::move(R));
   pumpQueue();
 }
 

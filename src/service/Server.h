@@ -58,6 +58,33 @@ struct ServerOptions {
   /// 0 here means no deadline.  Scaled by timeoutScale() like the
   /// request's own value.
   double DefaultDeadlineSec = 0;
+
+  // --- Supervisor resource governance (0 = unlimited) --------------------
+  /// Every supervisor (and its worker tree, which inherits the limits
+  /// across fork) runs under these rlimits; per-job requests can lower
+  /// but never raise them.  RLIMIT_CORE is always 0: a crashing
+  /// supervisor must not dump multi-GiB tagged heaps to disk.
+  uint64_t MaxMemoryBytes = 0; ///< RLIMIT_AS
+  uint32_t MaxCpuSec = 0;      ///< RLIMIT_CPU (scaled by timeoutScale())
+  uint32_t MaxOpenFiles = 0;   ///< RLIMIT_NOFILE
+
+  // --- Client resilience -------------------------------------------------
+  /// Per-connection outbound buffer cap: a client whose pending replies
+  /// outgrow this is a slow reader and gets dropped instead of ballooning
+  /// the daemon's memory.
+  size_t MaxConnBufferBytes = 4u << 20;
+  /// A connection with pending output that makes no read progress for
+  /// this long (scaled by timeoutScale()) is dropped.
+  double WriteStallSec = 10.0;
+  /// Finished replies remembered for idempotent resubmission (SubmitJob
+  /// IdempotencyKey); bounds the replay cache.
+  size_t ReplayEntries = 128;
+  /// In-daemon retries of infra-class failures: attempt 1 halves the
+  /// workers, attempt 2 runs sequentially.  0 disables retrying.
+  unsigned MaxRetries = 2;
+  /// Test-only: when nonzero, shrink SO_SNDBUF on accepted connections so
+  /// slow-reader backpressure is reachable with small outputs.
+  int SendBufBytes = 0;
   bool Verbose = false;
 };
 
@@ -86,6 +113,13 @@ private:
     std::string Out;        ///< bytes waiting for POLLOUT
     uint64_t ActiveJob = 0; ///< one outstanding job per connection
     bool CloseAfterFlush = false;
+    /// Slated for dropConn at the top of the next event-loop pass (slow
+    /// reader); deferred so reply paths holding a Conn& stay valid.
+    bool Doomed = false;
+    const char *DoomWhy = "";
+    /// wallSeconds() of the last write progress while Out was nonempty;
+    /// 0 when Out is empty.
+    double LastWriteProgress = 0;
   };
 
   enum class KillCause : uint8_t { None, Deadline, ClientGone, Shutdown };
@@ -107,6 +141,9 @@ private:
     double SubmitT = 0, StartT = 0;
     double DeadlineAbs = 0; ///< wallSeconds() deadline; 0 = none
     unsigned Cost = 0;      ///< admission cost: NumWorkers + 1
+    /// Execution attempt ordinal; bumped by in-daemon infra retries
+    /// (attempt 1 halves the workers, attempt 2 runs sequentially).
+    unsigned Attempt = 0;
   };
 
   // Event handlers.
@@ -121,11 +158,21 @@ private:
   void pumpQueue();
   void startJob(Job &J);
   [[noreturn]] void runSupervisor(const Job &J);
+  void applySupervisorLimits(const JobRequest &Req);
   void reapChildren();
   void finishJob(Job &J);
+  /// Decodes the supervisor's wait status / result frame into a typed
+  /// failure reply (Cause, TermSignal, SupExitCode).
+  JobReply triageFailure(const Job &J);
+  /// Requeues an infra-failed job with a degraded config, or — when the
+  /// retry budget is spent or the cause is program-class — sends \p R as
+  /// the final answer.  Returns true when the job was requeued.
+  bool retryOrFail(Job &J, JobReply R);
   void checkDeadlines(double Now);
+  void checkConnHealth(double Now);
   void killJob(Job &J, KillCause Cause);
   void replyToJob(const Job &J, JobReply R);
+  void rememberReply(const Job &J, const JobReply &R);
 
   // Control plane.
   void beginDrain();
@@ -147,6 +194,10 @@ private:
   std::map<int, Conn> Conns;
   std::map<uint64_t, Job> Jobs;
   std::deque<uint64_t> Queue; ///< job ids waiting for admission
+  /// Bounded FIFO of finished replies keyed by IdempotencyKey, replayed
+  /// when a reconnecting client resubmits a job whose answer it lost.
+  std::map<uint64_t, JobReply> Replay;
+  std::deque<uint64_t> ReplayOrder;
 };
 
 } // namespace service

@@ -49,12 +49,26 @@ JobRequest sampleRequest() {
   R.FaultStallSeconds = 6.5;
   R.FaultKillRate = 0.001;
   R.FaultSeed = 99;
+  R.IdempotencyKey = 0xdeadbeefcafef00dULL;
+  R.MaxMemoryBytes = 3ULL << 30;
+  R.MaxCpuSec = 17;
+  R.MaxOpenFiles = 256;
+  R.FaultSupervisorSignal = 11;
+  R.FaultSupervisorExit = 42;
+  R.FaultOomAttempts = 2;
+  R.FaultAllocBytes = 1ULL << 47;
+  R.FaultBurnCpuSec = 0.75;
   return R;
 }
 
 JobReply sampleReply() {
   JobReply R;
   R.Status = JobStatus::Ok;
+  R.Cause = FailureCause::CpuLimit;
+  R.TermSignal = 24;
+  R.SupExitCode = 3;
+  R.Attempts = 2;
+  R.IdempotentReplay = true;
   R.Error = "none";
   R.Output = std::string("line1\nline2\n\0binary", 19);
   R.ExitValue = -77;
@@ -96,6 +110,15 @@ TEST(ServiceProtocol, JobRequestRoundTrip) {
   EXPECT_DOUBLE_EQ(Out.FaultStallSeconds, In.FaultStallSeconds);
   EXPECT_DOUBLE_EQ(Out.FaultKillRate, In.FaultKillRate);
   EXPECT_EQ(Out.FaultSeed, In.FaultSeed);
+  EXPECT_EQ(Out.IdempotencyKey, In.IdempotencyKey);
+  EXPECT_EQ(Out.MaxMemoryBytes, In.MaxMemoryBytes);
+  EXPECT_EQ(Out.MaxCpuSec, In.MaxCpuSec);
+  EXPECT_EQ(Out.MaxOpenFiles, In.MaxOpenFiles);
+  EXPECT_EQ(Out.FaultSupervisorSignal, In.FaultSupervisorSignal);
+  EXPECT_EQ(Out.FaultSupervisorExit, In.FaultSupervisorExit);
+  EXPECT_EQ(Out.FaultOomAttempts, In.FaultOomAttempts);
+  EXPECT_EQ(Out.FaultAllocBytes, In.FaultAllocBytes);
+  EXPECT_DOUBLE_EQ(Out.FaultBurnCpuSec, In.FaultBurnCpuSec);
 }
 
 TEST(ServiceProtocol, JobReplyRoundTrip) {
@@ -105,6 +128,11 @@ TEST(ServiceProtocol, JobReplyRoundTrip) {
   std::string Err;
   ASSERT_TRUE(decodeJobReply(Body, Out, Err)) << Err;
   EXPECT_EQ(Out.Status, In.Status);
+  EXPECT_EQ(Out.Cause, In.Cause);
+  EXPECT_EQ(Out.TermSignal, In.TermSignal);
+  EXPECT_EQ(Out.SupExitCode, In.SupExitCode);
+  EXPECT_EQ(Out.Attempts, In.Attempts);
+  EXPECT_EQ(Out.IdempotentReplay, In.IdempotentReplay);
   EXPECT_EQ(Out.Error, In.Error);
   EXPECT_EQ(Out.Output, In.Output);
   EXPECT_EQ(Out.ExitValue, In.ExitValue);

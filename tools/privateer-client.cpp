@@ -41,6 +41,10 @@ int usage(const char *Argv0) {
       "  --deadline <sec>  per-job deadline (daemon scales it by\n"
       "                    PRIVATEER_TIMEOUT_SCALE)\n"
       "  --trace <f>       daemon-side runtime timeline path\n"
+      "  --mem-mb <n>      per-job RLIMIT_AS ceiling in MiB (can lower,\n"
+      "                    never raise, the daemon's configured limit)\n"
+      "  --cpu-sec <n>     per-job RLIMIT_CPU ceiling in seconds\n"
+      "  --no-retry        disable transparent reconnect + resubmit\n"
       "  --jobs <n>        submit the job n times over this connection\n"
       "  --status          print the daemon's status JSON and exit\n"
       "  --drain           ask the daemon to finish its queue and exit\n"
@@ -56,6 +60,7 @@ int usage(const char *Argv0) {
 int main(int Argc, char **Argv) {
   std::string Socket, Path, Demo;
   bool Status = false, Drain = false, Shutdown = false, Quiet = false;
+  bool NoRetry = false;
   unsigned JobsToRun = 1;
   JobRequest Req;
 
@@ -79,6 +84,12 @@ int main(int Argc, char **Argv) {
       Req.DeadlineSec = std::atof(Argv[++I]);
     else if (A == "--trace" && I + 1 < Argc)
       Req.TracePath = Argv[++I];
+    else if (A == "--mem-mb" && I + 1 < Argc)
+      Req.MaxMemoryBytes = static_cast<uint64_t>(std::atoll(Argv[++I])) << 20;
+    else if (A == "--cpu-sec" && I + 1 < Argc)
+      Req.MaxCpuSec = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    else if (A == "--no-retry")
+      NoRetry = true;
     else if (A == "--jobs" && I + 1 < Argc)
       JobsToRun = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (A == "--status")
@@ -100,6 +111,7 @@ int main(int Argc, char **Argv) {
     return usage(Argv[0]);
 
   Client C;
+  C.Retry.Enabled = !NoRetry;
   std::string Err;
   if (!C.connect(Socket, Err)) {
     std::fprintf(stderr, "privateer-client: %s\n", Err.c_str());

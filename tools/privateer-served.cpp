@@ -32,10 +32,24 @@ int usage(const char *Argv0) {
       "  --cache <n>       warm program cache entries (default 32)\n"
       "  --deadline <sec>  default per-job deadline, scaled by\n"
       "                    PRIVATEER_TIMEOUT_SCALE (default: none)\n"
+      "  --max-mem-mb <n>  RLIMIT_AS for every supervisor + worker tree,\n"
+      "                    in MiB (default: unlimited)\n"
+      "  --max-cpu <sec>   RLIMIT_CPU per supervisor, scaled by\n"
+      "                    PRIVATEER_TIMEOUT_SCALE (default: unlimited)\n"
+      "  --max-fds <n>     RLIMIT_NOFILE per supervisor (default: "
+      "unlimited)\n"
+      "  --conn-buffer <b> per-connection outbound buffer cap in bytes;\n"
+      "                    slower readers are dropped (default 4 MiB)\n"
+      "  --write-stall <s> drop a client making no read progress for this\n"
+      "                    long while replies are pending (default 10)\n"
+      "  --retries <n>     in-daemon retries of infra failures with a\n"
+      "                    degraded config (default 2, 0 disables)\n"
       "  --verbose         log accepts, jobs, and drains to stderr\n"
       "\n"
+      "Per-job requests can lower (never raise) the rlimit ceilings.\n"
       "SIGTERM drains (stop accepting, finish the queue, reap\n"
-      "supervisors); SIGINT cancels running jobs and exits.\n",
+      "supervisors); SIGINT cancels running jobs and exits.  A stale\n"
+      "socket left by a crashed daemon is probed and reclaimed on start.\n",
       Argv0);
   return 2;
 }
@@ -56,6 +70,19 @@ int main(int Argc, char **Argv) {
       Opts.CacheEntries = static_cast<size_t>(std::atoll(Argv[++I]));
     else if (A == "--deadline" && I + 1 < Argc)
       Opts.DefaultDeadlineSec = std::atof(Argv[++I]);
+    else if (A == "--max-mem-mb" && I + 1 < Argc)
+      Opts.MaxMemoryBytes =
+          static_cast<uint64_t>(std::atoll(Argv[++I])) << 20;
+    else if (A == "--max-cpu" && I + 1 < Argc)
+      Opts.MaxCpuSec = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    else if (A == "--max-fds" && I + 1 < Argc)
+      Opts.MaxOpenFiles = static_cast<uint32_t>(std::atoi(Argv[++I]));
+    else if (A == "--conn-buffer" && I + 1 < Argc)
+      Opts.MaxConnBufferBytes = static_cast<size_t>(std::atoll(Argv[++I]));
+    else if (A == "--write-stall" && I + 1 < Argc)
+      Opts.WriteStallSec = std::atof(Argv[++I]);
+    else if (A == "--retries" && I + 1 < Argc)
+      Opts.MaxRetries = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (A == "--verbose")
       Opts.Verbose = true;
     else
