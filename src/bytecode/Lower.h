@@ -1,0 +1,50 @@
+//===- bytecode/Lower.h - IR -> bytecode lowering ---------------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-pass lowering from the verified IR to the register bytecode of
+/// Bytecode.h.  The lowering is total over the current IR; the options
+/// carry explicit resource limits so callers always have a correct
+/// fallback: on any construct or limit the lowerer will not take, it
+/// returns null with a reason and the caller runs the interpreter instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_BYTECODE_LOWER_H
+#define PRIVATEER_BYTECODE_LOWER_H
+
+#include "analysis/LoopInfo.h"
+#include "bytecode/Bytecode.h"
+
+#include <memory>
+#include <string>
+
+namespace privateer {
+namespace bytecode {
+
+struct LowerOptions {
+  /// The pipeline-selected DOALL loop to compile interception for; null
+  /// lowers a plain sequential program (every edge is an ordinary jump).
+  const analysis::Loop *PlanLoop = nullptr;
+  /// Must be PlanLoop's canonical IV when PlanLoop is set.
+  analysis::Loop::CanonicalIv Iv;
+  /// Virtual-register budget per function; lowering falls back (returns
+  /// null) beyond it.  The default is the instruction encoding's limit;
+  /// tests shrink it to exercise the interpreter-fallback path.
+  unsigned MaxRegsPerFunction = 65535;
+};
+
+/// Lowers \p M to bytecode.  Returns null and sets \p WhyNot when any
+/// function exceeds the options' limits or uses a shape the lowerer does
+/// not cover; the caller must then execute via the interpreter.
+std::unique_ptr<BytecodeProgram>
+lowerModule(const ir::Module &M, const LowerOptions &Opts, std::string &WhyNot);
+
+} // namespace bytecode
+} // namespace privateer
+
+#endif // PRIVATEER_BYTECODE_LOWER_H

@@ -2,6 +2,7 @@
 
 #include "interp/Interpreter.h"
 
+#include "interp/Semantics.h"
 #include "support/ErrorHandling.h"
 
 #include <cinttypes>
@@ -213,25 +214,25 @@ Cell Interpreter::execute(const Instruction &I, Frame &F) {
     return Cell::fromPtr(eval(I.operand(0), F).asPtr() +
                          static_cast<uint64_t>(eval(I.operand(1), F).asInt()));
   case Opcode::Add:
-    return Cell::fromInt(eval(I.operand(0), F).asInt() +
-                         eval(I.operand(1), F).asInt());
+    return Cell::fromInt(sem::addWrap(eval(I.operand(0), F).asInt(),
+                                      eval(I.operand(1), F).asInt()));
   case Opcode::Sub:
-    return Cell::fromInt(eval(I.operand(0), F).asInt() -
-                         eval(I.operand(1), F).asInt());
+    return Cell::fromInt(sem::subWrap(eval(I.operand(0), F).asInt(),
+                                      eval(I.operand(1), F).asInt()));
   case Opcode::Mul:
-    return Cell::fromInt(eval(I.operand(0), F).asInt() *
-                         eval(I.operand(1), F).asInt());
+    return Cell::fromInt(sem::mulWrap(eval(I.operand(0), F).asInt(),
+                                      eval(I.operand(1), F).asInt()));
   case Opcode::SDiv: {
     int64_t D = eval(I.operand(1), F).asInt();
     if (D == 0)
       reportFatalError("division by zero");
-    return Cell::fromInt(eval(I.operand(0), F).asInt() / D);
+    return Cell::fromInt(sem::sdivWrap(eval(I.operand(0), F).asInt(), D));
   }
   case Opcode::SRem: {
     int64_t D = eval(I.operand(1), F).asInt();
     if (D == 0)
       reportFatalError("remainder by zero");
-    return Cell::fromInt(eval(I.operand(0), F).asInt() % D);
+    return Cell::fromInt(sem::sremWrap(eval(I.operand(0), F).asInt(), D));
   }
   case Opcode::And:
     return Cell::fromInt(eval(I.operand(0), F).asInt() &
@@ -243,12 +244,11 @@ Cell Interpreter::execute(const Instruction &I, Frame &F) {
     return Cell::fromInt(eval(I.operand(0), F).asInt() ^
                          eval(I.operand(1), F).asInt());
   case Opcode::Shl:
-    return Cell::fromInt(eval(I.operand(0), F).asInt()
-                         << (eval(I.operand(1), F).asInt() & 63));
+    return Cell::fromInt(sem::shlWrap(eval(I.operand(0), F).asInt(),
+                                      eval(I.operand(1), F).asInt()));
   case Opcode::Shr:
-    return Cell::fromInt(static_cast<int64_t>(
-        static_cast<uint64_t>(eval(I.operand(0), F).asInt()) >>
-        (eval(I.operand(1), F).asInt() & 63)));
+    return Cell::fromInt(sem::shrLogical(eval(I.operand(0), F).asInt(),
+                                         eval(I.operand(1), F).asInt()));
   case Opcode::FAdd:
     return Cell::fromFloat(eval(I.operand(0), F).asFloat() +
                            eval(I.operand(1), F).asFloat());
@@ -265,8 +265,7 @@ Cell Interpreter::execute(const Instruction &I, Frame &F) {
     return Cell::fromFloat(
         static_cast<double>(eval(I.operand(0), F).asInt()));
   case Opcode::FpToSi:
-    return Cell::fromInt(
-        static_cast<int64_t>(eval(I.operand(0), F).asFloat()));
+    return Cell::fromInt(sem::fpToSiSat(eval(I.operand(0), F).asFloat()));
   case Opcode::ICmp: {
     int64_t A = eval(I.operand(0), F).asInt();
     int64_t B = eval(I.operand(1), F).asInt();
@@ -402,61 +401,10 @@ BasicBlock *Interpreter::runPlannedLoop(Frame &F) {
 }
 
 void Interpreter::formatPrint(const Instruction &I, Frame &F) {
-  const std::string &Fmt = I.printFormat();
-  std::string Out;
-  unsigned NextArg = 0;
-  for (size_t P = 0; P < Fmt.size(); ++P) {
-    if (Fmt[P] != '%') {
-      Out += Fmt[P];
-      continue;
-    }
-    if (P + 1 < Fmt.size() && Fmt[P + 1] == '%') {
-      Out += '%';
-      ++P;
-      continue;
-    }
-    // Collect the conversion spec up to its letter.
-    std::string Spec = "%";
-    size_t Q = P + 1;
-    while (Q < Fmt.size() && !std::isalpha(static_cast<unsigned char>(Fmt[Q])))
-      Spec += Fmt[Q++];
-    // Skip length modifiers; we re-add our own.
-    while (Q < Fmt.size() && (Fmt[Q] == 'l' || Fmt[Q] == 'h' || Fmt[Q] == 'z'))
-      ++Q;
-    if (Q >= Fmt.size())
-      break;
-    char Conv = Fmt[Q];
-    P = Q;
-    if (NextArg >= I.numOperands())
-      reportFatalError("print format consumes more arguments than given");
-    Cell Arg = eval(I.operand(NextArg++), F);
-    char Buf[64];
-    switch (Conv) {
-    case 'd':
-    case 'i':
-      std::snprintf(Buf, sizeof(Buf), (Spec + "lld").c_str(),
-                    static_cast<long long>(Arg.asInt()));
-      break;
-    case 'u':
-    case 'x':
-    case 'X':
-      std::snprintf(Buf, sizeof(Buf), (Spec + "ll" + Conv).c_str(),
-                    static_cast<unsigned long long>(Arg.asPtr()));
-      break;
-    case 'f':
-    case 'g':
-    case 'e':
-      std::snprintf(Buf, sizeof(Buf), (Spec + Conv).c_str(), Arg.asFloat());
-      break;
-    case 'c':
-      std::snprintf(Buf, sizeof(Buf), "%c",
-                    static_cast<char>(Arg.asInt()));
-      break;
-    default:
-      reportFatalError(std::string("unsupported print conversion %") +
-                       Conv);
-    }
-    Out += Buf;
-  }
+  std::vector<Cell> Args;
+  Args.reserve(I.numOperands());
+  for (unsigned A = 0; A < I.numOperands(); ++A)
+    Args.push_back(eval(I.operand(A), F));
+  std::string Out = sem::formatPrintedText(I.printFormat(), Args);
   Runtime::get().deferPrintf("%s", Out.c_str());
 }

@@ -12,32 +12,66 @@ using namespace privateer;
 using namespace privateer::interp;
 using namespace privateer::ir;
 
-PlainMemoryManager::~PlainMemoryManager() {
-  for (void *P : Live)
-    std::free(P);
+namespace {
+constexpr uint64_t kLiveMagic = 0x507249764c697645ull; // "PrIvLivE"
+constexpr uint64_t kDeadMagic = 0x5072497644454144ull; // "PrIvDEAD"
+} // namespace
+
+detail::BlockList::~BlockList() {
+  for (BlockHeader *H = Head; H;) {
+    BlockHeader *N = H->Next;
+    std::free(H);
+    H = N;
+  }
 }
+
+void *detail::BlockList::allocate(uint64_t Bytes) {
+  uint64_t UserBytes = Bytes ? Bytes : 1;
+  auto *H =
+      static_cast<BlockHeader *>(std::malloc(sizeof(BlockHeader) + UserBytes));
+  if (!H)
+    reportFatalError("interpreter out of memory");
+  H->Prev = nullptr;
+  H->Next = Head;
+  H->Magic = kLiveMagic;
+  if (Head)
+    Head->Prev = H;
+  Head = H;
+  void *P = H + 1;
+  std::memset(P, 0, UserBytes);
+  return P;
+}
+
+bool detail::BlockList::deallocate(void *P) {
+  auto *H = static_cast<BlockHeader *>(P) - 1;
+  if (H->Magic != kLiveMagic)
+    return false;
+  H->Magic = kDeadMagic;
+  if (H->Prev)
+    H->Prev->Next = H->Next;
+  else
+    Head = H->Next;
+  if (H->Next)
+    H->Next->Prev = H->Prev;
+  std::free(H);
+  return true;
+}
+
+PlainMemoryManager::~PlainMemoryManager() = default;
 
 void *PlainMemoryManager::allocate(uint64_t Bytes, const Instruction *,
                                    const GlobalVariable *) {
-  void *P = std::calloc(1, Bytes ? Bytes : 1);
-  if (!P)
-    reportFatalError("interpreter out of memory");
-  Live.insert(P);
-  return P;
+  return Live.allocate(Bytes);
 }
 
 void PlainMemoryManager::deallocate(void *P) {
   if (!P)
     return;
-  if (!Live.erase(P))
+  if (!Live.deallocate(P))
     reportFatalError("interpreted program freed an unknown pointer");
-  std::free(P);
 }
 
-PrivateerMemoryManager::~PrivateerMemoryManager() {
-  for (void *P : LivePlain)
-    std::free(P);
-}
+PrivateerMemoryManager::~PrivateerMemoryManager() = default;
 
 void *PrivateerMemoryManager::allocate(uint64_t Bytes,
                                        const Instruction *Site,
@@ -50,11 +84,7 @@ void *PrivateerMemoryManager::allocate(uint64_t Bytes,
     std::memset(P, 0, Bytes);
     return P;
   }
-  void *P = std::calloc(1, Bytes ? Bytes : 1);
-  if (!P)
-    reportFatalError("interpreter out of memory");
-  LivePlain.insert(P);
-  return P;
+  return LivePlain.allocate(Bytes);
 }
 
 void PrivateerMemoryManager::deallocate(void *P) {
@@ -68,7 +98,6 @@ void PrivateerMemoryManager::deallocate(void *P) {
       return;
     }
   }
-  if (!LivePlain.erase(P))
+  if (!LivePlain.deallocate(P))
     reportFatalError("privatized program freed an unknown pointer");
-  std::free(P);
 }

@@ -1,0 +1,70 @@
+//===- interp/Semantics.cpp -----------------------------------------------===//
+
+#include "interp/Semantics.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace privateer;
+using namespace privateer::interp;
+
+std::string sem::formatPrintedText(const std::string &Fmt,
+                                   const std::vector<Cell> &Args) {
+  std::string Out;
+  unsigned NextArg = 0;
+  for (size_t P = 0; P < Fmt.size(); ++P) {
+    if (Fmt[P] != '%') {
+      Out += Fmt[P];
+      continue;
+    }
+    if (P + 1 < Fmt.size() && Fmt[P + 1] == '%') {
+      Out += '%';
+      ++P;
+      continue;
+    }
+    // Collect the conversion spec up to its letter.
+    std::string Spec = "%";
+    size_t Q = P + 1;
+    while (Q < Fmt.size() && !std::isalpha(static_cast<unsigned char>(Fmt[Q])))
+      Spec += Fmt[Q++];
+    // Skip length modifiers; we re-add our own.
+    while (Q < Fmt.size() && (Fmt[Q] == 'l' || Fmt[Q] == 'h' || Fmt[Q] == 'z'))
+      ++Q;
+    if (Q >= Fmt.size())
+      reportFatalError("print format ends inside a conversion spec: \"" +
+                       Fmt + "\"");
+    char Conv = Fmt[Q];
+    P = Q;
+    if (NextArg >= Args.size())
+      reportFatalError("print format consumes more arguments than given");
+    Cell Arg = Args[NextArg++];
+    char Buf[64];
+    switch (Conv) {
+    case 'd':
+    case 'i':
+      std::snprintf(Buf, sizeof(Buf), (Spec + "lld").c_str(),
+                    static_cast<long long>(Arg.asInt()));
+      break;
+    case 'u':
+    case 'x':
+    case 'X':
+      std::snprintf(Buf, sizeof(Buf), (Spec + "ll" + Conv).c_str(),
+                    static_cast<unsigned long long>(Arg.asPtr()));
+      break;
+    case 'f':
+    case 'g':
+    case 'e':
+      std::snprintf(Buf, sizeof(Buf), (Spec + Conv).c_str(), Arg.asFloat());
+      break;
+    case 'c':
+      std::snprintf(Buf, sizeof(Buf), "%c", static_cast<char>(Arg.asInt()));
+      break;
+    default:
+      reportFatalError(std::string("unsupported print conversion %") + Conv);
+    }
+    Out += Buf;
+  }
+  return Out;
+}

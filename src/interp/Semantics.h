@@ -1,0 +1,110 @@
+//===- interp/Semantics.h - Defined IR arithmetic semantics -----*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single definition of the IR's arithmetic edge-case semantics, shared
+/// by the tree-walking interpreter and the bytecode VM.  The interpreter is
+/// the differential oracle for the compiled tier, so "whatever the host CPU
+/// or C++ compiler does" is not an acceptable answer anywhere the two could
+/// legally diverge:
+///
+///  - add/sub/mul/shl wrap modulo 2^64 (computed on uint64_t; signed
+///    overflow in C++ is UB and hardware-dependent under optimization);
+///  - sdiv/srem define INT64_MIN / -1 == INT64_MIN and INT64_MIN % -1 == 0
+///    (the hardware idiv traps with SIGFPE, which previously killed the
+///    executing supervisor as an untyped Signal failure);
+///  - fptosi saturates out-of-range values to INT64_MIN/INT64_MAX and maps
+///    NaN to 0 (the raw static_cast is UB);
+///  - shr is logical on the 64-bit pattern; both shifts mask the count
+///    to 0..63.
+///
+/// Division by zero remains a fatal program error in both engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_INTERP_SEMANTICS_H
+#define PRIVATEER_INTERP_SEMANTICS_H
+
+#include "interp/Interpreter.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace privateer {
+namespace interp {
+namespace sem {
+
+inline int64_t addWrap(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t subWrap(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+
+inline int64_t mulWrap(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+/// INT64_MIN / -1 wraps to INT64_MIN instead of executing a trapping idiv.
+/// Callers must reject a zero divisor first (fatal error, not UB).
+inline int64_t sdivWrap(int64_t A, int64_t B) {
+  if (B == -1 && A == std::numeric_limits<int64_t>::min())
+    return A;
+  return A / B;
+}
+
+/// Companion of sdivWrap: INT64_MIN % -1 == 0.
+inline int64_t sremWrap(int64_t A, int64_t B) {
+  if (B == -1)
+    return 0;
+  return A % B;
+}
+
+inline int64_t shlWrap(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A)
+                              << (static_cast<uint64_t>(B) & 63));
+}
+
+inline int64_t shrLogical(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) >>
+                              (static_cast<uint64_t>(B) & 63));
+}
+
+/// Saturating float-to-int: NaN -> 0, values at or beyond the int64 range
+/// clamp to INT64_MIN/INT64_MAX, everything else truncates toward zero.
+inline int64_t fpToSiSat(double V) {
+  if (std::isnan(V))
+    return 0;
+  // 2^63 as a double is exact; any value >= it is unrepresentable.
+  if (V >= 9223372036854775808.0)
+    return std::numeric_limits<int64_t>::max();
+  // -2^63 itself is exactly representable and in range.
+  if (V < -9223372036854775808.0)
+    return std::numeric_limits<int64_t>::min();
+  return static_cast<int64_t>(V);
+}
+
+/// Formats one Print instruction's output from its format string and
+/// pre-evaluated arguments.  Fatal on malformed formats: unknown
+/// conversions, too few arguments, and (unlike the pre-oracle interpreter,
+/// which silently truncated) a format ending in a bare '%' or an
+/// unterminated conversion spec.
+std::string formatPrintedText(const std::string &Fmt,
+                              const std::vector<Cell> &Args);
+
+} // namespace sem
+} // namespace interp
+} // namespace privateer
+
+#endif // PRIVATEER_INTERP_SEMANTICS_H

@@ -107,14 +107,18 @@ void Runtime::checkHeap(const void *P, HeapKind Expected) {
 void Runtime::privateRead(const void *P, size_t Bytes) {
   if (Mode != ExecMode::SpeculativeWorker)
     return;
+  uint64_t Addr = reinterpret_cast<uint64_t>(P);
+  if (!addressInHeap(Addr, HeapKind::Private))
+    misspecAbort("private_read of a pointer outside the private heap");
+  privateReadTagged(Addr, Bytes);
+}
+
+void Runtime::privateReadTagged(uint64_t Addr, size_t Bytes) {
   // No per-call timing here: the check must stay a handful of
   // instructions, as in the paper.  Costs are attributed through call and
   // byte counters priced by perfmodel calibration (Figure 8).
   ++LocalStats.PrivateReadCalls;
   LocalStats.PrivateReadBytes += Bytes;
-  uint64_t Addr = reinterpret_cast<uint64_t>(P);
-  if (!addressInHeap(Addr, HeapKind::Private))
-    misspecAbort("private_read of a pointer outside the private heap");
   // Dirty-range tracking: one shift+OR on the already-computed heap
   // offset; checkpoint merges fold only the chunks marked here.
   markDirtyChunks(DirtyMask.data(), DirtyChunkLimit,
@@ -128,11 +132,15 @@ void Runtime::privateRead(const void *P, size_t Bytes) {
 void Runtime::privateWrite(const void *P, size_t Bytes) {
   if (Mode != ExecMode::SpeculativeWorker)
     return;
-  ++LocalStats.PrivateWriteCalls;
-  LocalStats.PrivateWriteBytes += Bytes;
   uint64_t Addr = reinterpret_cast<uint64_t>(P);
   if (!addressInHeap(Addr, HeapKind::Private))
     misspecAbort("private_write of a pointer outside the private heap");
+  privateWriteTagged(Addr, Bytes);
+}
+
+void Runtime::privateWriteTagged(uint64_t Addr, size_t Bytes) {
+  ++LocalStats.PrivateWriteCalls;
+  LocalStats.PrivateWriteBytes += Bytes;
   markDirtyChunks(DirtyMask.data(), DirtyChunkLimit,
                   Addr - heap(HeapKind::Private).base(), Bytes);
   uint8_t *Meta = reinterpret_cast<uint8_t *>(shadowAddress(Addr));

@@ -222,6 +222,29 @@ public:
   /// Unconditional misspeculation report from a speculative worker.
   [[noreturn]] void misspecAbort(const char *Reason);
 
+  // --- Fast-path speculation entry points (bytecode VM) ------------------
+  //
+  // The bytecode engine hoists the per-call mode test out of its inlined
+  // check handlers (one speculating() read per body invocation) and
+  // performs the tag compare itself as the single mask-AND+compare of
+  // paper §5.1, so these entry points skip both and only do the part that
+  // needs runtime state.  They must only be called from a speculative
+  // worker on a pointer whose tag was already validated.
+
+  /// True when this process is a speculative worker (checks are armed).
+  bool speculating() const { return Mode == ExecMode::SpeculativeWorker; }
+
+  /// Counts one separation check that the caller already performed
+  /// (tag compare inlined in the VM); keeps stats parity with checkHeap.
+  void countSeparationCheck() { ++LocalStats.SeparationChecks; }
+
+  /// privateRead with the mode test and private-heap tag check already
+  /// done by the caller: counters, dirty-chunk marking, shadow Read rules.
+  void privateReadTagged(uint64_t Addr, size_t Bytes);
+
+  /// privateWrite counterpart of privateReadTagged.
+  void privateWriteTagged(uint64_t Addr, size_t Bytes);
+
   /// Deferred printf (I/O deferral): buffered and committed in iteration
   /// order with the enclosing checkpoint; immediate elsewhere.
   void deferPrintf(const char *Fmt, ...)

@@ -74,6 +74,15 @@ ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
   Runtime::get().setSequentialOutput(nullptr);
   if (TrainSink)
     std::fclose(TrainSink);
+  // Lower to bytecode once per program; every warm hit reuses the
+  // programs across fork.  Failure is not an error — executePrivatized /
+  // executeSequential fall back to the interpreter on a null program.
+  std::string LowerWhy;
+  if (Entry->Pipeline.Transformed)
+    Entry->LoweredPar = transform::lowerForPrivatized(
+        *Entry->M, *Entry->FA, Entry->Pipeline.Assignment, LowerWhy);
+  Entry->LoweredSeq = transform::lowerForSequential(*Entry->M, LowerWhy);
+
   Entry->PipelineSec = wallSeconds() - T0;
   StatisticRegistry::instance().real("service", "pipeline_sec") +=
       Entry->PipelineSec;

@@ -45,6 +45,12 @@ struct CachedProgram {
   std::unique_ptr<ir::Module> M;
   std::unique_ptr<analysis::FunctionAnalyses> FA;
   transform::PipelineResult Pipeline;
+  /// Bytecode programs lowered once at cache-fill time (borrowing *M), so
+  /// warm submits skip parse, pipeline, AND lowering: supervisors inherit
+  /// them read-only across fork().  Null when lowering declined — the
+  /// supervisor then lowers on the spot or falls back to the interpreter.
+  std::shared_ptr<const bytecode::BytecodeProgram> LoweredPar;
+  std::shared_ptr<const bytecode::BytecodeProgram> LoweredSeq;
   double PipelineSec = 0; ///< cost of the cold half, paid once
 
   /// Negative verdict: set when a supervisor running this exact text died

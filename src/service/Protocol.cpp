@@ -158,6 +158,7 @@ std::string service::encodeJobRequest(const JobRequest &R) {
   putU8(B, kProtocolVersion);
   putStr(B, R.ModuleText);
   putU8(B, static_cast<uint8_t>(R.Mode));
+  putU8(B, R.Engine);
   putU32(B, R.NumWorkers);
   putU64(B, R.CheckpointPeriod);
   putU64(B, R.MaxSlotsPerEpoch);
@@ -199,7 +200,8 @@ bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
     Err = "unsupported protocol version " + std::to_string(Version);
     return false;
   }
-  if (!C.getStr(R.ModuleText) || !C.getU8(Mode) || !C.getU32(R.NumWorkers) ||
+  if (!C.getStr(R.ModuleText) || !C.getU8(Mode) || !C.getU8(R.Engine) ||
+      !C.getU32(R.NumWorkers) ||
       !C.getU64(R.CheckpointPeriod) || !C.getU64(R.MaxSlotsPerEpoch) ||
       !C.getF64(R.InjectMisspecRate) || !C.getU64(R.InjectSeed) ||
       !C.getU8(Eager) || !C.getF64(R.StallTimeoutSec) ||
@@ -218,6 +220,10 @@ bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
   }
   if (Mode > static_cast<uint8_t>(JobMode::Sequential)) {
     Err = "bad job mode " + std::to_string(Mode);
+    return false;
+  }
+  if (R.Engine > 1) {
+    Err = "bad engine " + std::to_string(R.Engine);
     return false;
   }
   R.Mode = static_cast<JobMode>(Mode);

@@ -39,7 +39,7 @@
 namespace privateer {
 namespace service {
 
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
 /// Default ceiling on one frame (module texts and job output both ride in
 /// frames; 64 MiB is far above any bundled program).
 inline constexpr size_t kMaxFrameBytes = 64u << 20;
@@ -115,6 +115,11 @@ inline bool isInfraFailure(FailureCause C) {
 struct JobRequest {
   std::string ModuleText;
   JobMode Mode = JobMode::Speculative;
+  /// Execution engine (mirrors transform::ExecEngine): 0 = direct-threaded
+  /// bytecode VM (default), 1 = tree-walking interpreter (the differential
+  /// oracle).  Bytecode silently falls back to the interpreter for
+  /// constructs the lowerer declines.
+  uint8_t Engine = 0;
   uint32_t NumWorkers = 4;
   uint64_t CheckpointPeriod = 64;
   uint64_t MaxSlotsPerEpoch = 32;

@@ -818,17 +818,21 @@ void Server::runSupervisor(const Job &J) {
   Par.Faults.StallSeconds = J.Req.FaultStallSeconds;
   Par.Faults.KillRate = J.Req.FaultKillRate;
 
+  transform::PipelineOptions PO;
+  PO.Engine = J.Req.Engine == 1 ? transform::ExecEngine::Interp
+                                : transform::ExecEngine::Bytecode;
+
   double T0 = wallSeconds();
   try {
     if (J.Req.Mode == JobMode::Sequential) {
       interp::Cell V = transform::executeSequential(
-          *J.Prog->M, transform::PipelineOptions(), Out);
+          *J.Prog->M, PO, Out, J.Prog->LoweredSeq.get());
       R.ExitValue = V.asInt();
       R.Status = JobStatus::Ok;
     } else {
       transform::ExecutionResult E = transform::executePrivatized(
-          *J.Prog->M, *J.Prog->FA, J.Prog->Pipeline.Assignment,
-          transform::PipelineOptions(), Par, RuntimeConfig(), Out);
+          *J.Prog->M, *J.Prog->FA, J.Prog->Pipeline.Assignment, PO, Par,
+          RuntimeConfig(), Out, J.Prog->LoweredPar.get());
       R.ExitValue = E.ReturnValue.asInt();
       R.Iterations = E.Stats.Iterations;
       R.Checkpoints = E.Stats.Checkpoints;

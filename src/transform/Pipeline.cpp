@@ -2,6 +2,8 @@
 
 #include "transform/Pipeline.h"
 
+#include "bytecode/Lower.h"
+#include "bytecode/VM.h"
 #include "profiling/ProfileCollector.h"
 #include "support/ErrorHandling.h"
 
@@ -85,20 +87,79 @@ PipelineResult transform::runPrivateerPipeline(Module &M,
   return R;
 }
 
-ExecutionResult transform::executePrivatized(Module &M,
-                                             const FunctionAnalyses &FA,
-                                             const HeapAssignment &HA,
-                                             const PipelineOptions &Opt,
-                                             const ParallelOptions &ParOpts,
-                                             const RuntimeConfig &Config,
-                                             std::FILE *Out) {
+std::shared_ptr<const bytecode::BytecodeProgram>
+transform::lowerForPrivatized(const Module &M, const FunctionAnalyses &FA,
+                              const HeapAssignment &HA, std::string &WhyNot) {
   const Loop *L = HA.TheLoop;
+  if (!L) {
+    WhyNot = "no selected loop";
+    return nullptr;
+  }
+  auto Iv = L->canonicalIv(FA.cfg(L->header()->parent()));
+  if (!Iv) {
+    WhyNot = "selected loop lost its canonical IV";
+    return nullptr;
+  }
+  bytecode::LowerOptions LO;
+  LO.PlanLoop = L;
+  LO.Iv = *Iv;
+  return bytecode::lowerModule(M, LO, WhyNot);
+}
+
+std::shared_ptr<const bytecode::BytecodeProgram>
+transform::lowerForSequential(const Module &M, std::string &WhyNot) {
+  return bytecode::lowerModule(M, bytecode::LowerOptions(), WhyNot);
+}
+
+ExecutionResult transform::executePrivatized(
+    Module &M, const FunctionAnalyses &FA, const HeapAssignment &HA,
+    const PipelineOptions &Opt, const ParallelOptions &ParOpts,
+    const RuntimeConfig &Config, std::FILE *Out,
+    const bytecode::BytecodeProgram *Prelowered) {
+  const Loop *L = HA.TheLoop;
+
+  // Engine selection before the runtime comes up: lower (or accept the
+  // cache's prelowered program), falling back to the interpreter when the
+  // lowerer declines.
+  std::shared_ptr<const bytecode::BytecodeProgram> Owned;
+  const bytecode::BytecodeProgram *BP = nullptr;
+  std::string EngineNote;
+  if (Opt.Engine == ExecEngine::Bytecode) {
+    if (Prelowered)
+      BP = Prelowered;
+    else {
+      Owned = lowerForPrivatized(M, FA, HA, EngineNote);
+      BP = Owned.get();
+    }
+  }
+
   Runtime &Rt = Runtime::get();
   Rt.initialize(Config);
   Rt.setSequentialOutput(Out);
 
   ExecutionResult R;
-  {
+  R.EngineUsed = BP ? ExecEngine::Bytecode : ExecEngine::Interp;
+  if (Opt.Engine == ExecEngine::Bytecode && !BP)
+    R.EngineNote = "bytecode lowering fell back to interpreter: " +
+                   EngineNote;
+  if (BP) {
+    PrivateerMemoryManager MM;
+    bytecode::VM Vm(*BP, MM);
+    bytecode::VM::ParallelPlan Plan;
+    Plan.Options = ParOpts;
+    Plan.Options.Out = Out;
+    Vm.setParallelPlan(&Plan);
+    Vm.initializeGlobals();
+    for (const auto &[O, ElemOp] : HA.ReduxOps) {
+      if (!O.Global)
+        continue;
+      Rt.registerReduction(
+          reinterpret_cast<void *>(Vm.globalAddress(O.Global)),
+          O.Global->sizeBytes(), ElemOp.first, ElemOp.second);
+    }
+    R.ReturnValue = Vm.run(Opt.EntryFunction, Opt.EntryArgs);
+    R.Stats = Plan.Stats;
+  } else {
     PrivateerMemoryManager MM;
     Interpreter Interp(M, MM);
     Interpreter::ParallelPlan Plan;
@@ -132,12 +193,33 @@ ExecutionResult transform::executePrivatized(Module &M,
 }
 
 Cell transform::executeSequential(Module &M, const PipelineOptions &Opt,
-                                  std::FILE *Out) {
+                                  std::FILE *Out,
+                                  const bytecode::BytecodeProgram *Prelowered,
+                                  ExecEngine *EngineUsed) {
+  std::shared_ptr<const bytecode::BytecodeProgram> Owned;
+  const bytecode::BytecodeProgram *BP = nullptr;
+  if (Opt.Engine == ExecEngine::Bytecode) {
+    if (Prelowered)
+      BP = Prelowered;
+    else {
+      std::string WhyNot;
+      Owned = lowerForSequential(M, WhyNot);
+      BP = Owned.get();
+    }
+  }
+  if (EngineUsed)
+    *EngineUsed = BP ? ExecEngine::Bytecode : ExecEngine::Interp;
+
   Runtime &Rt = Runtime::get();
   bool OwnRuntime = !Rt.isInitialized();
   Rt.setSequentialOutput(Out);
   Cell Result;
-  {
+  if (BP) {
+    PlainMemoryManager MM;
+    bytecode::VM Vm(*BP, MM);
+    Vm.initializeGlobals();
+    Result = Vm.run(Opt.EntryFunction, Opt.EntryArgs);
+  } else {
     PlainMemoryManager MM;
     Interpreter Interp(M, MM);
     Interp.initializeGlobals();

@@ -20,14 +20,38 @@
 #include "interp/Interpreter.h"
 #include "transform/Privatizer.h"
 
+#include <memory>
+
 namespace privateer {
+
+namespace bytecode {
+struct BytecodeProgram;
+} // namespace bytecode
+
 namespace transform {
+
+/// Which engine executes the program.  Bytecode is the default tier (the
+/// direct-threaded VM of src/bytecode); the tree-walking interpreter stays
+/// available as the differential oracle and as the automatic fallback for
+/// anything the lowerer declines.
+enum class ExecEngine : uint8_t {
+  Bytecode = 0,
+  Interp = 1,
+};
+
+inline const char *execEngineName(ExecEngine E) {
+  return E == ExecEngine::Bytecode ? "bytecode" : "interp";
+}
 
 struct PipelineOptions {
   std::string EntryFunction = "main";
   std::vector<interp::Cell> EntryArgs;
   /// Training-run instruction budget.
   uint64_t ProfileBudget = 500'000'000;
+  /// Requested execution engine; Bytecode silently falls back to Interp
+  /// when lowering declines (ExecutionResult::EngineUsed reports which
+  /// engine actually ran).
+  ExecEngine Engine = ExecEngine::Bytecode;
 };
 
 struct PipelineResult {
@@ -49,25 +73,52 @@ PipelineResult runPrivateerPipeline(ir::Module &M,
 struct ExecutionResult {
   interp::Cell ReturnValue;
   InvocationStats Stats;
+  /// The engine that actually ran (Interp when bytecode lowering fell
+  /// back); EngineNote carries the fallback reason.
+  ExecEngine EngineUsed = ExecEngine::Interp;
+  std::string EngineNote;
 };
+
+/// Lowers \p M to bytecode for privatized execution: the HA's selected
+/// loop is compiled into the program as its parallel-interception site.
+/// Null (with \p WhyNot set) means callers must run the interpreter.
+/// The ProgramCache calls this once per program so warm daemon hits skip
+/// both parse and lowering; the returned program borrows \p M.
+std::shared_ptr<const bytecode::BytecodeProgram>
+lowerForPrivatized(const ir::Module &M, const analysis::FunctionAnalyses &FA,
+                   const classify::HeapAssignment &HA, std::string &WhyNot);
+
+/// Lowers \p M to bytecode for plain sequential execution (no loop
+/// interception).  Null (with \p WhyNot set) means interpreter fallback.
+std::shared_ptr<const bytecode::BytecodeProgram>
+lowerForSequential(const ir::Module &M, std::string &WhyNot);
 
 /// Executes the transformed module speculatively: logical heaps, tagged
 /// allocation, reduction registration, and the selected loop
 /// DOALL-parallelized across forked workers.  Initializes and shuts down
 /// the runtime internally.  Deferred output goes to \p Out (nullptr =
-/// stdout).
+/// stdout).  \p Prelowered (from lowerForPrivatized) skips lowering on
+/// warm cache hits; null lowers on the spot when Options.Engine is
+/// Bytecode.
 ExecutionResult executePrivatized(ir::Module &M,
                                   const analysis::FunctionAnalyses &FA,
                                   const classify::HeapAssignment &HA,
                                   const PipelineOptions &Options,
                                   const ParallelOptions &ParOpts,
                                   const RuntimeConfig &Config,
-                                  std::FILE *Out);
+                                  std::FILE *Out,
+                                  const bytecode::BytecodeProgram *Prelowered =
+                                      nullptr);
 
 /// Plain sequential execution over host memory (works for original and
 /// transformed modules alike; checks are no-ops).  Output to \p Out.
+/// Honors Options.Engine with the same interpreter fallback;
+/// \p EngineUsed (optional) reports which engine ran.
 interp::Cell executeSequential(ir::Module &M, const PipelineOptions &Options,
-                               std::FILE *Out);
+                               std::FILE *Out,
+                               const bytecode::BytecodeProgram *Prelowered =
+                                   nullptr,
+                               ExecEngine *EngineUsed = nullptr);
 
 } // namespace transform
 } // namespace privateer

@@ -1,0 +1,317 @@
+//===- tests/BytecodeTest.cpp - Bytecode engine vs. interpreter -----------===//
+//
+// The direct-threaded bytecode VM must be observationally identical to
+// the tree-walking interpreter — same output bytes, same return values,
+// same runtime check counters, same fatal-error messages — because the
+// interpreter is its differential oracle.  These tests pin that contract
+// on the defined-semantics edge cases (INT64_MIN division, fptosi
+// saturation, malformed print formats), on the Figure 6 kernels through
+// the full privatization pipeline, and on the lowerer's declared
+// fallback behavior.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Bytecode.h"
+#include "bytecode/Lower.h"
+#include "bytecode/VM.h"
+#include "ir/IRParser.h"
+#include "ir/Verifier.h"
+#include "transform/Pipeline.h"
+#include "workloads/IrPrograms.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace privateer;
+using namespace privateer::transform;
+
+namespace {
+
+std::string readAll(std::FILE *F) {
+  std::string Out;
+  std::rewind(F);
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  return Out;
+}
+
+std::unique_ptr<ir::Module> parseOrDie(const std::string &Text) {
+  std::string Err;
+  auto M = ir::parseModule(Text, Err);
+  EXPECT_NE(M, nullptr) << Err << "\n" << Text;
+  if (M) {
+    auto Diags = ir::verifyModule(*M);
+    EXPECT_TRUE(Diags.empty()) << Diags.front() << "\n" << Text;
+  }
+  return M;
+}
+
+/// Runs @main sequentially on the requested engine; returns the exit
+/// value and captures printed bytes.
+int64_t runSeq(const std::string &Text, ExecEngine Engine,
+               std::string *OutText = nullptr,
+               ExecEngine *Used = nullptr) {
+  auto M = parseOrDie(Text);
+  PipelineOptions Opt;
+  Opt.Engine = Engine;
+  std::FILE *Out = std::tmpfile();
+  interp::Cell R = executeSequential(*M, Opt, Out, nullptr, Used);
+  if (OutText)
+    *OutText = readAll(Out);
+  std::fclose(Out);
+  return R.asInt();
+}
+
+/// Byte-compares both engines on @main and returns the (shared) result.
+int64_t runBothEngines(const std::string &Text) {
+  std::string InterpOut, BcOut;
+  ExecEngine BcUsed = ExecEngine::Interp;
+  int64_t InterpRet = runSeq(Text, ExecEngine::Interp, &InterpOut);
+  int64_t BcRet = runSeq(Text, ExecEngine::Bytecode, &BcOut, &BcUsed);
+  EXPECT_EQ(BcUsed, ExecEngine::Bytecode)
+      << "lowering unexpectedly declined:\n" << Text;
+  EXPECT_EQ(BcRet, InterpRet) << Text;
+  EXPECT_EQ(BcOut, InterpOut) << Text;
+  return InterpRet;
+}
+
+// --- Defined arithmetic semantics (both engines, exact values) ----------
+
+TEST(BytecodeSemantics, SdivIntMinByMinusOneWraps) {
+  // INT64_MIN / -1 is the one's-complement wraparound case that traps
+  // (SIGFPE) in native x86 idiv; both engines must instead wrap to
+  // INT64_MIN, and INT64_MIN % -1 must be 0.
+  const std::string Text =
+      "define i64 @main() {\n"
+      "entry:\n"
+      "  %min = add 0, -9223372036854775808\n"
+      "  %neg = add 0, -1\n"
+      "  %q = sdiv %min, %neg\n"
+      "  %r = srem %min, %neg\n"
+      "  %q2 = sdiv %min, %min\n"
+      "  %r2 = srem 7, %min\n"
+      "  print \"q %d r %d q2 %d r2 %d\\n\", %q, %r, %q2, %r2\n"
+      "  %s = add %q, %r\n"
+      "  ret %s\n}\n";
+  std::string Out;
+  int64_t Ret = runSeq(Text, ExecEngine::Bytecode, &Out);
+  EXPECT_EQ(Ret, INT64_MIN);
+  EXPECT_EQ(Out, "q -9223372036854775808 r 0 q2 1 r2 7\n");
+  EXPECT_EQ(runBothEngines(Text), INT64_MIN);
+}
+
+TEST(BytecodeSemantics, SdivByZeroStillFatalOnBothEngines) {
+  const std::string Text = "define i64 @main() {\n"
+                           "entry:\n"
+                           "  %z = add 0, 0\n"
+                           "  %q = sdiv 1, %z\n"
+                           "  ret %q\n}\n";
+  EXPECT_DEATH(runSeq(Text, ExecEngine::Interp), "division by zero");
+  EXPECT_DEATH(runSeq(Text, ExecEngine::Bytecode), "division by zero");
+}
+
+TEST(BytecodeSemantics, FpToSiSaturatesAndNanIsZero) {
+  const std::string Text =
+      "define i64 @main() {\n"
+      "entry:\n"
+      "  %inf = fdiv 1.0, 0.0\n"
+      "  %ninf = fdiv -1.0, 0.0\n"
+      "  %nan = fsub %inf, %inf\n"
+      "  %a = fptosi %inf\n"
+      "  %b = fptosi %ninf\n"
+      "  %c = fptosi %nan\n"
+      "  %d = fptosi 1e300\n"
+      "  %e = fptosi -1e300\n"
+      "  %f = fptosi 41.9\n"
+      "  print \"a %d b %d c %d d %d e %d f %d\\n\", %a, %b, %c, %d, %e, %f\n"
+      "  ret %c\n}\n";
+  std::string Out;
+  int64_t Ret = runSeq(Text, ExecEngine::Bytecode, &Out);
+  EXPECT_EQ(Ret, 0) << "NaN must convert to 0";
+  EXPECT_EQ(Out, "a 9223372036854775807 b -9223372036854775808 c 0 "
+                 "d 9223372036854775807 e -9223372036854775808 f 41\n");
+  EXPECT_EQ(runBothEngines(Text), 0);
+}
+
+TEST(BytecodeSemantics, SignedOverflowWrapsIdentically) {
+  const std::string Text =
+      "define i64 @main() {\n"
+      "entry:\n"
+      "  %max = add 0, 9223372036854775807\n"
+      "  %a = add %max, 1\n"
+      "  %min = add 0, -9223372036854775808\n"
+      "  %b = sub %min, 1\n"
+      "  %c = mul %max, %max\n"
+      "  %d = shl 1, 63\n"
+      "  %e = shl 1, 64\n"
+      "  %f = shr %min, 1\n"
+      "  print \"%d %d %d %d %d %d\\n\", %a, %b, %c, %d, %e, %f\n"
+      "  ret %a\n}\n";
+  std::string Out;
+  int64_t Ret = runSeq(Text, ExecEngine::Bytecode, &Out);
+  EXPECT_EQ(Ret, INT64_MIN);
+  // shl masks the shift amount (&63), shr is logical.
+  EXPECT_EQ(Out, "-9223372036854775808 9223372036854775807 1 "
+                 "-9223372036854775808 1 4611686018427387904\n");
+  EXPECT_EQ(runBothEngines(Text), INT64_MIN);
+}
+
+TEST(BytecodeSemantics, UnterminatedPrintSpecIsFatalNotTruncated) {
+  // A format string ending inside a conversion spec used to be silently
+  // truncated; it is now a fatal error on both engines.
+  const std::string Bare = "define i64 @main() {\n"
+                           "entry:\n"
+                           "  print \"value: %\"\n"
+                           "  ret 0\n}\n";
+  EXPECT_DEATH(runSeq(Bare, ExecEngine::Interp),
+               "ends inside a conversion spec");
+  EXPECT_DEATH(runSeq(Bare, ExecEngine::Bytecode),
+               "ends inside a conversion spec");
+  const std::string Modifier = "define i64 @main() {\n"
+                               "entry:\n"
+                               "  print \"count: %ll\", 7\n"
+                               "  ret 0\n}\n";
+  EXPECT_DEATH(runSeq(Modifier, ExecEngine::Interp),
+               "ends inside a conversion spec");
+  EXPECT_DEATH(runSeq(Modifier, ExecEngine::Bytecode),
+               "ends inside a conversion spec");
+}
+
+TEST(BytecodeSemantics, InstructionBudgetPinsRunawayLoops) {
+  const std::string Text = "define i64 @main() {\n"
+                           "entry:\n  br loop\n"
+                           "loop:\n  br loop\n}\n";
+  auto M = parseOrDie(Text);
+  std::string WhyNot;
+  auto BP = bytecode::lowerModule(*M, bytecode::LowerOptions(), WhyNot);
+  ASSERT_NE(BP, nullptr) << WhyNot;
+  interp::PlainMemoryManager MM;
+  bytecode::VM Vm(*BP, MM);
+  Vm.setInstructionBudget(10'000);
+  Vm.initializeGlobals();
+  EXPECT_DEATH(Vm.run("main", {}), "instruction budget exceeded");
+}
+
+// --- Figure 6 kernels: full pipeline, bytecode vs. interpreter ----------
+
+class BytecodePipeline : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(BytecodePipeline, PrivatizedBytecodeByteMatchesInterp) {
+  const std::string Name = GetParam();
+  std::string Text;
+  if (Name == "dijkstra")
+    Text = dijkstraIrText(16);
+  else if (Name == "redsum")
+    Text = reductionSumIrText(400);
+  else if (Name == "fppricing")
+    Text = fpPricingIrText(96);
+  else
+    FAIL() << "unknown kernel " << Name;
+
+  // Reference: interpreter, sequential, pristine module.
+  std::string Expected;
+  int64_t ExpectedRet = runSeq(Text, ExecEngine::Interp, &Expected);
+
+  // Pipeline once; then run the privatized module on both engines.
+  auto M = parseOrDie(Text);
+  analysis::FunctionAnalyses FA(*M);
+  PipelineOptions Opt;
+  std::FILE *Sink = std::tmpfile();
+  Runtime::get().setSequentialOutput(Sink);
+  PipelineResult R = runPrivateerPipeline(*M, FA, Opt);
+  Runtime::get().setSequentialOutput(nullptr);
+  std::fclose(Sink);
+  ASSERT_TRUE(R.Transformed) << (R.Log.empty() ? "" : R.Log.back());
+
+  InvocationStats PerEngine[2];
+  for (ExecEngine Engine : {ExecEngine::Bytecode, ExecEngine::Interp}) {
+    PipelineOptions RunOpt;
+    RunOpt.Engine = Engine;
+    ParallelOptions Par;
+    Par.NumWorkers = 2;
+    Par.CheckpointPeriod = 16;
+    std::FILE *Out = std::tmpfile();
+    ExecutionResult E = executePrivatized(*M, FA, R.Assignment, RunOpt, Par,
+                                          RuntimeConfig(), Out);
+    std::string Got = readAll(Out);
+    std::fclose(Out);
+    EXPECT_EQ(E.EngineUsed, Engine)
+        << Name << ": requested engine did not run (" << E.EngineNote << ")";
+    EXPECT_EQ(Got, Expected) << Name << " on " << execEngineName(Engine);
+    EXPECT_EQ(E.ReturnValue.asInt(), ExpectedRet)
+        << Name << " on " << execEngineName(Engine);
+    EXPECT_EQ(E.Stats.Misspecs, 0u) << E.Stats.FirstMisspecReason;
+    PerEngine[Engine == ExecEngine::Interp] = E.Stats;
+  }
+
+  // Check/stat parity: both engines drive the same speculation machinery.
+  EXPECT_EQ(PerEngine[0].Iterations, PerEngine[1].Iterations) << Name;
+  EXPECT_EQ(PerEngine[0].SeparationChecks, PerEngine[1].SeparationChecks)
+      << Name;
+  EXPECT_EQ(PerEngine[0].PrivateReadCalls, PerEngine[1].PrivateReadCalls)
+      << Name;
+  EXPECT_EQ(PerEngine[0].PrivateWriteCalls, PerEngine[1].PrivateWriteCalls)
+      << Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Fig6, BytecodePipeline,
+                         ::testing::Values("dijkstra", "redsum", "fppricing"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+// --- Fallback: the lowerer declines, the interpreter runs --------------
+
+TEST(BytecodeFallback, RegisterPressureDeclinesLowering) {
+  const std::string Text = "define i64 @main() {\n"
+                           "entry:\n"
+                           "  %a = add 1, 2\n"
+                           "  %b = add %a, 3\n"
+                           "  %c = add %b, %a\n"
+                           "  ret %c\n}\n";
+  auto M = parseOrDie(Text);
+  bytecode::LowerOptions LO;
+  LO.MaxRegsPerFunction = 2; // Too small for even this tiny body.
+  std::string WhyNot;
+  auto BP = bytecode::lowerModule(*M, LO, WhyNot);
+  EXPECT_EQ(BP, nullptr);
+  EXPECT_FALSE(WhyNot.empty());
+  EXPECT_NE(WhyNot.find("register"), std::string::npos) << WhyNot;
+
+  // Default budget lowers it fine, and the VM agrees with the oracle.
+  EXPECT_EQ(runBothEngines(Text), 9);
+}
+
+TEST(BytecodeFallback, LoweredProgramsAreReusable) {
+  // The service caches one lowered program per module and reuses it for
+  // every subsequent job (across fork, in the daemon): two back-to-back
+  // runs over one BytecodeProgram must be independent and identical.
+  const std::string Text = "global @counter 8\n"
+                           "define i64 @main() {\n"
+                           "entry:\n"
+                           "  %old = load i64, @counter, 8\n"
+                           "  %new = add %old, 7\n"
+                           "  store %new, @counter, 8\n"
+                           "  print \"counter %d\\n\", %new\n"
+                           "  ret %new\n}\n";
+  auto M = parseOrDie(Text);
+  std::string WhyNot;
+  auto BP = transform::lowerForSequential(*M, WhyNot);
+  ASSERT_NE(BP, nullptr) << WhyNot;
+  for (int Run = 0; Run < 2; ++Run) {
+    PipelineOptions Opt;
+    ExecEngine Used = ExecEngine::Interp;
+    std::FILE *Out = std::tmpfile();
+    interp::Cell R = executeSequential(*M, Opt, Out, BP.get(), &Used);
+    std::string Got = readAll(Out);
+    std::fclose(Out);
+    EXPECT_EQ(Used, ExecEngine::Bytecode);
+    EXPECT_EQ(R.asInt(), 7) << "run " << Run;
+    EXPECT_EQ(Got, "counter 7\n") << "run " << Run;
+  }
+}
+
+} // namespace

@@ -262,9 +262,11 @@ TEST(ParallelEdgeCases, NonSpeculativeDoallMode) {
 // optional short-lived allocation, optional deferred print), runs it
 // through the full pipeline (profile -> classify -> transform), and then
 // executes the privatized loop in the *parallel runtime* across a
-// {workers x slots x EagerCommit x fault-injection} matrix, requiring
-// byte-identical stdout and return value against plain sequential
-// interpretation of the untransformed program.
+// {workers x slots x EagerCommit x fault-injection x engine} matrix,
+// requiring byte-identical stdout and return value against plain
+// sequential interpretation of the untransformed program (the reference
+// is always the interpreter, so bytecode-engine configurations are true
+// cross-engine differentials).
 //
 // PRIVATEER_RANDOM_SWEEP_SEEDS scales the sweep (default 25 for PR CI;
 // nightly CI runs hundreds).  PRIVATEER_TRACE, when set, traces every
@@ -273,7 +275,11 @@ TEST(ParallelEdgeCases, NonSpeculativeDoallMode) {
 /// Seeded generator of a privatization-friendly kernel: write-then-read
 /// private scratch, a read-only table, per-iteration live-out stores, a
 /// load-add-store sum reduction — the shape the paper's Figure 2/4
-/// workloads share — with randomized sizes and constants.
+/// workloads share — with randomized sizes and constants.  Every kernel
+/// also folds in a cluster of defined-semantics edge operands (sdiv/srem
+/// by -1 and INT64_MIN, fptosi of NaN/±inf/1e300) so the sweep pins the
+/// bytecode VM and the interpreter to the same wraparound/saturation
+/// contract, not just the happy path.
 std::string randomIrProgram(uint64_t Seed, uint64_t &IterationsOut) {
   DeterministicRng Rng(Seed * 0x9e3779b97f4a7c15ULL + 17);
   uint64_t N = 96 + Rng.nextBelow(128); // Kernel trip count.
@@ -337,11 +343,36 @@ std::string randomIrProgram(uint64_t Seed, uint64_t &IterationsOut) {
     Emit("  %%sum%u = add %%sum%u, %%m%u\n", J + 1, J, J);
   }
   Emit("  %%sum = xor %%sum%u, %%tmod\n", Slots);
+  // Edge-operand cluster: INT64_MIN / -1 wraps (no SIGFPE), x % -1 is 0,
+  // fptosi saturates (NaN -> 0).  Divisors are compile-time nonzero; the
+  // seed picks which results feed the live-out mix.
+  S += "  %emin = add 0, -9223372036854775808\n"
+       "  %eneg = add 0, -1\n"
+       "  %ed1 = sdiv %emin, %eneg\n"
+       "  %er1 = srem %emin, %eneg\n"
+       "  %ed2 = sdiv %sum, -1\n"
+       "  %er2 = srem %i, %emin\n"
+       "  %finf = fdiv 1.0, 0.0\n"
+       "  %fninf = fdiv -1.0, 0.0\n"
+       "  %fnan = fsub %finf, %finf\n"
+       "  %ci = fptosi %finf\n"
+       "  %cni = fptosi %fninf\n"
+       "  %cn = fptosi %fnan\n"
+       "  %cb = fptosi 1e300\n"
+       "  %eg0 = add %ed1, %er1\n"
+       "  %eg1 = add %eg0, %ed2\n"
+       "  %eg2 = add %eg1, %er2\n"
+       "  %eg3 = add %eg2, %ci\n"
+       "  %eg4 = add %eg3, %cni\n"
+       "  %eg5 = add %eg4, %cn\n"
+       "  %eg6 = add %eg5, %cb\n";
+  Emit("  %%esel = srem %%eg6, %llu\n", U(3 + Rng.nextBelow(61)));
+  S += "  %sumx = xor %sum, %esel\n";
   if (ShortLived) {
     // A node allocated and freed inside the iteration: lifetime
     // speculation's short-lived heap.
     S += "  %node = malloc 16\n"
-         "  store %sum, %node, 8\n"
+         "  store %sumx, %node, 8\n"
          "  %np = gep %node, 8\n"
          "  store %h, %np, 8\n"
          "  %nv0 = load i64, %node, 8\n"
@@ -349,7 +380,7 @@ std::string randomIrProgram(uint64_t Seed, uint64_t &IterationsOut) {
          "  %nv = add %nv0, %nv1\n"
          "  free %node\n";
   } else {
-    S += "  %nv = add %sum, %h\n";
+    S += "  %nv = add %sumx, %h\n";
   }
   // Live-out store (last writer of the slot wins, like the native sweep).
   Emit("  %%omod = srem %%i, %llu\n", U(OutSlots));
@@ -423,10 +454,14 @@ TEST(RandomizedIrSweep, ParallelRuntimeMatchesSequentialAcrossMatrix) {
     ASSERT_NE(MRef, nullptr) << Err << "\n" << Text;
     ASSERT_TRUE(ir::verifyModule(*MRef).empty()) << Text;
 
-    // Reference: plain sequential interpretation of the pristine module.
+    // Reference: plain sequential interpretation of the pristine module,
+    // pinned to the interpreter — the tree-walker is the oracle the
+    // bytecode engine must byte-match.
+    transform::PipelineOptions RefOpt;
+    RefOpt.Engine = transform::ExecEngine::Interp;
     std::FILE *RefOut = std::tmpfile();
-    interp::Cell RefRet = transform::executeSequential(
-        *MRef, transform::PipelineOptions(), RefOut);
+    interp::Cell RefRet =
+        transform::executeSequential(*MRef, RefOpt, RefOut);
     std::string Expected = readAllFile(RefOut);
     std::fclose(RefOut);
 
@@ -462,9 +497,15 @@ TEST(RandomizedIrSweep, ParallelRuntimeMatchesSequentialAcrossMatrix) {
       }
       if (TraceEnv)
         Par.TracePath = TraceEnv;
+      // Random engine flip: roughly half the configurations execute on
+      // the bytecode VM, half on the interpreter, all against the same
+      // interp-sequential reference bytes.
+      transform::PipelineOptions RunOpt = Opt;
+      RunOpt.Engine = (Cfg.next() & 1) != 0 ? transform::ExecEngine::Interp
+                                            : transform::ExecEngine::Bytecode;
       std::FILE *Out = std::tmpfile();
       transform::ExecutionResult E = transform::executePrivatized(
-          *M, FA, R.Assignment, Opt, Par, RuntimeConfig(), Out);
+          *M, FA, R.Assignment, RunOpt, Par, RuntimeConfig(), Out);
       std::string Got = readAllFile(Out);
       std::fclose(Out);
       std::string Where = "seed " + std::to_string(Seed) + " conf " +
@@ -473,7 +514,8 @@ TEST(RandomizedIrSweep, ParallelRuntimeMatchesSequentialAcrossMatrix) {
                           std::to_string(Par.CheckpointPeriod) + " s" +
                           std::to_string(Par.MaxSlotsPerEpoch) +
                           (Par.EagerCommit ? " eager" : " postjoin") +
-                          (Faults ? " faults" : "");
+                          (Faults ? " faults" : "") + " engine=" +
+                          transform::execEngineName(E.EngineUsed);
       EXPECT_EQ(Got, Expected) << Where;
       EXPECT_EQ(E.ReturnValue.asInt(), RefRet.asInt()) << Where;
       if (!Faults)

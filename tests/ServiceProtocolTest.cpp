@@ -32,6 +32,7 @@ JobRequest sampleRequest() {
   JobRequest R;
   R.ModuleText = "func @main() {\n}\n";
   R.Mode = JobMode::Sequential;
+  R.Engine = 1;
   R.NumWorkers = 7;
   R.CheckpointPeriod = 48;
   R.MaxSlotsPerEpoch = 12;
@@ -93,6 +94,7 @@ TEST(ServiceProtocol, JobRequestRoundTrip) {
   ASSERT_TRUE(decodeJobRequest(Body, Out, Err)) << Err;
   EXPECT_EQ(Out.ModuleText, In.ModuleText);
   EXPECT_EQ(Out.Mode, In.Mode);
+  EXPECT_EQ(Out.Engine, In.Engine);
   EXPECT_EQ(Out.NumWorkers, In.NumWorkers);
   EXPECT_EQ(Out.CheckpointPeriod, In.CheckpointPeriod);
   EXPECT_EQ(Out.MaxSlotsPerEpoch, In.MaxSlotsPerEpoch);

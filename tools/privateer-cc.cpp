@@ -38,6 +38,9 @@ int usage(const char *Argv0) {
                "usage: %s <program.pir> [options]\n"
                "  --emit            print the transformed module and stop\n"
                "  --seq             run sequentially (no speculation)\n"
+               "  --engine <e>      execution engine: bytecode (default,\n"
+               "                    direct-threaded VM) or interp (the\n"
+               "                    tree-walking oracle)\n"
                "  --workers <n>     speculative workers (default 4)\n"
                "  --period <k>      checkpoint period (default 64)\n"
                "  --inject <rate>   inject misspeculation (fraction)\n"
@@ -61,6 +64,7 @@ int main(int Argc, char **Argv) {
   std::string ProfileOut;
   std::string ConnectSock;
   bool Emit = false, Seq = false, Verbose = false;
+  ExecEngine Engine = ExecEngine::Bytecode;
   // Knob defaults are ParallelOptions' own (4 workers, period 64), so the
   // usage text, local runs, and service submissions all agree.
   ParallelOptions Par;
@@ -73,6 +77,17 @@ int main(int Argc, char **Argv) {
       Seq = true;
     else if (A == "--verbose")
       Verbose = true;
+    else if (A == "--engine" && I + 1 < Argc) {
+      std::string E = Argv[++I];
+      if (E == "bytecode")
+        Engine = ExecEngine::Bytecode;
+      else if (E == "interp")
+        Engine = ExecEngine::Interp;
+      else {
+        std::fprintf(stderr, "error: unknown engine '%s'\n", E.c_str());
+        return 2;
+      }
+    }
     else if (A == "--workers" && I + 1 < Argc)
       Par.NumWorkers = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (A == "--period" && I + 1 < Argc)
@@ -135,6 +150,7 @@ int main(int Argc, char **Argv) {
     Req.ModuleText = Text;
     Req.Mode = Seq ? service::JobMode::Sequential
                    : service::JobMode::Speculative;
+    Req.Engine = Engine == ExecEngine::Interp ? 1 : 0;
     Req.NumWorkers = Par.NumWorkers;
     Req.CheckpointPeriod = Par.CheckpointPeriod;
     Req.InjectMisspecRate = Par.InjectMisspecRate;
@@ -173,14 +189,18 @@ int main(int Argc, char **Argv) {
   }
 
   if (Seq) {
-    interp::Cell R = executeSequential(*M, PipelineOptions(), stdout);
-    std::fprintf(stderr, "[privateer-cc] sequential exit value: %lld\n",
-                 static_cast<long long>(R.asInt()));
+    PipelineOptions SeqOpt;
+    SeqOpt.Engine = Engine;
+    ExecEngine Used = ExecEngine::Interp;
+    interp::Cell R = executeSequential(*M, SeqOpt, stdout, nullptr, &Used);
+    std::fprintf(stderr, "[privateer-cc] sequential (%s) exit value: %lld\n",
+                 execEngineName(Used), static_cast<long long>(R.asInt()));
     return 0;
   }
 
   analysis::FunctionAnalyses FA(*M);
   PipelineOptions Opt;
+  Opt.Engine = Engine;
   std::FILE *TrainSink = std::tmpfile();
   Runtime::get().setSequentialOutput(TrainSink); // Swallow training IO.
   PipelineResult R = runPrivateerPipeline(*M, FA, Opt);
@@ -221,9 +241,12 @@ int main(int Argc, char **Argv) {
 
   ExecutionResult E = executePrivatized(*M, FA, R.Assignment, Opt, Par,
                                         RuntimeConfig(), stdout);
+  if (!E.EngineNote.empty())
+    std::fprintf(stderr, "[privateer-cc] %s\n", E.EngineNote.c_str());
   std::fprintf(stderr,
-               "[privateer-cc] %llu iterations, %u workers, %llu "
+               "[privateer-cc] engine %s: %llu iterations, %u workers, %llu "
                "checkpoints, %llu misspecs (%s), exit value %lld\n",
+               execEngineName(E.EngineUsed),
                static_cast<unsigned long long>(E.Stats.Iterations),
                Par.NumWorkers,
                static_cast<unsigned long long>(E.Stats.Checkpoints),
