@@ -618,7 +618,185 @@ int runChaosReport(std::string &ChaosJson) {
   return ZeroCrashes && AllTyped && RetriesIdentical && AllPassed ? 0 : 1;
 }
 
-int runServiceReport(const std::string &Path, const std::string &ChaosJson) {
+// --- Scale report --------------------------------------------------------
+//
+// `--scale-report` measures what the executive pool buys under fan-in: 64
+// concurrent clients hammering one warm program against (a) the pooled
+// daemon and (b) the same daemon with the pool disabled (per-job fork).
+// The exit code enforces a >= 3x throughput advantage and that the pooled
+// arm's warm hits performed zero supervisor forks and exactly one
+// parse/lowering (the cold miss).
+
+/// Pulls the integer after `"Key": ` out of the daemon's status JSON.
+long long statusCounter(const std::string &Json, const std::string &Key) {
+  size_t Pos = Json.find("\"" + Key + "\": ");
+  if (Pos == std::string::npos)
+    return -1;
+  return std::atoll(Json.c_str() + Pos + Key.size() + 4);
+}
+
+struct ScaleArm {
+  double JobsPerSec = 0;
+  double P50Ms = 0, P99Ms = 0;
+  int Completed = 0;
+};
+
+bool measureScaleArm(const std::string &Socket, int Clients,
+                     int JobsPerClient, ScaleArm &A, std::string &Err) {
+  JobRequest Req;
+  Req.ModuleText = reductionSumIrText(321);
+  Req.NumWorkers = 2;
+  Req.Mode = JobMode::Sequential;
+
+  // One cold submit so neither arm pays the pipeline during measurement.
+  {
+    Client C;
+    JobReply R;
+    if (!C.connect(Socket, Err, 30 * timeoutScale()) ||
+        !C.submit(Req, R, Err, 600 * timeoutScale()))
+      return false;
+    if (R.Status != JobStatus::Ok) {
+      Err = std::string("scale warmup: ") + jobStatusName(R.Status) + ": " +
+            R.Error;
+      return false;
+    }
+  }
+
+  std::vector<std::thread> Threads;
+  std::vector<std::string> Errors(Clients);
+  std::vector<std::vector<double>> Lat(Clients);
+  double T0 = wallSeconds();
+  for (int I = 0; I < Clients; ++I)
+    Threads.emplace_back([&, I] {
+      Client C;
+      std::string E;
+      if (!C.connect(Socket, E, 30 * timeoutScale())) {
+        Errors[I] = E;
+        return;
+      }
+      for (int J = 0; J < JobsPerClient; ++J) {
+        double S0 = wallSeconds();
+        JobReply R;
+        if (!C.submit(Req, R, E, 600 * timeoutScale()) ||
+            R.Status != JobStatus::Ok) {
+          Errors[I] = E.empty() ? R.Error : E;
+          return;
+        }
+        Lat[I].push_back((wallSeconds() - S0) * 1e3);
+      }
+    });
+  for (auto &Th : Threads)
+    Th.join();
+  double Elapsed = wallSeconds() - T0;
+  for (const std::string &E : Errors)
+    if (!E.empty()) {
+      Err = E;
+      return false;
+    }
+  std::vector<double> All;
+  for (const auto &L : Lat)
+    All.insert(All.end(), L.begin(), L.end());
+  std::sort(All.begin(), All.end());
+  A.Completed = static_cast<int>(All.size());
+  A.JobsPerSec = Elapsed > 0 ? All.size() / Elapsed : 0;
+  if (!All.empty()) {
+    A.P50Ms = All[All.size() / 2];
+    A.P99Ms = All[std::min(All.size() - 1, All.size() * 99 / 100)];
+  }
+  return true;
+}
+
+int runScaleReport(std::string &ScaleJson) {
+  constexpr int Clients = 64, JobsPerClient = 8;
+  constexpr unsigned Budget = 64;
+
+  // Pooled arm: pre-warmed executives, zero fork on the warm path.
+  ScaleArm Pooled;
+  long long Forks = -1, Misses = -1, PoolDispatches = -1;
+  {
+    ServerOptions Opts;
+    Opts.Executives = 8;
+    Opts.QueueDepth = 256;
+    Daemon D(Budget, "-scale-pool", Opts);
+    std::string Err;
+    if (!measureScaleArm(D.Socket, Clients, JobsPerClient, Pooled, Err)) {
+      std::fprintf(stderr, "scale (pooled): %s\n", Err.c_str());
+      return 1;
+    }
+    Client C;
+    std::string Json;
+    if (C.connect(D.Socket, Err, 10 * timeoutScale()) &&
+        C.status(Json, Err)) {
+      Forks = statusCounter(Json, "supervisor_forks");
+      Misses = statusCounter(Json, "cache_misses");
+      PoolDispatches = statusCounter(Json, "pool_dispatches");
+    }
+  }
+
+  // Baseline arm: the identical daemon with the pool disabled, so every
+  // job pays fork + supervisor setup.
+  ScaleArm Base;
+  {
+    ServerOptions Opts;
+    Opts.Executives = 0;
+    Opts.QueueDepth = 256;
+    Daemon D(Budget, "-scale-base", Opts);
+    std::string Err;
+    if (!measureScaleArm(D.Socket, Clients, JobsPerClient, Base, Err)) {
+      std::fprintf(stderr, "scale (baseline): %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  double Ratio = Base.JobsPerSec > 0 ? Pooled.JobsPerSec / Base.JobsPerSec : 0;
+  bool RatioPass = Ratio >= 3.0;
+  // Warm hits must have skipped fork AND parse/lowering: one cold miss,
+  // zero supervisor forks, every job answered by the pool.
+  bool ZeroForkWarm = Forks == 0 && Misses == 1 &&
+                      PoolDispatches >= Clients * JobsPerClient;
+
+  std::printf("scale: pooled %.1f jobs/s (p50 %.2f ms, p99 %.2f ms), "
+              "per-job-fork %.1f jobs/s (p50 %.2f ms, p99 %.2f ms), "
+              "%.2fx (need >=3x)\n",
+              Pooled.JobsPerSec, Pooled.P50Ms, Pooled.P99Ms, Base.JobsPerSec,
+              Base.P50Ms, Base.P99Ms, Ratio);
+  std::printf("scale: pooled arm counters: supervisor_forks=%lld "
+              "cache_misses=%lld pool_dispatches=%lld (zero-fork warm path: "
+              "%s)\n",
+              Forks, Misses, PoolDispatches, ZeroForkWarm ? "yes" : "NO");
+
+  char Buf[1024];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "{\n"
+      "    \"concurrent_clients\": %d,\n"
+      "    \"jobs_per_client\": %d,\n"
+      "    \"pooled_jobs_per_sec\": %.2f,\n"
+      "    \"pooled_p50_ms\": %.3f,\n"
+      "    \"pooled_p99_ms\": %.3f,\n"
+      "    \"fork_jobs_per_sec\": %.2f,\n"
+      "    \"fork_p50_ms\": %.3f,\n"
+      "    \"fork_p99_ms\": %.3f,\n"
+      "    \"pool_speedup\": %.2f,\n"
+      "    \"pooled_supervisor_forks\": %lld,\n"
+      "    \"pooled_cache_misses\": %lld,\n"
+      "    \"pooled_pool_dispatches\": %lld,\n"
+      "    \"check_pool_speedup_ge_3x\": %s,\n"
+      "    \"check_zero_fork_warm_path\": %s\n"
+      "  }",
+      Clients, JobsPerClient, Pooled.JobsPerSec, Pooled.P50Ms, Pooled.P99Ms,
+      Base.JobsPerSec, Base.P50Ms, Base.P99Ms, Ratio, Forks, Misses,
+      PoolDispatches, RatioPass ? "true" : "false",
+      ZeroForkWarm ? "true" : "false");
+  ScaleJson = Buf;
+
+  std::printf("scale report: %s\n", RatioPass && ZeroForkWarm ? "PASS"
+                                                              : "FAIL");
+  return RatioPass && ZeroForkWarm ? 0 : 1;
+}
+
+int runServiceReport(const std::string &Path, const std::string &ChaosJson,
+                     const std::string &ScaleJson) {
   Daemon D(16);
   std::string Err;
   {
@@ -723,6 +901,8 @@ int runServiceReport(const std::string &Path, const std::string &ChaosJson) {
                Survived ? "true" : "false", SpeedupPass ? "true" : "false");
   if (!ChaosJson.empty())
     std::fprintf(Out, ",\n  \"chaos\": %s", ChaosJson.c_str());
+  if (!ScaleJson.empty())
+    std::fprintf(Out, ",\n  \"scale\": %s", ScaleJson.c_str());
   std::fprintf(Out, "\n}\n");
   std::fclose(Out);
   std::printf("service report written to %s; warm speedup %.1fx (need "
@@ -736,7 +916,7 @@ int runServiceReport(const std::string &Path, const std::string &ChaosJson) {
 
 int main(int Argc, char **Argv) {
   std::string Path = "BENCH_service.json";
-  bool DoService = false, DoChaos = false;
+  bool DoService = false, DoChaos = false, DoScale = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A(Argv[I]);
     if (A.rfind("--service-report=", 0) == 0) {
@@ -749,33 +929,51 @@ int main(int Argc, char **Argv) {
       DoChaos = true;
     } else if (A == "--chaos-report") {
       DoChaos = true;
+    } else if (A.rfind("--scale-report=", 0) == 0) {
+      Path = A.substr(sizeof("--scale-report=") - 1);
+      DoScale = true;
+    } else if (A == "--scale-report") {
+      DoScale = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--service-report[=path]] "
-                   "[--chaos-report[=path]]\n",
+                   "[--chaos-report[=path]] [--scale-report[=path]]\n",
                    Argv[0]);
       return 2;
     }
   }
-  if (!DoService && !DoChaos)
+  if (!DoService && !DoChaos && !DoScale)
     DoService = true;
 
   int Rc = 0;
-  std::string ChaosJson;
+  std::string ChaosJson, ScaleJson;
   if (DoChaos)
     Rc |= runChaosReport(ChaosJson);
+  if (DoScale)
+    Rc |= runScaleReport(ScaleJson);
   if (DoService) {
-    Rc |= runServiceReport(Path, ChaosJson);
+    Rc |= runServiceReport(Path, ChaosJson, ScaleJson);
   } else {
-    // Chaos-only invocation still leaves a machine-readable artifact.
+    // Chaos/scale-only invocations still leave a machine-readable artifact.
     std::FILE *Out = std::fopen(Path.c_str(), "w");
     if (!Out) {
       std::fprintf(stderr, "cannot write %s\n", Path.c_str());
       return 1;
     }
-    std::fprintf(Out, "{\n  \"chaos\": %s\n}\n", ChaosJson.c_str());
+    std::fprintf(Out, "{");
+    bool Any = false;
+    if (!ChaosJson.empty()) {
+      std::fprintf(Out, "\n  \"chaos\": %s", ChaosJson.c_str());
+      Any = true;
+    }
+    if (!ScaleJson.empty()) {
+      std::fprintf(Out, "%s\n  \"scale\": %s", Any ? "," : "",
+                   ScaleJson.c_str());
+      Any = true;
+    }
+    std::fprintf(Out, "\n}\n");
     std::fclose(Out);
-    std::printf("chaos report written to %s\n", Path.c_str());
+    std::printf("report written to %s\n", Path.c_str());
   }
   return Rc;
 }

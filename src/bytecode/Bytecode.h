@@ -26,9 +26,12 @@
 ///    to plain jumps when no plan is armed, so the same code runs
 ///    sequentially, speculatively, and during misspeculation recovery.
 ///
-/// A BytecodeProgram borrows the ir::Module it was lowered from (alloc
-/// sites, globals, and print formats reference IR objects); keep the module
-/// alive for the program's lifetime, as the ProgramCache does.
+/// A BytecodeProgram is self-contained: alloc sites, globals, and the
+/// reduction registrations the transformed program needs are captured as
+/// plain data at lower time, with no pointers back into the ir::Module.
+/// That makes a lowered program relocatable — bytecode/Image.h serializes
+/// it to a flat byte image that the invocation service ships to pre-forked
+/// executive processes over sealed memfds.
 ///
 /// The tree-walking interpreter remains the semantic oracle: the randomized
 /// differential sweep byte-compares the two engines, and both share the
@@ -39,7 +42,8 @@
 #ifndef PRIVATEER_BYTECODE_BYTECODE_H
 #define PRIVATEER_BYTECODE_BYTECODE_H
 
-#include "ir/IR.h"
+#include "runtime/HeapKind.h"
+#include "runtime/Reduction.h"
 
 #include <cstdint>
 #include <map>
@@ -159,6 +163,29 @@ struct BcParLoopSite {
   uint32_t ExitEntryPc = 0; ///< Header->exit edge (post-loop continuation).
 };
 
+/// Heap routing of one Alloca/Malloc site, captured from the privatizer's
+/// annotation at lower time (paper §4.4 Replace Allocation).
+struct BcAllocSite {
+  bool HasHeap = false;
+  HeapKind Heap = HeapKind::Private;
+};
+
+/// One module global: everything the VM needs to allocate and address it.
+struct BcGlobal {
+  std::string Name;
+  uint64_t SizeBytes = 0;
+  bool HasHeap = false;
+  HeapKind Heap = HeapKind::Private;
+};
+
+/// A reduction-heap global the runtime must be told about before the
+/// planned loop runs (identity init + checkpoint-time combine).
+struct BcReduxGlobal {
+  uint32_t GlobalIdx = 0;
+  ReduxElem Elem = ReduxElem::I64;
+  ReduxOp Op = ReduxOp::Add;
+};
+
 struct BcFunction {
   std::string Name;
   uint16_t NumArgs = 0;
@@ -174,19 +201,21 @@ struct BcFunction {
   std::vector<BcCallSite> CallSites;
   std::vector<BcPrintSite> PrintSites;
   std::vector<BcParLoopSite> ParSites;
-  /// Alloc-site instructions (Alloca/Malloc operand B), routed through the
+  /// Alloc sites (Alloca/Malloc operand B), routed through the
   /// MemoryManager so heap-assigned sites land in their logical heaps.
-  std::vector<const ir::Instruction *> AllocSites;
+  std::vector<BcAllocSite> AllocSites;
 };
 
 struct BytecodeProgram {
-  /// Borrowed; must outlive the program.
-  const ir::Module *Source = nullptr;
   std::vector<BcFunction> Functions;
   std::map<std::string, uint32_t> FunctionIdx;
   /// Globals in module order; VM allocation order matches the interpreter.
-  std::vector<const ir::GlobalVariable *> Globals;
-  std::map<const ir::GlobalVariable *, uint32_t> GlobalIdx;
+  std::vector<BcGlobal> Globals;
+  std::map<std::string, uint32_t> GlobalIdx; ///< Global name -> index.
+  /// Reductions the transformed program must register before a parallel
+  /// invocation (baked in by lowerForPrivatized from the HeapAssignment,
+  /// so executing a prelowered program needs no classification results).
+  std::vector<BcReduxGlobal> ReduxGlobals;
   /// Total instructions across functions (Statistic fodder).
   uint64_t totalCode() const {
     uint64_t N = 0;

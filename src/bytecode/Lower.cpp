@@ -262,7 +262,7 @@ private:
       auto It = GlobalRegs.find(G);
       if (It != GlobalRegs.end())
         return It->second;
-      auto GIt = Prog.GlobalIdx.find(G);
+      auto GIt = Prog.GlobalIdx.find(G->name());
       if (GIt == Prog.GlobalIdx.end()) {
         fail("reference to global outside the module");
         return 0;
@@ -294,7 +294,11 @@ private:
   }
 
   uint16_t addAllocSite(const Instruction *I) {
-    BF.AllocSites.push_back(I);
+    BcAllocSite S;
+    S.HasHeap = I->hasAllocHeap();
+    if (S.HasHeap)
+      S.Heap = I->allocHeap();
+    BF.AllocSites.push_back(S);
     if (BF.AllocSites.size() > 65535) {
       fail("too many allocation sites");
       return 0;
@@ -629,10 +633,15 @@ std::unique_ptr<BytecodeProgram>
 bytecode::lowerModule(const Module &M, const LowerOptions &Opts,
                       std::string &WhyNot) {
   auto Prog = std::make_unique<BytecodeProgram>();
-  Prog->Source = &M;
   for (const auto &G : M.globals()) {
-    Prog->GlobalIdx[G.get()] = static_cast<uint32_t>(Prog->Globals.size());
-    Prog->Globals.push_back(G.get());
+    Prog->GlobalIdx[G->name()] = static_cast<uint32_t>(Prog->Globals.size());
+    BcGlobal BG;
+    BG.Name = G->name();
+    BG.SizeBytes = G->sizeBytes();
+    BG.HasHeap = G->hasAssignedHeap();
+    if (BG.HasHeap)
+      BG.Heap = G->assignedHeap();
+    Prog->Globals.push_back(std::move(BG));
   }
   // Names first so call sites can reference functions lowered later.
   for (const auto &F : M.functions()) {

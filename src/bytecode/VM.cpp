@@ -52,9 +52,8 @@ VM::VM(const BytecodeProgram &Prog, MemoryManager &MM)
 void VM::initializeGlobals() {
   GlobalAddrs.resize(Prog.Globals.size(), 0);
   for (size_t Idx = 0; Idx < Prog.Globals.size(); ++Idx) {
-    const ir::GlobalVariable *G = Prog.Globals[Idx];
-    void *P = MM.allocate(G->sizeBytes(), nullptr, G);
-    std::memset(P, 0, G->sizeBytes());
+    const BcGlobal &G = Prog.Globals[Idx];
+    void *P = MM.allocateTagged(G.SizeBytes, G.HasHeap, G.Heap, /*Zero=*/true);
     GlobalAddrs[Idx] = reinterpret_cast<uint64_t>(P);
   }
   // Frame-entry images depend on the global addresses just assigned.
@@ -70,12 +69,10 @@ void VM::initializeGlobals() {
   }
 }
 
-uint64_t VM::globalAddress(const ir::GlobalVariable *G) const {
-  auto It = Prog.GlobalIdx.find(G);
-  if (It == Prog.GlobalIdx.end() || It->second >= GlobalAddrs.size() ||
-      !GlobalAddrs[It->second])
-    reportFatalError("global '" + G->name() + "' not initialized");
-  return GlobalAddrs[It->second];
+uint64_t VM::globalAddress(uint32_t Idx) const {
+  if (Idx >= GlobalAddrs.size() || !GlobalAddrs[Idx])
+    reportFatalError("global #" + std::to_string(Idx) + " not initialized");
+  return GlobalAddrs[Idx];
 }
 
 Cell VM::run(const std::string &Name, const std::vector<Cell> &Args) {
@@ -228,7 +225,8 @@ dispatch:
 
   BC_HANDLER(Alloca) {
     uint64_t Bytes = static_cast<uint64_t>(I->Imm);
-    void *P = MM.allocate(Bytes, Fn.AllocSites[I->B], nullptr);
+    const BcAllocSite &S = Fn.AllocSites[I->B];
+    void *P = MM.allocateTagged(Bytes, S.HasHeap, S.Heap, /*Zero=*/false);
     std::memset(P, 0, Bytes);
     Frm.Allocas.push_back(P);
     R[I->A] = reinterpret_cast<uint64_t>(P);
@@ -236,8 +234,9 @@ dispatch:
   BC_NEXT();
   BC_HANDLER(Malloc) {
     uint64_t Bytes = R[I->C];
+    const BcAllocSite &S = Fn.AllocSites[I->B];
     R[I->A] = reinterpret_cast<uint64_t>(
-        MM.allocate(Bytes, Fn.AllocSites[I->B], nullptr));
+        MM.allocateTagged(Bytes, S.HasHeap, S.Heap, /*Zero=*/false));
   }
   BC_NEXT();
   BC_HANDLER(Free) { MM.deallocate(reinterpret_cast<void *>(R[I->A])); }

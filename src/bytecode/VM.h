@@ -53,7 +53,8 @@ public:
   /// interpreter).  Must run before execution.
   void initializeGlobals();
 
-  uint64_t globalAddress(const ir::GlobalVariable *G) const;
+  /// Runtime address of global \p Idx (see BytecodeProgram::GlobalIdx).
+  uint64_t globalAddress(uint32_t Idx) const;
 
   /// Calls @\p Name with \p Args; the function must exist.
   interp::Cell run(const std::string &Name,

@@ -64,6 +64,11 @@ void *PlainMemoryManager::allocate(uint64_t Bytes, const Instruction *,
   return Live.allocate(Bytes);
 }
 
+void *PlainMemoryManager::allocateTagged(uint64_t Bytes, bool, HeapKind,
+                                         bool) {
+  return Live.allocate(Bytes);
+}
+
 void PlainMemoryManager::deallocate(void *P) {
   if (!P)
     return;
@@ -82,6 +87,17 @@ void *PrivateerMemoryManager::allocate(uint64_t Bytes,
   if (G && G->hasAssignedHeap()) {
     void *P = Rt.heapAlloc(Bytes, G->assignedHeap());
     std::memset(P, 0, Bytes);
+    return P;
+  }
+  return LivePlain.allocate(Bytes);
+}
+
+void *PrivateerMemoryManager::allocateTagged(uint64_t Bytes, bool HasHeap,
+                                             HeapKind K, bool Zero) {
+  if (HasHeap) {
+    void *P = Runtime::get().heapAlloc(Bytes, K);
+    if (Zero)
+      std::memset(P, 0, Bytes);
     return P;
   }
   return LivePlain.allocate(Bytes);

@@ -59,6 +59,13 @@ public:
   /// heap assignment) or for a global (\p Site null, \p G set).
   virtual void *allocate(uint64_t Bytes, const ir::Instruction *Site,
                          const ir::GlobalVariable *G) = 0;
+
+  /// Same routing decision with the heap assignment already extracted as
+  /// plain data — the bytecode VM's entry point, where alloc sites and
+  /// globals are IR-free PODs (a BytecodeProgram is relocatable).  \p Zero
+  /// requests zero-fill even on the logical-heap path (globals).
+  virtual void *allocateTagged(uint64_t Bytes, bool HasHeap, HeapKind K,
+                               bool Zero) = 0;
   virtual void deallocate(void *P) = 0;
 };
 
@@ -70,6 +77,8 @@ public:
   ~PlainMemoryManager() override;
   void *allocate(uint64_t Bytes, const ir::Instruction *Site,
                  const ir::GlobalVariable *G) override;
+  void *allocateTagged(uint64_t Bytes, bool HasHeap, HeapKind K,
+                       bool Zero) override;
   void deallocate(void *P) override;
 
 private:
@@ -84,6 +93,8 @@ public:
   ~PrivateerMemoryManager() override;
   void *allocate(uint64_t Bytes, const ir::Instruction *Site,
                  const ir::GlobalVariable *G) override;
+  void *allocateTagged(uint64_t Bytes, bool HasHeap, HeapKind K,
+                       bool Zero) override;
   void deallocate(void *P) override;
 
 private:

@@ -35,8 +35,19 @@ bool Client::connect(const std::string &Path, std::string &Err,
       return false;
     }
     if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
-        0)
+        0) {
+      // v4 handshake: announce tenant + capabilities.  A plain anonymous
+      // in-band client skips it and is indistinguishable from v2/v3.
+      if (!Tenant.empty() || UseMemfd) {
+        std::string HErr;
+        if (!sendHello(HErr)) {
+          // A daemon that cannot answer Hello still serves submissions;
+          // degrade to the in-band anonymous path rather than failing.
+          MemfdNegotiated = false;
+        }
+      }
       return true;
+    }
     int E = errno;
     ::close(Fd);
     Fd = -1;
@@ -52,6 +63,23 @@ void Client::close() {
   if (Fd >= 0)
     ::close(Fd);
   Fd = -1;
+  MemfdNegotiated = false;
+}
+
+bool Client::sendHello(std::string &Err) {
+  HelloRequest H;
+  H.Version = kProtocolVersion;
+  H.TenantId = Tenant;
+  H.WantMemfd = UseMemfd;
+  std::string ReplyBody;
+  if (!roundTrip(MsgType::Hello, encodeHello(H), MsgType::HelloReply,
+                 ReplyBody, Err, 5 * timeoutScale()))
+    return false;
+  HelloReply HR;
+  if (!decodeHelloReply(ReplyBody, HR, Err))
+    return false;
+  MemfdNegotiated = UseMemfd && HR.MemfdOk;
+  return true;
 }
 
 Client::RtStatus Client::roundTripStatus(MsgType Send,
@@ -59,12 +87,15 @@ Client::RtStatus Client::roundTripStatus(MsgType Send,
                                          MsgType Expect,
                                          std::string &ReplyBody,
                                          std::string &Err,
-                                         double TimeoutSec) {
+                                         double TimeoutSec, const int *Fds,
+                                         size_t NumFds) {
   if (Fd < 0) {
     Err = "not connected";
     return RtStatus::Transport;
   }
-  if (!writeFrame(Fd, Send, Body, Err))
+  bool Sent = NumFds > 0 ? writeFrameWithFds(Fd, Send, Body, Fds, NumFds, Err)
+                         : writeFrame(Fd, Send, Body, Err);
+  if (!Sent)
     return RtStatus::Transport;
   MsgType Type;
   ReadStatus S = readFrame(Fd, Type, ReplyBody, Err, TimeoutSec);
@@ -125,7 +156,24 @@ bool Client::submit(const JobRequest &Req, JobReply &Reply, std::string &Err,
     if (Stamped.IdempotencyKey == 0)
       Stamped.IdempotencyKey = 1;
   }
+  if (Stamped.TenantId.empty())
+    Stamped.TenantId = Tenant;
   const std::string Body = encodeJobRequest(Stamped);
+
+  // Zero-copy alternative: the module text sealed in a memfd, the frame
+  // body carrying everything else.  Built lazily on the first attempt
+  // that has the capability; the fd survives retries (SCM_RIGHTS dups it
+  // into the kernel per send), and any attempt on a connection that lost
+  // the negotiation falls back to the in-band body.
+  int ModuleFd = -1;
+  std::string MemfdBody;
+  struct FdGuard {
+    int &Fd;
+    ~FdGuard() {
+      if (Fd >= 0)
+        ::close(Fd);
+    }
+  } Guard{ModuleFd};
 
   double Budget = Retry.Enabled && Retry.BudgetSec > 0
                       ? wallSeconds() + Retry.BudgetSec * timeoutScale()
@@ -134,11 +182,34 @@ bool Client::submit(const JobRequest &Req, JobReply &Reply, std::string &Err,
   unsigned Attempt = 0;
   while (true) {
     ++Attempt;
+    bool ViaMemfd = MemfdNegotiated;
+    if (ViaMemfd && ModuleFd < 0) {
+      std::string MErr;
+      ModuleFd = sealedMemfd("privateer-module", Stamped.ModuleText.data(),
+                             Stamped.ModuleText.size(), MErr);
+      if (ModuleFd >= 0) {
+        JobRequest Slim = Stamped;
+        Slim.ModuleText.clear();
+        Slim.Submit = static_cast<uint8_t>(SubmitMode::Memfd);
+        MemfdBody = encodeJobRequest(Slim);
+      } else {
+        ViaMemfd = false; // no memfd support here: stay in-band
+      }
+    }
     std::string ReplyBody;
     RtStatus S = RtStatus::Transport;
-    if (Fd >= 0)
-      S = roundTripStatus(MsgType::SubmitJob, Body, MsgType::JobResult,
-                          ReplyBody, Err, TimeoutSec);
+    if (Fd >= 0) {
+      if (ViaMemfd && ModuleFd >= 0) {
+        S = roundTripStatus(MsgType::SubmitJob, MemfdBody,
+                            MsgType::JobResult, ReplyBody, Err, TimeoutSec,
+                            &ModuleFd, 1);
+        if (S == RtStatus::Ok)
+          ++MemfdSubmits;
+      } else {
+        S = roundTripStatus(MsgType::SubmitJob, Body, MsgType::JobResult,
+                            ReplyBody, Err, TimeoutSec);
+      }
+    }
     if (S == RtStatus::Ok)
       return decodeJobReply(ReplyBody, Reply, Err);
     if (S == RtStatus::Fatal || !Retry.Enabled || SocketPath.empty())

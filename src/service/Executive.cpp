@@ -1,0 +1,298 @@
+//===- service/Executive.cpp - Pre-warmed executive process ---------------===//
+
+#include "service/Executive.h"
+
+#include "bytecode/Image.h"
+#include "service/Protocol.h"
+#include "support/Timing.h"
+#include "transform/Pipeline.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <new>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace privateer;
+using namespace privateer::service;
+
+namespace {
+
+/// Per-executive program cache: (daemon program key, cache generation,
+/// parallel-vs-sequential image) -> deserialized program.  Bounded LRU —
+/// an executive outlives many daemon cache generations.
+class LocalPrograms {
+public:
+  explicit LocalPrograms(size_t Max = 32) : Max(Max) {}
+
+  using Key = std::tuple<uint64_t, uint64_t, bool>;
+
+  const bytecode::BytecodeProgram *find(const Key &K) {
+    auto It = Map.find(K);
+    if (It == Map.end())
+      return nullptr;
+    touch(K);
+    return It->second.get();
+  }
+
+  const bytecode::BytecodeProgram *
+  insert(const Key &K, std::unique_ptr<bytecode::BytecodeProgram> P) {
+    while (Map.size() >= Max && !Order.empty()) {
+      Map.erase(Order.back());
+      Order.pop_back();
+    }
+    touch(K);
+    auto &Slot = Map[K];
+    Slot = std::move(P);
+    return Slot.get();
+  }
+
+private:
+  void touch(const Key &K) {
+    for (auto It = Order.begin(); It != Order.end(); ++It)
+      if (*It == K) {
+        Order.erase(It);
+        break;
+      }
+    Order.push_front(K);
+  }
+
+  size_t Max;
+  std::map<Key, std::unique_ptr<bytecode::BytecodeProgram>> Map;
+  std::deque<Key> Order; ///< front = most recently used
+};
+
+/// Maps the sealed image memfd, deserializes, closes the fd.
+std::unique_ptr<bytecode::BytecodeProgram> loadImage(int MemFd,
+                                                     std::string &Err) {
+  struct stat St{};
+  if (::fstat(MemFd, &St) != 0 || St.st_size <= 0) {
+    Err = "image fstat failed";
+    ::close(MemFd);
+    return nullptr;
+  }
+  size_t Bytes = static_cast<size_t>(St.st_size);
+  void *P = ::mmap(nullptr, Bytes, PROT_READ, MAP_PRIVATE, MemFd, 0);
+  if (P == MAP_FAILED) {
+    Err = std::string("image mmap: ") + std::strerror(errno);
+    ::close(MemFd);
+    return nullptr;
+  }
+  auto Prog = bytecode::deserializeProgram(P, Bytes, Err);
+  ::munmap(P, Bytes);
+  ::close(MemFd);
+  return Prog;
+}
+
+/// Executes one assignment against \p BP, producing the supervisor-shaped
+/// reply.  Mirrors Server::runSupervisor's execution block.
+JobReply runAssignment(const ExecAssignment &A,
+                       const bytecode::BytecodeProgram &BP) {
+  JobReply R;
+  const JobRequest &Req = A.Req;
+
+  char *OutBuf = nullptr;
+  size_t OutLen = 0;
+  std::FILE *Out = ::open_memstream(&OutBuf, &OutLen);
+  if (!Out) {
+    R.Status = JobStatus::InternalError;
+    R.Error = "open_memstream failed";
+    return R;
+  }
+
+  ParallelOptions Par;
+  Par.NumWorkers = Req.NumWorkers;
+  Par.CheckpointPeriod = Req.CheckpointPeriod;
+  Par.MaxSlotsPerEpoch = Req.MaxSlotsPerEpoch;
+  Par.InjectMisspecRate = Req.InjectMisspecRate;
+  Par.InjectSeed = Req.InjectSeed;
+  Par.EagerCommit = Req.EagerCommit;
+  Par.StallTimeoutSec = Req.StallTimeoutSec * timeoutScale();
+  Par.TracePath = Req.TracePath;
+  Par.Faults.Seed = Req.FaultSeed;
+  Par.Faults.KillWorker = Req.FaultKillWorker;
+  Par.Faults.KillAtIter = Req.FaultKillAtIter;
+  Par.Faults.StallWorker = Req.FaultStallWorker;
+  Par.Faults.StallAtIter = Req.FaultStallAtIter;
+  Par.Faults.StallSeconds = Req.FaultStallSeconds;
+  Par.Faults.KillRate = Req.FaultKillRate;
+
+  transform::PipelineOptions PO;
+
+  double T0 = wallSeconds();
+  try {
+    if (A.UseParallel) {
+      transform::ExecutionResult E = transform::executeLoadedParallel(
+          BP, PO, Par, RuntimeConfig(), Out);
+      R.ExitValue = E.ReturnValue.asInt();
+      R.Iterations = E.Stats.Iterations;
+      R.Checkpoints = E.Stats.Checkpoints;
+      R.Misspecs = E.Stats.Misspecs;
+      R.RecoveredIterations = E.Stats.RecoveredIterations;
+      R.MisspecReason = E.Stats.FirstMisspecReason;
+      R.Status = JobStatus::Ok;
+    } else {
+      interp::Cell V = transform::executeLoadedSequential(BP, PO, Out);
+      R.ExitValue = V.asInt();
+      R.Status = JobStatus::Ok;
+    }
+  } catch (const std::bad_alloc &) {
+    R.Status = JobStatus::ResourceLimit;
+    R.Cause = FailureCause::OutOfMemory;
+    R.Error = "out of memory (bad_alloc) during execution";
+  } catch (const std::exception &E) {
+    R.Status = JobStatus::InternalError;
+    R.Error = E.what();
+  }
+  R.ExecSec = wallSeconds() - T0;
+
+  std::fclose(Out);
+  R.Output.assign(OutBuf, OutLen);
+  std::free(OutBuf);
+  return R;
+}
+
+} // namespace
+
+int service::executiveMain(int ChanFd) {
+  ::signal(SIGPIPE, SIG_IGN);
+  LocalPrograms Programs;
+  FrameAssembler Frames;
+  std::vector<int> Fds;
+
+  auto Reply = [&](const JobReply &R) {
+    std::string Err;
+    if (!writeFrame(ChanFd, MsgType::JobResult, encodeJobReply(R), Err))
+      ::_exit(4); // channel gone mid-reply: let the daemon triage a corpse
+  };
+
+  while (true) {
+    MsgType Type;
+    std::string Body, Err;
+    FrameAssembler::Result FR = Frames.next(Type, Body, Err);
+    if (FR == FrameAssembler::Result::Malformed)
+      return 2; // daemon channel is private; corruption is fatal
+    if (FR == FrameAssembler::Result::NeedMore) {
+      char Buf[64 << 10];
+      bool Truncated = false;
+      ssize_t N = recvWithFds(ChanFd, Buf, sizeof(Buf), Fds, Truncated);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return 0; // EOF: the daemon is draining the pool
+      if (Truncated)
+        return 2;
+      Frames.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+
+    if (Type != MsgType::ExecAssign) {
+      for (int Fd : Fds)
+        ::close(Fd);
+      Fds.clear();
+      return 2;
+    }
+    ExecAssignment A;
+    if (!decodeExecAssign(Body, A, Err)) {
+      for (int Fd : Fds)
+        ::close(Fd);
+      Fds.clear();
+      return 2;
+    }
+    const JobRequest &Req = A.Req;
+
+    // Supervisor-equivalent fault injection: process-level faults kill
+    // this executive (the daemon triages and respawns); typed failures
+    // answer in-band and the executive lives on.
+    if (Req.FaultKillSupervisor)
+      ::raise(SIGKILL);
+    if (Req.FaultSupervisorSignal != 0) {
+      ::signal(static_cast<int>(Req.FaultSupervisorSignal), SIG_DFL);
+      ::raise(static_cast<int>(Req.FaultSupervisorSignal));
+    }
+    if (Req.FaultSupervisorExit != kNoFaultExit)
+      ::_exit(static_cast<int>(Req.FaultSupervisorExit));
+    if (Req.FaultBurnCpuSec > 0) {
+      double End = cpuSeconds() + Req.FaultBurnCpuSec;
+      volatile uint64_t Sink = 0;
+      while (cpuSeconds() < End)
+        for (int I = 0; I < 4096; ++I)
+          Sink = Sink + static_cast<uint64_t>(I) * 2654435761u;
+    }
+    if (A.Attempt < Req.FaultOomAttempts) {
+      for (int Fd : Fds)
+        ::close(Fd);
+      Fds.clear();
+      JobReply R;
+      R.Status = JobStatus::ResourceLimit;
+      R.Cause = FailureCause::OutOfMemory;
+      R.Error = "fault injection: simulated allocation failure on attempt " +
+                std::to_string(A.Attempt + 1);
+      Reply(R);
+      continue;
+    }
+    if (Req.FaultAllocBytes > 0) {
+      bool Failed = false;
+      try {
+        void *P = ::operator new[](Req.FaultAllocBytes);
+        ::operator delete[](P);
+      } catch (const std::bad_alloc &) {
+        Failed = true;
+      }
+      if (Failed) {
+        for (int Fd : Fds)
+          ::close(Fd);
+        Fds.clear();
+        JobReply R;
+        R.Status = JobStatus::ResourceLimit;
+        R.Cause = FailureCause::OutOfMemory;
+        R.Error = "allocation of " + std::to_string(Req.FaultAllocBytes) +
+                  " bytes failed (bad_alloc)";
+        Reply(R);
+        continue;
+      }
+    }
+
+    // Resolve the program: local cache hit, else deserialize the memfd
+    // image that rode along.  The daemon always attaches the fd (a kernel
+    // dup is cheaper than tracking which executive holds what), so a
+    // cache hit just closes it.
+    LocalPrograms::Key K{A.ProgramKey, A.Generation, A.UseParallel};
+    const bytecode::BytecodeProgram *BP = Programs.find(K);
+    if (BP) {
+      for (int Fd : Fds)
+        ::close(Fd);
+      Fds.clear();
+    } else {
+      if (Fds.empty()) {
+        JobReply R;
+        R.Status = JobStatus::InternalError;
+        R.Error = "executive: assignment without a program image";
+        Reply(R);
+        continue;
+      }
+      int ImgFd = Fds.front();
+      for (size_t I = 1; I < Fds.size(); ++I)
+        ::close(Fds[I]);
+      Fds.clear();
+      auto Loaded = loadImage(ImgFd, Err);
+      if (!Loaded) {
+        JobReply R;
+        R.Status = JobStatus::InternalError;
+        R.Error = "executive: bad program image: " + Err;
+        Reply(R);
+        continue;
+      }
+      BP = Programs.insert(K, std::move(Loaded));
+    }
+
+    Reply(runAssignment(A, *BP));
+  }
+}

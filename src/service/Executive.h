@@ -1,0 +1,41 @@
+//===- service/Executive.h - Pre-warmed executive process -------*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The body of one pre-warmed executive process.  An executive is forked
+/// once by the daemon, then runs jobs forever: it blocks on its private
+/// socketpair for ExecAssign frames, each carrying the execution knobs
+/// in-band and the program out-of-band — a serialized bytecode image in a
+/// sealed memfd passed via SCM_RIGHTS.  Images are cached per executive
+/// by (program key, generation), so a repeat assignment skips even
+/// deserialization; execution brackets the runtime's initialize/shutdown
+/// per job (the logical heaps map and unmap cleanly, see
+/// runtime/SharedHeap).
+///
+/// The executive deliberately mirrors the per-job supervisor's reply
+/// contract: a clean JobResult frame for every outcome it can express
+/// (including typed out-of-memory), death for the outcomes it cannot —
+/// the daemon triages a dead executive exactly like a dead supervisor
+/// and replaces it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_SERVICE_EXECUTIVE_H
+#define PRIVATEER_SERVICE_EXECUTIVE_H
+
+namespace privateer {
+namespace service {
+
+/// Runs the executive loop on \p ChanFd (the child end of the daemon's
+/// socketpair) until EOF.  Returns the process exit code (0 on a clean
+/// channel close — the daemon is draining).
+int executiveMain(int ChanFd);
+
+} // namespace service
+} // namespace privateer
+
+#endif // PRIVATEER_SERVICE_EXECUTIVE_H

@@ -2,50 +2,68 @@
 
 #include "service/ProgramCache.h"
 
+#include "bytecode/Image.h"
 #include "ir/IRParser.h"
 #include "ir/Verifier.h"
 #include "support/Fnv.h"
 #include "support/Statistics.h"
 #include "support/Timing.h"
 
+#include <unistd.h>
+
 using namespace privateer;
 using namespace privateer::service;
+
+CachedProgram::~CachedProgram() {
+  if (ImagePar >= 0)
+    ::close(ImagePar);
+  if (ImageSeq >= 0)
+    ::close(ImageSeq);
+}
 
 std::shared_ptr<CachedProgram>
 ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
   uint64_t Key = fnv1a(Text);
   auto It = Entries.find(Key);
-  if (It != Entries.end() && It->second->Text == Text) {
+  if (It != Entries.end() && It->second.Prog->Text == Text) {
     Hit = true;
     ++Hits;
-    if (!It->second->ParseError.empty()) {
+    // LRU: a hit renews the entry's lease.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    if (!It->second.Prog->ParseError.empty()) {
       // Cached negative verdict: the text is known not to parse/verify.
-      Err = It->second->ParseError;
+      Err = It->second.Prog->ParseError;
       return nullptr;
     }
-    return It->second;
+    return It->second.Prog;
   }
   Hit = false;
   ++Misses;
 
-  // Caches the entry (positive or negative) under FIFO eviction.
+  // Caches the entry (positive or negative) under LRU eviction.
   auto Insert = [this](std::shared_ptr<CachedProgram> E) {
-    while (Entries.size() >= MaxEntries && !InsertionOrder.empty()) {
-      Entries.erase(InsertionOrder.front());
-      InsertionOrder.pop_front();
+    while (Entries.size() >= MaxEntries && !Lru.empty()) {
+      Entries.erase(Lru.back());
+      Lru.pop_back();
       ++Evictions;
+      StatisticRegistry::instance().counter("service", "cache_evictions") += 1;
     }
     // A hash collision with different text replaces the older entry (jobs
     // already holding it keep their shared_ptr).
-    if (Entries.emplace(E->Key, E).second)
-      InsertionOrder.push_back(E->Key);
-    else
-      Entries[E->Key] = E;
+    auto [Pos, Inserted] = Entries.try_emplace(E->Key);
+    if (Inserted) {
+      Lru.push_front(E->Key);
+      Pos->second.LruIt = Lru.begin();
+    } else {
+      Lru.splice(Lru.begin(), Lru, Pos->second.LruIt);
+    }
+    Pos->second.Prog = std::move(E);
   };
 
   double T0 = wallSeconds();
   auto Entry = std::make_shared<CachedProgram>();
   Entry->Key = Key;
+  Entry->Generation = NextGeneration++;
   Entry->Text = Text;
   Entry->M = ir::parseModule(Text, Err);
   if (!Entry->M) {
@@ -82,6 +100,21 @@ ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
     Entry->LoweredPar = transform::lowerForPrivatized(
         *Entry->M, *Entry->FA, Entry->Pipeline.Assignment, LowerWhy);
   Entry->LoweredSeq = transform::lowerForSequential(*Entry->M, LowerWhy);
+
+  // Serialize each lowered program into a sealed memfd for the executive
+  // pool.  Failure (no memfd support) silently disables pooled dispatch
+  // for this entry; the fork-supervisor path still works.
+  std::string MemfdErr;
+  if (Entry->LoweredPar) {
+    std::string Img = bytecode::serializeProgram(*Entry->LoweredPar);
+    Entry->ImagePar =
+        sealedMemfd("privateer-img-par", Img.data(), Img.size(), MemfdErr);
+  }
+  if (Entry->LoweredSeq) {
+    std::string Img = bytecode::serializeProgram(*Entry->LoweredSeq);
+    Entry->ImageSeq =
+        sealedMemfd("privateer-img-seq", Img.data(), Img.size(), MemfdErr);
+  }
 
   Entry->PipelineSec = wallSeconds() - T0;
   StatisticRegistry::instance().real("service", "pipeline_sec") +=

@@ -14,9 +14,14 @@
 /// per-job supervisor process inherits them read-only across fork(), so
 /// a warm submit pays only fork + execution.
 ///
-/// Entries are handed out as shared_ptr: eviction (bounded FIFO) drops
-/// the cache's reference, while jobs still queued against the entry keep
-/// it alive until their supervisor has forked.
+/// Entries are handed out as shared_ptr: eviction (bounded LRU, keyed by
+/// last hit) drops the cache's reference, while jobs still queued against
+/// the entry keep it alive until dispatch.
+///
+/// For the pre-warmed executive pool the cache also serializes each
+/// lowered program into a sealed memfd (bytecode/Image.h): dispatching a
+/// warm job to an executive is then one SCM_RIGHTS hand-off, with no
+/// fork, no parse, and no lowering anywhere on the path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,7 +33,7 @@
 #include "service/Protocol.h"
 #include "transform/Pipeline.h"
 
-#include <deque>
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
@@ -51,7 +56,21 @@ struct CachedProgram {
   /// supervisor then lowers on the spot or falls back to the interpreter.
   std::shared_ptr<const bytecode::BytecodeProgram> LoweredPar;
   std::shared_ptr<const bytecode::BytecodeProgram> LoweredSeq;
+  /// Sealed memfds holding the serialized lowered programs (-1 = lowering
+  /// declined).  The daemon hands these to executives via SCM_RIGHTS; the
+  /// seals let the executive trust size and contents without copying.
+  int ImagePar = -1;
+  int ImageSeq = -1;
+  /// Monotonic fill ordinal: executives key their local caches by
+  /// (Key, Generation), so a rebuilt entry (evicted, or a hash collision
+  /// replacing different text) never aliases a stale cached program.
+  uint64_t Generation = 0;
   double PipelineSec = 0; ///< cost of the cold half, paid once
+
+  CachedProgram() = default;
+  CachedProgram(const CachedProgram &) = delete;
+  CachedProgram &operator=(const CachedProgram &) = delete;
+  ~CachedProgram();
 
   /// Negative verdict: set when a supervisor running this exact text died
   /// on a deterministic program-class signal (SIGSEGV/SIGBUS/SIGABRT/
@@ -83,9 +102,13 @@ public:
 
 private:
   size_t MaxEntries;
-  std::map<uint64_t, std::shared_ptr<CachedProgram>> Entries;
-  std::deque<uint64_t> InsertionOrder; ///< FIFO eviction
-  uint64_t Hits = 0, Misses = 0, Evictions = 0;
+  struct Entry {
+    std::shared_ptr<CachedProgram> Prog;
+    std::list<uint64_t>::iterator LruIt;
+  };
+  std::map<uint64_t, Entry> Entries;
+  std::list<uint64_t> Lru; ///< front = most recently hit, back = evict next
+  uint64_t Hits = 0, Misses = 0, Evictions = 0, NextGeneration = 1;
 };
 
 } // namespace service

@@ -4,10 +4,14 @@
 
 #include "support/Timing.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/mman.h>
 #include <sys/socket.h>
+#include <sys/syscall.h>
 #include <unistd.h>
 
 using namespace privateer;
@@ -158,7 +162,8 @@ std::string service::encodeJobRequest(const JobRequest &R) {
   putU8(B, kProtocolVersion);
   putStr(B, R.ModuleText);
   putU8(B, static_cast<uint8_t>(R.Mode));
-  putU8(B, R.Engine);
+  putU8(B, R.Engine); // v3+
+
   putU32(B, R.NumWorkers);
   putU64(B, R.CheckpointPeriod);
   putU64(B, R.MaxSlotsPerEpoch);
@@ -185,6 +190,8 @@ std::string service::encodeJobRequest(const JobRequest &R) {
   putU32(B, R.FaultOomAttempts);
   putU64(B, R.FaultAllocBytes);
   putF64(B, R.FaultBurnCpuSec);
+  putStr(B, R.TenantId); // v4+
+  putU8(B, R.Submit);    // v4+
   return B;
 }
 
@@ -196,25 +203,33 @@ bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
     Err = "empty SubmitJob body";
     return false;
   }
-  if (Version != kProtocolVersion) {
+  // Version-gated decode: fields appended by later protocol revisions are
+  // simply absent from older bodies and keep their defaults, so a v2 or v3
+  // client's submission still lands (in-band, anonymous tenant).
+  if (Version < kMinProtocolVersion || Version > kProtocolVersion) {
     Err = "unsupported protocol version " + std::to_string(Version);
     return false;
   }
-  if (!C.getStr(R.ModuleText) || !C.getU8(Mode) || !C.getU8(R.Engine) ||
-      !C.getU32(R.NumWorkers) ||
-      !C.getU64(R.CheckpointPeriod) || !C.getU64(R.MaxSlotsPerEpoch) ||
-      !C.getF64(R.InjectMisspecRate) || !C.getU64(R.InjectSeed) ||
-      !C.getU8(Eager) || !C.getF64(R.StallTimeoutSec) ||
-      !C.getF64(R.DeadlineSec) || !C.getStr(R.TracePath) ||
-      !C.getU64(R.IdempotencyKey) || !C.getU64(R.MaxMemoryBytes) ||
-      !C.getU32(R.MaxCpuSec) || !C.getU32(R.MaxOpenFiles) ||
-      !C.getU8(KillSup) || !C.getU32(R.FaultKillWorker) ||
-      !C.getU64(R.FaultKillAtIter) || !C.getU32(R.FaultStallWorker) ||
-      !C.getU64(R.FaultStallAtIter) || !C.getF64(R.FaultStallSeconds) ||
-      !C.getF64(R.FaultKillRate) || !C.getU64(R.FaultSeed) ||
-      !C.getU32(R.FaultSupervisorSignal) || !C.getU32(R.FaultSupervisorExit) ||
-      !C.getU32(R.FaultOomAttempts) || !C.getU64(R.FaultAllocBytes) ||
-      !C.getF64(R.FaultBurnCpuSec)) {
+  bool Ok = C.getStr(R.ModuleText) && C.getU8(Mode);
+  if (Ok && Version >= 3)
+    Ok = C.getU8(R.Engine);
+  Ok = Ok && C.getU32(R.NumWorkers) &&
+       C.getU64(R.CheckpointPeriod) && C.getU64(R.MaxSlotsPerEpoch) &&
+       C.getF64(R.InjectMisspecRate) && C.getU64(R.InjectSeed) &&
+       C.getU8(Eager) && C.getF64(R.StallTimeoutSec) &&
+       C.getF64(R.DeadlineSec) && C.getStr(R.TracePath) &&
+       C.getU64(R.IdempotencyKey) && C.getU64(R.MaxMemoryBytes) &&
+       C.getU32(R.MaxCpuSec) && C.getU32(R.MaxOpenFiles) &&
+       C.getU8(KillSup) && C.getU32(R.FaultKillWorker) &&
+       C.getU64(R.FaultKillAtIter) && C.getU32(R.FaultStallWorker) &&
+       C.getU64(R.FaultStallAtIter) && C.getF64(R.FaultStallSeconds) &&
+       C.getF64(R.FaultKillRate) && C.getU64(R.FaultSeed) &&
+       C.getU32(R.FaultSupervisorSignal) && C.getU32(R.FaultSupervisorExit) &&
+       C.getU32(R.FaultOomAttempts) && C.getU64(R.FaultAllocBytes) &&
+       C.getF64(R.FaultBurnCpuSec);
+  if (Ok && Version >= 4)
+    Ok = C.getStr(R.TenantId) && C.getU8(R.Submit);
+  if (!Ok) {
     Err = "truncated SubmitJob body";
     return false;
   }
@@ -224,6 +239,10 @@ bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
   }
   if (R.Engine > 1) {
     Err = "bad engine " + std::to_string(R.Engine);
+    return false;
+  }
+  if (R.Submit > static_cast<uint8_t>(SubmitMode::Memfd)) {
+    Err = "bad submit mode " + std::to_string(R.Submit);
     return false;
   }
   R.Mode = static_cast<JobMode>(Mode);
@@ -266,7 +285,9 @@ bool service::decodeJobReply(const std::string &Body, JobReply &R,
     Err = "empty JobResult body";
     return false;
   }
-  if (Version != kProtocolVersion) {
+  // Replies kept the same shape across v2..v4, so any supported version
+  // decodes identically (old clients read new daemons and vice versa).
+  if (Version < kMinProtocolVersion || Version > kProtocolVersion) {
     Err = "unsupported protocol version " + std::to_string(Version);
     return false;
   }
@@ -295,6 +316,85 @@ bool service::decodeJobReply(const std::string &Body, JobReply &R,
   R.ExitValue = static_cast<int64_t>(Exit);
   R.CacheHit = CacheHit != 0;
   return true;
+}
+
+// --- Hello / HelloReply --------------------------------------------------
+
+std::string service::encodeHello(const HelloRequest &H) {
+  std::string B;
+  putU8(B, H.Version);
+  putStr(B, H.TenantId);
+  putU8(B, H.WantMemfd ? 1 : 0);
+  return B;
+}
+
+bool service::decodeHello(const std::string &Body, HelloRequest &H,
+                          std::string &Err) {
+  Cursor C(Body);
+  uint8_t Want = 0;
+  if (!C.getU8(H.Version)) {
+    Err = "empty Hello body";
+    return false;
+  }
+  if (H.Version < kMinProtocolVersion || H.Version > kProtocolVersion) {
+    Err = "unsupported protocol version " + std::to_string(H.Version);
+    return false;
+  }
+  if (!C.getStr(H.TenantId) || !C.getU8(Want)) {
+    Err = "truncated Hello body";
+    return false;
+  }
+  H.WantMemfd = Want != 0;
+  return true;
+}
+
+std::string service::encodeHelloReply(const HelloReply &H) {
+  std::string B;
+  putU8(B, H.Version);
+  putU8(B, H.MemfdOk ? 1 : 0);
+  return B;
+}
+
+bool service::decodeHelloReply(const std::string &Body, HelloReply &H,
+                               std::string &Err) {
+  Cursor C(Body);
+  uint8_t Ok = 0;
+  if (!C.getU8(H.Version) || !C.getU8(Ok)) {
+    Err = "truncated HelloReply body";
+    return false;
+  }
+  if (H.Version < kMinProtocolVersion || H.Version > kProtocolVersion) {
+    Err = "unsupported protocol version " + std::to_string(H.Version);
+    return false;
+  }
+  H.MemfdOk = Ok != 0;
+  return true;
+}
+
+// --- ExecAssign ----------------------------------------------------------
+
+std::string service::encodeExecAssign(const ExecAssignment &A) {
+  std::string B;
+  putU64(B, A.ProgramKey);
+  putU64(B, A.Generation);
+  putU8(B, A.UseParallel ? 1 : 0);
+  putU32(B, A.Attempt);
+  putStr(B, encodeJobRequest(A.Req));
+  return B;
+}
+
+bool service::decodeExecAssign(const std::string &Body, ExecAssignment &A,
+                               std::string &Err) {
+  Cursor C(Body);
+  uint8_t Par = 0;
+  std::string ReqBody;
+  if (!C.getU64(A.ProgramKey) || !C.getU64(A.Generation) || !C.getU8(Par) ||
+      !C.getU32(A.Attempt) || !C.getStr(ReqBody)) {
+    Err = "truncated ExecAssign body";
+    return false;
+  }
+  A.UseParallel = Par != 0;
+  return decodeJobRequest(ReqBody, A.Req, Err);
 }
 
 // --- Frame I/O -----------------------------------------------------------
@@ -332,6 +432,146 @@ bool service::writeFrame(int Fd, MsgType Type, const std::string &Body,
     Done += static_cast<size_t>(N);
   }
   return true;
+}
+
+bool service::writeFrameWithFds(int Fd, MsgType Type, const std::string &Body,
+                                const int *Fds, size_t NumFds,
+                                std::string &Err) {
+  if (NumFds == 0)
+    return writeFrame(Fd, Type, Body, Err);
+
+  std::string Frame;
+  Frame.reserve(5 + Body.size());
+  putU32(Frame, static_cast<uint32_t>(1 + Body.size()));
+  putU8(Frame, static_cast<uint8_t>(Type));
+  Frame.append(Body);
+
+  // The SCM_RIGHTS cmsg rides on the first byte only: the kernel delivers
+  // the descriptors with whichever recvmsg() consumes that byte, and the
+  // receiver's recvWithFds collects them regardless of how the rest of the
+  // frame is segmented.
+  alignas(cmsghdr) char Ctrl[CMSG_SPACE(sizeof(int) * 8)];
+  if (NumFds > 8) {
+    Err = "too many fds for one frame";
+    return false;
+  }
+  std::memset(Ctrl, 0, sizeof(Ctrl));
+  iovec Iov{const_cast<char *>(Frame.data()), 1};
+  msghdr Msg{};
+  Msg.msg_iov = &Iov;
+  Msg.msg_iovlen = 1;
+  Msg.msg_control = Ctrl;
+  Msg.msg_controllen = CMSG_SPACE(sizeof(int) * NumFds);
+  cmsghdr *Cm = CMSG_FIRSTHDR(&Msg);
+  Cm->cmsg_level = SOL_SOCKET;
+  Cm->cmsg_type = SCM_RIGHTS;
+  Cm->cmsg_len = CMSG_LEN(sizeof(int) * NumFds);
+  std::memcpy(CMSG_DATA(Cm), Fds, sizeof(int) * NumFds);
+
+  for (;;) {
+    ssize_t N = ::sendmsg(Fd, &Msg, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd P{Fd, POLLOUT, 0};
+        ::poll(&P, 1, 100);
+        continue;
+      }
+      Err = std::string("sendmsg: ") + std::strerror(errno);
+      return false;
+    }
+    break;
+  }
+
+  // Remainder of the frame goes out as ordinary stream bytes.
+  size_t Done = 1;
+  while (Done < Frame.size()) {
+    ssize_t N = ::send(Fd, Frame.data() + Done, Frame.size() - Done,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd P{Fd, POLLOUT, 0};
+        ::poll(&P, 1, 100);
+        continue;
+      }
+      Err = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+ssize_t service::recvWithFds(int Fd, void *Buf, size_t Len,
+                             std::vector<int> &Fds, bool &Truncated) {
+  Truncated = false;
+  alignas(cmsghdr) char Ctrl[CMSG_SPACE(sizeof(int) * 8)];
+  iovec Iov{Buf, Len};
+  msghdr Msg{};
+  Msg.msg_iov = &Iov;
+  Msg.msg_iovlen = 1;
+  Msg.msg_control = Ctrl;
+  Msg.msg_controllen = sizeof(Ctrl);
+
+  ssize_t N;
+  do {
+    N = ::recvmsg(Fd, &Msg, MSG_CMSG_CLOEXEC);
+  } while (N < 0 && errno == EINTR);
+  if (N < 0)
+    return N;
+
+  if (Msg.msg_flags & MSG_CTRUNC)
+    Truncated = true; // the kernel dropped fds; the stream state is suspect
+  for (cmsghdr *Cm = CMSG_FIRSTHDR(&Msg); Cm; Cm = CMSG_NXTHDR(&Msg, Cm)) {
+    if (Cm->cmsg_level != SOL_SOCKET || Cm->cmsg_type != SCM_RIGHTS)
+      continue;
+    size_t Count = (Cm->cmsg_len - CMSG_LEN(0)) / sizeof(int);
+    int Got[8];
+    std::memcpy(Got, CMSG_DATA(Cm), sizeof(int) * std::min<size_t>(Count, 8));
+    for (size_t I = 0; I < Count && I < 8; ++I)
+      Fds.push_back(Got[I]);
+  }
+  return N;
+}
+
+int service::sealedMemfd(const char *Name, const void *Data, size_t Bytes,
+                         std::string &Err) {
+  int MemFd = static_cast<int>(
+      ::syscall(SYS_memfd_create, Name, MFD_CLOEXEC | MFD_ALLOW_SEALING));
+  if (MemFd < 0) {
+    Err = std::string("memfd_create: ") + std::strerror(errno);
+    return -1;
+  }
+  size_t Done = 0;
+  const char *P = static_cast<const char *>(Data);
+  while (Done < Bytes) {
+    ssize_t N = ::write(MemFd, P + Done, Bytes - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Err = std::string("memfd write: ") + std::strerror(errno);
+      ::close(MemFd);
+      return -1;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  if (::fcntl(MemFd, F_ADD_SEALS,
+              F_SEAL_SHRINK | F_SEAL_GROW | F_SEAL_WRITE | F_SEAL_SEAL) < 0) {
+    Err = std::string("F_ADD_SEALS: ") + std::strerror(errno);
+    ::close(MemFd);
+    return -1;
+  }
+  return MemFd;
+}
+
+bool service::memfdIsSealed(int MemFd) {
+  int Seals = ::fcntl(MemFd, F_GET_SEALS);
+  if (Seals < 0)
+    return false;
+  return (Seals & F_SEAL_WRITE) && (Seals & F_SEAL_SHRINK);
 }
 
 ReadStatus service::readFrame(int Fd, MsgType &Type, std::string &Body,

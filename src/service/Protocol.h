@@ -35,11 +35,18 @@
 
 #include <cstdint>
 #include <string>
+#include <sys/types.h>
+#include <vector>
 
 namespace privateer {
 namespace service {
 
-inline constexpr uint8_t kProtocolVersion = 3;
+inline constexpr uint8_t kProtocolVersion = 4;
+/// Oldest SubmitJob/JobResult body version still decoded.  v2 (PR 6)
+/// predates the Engine byte; v3 (PR 7) added it; v4 adds the tenant id
+/// and the submission mode.  Fields missing from old bodies keep their
+/// defaults, so v2/v3 clients ride the in-band path as anonymous tenants.
+inline constexpr uint8_t kMinProtocolVersion = 2;
 /// Default ceiling on one frame (module texts and job output both ride in
 /// frames; 64 MiB is far above any bundled program).
 inline constexpr size_t kMaxFrameBytes = 64u << 20;
@@ -55,6 +62,16 @@ enum class MsgType : uint8_t {
   Shutdown = 6,    ///< client -> daemon: cancel everything and exit
   Ack = 7,         ///< daemon -> client: Drain/Shutdown accepted
   Error = 8,       ///< daemon -> client: protocol violation, closing
+  Hello = 9,       ///< client -> daemon: version + tenant + capabilities
+  HelloReply = 10, ///< daemon -> client: negotiated capabilities
+  ExecAssign = 11, ///< daemon -> executive: run this job (+ image fds)
+};
+
+/// How the module text of a SubmitJob travels.
+enum class SubmitMode : uint8_t {
+  InBand = 0, ///< text inside the frame body (v2/v3 compatible)
+  Memfd = 1,  ///< text in a sealed memfd passed via SCM_RIGHTS; the body's
+              ///< ModuleText is empty
 };
 
 /// How the daemon should execute the submitted module.
@@ -114,6 +131,12 @@ inline bool isInfraFailure(FailureCause C) {
 /// ParallelOptions so an empty request behaves like local privateer-cc.
 struct JobRequest {
   std::string ModuleText;
+  /// Multi-tenant admission identity (v4).  Empty = the anonymous tenant,
+  /// which is where every v2/v3 submission lands.  Weights, token buckets,
+  /// replay windows, and backpressure are all per-tenant.
+  std::string TenantId;
+  /// How ModuleText travels (v4); see SubmitMode.
+  uint8_t Submit = 0;
   JobMode Mode = JobMode::Speculative;
   /// Execution engine (mirrors transform::ExecEngine): 0 = direct-threaded
   /// bytecode VM (default), 1 = tree-walking interpreter (the differential
@@ -214,12 +237,71 @@ bool decodeJobRequest(const std::string &Body, JobRequest &R,
 std::string encodeJobReply(const JobReply &R);
 bool decodeJobReply(const std::string &Body, JobReply &R, std::string &Err);
 
+/// A Hello body: version + tenant + capability negotiation.  Sent by v4
+/// clients right after connect; the daemon answers with HelloReply.  v2/v3
+/// clients never send one and default to the anonymous in-band path.
+struct HelloRequest {
+  uint8_t Version = kProtocolVersion;
+  std::string TenantId;
+  bool WantMemfd = false; ///< client can submit via sealed memfd
+};
+
+struct HelloReply {
+  uint8_t Version = kProtocolVersion;
+  bool MemfdOk = false; ///< daemon accepts memfd submission on this conn
+};
+
+std::string encodeHello(const HelloRequest &H);
+bool decodeHello(const std::string &Body, HelloRequest &H, std::string &Err);
+std::string encodeHelloReply(const HelloReply &H);
+bool decodeHelloReply(const std::string &Body, HelloReply &H,
+                      std::string &Err);
+
+/// An ExecAssign body: daemon -> pre-forked executive.  The program
+/// travels out-of-band as a serialized bytecode image in a sealed memfd
+/// (SCM_RIGHTS); Key+Generation identify it for the executive's local
+/// program cache, so a repeat assignment skips even deserialization.
+struct ExecAssignment {
+  uint64_t ProgramKey = 0;
+  uint64_t Generation = 0;
+  bool UseParallel = false; ///< run the planned-DOALL image vs sequential
+  uint32_t Attempt = 0;     ///< daemon retry ordinal (FaultOomAttempts)
+  JobRequest Req;           ///< execution knobs; ModuleText is empty
+};
+
+std::string encodeExecAssign(const ExecAssignment &A);
+bool decodeExecAssign(const std::string &Body, ExecAssignment &A,
+                      std::string &Err);
+
 // --- Frame I/O -----------------------------------------------------------
 
 /// Blocking frame write (loops over partial writes and EINTR).  \p Body is
 /// the payload after the type byte.
 bool writeFrame(int Fd, MsgType Type, const std::string &Body,
                 std::string &Err);
+
+/// writeFrame with \p NumFds file descriptors attached as SCM_RIGHTS
+/// ancillary data on the first byte of the frame (zero-copy submission and
+/// executive program hand-off).  \p Fd must be a Unix-domain socket.
+bool writeFrameWithFds(int Fd, MsgType Type, const std::string &Body,
+                       const int *Fds, size_t NumFds, std::string &Err);
+
+/// recvmsg-based read that also collects any SCM_RIGHTS descriptors
+/// (appended to \p Fds, CLOEXEC).  Returns the recv() byte count / -1, and
+/// sets \p Truncated when the kernel flagged dropped ancillary data
+/// (MSG_CTRUNC) — the caller must treat the stream as poisoned.
+ssize_t recvWithFds(int Fd, void *Buf, size_t Len, std::vector<int> &Fds,
+                    bool &Truncated);
+
+/// Creates a sealed memfd holding \p Bytes (F_SEAL_SHRINK|GROW|WRITE|SEAL):
+/// the receiver can trust both size and contents.  Returns -1 with \p Err
+/// set when memfds or sealing are unavailable.
+int sealedMemfd(const char *Name, const void *Data, size_t Bytes,
+                std::string &Err);
+
+/// True when \p MemFd is sealed immutable (the daemon's acceptance test
+/// for client-submitted module texts).
+bool memfdIsSealed(int MemFd);
 
 enum class ReadStatus : uint8_t { Ok, Eof, Timeout, Error };
 

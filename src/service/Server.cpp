@@ -3,6 +3,7 @@
 #include "service/Server.h"
 
 #include "runtime/ControlBlock.h"
+#include "service/Executive.h"
 #include "support/Statistics.h"
 #include "support/Timing.h"
 #include "transform/Pipeline.h"
@@ -67,6 +68,70 @@ bool holdsCompleteFrame(const std::string &Buf) {
   return Len >= 1 && Len <= kMaxFrameBytes && Buf.size() >= 4 + size_t(Len);
 }
 
+/// Binds + listens on \p Path with crash-only stale-socket reclaim: a
+/// daemon killed by SIGKILL leaves its socket file behind and a naive
+/// bind() fails with EADDRINUSE.  Probe the path first — a live daemon
+/// accepts the connect and we refuse to steal its socket; a dead one
+/// answers ECONNREFUSED and the stale file is reclaimed.  Shared by the
+/// single-process daemon and the shard parent.
+int bindListenSocket(const std::string &Path, std::string &Err,
+                     bool *Reclaimed) {
+  if (Reclaimed)
+    *Reclaimed = false;
+  if (Path.empty()) {
+    Err = "no socket path";
+    return -1;
+  }
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    Err = "socket path too long: " + Path;
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (Fd < 0) {
+    Err = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  struct stat St{};
+  if (::lstat(Path.c_str(), &St) == 0) {
+    if (!S_ISSOCK(St.st_mode)) {
+      Err = Path + " exists and is not a socket";
+      ::close(Fd);
+      return -1;
+    }
+    int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    bool Alive =
+        Probe >= 0 &&
+        ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+            0;
+    if (Probe >= 0)
+      ::close(Probe);
+    if (Alive) {
+      Err = "another daemon is already serving " + Path;
+      ::close(Fd);
+      return -1;
+    }
+    ::unlink(Path.c_str());
+    if (Reclaimed)
+      *Reclaimed = true;
+  }
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    Err = "bind " + Path + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) < 0) {
+    Err = std::string("listen: ") + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  setNonBlocking(Fd);
+  return Fd;
+}
+
 } // namespace
 
 uint64_t &Server::stat(const char *Name) const {
@@ -84,86 +149,54 @@ Server::Server(ServerOptions O)
         "jobs_resource_limit", "cache_hits", "cache_misses",
         "cache_evictions", "queue_peak", "retries", "retry_success",
         "slow_client_drops", "idempotent_replays", "negative_verdicts",
-        "socket_reclaimed"})
+        "socket_reclaimed", "supervisor_forks", "pool_dispatches",
+        "executives_spawned", "executives_respawned", "memfd_submissions",
+        "token_deferrals"})
     stat(Name);
+  for (const TenantConfig &TC : Opts.Tenants)
+    tenantState(TC.Id).Cfg = TC;
 }
 
 Server::~Server() {
   if (ListenFd >= 0) {
     ::close(ListenFd);
-    ::unlink(Opts.SocketPath.c_str());
+    if (OwnsSocketFile)
+      ::unlink(Opts.SocketPath.c_str());
   }
   for (int Fd : {SigPipe[0], SigPipe[1]})
     if (Fd >= 0)
       ::close(Fd);
-  for (auto &[Fd, C] : Conns)
+  for (auto &[Fd, C] : Conns) {
+    for (int PFd : C.PendingFds)
+      ::close(PFd);
     ::close(Fd);
+  }
   for (auto &[Id, J] : Jobs)
     if (J.ResultFd >= 0)
       ::close(J.ResultFd);
+  for (auto &[Id, E] : Pool)
+    if (E.ChanFd >= 0)
+      ::close(E.ChanFd);
 }
 
 bool Server::start(std::string &Err) {
-  if (Opts.SocketPath.empty()) {
-    Err = "no socket path";
-    return false;
-  }
-  sockaddr_un Addr{};
-  Addr.sun_family = AF_UNIX;
-  if (Opts.SocketPath.size() >= sizeof(Addr.sun_path)) {
-    Err = "socket path too long: " + Opts.SocketPath;
-    return false;
-  }
-  std::strncpy(Addr.sun_path, Opts.SocketPath.c_str(),
-               sizeof(Addr.sun_path) - 1);
-
-  ListenFd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (ListenFd < 0) {
-    Err = std::string("socket: ") + std::strerror(errno);
-    return false;
-  }
-  // Crash-only restart: a daemon killed by SIGKILL leaves its socket file
-  // behind and a naive bind() fails with EADDRINUSE.  Probe the path
-  // first — a live daemon accepts the connect and we refuse to steal its
-  // socket; a dead one answers ECONNREFUSED and the stale file is
-  // reclaimed.
-  struct stat St{};
-  if (::lstat(Opts.SocketPath.c_str(), &St) == 0) {
-    if (!S_ISSOCK(St.st_mode)) {
-      Err = Opts.SocketPath + " exists and is not a socket";
-      ::close(ListenFd);
-      ListenFd = -1;
+  if (Opts.InheritedListenFd >= 0) {
+    // Shard child: the parent bound the socket; we only accept on it (and
+    // must not unlink the shared socket file when we exit).
+    ListenFd = Opts.InheritedListenFd;
+    OwnsSocketFile = false;
+  } else {
+    bool Reclaimed = false;
+    ListenFd = bindListenSocket(Opts.SocketPath, Err, &Reclaimed);
+    if (ListenFd < 0)
       return false;
+    if (Reclaimed) {
+      ++stat("socket_reclaimed");
+      if (Opts.Verbose)
+        std::fprintf(stderr, "[privateer-served] reclaimed stale socket %s\n",
+                     Opts.SocketPath.c_str());
     }
-    int Probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    bool Alive =
-        Probe >= 0 &&
-        ::connect(Probe, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
-            0;
-    if (Probe >= 0)
-      ::close(Probe);
-    if (Alive) {
-      Err = "another daemon is already serving " + Opts.SocketPath;
-      ::close(ListenFd);
-      ListenFd = -1;
-      return false;
-    }
-    ::unlink(Opts.SocketPath.c_str());
-    ++stat("socket_reclaimed");
-    if (Opts.Verbose)
-      std::fprintf(stderr, "[privateer-served] reclaimed stale socket %s\n",
-                   Opts.SocketPath.c_str());
   }
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
-      0) {
-    Err = "bind " + Opts.SocketPath + ": " + std::strerror(errno);
-    return false;
-  }
-  if (::listen(ListenFd, 64) < 0) {
-    Err = std::string("listen: ") + std::strerror(errno);
-    return false;
-  }
-  setNonBlocking(ListenFd);
 
   if (::pipe(SigPipe) < 0) {
     Err = std::string("pipe: ") + std::strerror(errno);
@@ -182,15 +215,29 @@ bool Server::start(std::string &Err) {
   ::sigaction(SIGINT, &Sa, nullptr);
   ::signal(SIGPIPE, SIG_IGN);
 
+  // Pre-fork the executive pool while the process is still pristine (no
+  // client fds, empty cache) — the cheapest possible fork.
+  for (unsigned I = 0; I < Opts.Executives; ++I) {
+    std::string PoolErr;
+    if (!spawnExecutive(PoolErr)) {
+      Err = "executive pool: " + PoolErr;
+      return false;
+    }
+  }
+
   StartTime = wallSeconds();
   if (Opts.Verbose)
-    std::fprintf(stderr, "[privateer-served] listening on %s (budget %u, "
-                 "queue %zu)\n",
-                 Opts.SocketPath.c_str(), Opts.WorkerBudget, Opts.QueueDepth);
+    std::fprintf(stderr,
+                 "[privateer-served] listening on %s (budget %u, queue %zu, "
+                 "executives %zu)\n",
+                 Opts.SocketPath.c_str(), Opts.WorkerBudget, Opts.QueueDepth,
+                 Pool.size());
   return true;
 }
 
 int Server::serve(const ServerOptions &O) {
+  if (O.Shards > 1 && O.InheritedListenFd < 0)
+    return serveSharded(O);
   Server S(O);
   std::string Err;
   if (!S.start(Err)) {
@@ -198,6 +245,322 @@ int Server::serve(const ServerOptions &O) {
     return 1;
   }
   return S.run();
+}
+
+int Server::serveSharded(const ServerOptions &O) {
+  std::string Err;
+  int Fd = bindListenSocket(O.SocketPath, Err, nullptr);
+  if (Fd < 0) {
+    std::fprintf(stderr, "privateer-served: %s\n", Err.c_str());
+    return 1;
+  }
+
+  struct sigaction Sa{};
+  Sa.sa_handler = onSignal;
+  sigemptyset(&Sa.sa_mask);
+  Sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGCHLD, &Sa, nullptr);
+  ::sigaction(SIGTERM, &Sa, nullptr);
+  ::sigaction(SIGINT, &Sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  auto SpawnShard = [&]() -> pid_t {
+    pid_t Pid = ::fork();
+    if (Pid == 0) {
+      ServerOptions CO = O;
+      CO.InheritedListenFd = Fd;
+      CO.Shards = 1;
+      GotSigTerm = 0;
+      GotSigInt = 0;
+      GotSigChld = 0;
+      ::_exit(Server::serve(CO));
+    }
+    return Pid;
+  };
+
+  std::vector<pid_t> Shards;
+  for (unsigned I = 0; I < O.Shards; ++I) {
+    pid_t Pid = SpawnShard();
+    if (Pid < 0) {
+      std::fprintf(stderr, "privateer-served: shard fork: %s\n",
+                   std::strerror(errno));
+      for (pid_t P : Shards)
+        ::kill(P, SIGKILL);
+      ::close(Fd);
+      ::unlink(O.SocketPath.c_str());
+      return 1;
+    }
+    Shards.push_back(Pid);
+  }
+  if (O.Verbose)
+    std::fprintf(stderr, "[privateer-served] shard parent: %u shards on %s\n",
+                 O.Shards, O.SocketPath.c_str());
+
+  bool Stopping = false;
+  int StopSig = 0;
+  int WorstExit = 0;
+  size_t Alive = Shards.size();
+  while (Alive > 0) {
+    if (!Stopping && (GotSigTerm || GotSigInt)) {
+      StopSig = GotSigInt ? SIGINT : SIGTERM;
+      GotSigTerm = 0;
+      GotSigInt = 0;
+      Stopping = true;
+      for (pid_t P : Shards)
+        if (P > 0)
+          ::kill(P, StopSig);
+    }
+    int St = 0;
+    pid_t Pid = ::waitpid(-1, &St, Stopping ? 0 : WNOHANG);
+    if (Pid > 0) {
+      auto It = std::find(Shards.begin(), Shards.end(), Pid);
+      if (It == Shards.end())
+        continue;
+      if (Stopping) {
+        *It = -1;
+        --Alive;
+        if (WIFEXITED(St) && WEXITSTATUS(St) != 0)
+          WorstExit = std::max(WorstExit, WEXITSTATUS(St));
+        if (WIFSIGNALED(St))
+          WorstExit = std::max(WorstExit, 1);
+        continue;
+      }
+      // A shard died underneath us: the others keep serving while a
+      // replacement comes up on the same listening fd.
+      if (O.Verbose)
+        std::fprintf(stderr, "[privateer-served] shard %d died, respawning\n",
+                     static_cast<int>(Pid));
+      *It = SpawnShard();
+      if (*It < 0) {
+        *It = -1;
+        --Alive;
+        WorstExit = std::max(WorstExit, 1);
+      }
+    } else if (Pid == 0) {
+      struct timespec Ts{0, 50 * 1000 * 1000};
+      ::nanosleep(&Ts, nullptr);
+    } else if (errno != EINTR) {
+      break;
+    }
+  }
+  ::close(Fd);
+  ::unlink(O.SocketPath.c_str());
+  return WorstExit;
+}
+
+// --- Executive pool ------------------------------------------------------
+
+bool Server::spawnExecutive(std::string &Err) {
+  int Sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0, Sv) < 0) {
+    Err = std::string("socketpair: ") + std::strerror(errno);
+    return false;
+  }
+  pid_t Pid = ::fork();
+  if (Pid < 0) {
+    ::close(Sv[0]);
+    ::close(Sv[1]);
+    Err = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (Pid == 0) {
+    // Executive child: its own process group (deadline kills reach its
+    // worker tree without touching the daemon), default signals, and no
+    // daemon fds beyond its channel.
+    ::setpgid(0, 0);
+    ::signal(SIGTERM, SIG_DFL);
+    ::signal(SIGINT, SIG_DFL);
+    ::signal(SIGCHLD, SIG_DFL);
+    SigWakeFd = -1;
+    ::close(Sv[0]);
+    if (ListenFd >= 0)
+      ::close(ListenFd);
+    for (int PFd : {SigPipe[0], SigPipe[1]})
+      if (PFd >= 0)
+        ::close(PFd);
+    for (auto &[CFd, C] : Conns)
+      ::close(CFd);
+    for (auto &[Id, J] : Jobs)
+      if (J.ResultFd >= 0)
+        ::close(J.ResultFd);
+    for (auto &[Id, E] : Pool)
+      if (E.ChanFd >= 0)
+        ::close(E.ChanFd);
+    ::_exit(executiveMain(Sv[1]));
+  }
+  ::close(Sv[1]);
+  ::setpgid(Pid, Pid);
+  setNonBlocking(Sv[0]);
+  Executive E;
+  E.Id = NextExecId++;
+  E.Pid = Pid;
+  E.ChanFd = Sv[0];
+  E.Frames = FrameAssembler(Opts.MaxFrameBytes);
+  Pool.emplace(E.Id, std::move(E));
+  ++stat("executives_spawned");
+  return true;
+}
+
+void Server::respawnExecutive(uint64_t ExecId) {
+  auto It = Pool.find(ExecId);
+  if (It != Pool.end()) {
+    if (It->second.ChanFd >= 0)
+      ::close(It->second.ChanFd);
+    Pool.erase(It);
+  }
+  if (Draining)
+    return;
+  std::string Err;
+  if (spawnExecutive(Err)) {
+    ++stat("executives_respawned");
+    if (Opts.Verbose)
+      std::fprintf(stderr, "[privateer-served] executive %llu replaced\n",
+                   static_cast<unsigned long long>(ExecId));
+  } else if (Opts.Verbose) {
+    std::fprintf(stderr, "[privateer-served] executive respawn failed: %s\n",
+                 Err.c_str());
+  }
+}
+
+void Server::shutdownPool() {
+  // Closing the channel is the drain signal: executiveMain returns 0 on
+  // EOF.  Stragglers (wedged mid-job) get SIGKILL after a grace window.
+  for (auto &[Id, E] : Pool)
+    if (E.ChanFd >= 0) {
+      ::close(E.ChanFd);
+      E.ChanFd = -1;
+    }
+  double Deadline = wallSeconds() + 2.0 * timeoutScale();
+  for (auto &[Id, E] : Pool) {
+    if (E.Pid <= 0)
+      continue;
+    while (true) {
+      int St = 0;
+      pid_t R = ::waitpid(E.Pid, &St, WNOHANG);
+      if (R == E.Pid || (R < 0 && errno == ECHILD))
+        break;
+      if (wallSeconds() > Deadline) {
+        ::kill(-E.Pid, SIGKILL);
+        ::kill(E.Pid, SIGKILL);
+        ::waitpid(E.Pid, &St, 0);
+        break;
+      }
+      struct timespec Ts{0, 10 * 1000 * 1000};
+      ::nanosleep(&Ts, nullptr);
+    }
+  }
+  Pool.clear();
+}
+
+Server::Executive *Server::idleExecutive() {
+  for (auto &[Id, E] : Pool)
+    if (E.ActiveJob == 0 && E.ChanFd >= 0)
+      return &E;
+  return nullptr;
+}
+
+bool Server::poolEligible(const Job &J) const {
+  if (Opts.Executives == 0 || Pool.empty())
+    return false;
+  // Interpreter-engine jobs need the IR module; only lowered bytecode
+  // images travel to executives.
+  if (J.Req.Engine != 0)
+    return false;
+  // Per-job rlimits need a disposable process; executives are long-lived.
+  if (J.Req.MaxMemoryBytes != 0 || J.Req.MaxCpuSec != 0 ||
+      J.Req.MaxOpenFiles != 0 || Opts.MaxMemoryBytes != 0 ||
+      Opts.MaxCpuSec != 0 || Opts.MaxOpenFiles != 0)
+    return false;
+  if (!J.Prog)
+    return false;
+  int Img = J.Req.Mode == JobMode::Sequential ? J.Prog->ImageSeq
+                                              : J.Prog->ImagePar;
+  return Img >= 0;
+}
+
+bool Server::dispatchToExecutive(Job &J, Executive &E) {
+  ExecAssignment A;
+  A.ProgramKey = J.Prog->Key;
+  A.Generation = J.Prog->Generation;
+  A.UseParallel = J.Req.Mode != JobMode::Sequential;
+  A.Attempt = J.Attempt;
+  A.Req = J.Req;
+  A.Req.ModuleText.clear(); // the program travels as an image fd
+  int Img = A.UseParallel ? J.Prog->ImagePar : J.Prog->ImageSeq;
+  std::string Err;
+  if (!writeFrameWithFds(E.ChanFd, MsgType::ExecAssign, encodeExecAssign(A),
+                         &Img, 1, Err)) {
+    if (Opts.Verbose)
+      std::fprintf(stderr,
+                   "[privateer-served] dispatch to executive %llu failed: "
+                   "%s\n",
+                   static_cast<unsigned long long>(E.Id), Err.c_str());
+    return false;
+  }
+  E.ActiveJob = J.Id;
+  J.Pooled = true;
+  J.ExecId = E.Id;
+  J.Pid = E.Pid;
+  ++stat("pool_dispatches");
+  return true;
+}
+
+void Server::readExecutive(Executive &E) {
+  char Buf[64 << 10];
+  bool Dead = false;
+  while (true) {
+    ssize_t N = ::read(E.ChanFd, Buf, sizeof(Buf));
+    if (N > 0) {
+      E.Frames.feed(Buf, static_cast<size_t>(N));
+      continue;
+    }
+    if (N == 0)
+      Dead = true;
+    else if (errno == EINTR)
+      continue;
+    else if (errno != EAGAIN && errno != EWOULDBLOCK)
+      Dead = true;
+    break;
+  }
+
+  while (true) {
+    MsgType Type;
+    std::string Body, Err;
+    FrameAssembler::Result R = E.Frames.next(Type, Body, Err);
+    if (R == FrameAssembler::Result::NeedMore)
+      break;
+    if (R == FrameAssembler::Result::Malformed || Type != MsgType::JobResult) {
+      Dead = true; // private channel corrupted: replace the executive
+      ::kill(E.Pid, SIGKILL);
+      break;
+    }
+    auto It = Jobs.find(E.ActiveJob);
+    E.ActiveJob = 0;
+    if (It == Jobs.end())
+      continue; // job vanished (canceled) while the reply was in flight
+    Job &J = It->second;
+    // Repackage as the raw frame finishJob expects in ResultBuf, so the
+    // pooled path reuses the supervisor path's decode/triage/retry logic
+    // verbatim (WaitStatus 0 == clean exit).
+    std::string Frame;
+    uint32_t Len = static_cast<uint32_t>(1 + Body.size());
+    for (int I = 0; I < 4; ++I)
+      Frame.push_back(static_cast<char>((Len >> (8 * I)) & 0xff));
+    Frame.push_back(static_cast<char>(MsgType::JobResult));
+    Frame.append(Body);
+    J.ResultBuf = std::move(Frame);
+    J.ResultEof = true;
+    J.Reaped = true;
+    J.WaitStatus = 0;
+  }
+
+  if (Dead) {
+    // EOF or hard error: the executive is gone.  Its active job (if any)
+    // is triaged when SIGCHLD reaps the corpse; here we just stop polling
+    // the dead channel.
+    ::close(E.ChanFd);
+    E.ChanFd = -1;
+  }
 }
 
 // --- Event loop ----------------------------------------------------------
@@ -234,7 +597,8 @@ int Server::run() {
         finishJob(It->second);
     }
 
-    if (Draining && Jobs.empty() && Queue.empty()) {
+    if (Draining && Jobs.empty() && queuedCount() == 0) {
+      shutdownPool();
       // Flush straggling replies, then leave.  Sleep in poll(POLLOUT) for
       // the remaining deadline instead of busy-spinning on EAGAIN.
       for (auto &[Fd, C] : Conns) {
@@ -263,13 +627,16 @@ int Server::run() {
             break; // hard error: the client is gone, stop trying
           }
         }
+        for (int PFd : C.PendingFds)
+          ::close(PFd);
         ::close(Fd);
       }
       Conns.clear();
       if (ListenFd >= 0) {
         ::close(ListenFd);
         ListenFd = -1;
-        ::unlink(Opts.SocketPath.c_str());
+        if (OwnsSocketFile)
+          ::unlink(Opts.SocketPath.c_str());
       }
       if (Opts.Verbose)
         std::fprintf(stderr, "[privateer-served] drained, exiting\n");
@@ -277,7 +644,7 @@ int Server::run() {
     }
 
     std::vector<pollfd> Pfds;
-    std::vector<std::pair<char, uint64_t>> What; // ('l'|'s'|'c'|'r', key)
+    std::vector<std::pair<char, uint64_t>> What; // ('l'|'s'|'c'|'r'|'e', key)
     if (ListenFd >= 0) {
       Pfds.push_back({ListenFd, POLLIN, 0});
       What.push_back({'l', 0});
@@ -296,6 +663,11 @@ int Server::run() {
         Pfds.push_back({J.ResultFd, POLLIN, 0});
         What.push_back({'r', Id});
       }
+    for (auto &[Id, E] : Pool)
+      if (E.ChanFd >= 0) {
+        Pfds.push_back({E.ChanFd, POLLIN, 0});
+        What.push_back({'e', Id});
+      }
 
     int TimeoutMs = 500;
     for (auto &[Id, J] : Jobs)
@@ -303,6 +675,10 @@ int Server::run() {
         int Ms = static_cast<int>((J.DeadlineAbs - Now) * 1000) + 1;
         TimeoutMs = std::min(TimeoutMs, std::max(1, Ms));
       }
+    // A token-blocked tenant queue needs a wake when its bucket refills.
+    for (auto &[TId, T] : Tenants)
+      if (!T.Queue.empty() && T.Cfg.RatePerSec > 0 && T.Tokens < 1.0)
+        TimeoutMs = std::min(TimeoutMs, 50);
 
     int R = ::poll(Pfds.data(), Pfds.size(), TimeoutMs);
     if (R < 0) {
@@ -343,6 +719,11 @@ int Server::run() {
           // readConn may drop the connection; re-find afterwards.
           readConn(It->second);
         }
+      } else if (Kind == 'e') {
+        auto It = Pool.find(What[I].second);
+        if (It == Pool.end() || It->second.ChanFd < 0)
+          continue;
+        readExecutive(It->second);
       } else if (Kind == 'r') {
         auto It = Jobs.find(What[I].second);
         if (It == Jobs.end())
@@ -365,6 +746,9 @@ int Server::run() {
         }
       }
     }
+    // Completed executives / refilled buckets may have opened dispatch
+    // room even without a finishJob this pass.
+    pumpQueue();
   }
 }
 
@@ -392,9 +776,20 @@ void Server::readConn(Conn &C) {
   char Buf[64 << 10];
   bool Closed = false;
   while (true) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    bool Truncated = false;
+    ssize_t N = recvWithFds(Fd, Buf, sizeof(Buf), C.PendingFds, Truncated);
+    if (Truncated) {
+      // The kernel dropped SCM_RIGHTS data: fd-to-frame pairing is lost
+      // and any in-flight memfd submission would bind the wrong file.
+      protocolError(C, "ancillary data truncated (MSG_CTRUNC)");
+      return;
+    }
     if (N > 0) {
       C.Frames.feed(Buf, static_cast<size_t>(N));
+      if (C.PendingFds.size() > 8) {
+        protocolError(C, "too many in-flight descriptors");
+        return;
+      }
       continue;
     }
     if (N == 0)
@@ -421,12 +816,24 @@ void Server::readConn(Conn &C) {
       return; // handler dropped the connection
   }
 
+  // Descriptors ride the first byte of their frame, so once every
+  // complete frame is processed and no partial frame is buffered, any
+  // survivors are orphans (fds sent with a non-memfd frame).
+  if (C.Frames.buffered() == 0 && !C.PendingFds.empty()) {
+    for (int PFd : C.PendingFds)
+      ::close(PFd);
+    C.PendingFds.clear();
+  }
+
   if (Closed)
     dropConn(Fd, "client closed");
 }
 
 void Server::handleFrame(Conn &C, MsgType Type, const std::string &Body) {
   switch (Type) {
+  case MsgType::Hello:
+    handleHello(C, Body);
+    return;
   case MsgType::SubmitJob:
     handleSubmit(C, Body);
     return;
@@ -446,6 +853,20 @@ void Server::handleFrame(Conn &C, MsgType Type, const std::string &Body) {
                          std::to_string(static_cast<unsigned>(Type)));
     return;
   }
+}
+
+void Server::handleHello(Conn &C, const std::string &Body) {
+  HelloRequest H;
+  std::string Err;
+  if (!decodeHello(Body, H, Err)) {
+    protocolError(C, Err);
+    return;
+  }
+  C.Tenant = H.TenantId;
+  C.MemfdOk = H.WantMemfd; // sealed-memfd submission is always available
+  HelloReply Reply;
+  Reply.MemfdOk = C.MemfdOk;
+  sendFrame(C, MsgType::HelloReply, encodeHelloReply(Reply));
 }
 
 void Server::protocolError(Conn &C, const std::string &Why) {
@@ -473,13 +894,14 @@ void Server::dropConn(int Fd, const char *Why) {
         // path frees the admission slot and counts the cancellation.
         killJob(J, KillCause::ClientGone);
       } else {
-        Queue.erase(std::remove(Queue.begin(), Queue.end(), J.Id),
-                    Queue.end());
+        unqueueJob(J);
         ++stat("jobs_canceled");
         Jobs.erase(JIt);
       }
     }
   }
+  for (int PFd : C.PendingFds)
+    ::close(PFd);
   if (Opts.Verbose)
     std::fprintf(stderr, "[privateer-served] closing fd %d (%s)\n", Fd, Why);
   ::close(Fd);
@@ -548,6 +970,49 @@ void Server::checkConnHealth(double Now) {
   }
 }
 
+// --- WFQ admission -------------------------------------------------------
+
+Server::TenantState &Server::tenantState(const std::string &Id) {
+  auto It = Tenants.find(Id);
+  if (It != Tenants.end())
+    return It->second;
+  TenantState T;
+  T.Cfg.Id = Id;
+  return Tenants.emplace(Id, std::move(T)).first->second;
+}
+
+void Server::refillBucket(TenantState &T, double Now) {
+  if (T.Cfg.RatePerSec <= 0)
+    return;
+  double Burst = T.Cfg.Burst > 0 ? T.Cfg.Burst
+                                 : std::max(1.0, 2.0 * T.Cfg.RatePerSec);
+  if (!T.BucketPrimed) {
+    // A fresh tenant starts with a full bucket: short bursts are the
+    // common case the burst allowance exists for.
+    T.Tokens = Burst;
+    T.LastRefill = Now;
+    T.BucketPrimed = true;
+    return;
+  }
+  T.Tokens = std::min(Burst, T.Tokens + T.Cfg.RatePerSec * (Now - T.LastRefill));
+  T.LastRefill = Now;
+}
+
+size_t Server::queuedCount() const {
+  size_t N = 0;
+  for (const auto &[Id, T] : Tenants)
+    N += T.Queue.size();
+  return N;
+}
+
+void Server::unqueueJob(const Job &J) {
+  auto It = Tenants.find(J.Tenant);
+  if (It == Tenants.end())
+    return;
+  auto &Q = It->second.Queue;
+  Q.erase(std::remove(Q.begin(), Q.end(), J.Id), Q.end());
+}
+
 // --- Jobs ----------------------------------------------------------------
 
 void Server::handleSubmit(Conn &C, const std::string &Body) {
@@ -558,17 +1023,62 @@ void Server::handleSubmit(Conn &C, const std::string &Body) {
     protocolError(C, Err);
     return;
   }
+  // Admission identity: the request's own tenant id wins, else whatever
+  // the connection negotiated at Hello, else the anonymous tenant.
+  std::string TenantId = !Req.TenantId.empty() ? Req.TenantId : C.Tenant;
+  TenantState &T = tenantState(TenantId);
+  ++T.Submitted;
   auto Reject = [&](JobStatus S, const std::string &Why) {
+    if (S == JobStatus::Rejected)
+      ++T.Rejected;
     JobReply R;
     R.Status = S;
     R.Error = Why;
     sendFrame(C, MsgType::JobResult, encodeJobReply(R));
   };
+
+  // Zero-copy submission: the module text arrived out-of-band in a sealed
+  // memfd (SCM_RIGHTS), attached to this frame's first byte.
+  if (Req.Submit == static_cast<uint8_t>(SubmitMode::Memfd)) {
+    if (C.PendingFds.empty()) {
+      Reject(JobStatus::ParseError,
+             "memfd submission carried no file descriptor");
+      return;
+    }
+    int MemFd = C.PendingFds.front();
+    C.PendingFds.erase(C.PendingFds.begin());
+    for (int Extra : C.PendingFds)
+      ::close(Extra);
+    C.PendingFds.clear();
+    auto BadMemfd = [&](const std::string &Why) {
+      ::close(MemFd);
+      Reject(JobStatus::ParseError, Why);
+    };
+    if (!memfdIsSealed(MemFd))
+      return BadMemfd("module memfd is not sealed immutable");
+    struct stat St{};
+    if (::fstat(MemFd, &St) != 0 || St.st_size < 0)
+      return BadMemfd("module memfd: fstat failed");
+    if (static_cast<size_t>(St.st_size) > Opts.MaxFrameBytes)
+      return BadMemfd("module memfd exceeds the frame size limit");
+    Req.ModuleText.resize(static_cast<size_t>(St.st_size));
+    ssize_t N = St.st_size == 0
+                    ? 0
+                    : ::pread(MemFd, Req.ModuleText.data(),
+                              Req.ModuleText.size(), 0);
+    if (N != St.st_size)
+      return BadMemfd("module memfd: short read");
+    ::close(MemFd);
+    ++stat("memfd_submissions");
+  }
+
   // Idempotent resubmission: a client that reconnected after losing the
   // original reply gets the remembered answer instead of a second run.
+  // The window is per tenant, so one noisy tenant cannot flush another's
+  // replayable replies.
   if (Req.IdempotencyKey != 0) {
-    auto RIt = Replay.find(Req.IdempotencyKey);
-    if (RIt != Replay.end()) {
+    auto RIt = T.Replay.find(Req.IdempotencyKey);
+    if (RIt != T.Replay.end()) {
       ++stat("idempotent_replays");
       JobReply R = RIt->second;
       R.IdempotentReplay = true;
@@ -596,7 +1106,9 @@ void Server::handleSubmit(Conn &C, const std::string &Body) {
                std::to_string(Opts.WorkerBudget));
     return;
   }
-  if (Queue.size() >= Opts.QueueDepth) {
+  // Per-tenant backpressure: a tenant that filled its own queue is
+  // rejected without consuming anyone else's admission capacity.
+  if (T.Queue.size() >= Opts.QueueDepth) {
     ++stat("jobs_rejected");
     Reject(JobStatus::Rejected, "admission queue full");
     return;
@@ -637,40 +1149,103 @@ void Server::handleSubmit(Conn &C, const std::string &Body) {
   J.Id = NextJobId++;
   J.ConnFd = C.Fd;
   J.Req = std::move(Req);
+  J.Tenant = TenantId;
   J.Prog = std::move(Prog);
   J.CacheHit = Hit;
   J.SubmitT = wallSeconds();
   J.Cost = Cost;
+  // Start-time fair queuing tags, assigned at enqueue: a backlogged
+  // tenant's jobs get consecutive finish tags spaced by cost/weight, so
+  // service interleaves tenants in proportion to their weights.
+  double W = T.Cfg.Weight > 0 ? T.Cfg.Weight : 1.0;
+  J.STag = std::max(VirtualTime, T.LastFinish);
+  J.FTag = J.STag + static_cast<double>(Cost) / W;
+  T.LastFinish = J.FTag;
   C.ActiveJob = J.Id;
   ++stat("jobs_accepted");
   uint64_t Id = J.Id;
   Jobs.emplace(Id, std::move(J));
-  Queue.push_back(Id);
-  QueuePeak = std::max(QueuePeak, Queue.size());
+  T.Queue.push_back(Id);
+  QueuePeak = std::max(QueuePeak, queuedCount());
   stat("queue_peak") = QueuePeak;
   pumpQueue();
 }
 
 void Server::pumpQueue() {
-  // Strict FIFO: the head either fits the remaining budget or everyone
-  // waits — no overtaking, so a wide job cannot starve.
-  while (!Queue.empty()) {
-    auto It = Jobs.find(Queue.front());
-    if (It == Jobs.end()) {
-      Queue.pop_front();
-      continue;
+  // Weighted fair service: pick the head job with the smallest finish tag
+  // within the highest nonempty priority band (token-blocked tenants are
+  // skipped until their bucket refills).  The chosen head either fits the
+  // remaining budget — and, for pooled jobs, finds an idle executive — or
+  // everyone waits: no overtaking, so a wide job cannot starve.  With one
+  // tenant this is exact FIFO.
+  while (true) {
+    double Now = wallSeconds();
+    Job *Best = nullptr;
+    TenantState *BestT = nullptr;
+    for (auto &[TId, T] : Tenants) {
+      // Drop stale ids (jobs canceled while queued).
+      while (!T.Queue.empty() && Jobs.find(T.Queue.front()) == Jobs.end())
+        T.Queue.pop_front();
+      if (T.Queue.empty())
+        continue;
+      refillBucket(T, Now);
+      if (T.Cfg.RatePerSec > 0 && T.Tokens < 1.0) {
+        ++stat("token_deferrals");
+        continue;
+      }
+      Job &J = Jobs.find(T.Queue.front())->second;
+      if (!Best || T.Cfg.Priority > BestT->Cfg.Priority ||
+          (T.Cfg.Priority == BestT->Cfg.Priority &&
+           (J.FTag < Best->FTag ||
+            (J.FTag == Best->FTag && J.Id < Best->Id)))) {
+        Best = &J;
+        BestT = &T;
+      }
     }
-    Job &J = It->second;
-    if (WorkersInUse + J.Cost > Opts.WorkerBudget)
+    if (!Best)
       return;
-    Queue.pop_front();
-    startJob(J);
+    if (WorkersInUse + Best->Cost > Opts.WorkerBudget)
+      return;
+    if (poolEligible(*Best) && !idleExecutive())
+      return; // a pooled head waits for an executive, never forks
+    BestT->Queue.pop_front();
+    if (BestT->Cfg.RatePerSec > 0)
+      BestT->Tokens -= 1.0;
+    VirtualTime = std::max(VirtualTime, Best->STag);
+    startJob(*Best);
   }
 }
 
 void Server::startJob(Job &J) {
-  // pipe/fork failures (EMFILE, EAGAIN/ENOMEM under load) are infra-class:
-  // they go through the retry ladder like any other resource exhaustion.
+  // Fast path: hand the job to a pre-warmed executive.  No fork, no
+  // parse, no lowering — the sealed program image travels by fd.
+  if (poolEligible(J)) {
+    Executive *E = idleExecutive();
+    if (E && dispatchToExecutive(J, *E)) {
+      J.Running = true;
+      J.StartT = wallSeconds();
+      double DeadlineSec =
+          J.Req.DeadlineSec > 0 ? J.Req.DeadlineSec : Opts.DefaultDeadlineSec;
+      if (DeadlineSec > 0)
+        J.DeadlineAbs = J.StartT + DeadlineSec * timeoutScale();
+      WorkersInUse += J.Cost;
+      if (Opts.Verbose)
+        std::fprintf(stderr,
+                     "[privateer-served] job %llu -> executive %llu (%s, %u "
+                     "workers, cache %s)\n",
+                     static_cast<unsigned long long>(J.Id),
+                     static_cast<unsigned long long>(J.ExecId),
+                     J.Req.Mode == JobMode::Sequential ? "seq" : "spec",
+                     J.Req.NumWorkers, J.CacheHit ? "hit" : "miss");
+      return;
+    }
+    if (E)
+      respawnExecutive(E->Id); // dispatch failed: channel is broken
+  }
+
+  // Compatible path: per-job fork supervisor.  pipe/fork failures
+  // (EMFILE, EAGAIN/ENOMEM under load) are infra-class: they go through
+  // the retry ladder like any other resource exhaustion.
   auto Infra = [&](const char *What) {
     JobReply R;
     R.Status = JobStatus::InternalError;
@@ -696,11 +1271,13 @@ void Server::startJob(Job &J) {
     runSupervisor(J); // never returns
   }
   ::close(P[1]);
+  ++stat("supervisor_forks");
   // Mirror the child's setpgid so a kill(-pid) that races supervisor
   // startup still finds the group.
   ::setpgid(Pid, Pid);
   setNonBlocking(P[0]);
   J.Running = true;
+  J.Pooled = false;
   J.Pid = Pid;
   J.ResultFd = P[0];
   J.StartT = wallSeconds();
@@ -739,6 +1316,9 @@ void Server::runSupervisor(const Job &J) {
   for (auto &[Id, Other] : Jobs)
     if (Id != J.Id && Other.ResultFd >= 0)
       ::close(Other.ResultFd);
+  for (auto &[Id, E] : Pool)
+    if (E.ChanFd >= 0)
+      ::close(E.ChanFd);
 
   applySupervisorLimits(J.Req);
 
@@ -757,7 +1337,7 @@ void Server::runSupervisor(const Job &J) {
     volatile uint64_t Sink = 0;
     while (cpuSeconds() < End)
       for (int I = 0; I < 4096; ++I)
-        Sink += static_cast<uint64_t>(I) * 2654435761u;
+        Sink = Sink + static_cast<uint64_t>(I) * 2654435761u;
   }
 
   JobReply R;
@@ -920,6 +1500,15 @@ void Server::reapChildren() {
             continue;
           break;
         }
+        if (J.Pooled)
+          J.ResultEof = true; // no pipe to wait for; triage from WaitStatus
+        break;
+      }
+    // A dead executive is replaced immediately; its active job (matched
+    // above through J.Pid) is triaged like any dead supervisor.
+    for (auto &[EId, E] : Pool)
+      if (E.Pid == Pid) {
+        respawnExecutive(EId);
         break;
       }
   }
@@ -969,11 +1558,12 @@ void Server::rememberReply(const Job &J, const JobReply &R) {
   if (R.Status == JobStatus::Rejected || R.Status == JobStatus::Draining ||
       R.Status == JobStatus::Canceled)
     return;
-  if (Replay.emplace(J.Req.IdempotencyKey, R).second) {
-    ReplayOrder.push_back(J.Req.IdempotencyKey);
-    while (ReplayOrder.size() > Opts.ReplayEntries) {
-      Replay.erase(ReplayOrder.front());
-      ReplayOrder.pop_front();
+  TenantState &T = tenantState(J.Tenant);
+  if (T.Replay.emplace(J.Req.IdempotencyKey, R).second) {
+    T.ReplayOrder.push_back(J.Req.IdempotencyKey);
+    while (T.ReplayOrder.size() > Opts.ReplayEntries) {
+      T.Replay.erase(T.ReplayOrder.front());
+      T.ReplayOrder.pop_front();
     }
   }
 }
@@ -1025,8 +1615,8 @@ JobReply Server::triageFailure(const Job &J) {
 bool Server::retryOrFail(Job &J, JobReply R) {
   if (isInfraFailure(R.Cause) && J.Attempt < Opts.MaxRetries) {
     // Degrade ladder: attempt 1 halves the workers, attempt 2 runs
-    // sequentially.  The requeued job goes to the front so its client is
-    // not re-penalized with another full queue wait.
+    // sequentially.  The requeued job goes to the front of its tenant's
+    // queue so its client is not re-penalized with another full wait.
     ++J.Attempt;
     ++stat("retries");
     if (J.Req.Mode != JobMode::Sequential) {
@@ -1039,6 +1629,8 @@ bool Server::retryOrFail(Job &J, JobReply R) {
     }
     J.Cost = J.Req.NumWorkers + 1;
     J.Running = false;
+    J.Pooled = false;
+    J.ExecId = 0;
     J.Pid = -1;
     if (J.ResultFd >= 0) {
       ::close(J.ResultFd);
@@ -1059,7 +1651,7 @@ bool Server::retryOrFail(Job &J, JobReply R) {
                    J.Req.Mode == JobMode::Sequential ? "sequential"
                                                      : "speculative",
                    J.Req.NumWorkers);
-    Queue.push_front(J.Id);
+    tenantState(J.Tenant).Queue.push_front(J.Id);
     return true;
   }
 
@@ -1096,6 +1688,12 @@ void Server::finishJob(Job &J) {
     ::close(J.ResultFd);
     J.ResultFd = -1;
   }
+  if (J.Pooled) {
+    auto EIt = Pool.find(J.ExecId);
+    if (EIt != Pool.end() && EIt->second.ActiveJob == J.Id)
+      EIt->second.ActiveJob = 0;
+  }
+  tenantState(J.Tenant).Completed += 1;
 
   if (J.Killed == KillCause::ClientGone) {
     ++stat("jobs_canceled");
@@ -1140,6 +1738,10 @@ void Server::finishJob(Job &J) {
   bool Decoded = Clean &&
                  A.next(Type, Body, Err) == FrameAssembler::Result::Frame &&
                  Type == MsgType::JobResult && decodeJobReply(Body, R, Err);
+  if (Decoded && J.Pooled)
+    // Executives don't know the daemon-side pipeline cost; patch it in so
+    // cold pooled replies carry the same accounting as supervisor ones.
+    R.PipelineSec = J.CacheHit || !J.Prog ? 0 : J.Prog->PipelineSec;
   if (Decoded && R.Status == JobStatus::Ok) {
     ++stat("jobs_completed");
     if (J.Attempt > 0)
@@ -1185,29 +1787,32 @@ void Server::beginDrain() {
   if (Opts.Verbose)
     std::fprintf(stderr, "[privateer-served] draining: %zu queued, %zu "
                  "total jobs\n",
-                 Queue.size(), Jobs.size());
+                 queuedCount(), Jobs.size());
   if (ListenFd >= 0) {
     ::close(ListenFd);
     ListenFd = -1;
-    ::unlink(Opts.SocketPath.c_str());
+    if (OwnsSocketFile)
+      ::unlink(Opts.SocketPath.c_str());
   }
 }
 
 void Server::beginShutdown() {
-  // Cancel the queue first so pumpQueue cannot start new supervisors as
+  // Cancel the queues first so pumpQueue cannot start new supervisors as
   // running jobs die.
-  for (uint64_t Id : Queue) {
-    auto It = Jobs.find(Id);
-    if (It == Jobs.end())
-      continue;
-    ++stat("jobs_canceled");
-    JobReply R;
-    R.Status = JobStatus::Canceled;
-    R.Error = "daemon shut down";
-    replyToJob(It->second, std::move(R));
-    Jobs.erase(It);
+  for (auto &[TId, T] : Tenants) {
+    for (uint64_t Id : T.Queue) {
+      auto It = Jobs.find(Id);
+      if (It == Jobs.end())
+        continue;
+      ++stat("jobs_canceled");
+      JobReply R;
+      R.Status = JobStatus::Canceled;
+      R.Error = "daemon shut down";
+      replyToJob(It->second, std::move(R));
+      Jobs.erase(It);
+    }
+    T.Queue.clear();
   }
-  Queue.clear();
   for (auto &[Id, J] : Jobs)
     if (J.Running)
       killJob(J, KillCause::Shutdown);
@@ -1218,15 +1823,39 @@ std::string Server::statusJson() const {
   stat("cache_hits") = Cache.hits();
   stat("cache_misses") = Cache.misses();
   stat("cache_evictions") = Cache.evictions();
-  char Head[512];
+  size_t Idle = 0;
+  for (const auto &[Id, E] : Pool)
+    if (E.ActiveJob == 0 && E.ChanFd >= 0)
+      ++Idle;
+  char Head[640];
   std::snprintf(Head, sizeof(Head),
                 "{\"pid\": %d, \"uptime_sec\": %.3f, \"draining\": %s, "
                 "\"queue_depth\": %zu, \"active_jobs\": %zu, "
                 "\"workers_in_use\": %u, \"worker_budget\": %u, "
-                "\"cache_entries\": %zu, \"counters\": ",
+                "\"cache_entries\": %zu, \"executives\": %zu, "
+                "\"executives_idle\": %zu, \"tenants\": ",
                 static_cast<int>(::getpid()), wallSeconds() - StartTime,
-                Draining ? "true" : "false", Queue.size(),
-                Jobs.size() - Queue.size(), WorkersInUse, Opts.WorkerBudget,
-                Cache.size());
-  return std::string(Head) + StatisticRegistry::instance().toJson() + "}";
+                Draining ? "true" : "false", queuedCount(),
+                Jobs.size() - queuedCount(), WorkersInUse, Opts.WorkerBudget,
+                Cache.size(), Pool.size(), Idle);
+  std::string S(Head);
+  S += "{";
+  bool First = true;
+  for (const auto &[TId, T] : Tenants) {
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s\"%s\": {\"weight\": %.3g, \"priority\": %d, "
+                  "\"queued\": %zu, \"submitted\": %llu, "
+                  "\"completed\": %llu, \"rejected\": %llu}",
+                  First ? "" : ", ",
+                  TId.empty() ? "(anonymous)" : TId.c_str(), T.Cfg.Weight,
+                  T.Cfg.Priority, T.Queue.size(),
+                  static_cast<unsigned long long>(T.Submitted),
+                  static_cast<unsigned long long>(T.Completed),
+                  static_cast<unsigned long long>(T.Rejected));
+    S += Buf;
+    First = false;
+  }
+  S += "}, \"counters\": ";
+  return S + StatisticRegistry::instance().toJson() + "}";
 }

@@ -8,25 +8,41 @@
 /// \file
 /// The persistent invocation service.  One single-threaded control plane
 /// (poll loop over the listening Unix socket, client connections, signal
-/// self-pipe, and supervisor result pipes) owns the warm ProgramCache,
-/// a bounded FIFO job queue with admission control, and the per-job
-/// supervisor processes.
+/// self-pipe, executive channels, and supervisor result pipes) owns the
+/// warm ProgramCache, a weighted-fair admission queue, a pool of
+/// pre-warmed executive processes, and — for jobs the pool cannot take —
+/// per-job supervisor processes.
 ///
-/// Why a supervisor *process* per job: the runtime maps its tagged
-/// logical heaps at fixed virtual addresses, installs a process-global
-/// SIGSEGV handler, and forks its own worker tree — none of which can be
-/// shared by concurrent invocations inside one address space.  Each job
-/// therefore runs in a forked child (its own process group) that inherits
-/// the cached transformed module copy-on-write, executes it, and streams
-/// the JobResult back through a pipe.  A supervisor that crashes — or is
-/// SIGKILLed by fault injection — is reaped as one failed job; the daemon
-/// and every other job keep running.
+/// Two execution paths:
 ///
-/// Admission control: a job with W workers costs W+1 processes
-/// (supervisor + its worker tree).  Jobs start strictly in FIFO order
-/// while the total cost of running jobs fits WorkerBudget; when the
-/// bounded queue is full, SubmitJob is answered immediately with
-/// JobStatus::Rejected (backpressure, the client retries elsewhere).
+///  - Executive pool (the fast path).  N executives are forked once at
+///    startup, each a blank process waiting on a private socketpair.  A
+///    warm job is dispatched as one ExecAssign frame whose program rides
+///    out-of-band: the ProgramCache's lowered bytecode, serialized into a
+///    sealed memfd, handed over via SCM_RIGHTS.  The executive maps and
+///    caches the image by (key, generation), so a warm hit pays no fork,
+///    no parse, and no lowering — just dispatch and execution.  An
+///    executive that crashes mid-job is triaged exactly like a dead
+///    supervisor (typed FailureCause, infra retry ladder, negative-verdict
+///    poisoning) and replaced.
+///
+///  - Fork supervisor (the compatible path).  Jobs the pool cannot run —
+///    interpreter engine, per-job rlimits, programs whose lowering
+///    declined — fork a per-job supervisor exactly as before.
+///
+/// Admission is weighted fair queuing (start-time fair queuing over
+/// per-tenant FIFOs): each tenant carries a weight, a priority band, and
+/// an optional token bucket; jobs are served highest-priority-first, then
+/// by minimum finish tag, so one chatty tenant cannot starve the rest.
+/// With a single (anonymous) tenant this degenerates to exact FIFO.
+/// Backpressure is per-tenant: a full tenant queue answers Rejected
+/// without touching anyone else's budget.
+///
+/// Horizontal scaling: with Shards > 1 the parent binds the socket once,
+/// then forks N shard children that accept from the shared listening fd
+/// (kernel load-balances accepts); each shard is a full daemon with its
+/// own cache, pool, and queue.  The parent supervises and respawns
+/// shards, and forwards SIGTERM/SIGINT.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,16 +57,27 @@
 #include <memory>
 #include <string>
 #include <sys/types.h>
+#include <vector>
 
 namespace privateer {
 namespace service {
 
+/// Static per-tenant admission configuration (--tenant-weight).  Tenants
+/// not configured here are created on first submit with defaults.
+struct TenantConfig {
+  std::string Id;
+  double Weight = 1.0;     ///< WFQ share (finish tag = start + cost/weight)
+  int Priority = 0;        ///< higher bands are always served first
+  double RatePerSec = 0.0; ///< token bucket refill; 0 = unlimited
+  double Burst = 0.0;      ///< token bucket depth; 0 = 2*rate or unlimited
+};
+
 struct ServerOptions {
   std::string SocketPath;
   /// Total concurrent processes across jobs (each job: NumWorkers + 1
-  /// supervisor).  Requests that can never fit are rejected outright.
+  /// supervisor/executive).  Requests that can never fit are rejected.
   unsigned WorkerBudget = 16;
-  /// Bounded FIFO admission queue (jobs waiting for budget).
+  /// Bounded per-tenant admission queue (jobs waiting for budget).
   size_t QueueDepth = 16;
   size_t CacheEntries = 32;
   size_t MaxFrameBytes = kMaxFrameBytes;
@@ -59,11 +86,25 @@ struct ServerOptions {
   /// request's own value.
   double DefaultDeadlineSec = 0;
 
+  // --- Horizontal scale ---------------------------------------------------
+  /// Pre-warmed executive pool size; 0 disables the pool (every job forks
+  /// a supervisor, the PR 6 behavior — also the bench baseline).
+  unsigned Executives = 4;
+  /// Acceptor shards.  1 = single daemon process (default).  N > 1 forks
+  /// N full daemons sharing the listening socket.
+  unsigned Shards = 1;
+  /// Static tenant table; unknown tenants get defaults on first submit.
+  std::vector<TenantConfig> Tenants;
+  /// Shard child: accept on this inherited fd instead of binding.
+  int InheritedListenFd = -1;
+
   // --- Supervisor resource governance (0 = unlimited) --------------------
   /// Every supervisor (and its worker tree, which inherits the limits
   /// across fork) runs under these rlimits; per-job requests can lower
   /// but never raise them.  RLIMIT_CORE is always 0: a crashing
-  /// supervisor must not dump multi-GiB tagged heaps to disk.
+  /// supervisor must not dump multi-GiB tagged heaps to disk.  Jobs with
+  /// any rlimit (daemon-wide or per-request) take the fork-supervisor
+  /// path: executives are long-lived and cannot wear per-job limits.
   uint64_t MaxMemoryBytes = 0; ///< RLIMIT_AS
   uint32_t MaxCpuSec = 0;      ///< RLIMIT_CPU (scaled by timeoutScale())
   uint32_t MaxOpenFiles = 0;   ///< RLIMIT_NOFILE
@@ -77,7 +118,7 @@ struct ServerOptions {
   /// this long (scaled by timeoutScale()) is dropped.
   double WriteStallSec = 10.0;
   /// Finished replies remembered for idempotent resubmission (SubmitJob
-  /// IdempotencyKey); bounds the replay cache.
+  /// IdempotencyKey); bounds each tenant's replay cache.
   size_t ReplayEntries = 128;
   /// In-daemon retries of infra-class failures: attempt 1 halves the
   /// workers, attempt 2 runs sequentially.  0 disables retrying.
@@ -95,8 +136,9 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Binds and listens on Opts.SocketPath and installs signal handlers
-  /// (SIGTERM -> drain, SIGINT -> shutdown, SIGCHLD -> reap).
+  /// Binds and listens on Opts.SocketPath (or adopts InheritedListenFd),
+  /// installs signal handlers (SIGTERM -> drain, SIGINT -> shutdown,
+  /// SIGCHLD -> reap), and pre-forks the executive pool.
   bool start(std::string &Err);
 
   /// Serves until drained / shut down.  Returns the process exit code.
@@ -104,6 +146,8 @@ public:
 
   /// start() + run() + perror, for forked daemon children in tests and
   /// bench harnesses: `if (fork() == 0) _exit(Server::serve(Opts));`
+  /// With Opts.Shards > 1 this becomes the shard parent: it binds once,
+  /// forks the shards, supervises them, and returns when they exit.
   static int serve(const ServerOptions &Opts);
 
 private:
@@ -120,6 +164,12 @@ private:
     /// wallSeconds() of the last write progress while Out was nonempty;
     /// 0 when Out is empty.
     double LastWriteProgress = 0;
+    /// Negotiated by Hello (v4); v2/v3 connections keep the defaults.
+    std::string Tenant;
+    bool MemfdOk = false;
+    /// SCM_RIGHTS descriptors received but not yet claimed by a SubmitJob
+    /// (a memfd's frame body may complete on a later read).
+    std::vector<int> PendingFds;
   };
 
   enum class KillCause : uint8_t { None, Deadline, ClientGone, Shutdown };
@@ -128,9 +178,14 @@ private:
     uint64_t Id = 0;
     int ConnFd = -1;
     JobRequest Req;
+    std::string Tenant; ///< resolved admission identity
     std::shared_ptr<CachedProgram> Prog;
     bool CacheHit = false;
     bool Running = false;
+    /// Dispatched to a pooled executive (Pid is the executive's; result
+    /// arrives on its channel, not a per-job pipe).
+    bool Pooled = false;
+    uint64_t ExecId = 0; ///< owning executive when Pooled
     pid_t Pid = -1;
     int ResultFd = -1;
     std::string ResultBuf;
@@ -141,18 +196,68 @@ private:
     double SubmitT = 0, StartT = 0;
     double DeadlineAbs = 0; ///< wallSeconds() deadline; 0 = none
     unsigned Cost = 0;      ///< admission cost: NumWorkers + 1
+    /// SFQ tags assigned at enqueue: start = max(V, tenant last finish),
+    /// finish = start + cost/weight.  Service order is min finish tag
+    /// within the highest nonempty priority band.
+    double STag = 0, FTag = 0;
     /// Execution attempt ordinal; bumped by in-daemon infra retries
     /// (attempt 1 halves the workers, attempt 2 runs sequentially).
     unsigned Attempt = 0;
+  };
+
+  /// One pre-warmed executive process and its dispatch channel.
+  struct Executive {
+    uint64_t Id = 0;
+    pid_t Pid = -1;
+    int ChanFd = -1; ///< daemon end of the socketpair
+    FrameAssembler Frames;
+    uint64_t ActiveJob = 0; ///< 0 = idle
+  };
+
+  /// Per-tenant WFQ state: FIFO queue, fair-queuing tags, token bucket,
+  /// replay window, and stats.
+  struct TenantState {
+    TenantConfig Cfg;
+    std::deque<uint64_t> Queue;
+    double LastFinish = 0; ///< finish tag of the most recent enqueue
+    double Tokens = 0;
+    double LastRefill = 0;
+    bool BucketPrimed = false;
+    /// Per-tenant idempotency replay window (bounded by ReplayEntries).
+    std::map<uint64_t, JobReply> Replay;
+    std::deque<uint64_t> ReplayOrder;
+    uint64_t Submitted = 0, Completed = 0, Rejected = 0;
   };
 
   // Event handlers.
   void acceptClients();
   void readConn(Conn &C);
   void handleFrame(Conn &C, MsgType Type, const std::string &Body);
+  void handleHello(Conn &C, const std::string &Body);
   void handleSubmit(Conn &C, const std::string &Body);
+  void readExecutive(Executive &E);
   void dropConn(int Fd, const char *Why);
   void protocolError(Conn &C, const std::string &Why);
+
+  // Executive pool.
+  bool spawnExecutive(std::string &Err);
+  void respawnExecutive(uint64_t ExecId);
+  void shutdownPool();
+  Executive *idleExecutive();
+  /// True when the pool can run \p J: bytecode engine, lowered image
+  /// available for the requested mode, and no per-job rlimits.
+  bool poolEligible(const Job &J) const;
+  /// Hands \p J to \p E (ExecAssign + image fd).  False on send failure —
+  /// the executive is respawned and the caller falls back to a fork.
+  bool dispatchToExecutive(Job &J, Executive &E);
+
+  // WFQ admission.
+  TenantState &tenantState(const std::string &Id);
+  void refillBucket(TenantState &T, double Now);
+  /// Total jobs waiting across all tenant queues.
+  size_t queuedCount() const;
+  /// Removes \p Id from its tenant's queue (cancel / disconnect).
+  void unqueueJob(const Job &J);
 
   // Job lifecycle.
   void pumpQueue();
@@ -182,22 +287,26 @@ private:
   void flushConn(Conn &C);
   uint64_t &stat(const char *Name) const;
 
+  /// Shard parent: bind once, fork Opts.Shards children on the shared
+  /// listening socket, supervise and respawn them.
+  static int serveSharded(const ServerOptions &Opts);
+
   ServerOptions Opts;
   ProgramCache Cache;
   int ListenFd = -1;
+  bool OwnsSocketFile = true; ///< false in shard children
   int SigPipe[2] = {-1, -1};
   bool Draining = false;
   double StartTime = 0;
   uint64_t NextJobId = 1;
+  uint64_t NextExecId = 1;
   unsigned WorkersInUse = 0;
   size_t QueuePeak = 0;
+  double VirtualTime = 0; ///< SFQ virtual clock (start tag of last dispatch)
   std::map<int, Conn> Conns;
   std::map<uint64_t, Job> Jobs;
-  std::deque<uint64_t> Queue; ///< job ids waiting for admission
-  /// Bounded FIFO of finished replies keyed by IdempotencyKey, replayed
-  /// when a reconnecting client resubmits a job whose answer it lost.
-  std::map<uint64_t, JobReply> Replay;
-  std::deque<uint64_t> ReplayOrder;
+  std::map<uint64_t, Executive> Pool;
+  std::map<std::string, TenantState> Tenants;
 };
 
 } // namespace service

@@ -103,7 +103,29 @@ transform::lowerForPrivatized(const Module &M, const FunctionAnalyses &FA,
   bytecode::LowerOptions LO;
   LO.PlanLoop = L;
   LO.Iv = *Iv;
-  return bytecode::lowerModule(M, LO, WhyNot);
+  std::unique_ptr<bytecode::BytecodeProgram> Prog =
+      bytecode::lowerModule(M, LO, WhyNot);
+  if (!Prog)
+    return nullptr;
+  // Bake the reduction registrations into the program: executing a
+  // prelowered program (the service's executive pool ships them as flat
+  // images) must not require the classification results at exec time.
+  for (const auto &[O, ElemOp] : HA.ReduxOps) {
+    if (!O.Global)
+      continue;
+    auto It = Prog->GlobalIdx.find(O.Global->name());
+    if (It == Prog->GlobalIdx.end()) {
+      WhyNot = "reduction global '" + O.Global->name() +
+               "' missing from lowered program";
+      return nullptr;
+    }
+    bytecode::BcReduxGlobal RG;
+    RG.GlobalIdx = It->second;
+    RG.Elem = ElemOp.first;
+    RG.Op = ElemOp.second;
+    Prog->ReduxGlobals.push_back(RG);
+  }
+  return Prog;
 }
 
 std::shared_ptr<const bytecode::BytecodeProgram>
@@ -150,13 +172,10 @@ ExecutionResult transform::executePrivatized(
     Plan.Options.Out = Out;
     Vm.setParallelPlan(&Plan);
     Vm.initializeGlobals();
-    for (const auto &[O, ElemOp] : HA.ReduxOps) {
-      if (!O.Global)
-        continue;
+    for (const bytecode::BcReduxGlobal &RG : BP->ReduxGlobals)
       Rt.registerReduction(
-          reinterpret_cast<void *>(Vm.globalAddress(O.Global)),
-          O.Global->sizeBytes(), ElemOp.first, ElemOp.second);
-    }
+          reinterpret_cast<void *>(Vm.globalAddress(RG.GlobalIdx)),
+          BP->Globals[RG.GlobalIdx].SizeBytes, RG.Elem, RG.Op);
     R.ReturnValue = Vm.run(Opt.EntryFunction, Opt.EntryArgs);
     R.Stats = Plan.Stats;
   } else {
@@ -190,6 +209,53 @@ ExecutionResult transform::executePrivatized(
   Rt.setSequentialOutput(nullptr);
   Rt.shutdown();
   return R;
+}
+
+ExecutionResult transform::executeLoadedParallel(
+    const bytecode::BytecodeProgram &BP, const PipelineOptions &Opt,
+    const ParallelOptions &ParOpts, const RuntimeConfig &Config,
+    std::FILE *Out) {
+  Runtime &Rt = Runtime::get();
+  Rt.initialize(Config);
+  Rt.setSequentialOutput(Out);
+
+  ExecutionResult R;
+  R.EngineUsed = ExecEngine::Bytecode;
+  {
+    PrivateerMemoryManager MM;
+    bytecode::VM Vm(BP, MM);
+    bytecode::VM::ParallelPlan Plan;
+    Plan.Options = ParOpts;
+    Plan.Options.Out = Out;
+    Vm.setParallelPlan(&Plan);
+    Vm.initializeGlobals();
+    for (const bytecode::BcReduxGlobal &RG : BP.ReduxGlobals)
+      Rt.registerReduction(
+          reinterpret_cast<void *>(Vm.globalAddress(RG.GlobalIdx)),
+          BP.Globals[RG.GlobalIdx].SizeBytes, RG.Elem, RG.Op);
+    R.ReturnValue = Vm.run(Opt.EntryFunction, Opt.EntryArgs);
+    R.Stats = Plan.Stats;
+  }
+
+  Rt.setSequentialOutput(nullptr);
+  Rt.shutdown();
+  return R;
+}
+
+Cell transform::executeLoadedSequential(const bytecode::BytecodeProgram &BP,
+                                        const PipelineOptions &Opt,
+                                        std::FILE *Out) {
+  Runtime &Rt = Runtime::get();
+  Rt.setSequentialOutput(Out);
+  Cell Result;
+  {
+    PlainMemoryManager MM;
+    bytecode::VM Vm(BP, MM);
+    Vm.initializeGlobals();
+    Result = Vm.run(Opt.EntryFunction, Opt.EntryArgs);
+  }
+  Rt.setSequentialOutput(nullptr);
+  return Result;
 }
 
 Cell transform::executeSequential(Module &M, const PipelineOptions &Opt,

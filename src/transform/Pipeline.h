@@ -83,7 +83,11 @@ struct ExecutionResult {
 /// loop is compiled into the program as its parallel-interception site.
 /// Null (with \p WhyNot set) means callers must run the interpreter.
 /// The ProgramCache calls this once per program so warm daemon hits skip
-/// both parse and lowering; the returned program borrows \p M.
+/// both parse and lowering.  The HA's reduction registrations are baked
+/// into the program (ReduxGlobals), making it self-contained: the
+/// executeLoaded* entry points below run it with no IR or classification
+/// state at all — that is what lets the service serialize programs and
+/// ship them to pre-forked executive processes.
 std::shared_ptr<const bytecode::BytecodeProgram>
 lowerForPrivatized(const ir::Module &M, const analysis::FunctionAnalyses &FA,
                    const classify::HeapAssignment &HA, std::string &WhyNot);
@@ -119,6 +123,23 @@ interp::Cell executeSequential(ir::Module &M, const PipelineOptions &Options,
                                const bytecode::BytecodeProgram *Prelowered =
                                    nullptr,
                                ExecEngine *EngineUsed = nullptr);
+
+/// Speculative execution of a self-contained prelowered program (from
+/// lowerForPrivatized, possibly deserialized from a bytecode::Image): no
+/// Module, analyses, or HeapAssignment needed.  Brackets the runtime's
+/// initialize/shutdown, so a long-lived executive process can call it for
+/// job after job.
+ExecutionResult executeLoadedParallel(const bytecode::BytecodeProgram &BP,
+                                      const PipelineOptions &Options,
+                                      const ParallelOptions &ParOpts,
+                                      const RuntimeConfig &Config,
+                                      std::FILE *Out);
+
+/// Sequential counterpart of executeLoadedParallel (plain host memory, no
+/// runtime bring-up).
+interp::Cell executeLoadedSequential(const bytecode::BytecodeProgram &BP,
+                                     const PipelineOptions &Options,
+                                     std::FILE *Out);
 
 } // namespace transform
 } // namespace privateer

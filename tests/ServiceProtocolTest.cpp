@@ -18,7 +18,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <sys/mman.h>
 #include <sys/socket.h>
+#include <sys/syscall.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -59,6 +61,8 @@ JobRequest sampleRequest() {
   R.FaultOomAttempts = 2;
   R.FaultAllocBytes = 1ULL << 47;
   R.FaultBurnCpuSec = 0.75;
+  R.TenantId = "tenant-42";
+  R.Submit = static_cast<uint8_t>(SubmitMode::InBand);
   return R;
 }
 
@@ -121,6 +125,8 @@ TEST(ServiceProtocol, JobRequestRoundTrip) {
   EXPECT_EQ(Out.FaultOomAttempts, In.FaultOomAttempts);
   EXPECT_EQ(Out.FaultAllocBytes, In.FaultAllocBytes);
   EXPECT_DOUBLE_EQ(Out.FaultBurnCpuSec, In.FaultBurnCpuSec);
+  EXPECT_EQ(Out.TenantId, In.TenantId);
+  EXPECT_EQ(Out.Submit, In.Submit);
 }
 
 TEST(ServiceProtocol, JobReplyRoundTrip) {
@@ -327,6 +333,279 @@ TEST(ServiceProtocol, DaemonSurvivesGarbageAndKeepsServing) {
   EXPECT_GE(jsonInt(Json, "malformed_frames"), 4);
   EXPECT_EQ(jsonInt(Json, "jobs_completed"), 1);
   EXPECT_EQ(jsonInt(Json, "pid"), D.pid());
+}
+
+// --- Cross-version compatibility -----------------------------------------
+//
+// The wire encodings of protocol v2 (no Engine byte) and v3 (Engine, no
+// tenant/submit tail) are pinned here byte-for-byte; a v4 daemon must
+// decode both with the documented defaults, and must reject versions
+// outside [kMinProtocolVersion, kProtocolVersion].
+
+void putU8(std::string &B, uint8_t V) { B.push_back(static_cast<char>(V)); }
+void putU32(std::string &B, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+void putU64(std::string &B, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    B.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+void putF64(std::string &B, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  putU64(B, Bits);
+}
+void putStr(std::string &B, const std::string &S) {
+  putU32(B, static_cast<uint32_t>(S.size()));
+  B += S;
+}
+
+/// Encodes \p R exactly as a v2 or v3 client would have.
+std::string encodeLegacyRequest(const JobRequest &R, uint8_t Version) {
+  std::string B;
+  putU8(B, Version);
+  putStr(B, R.ModuleText);
+  putU8(B, static_cast<uint8_t>(R.Mode));
+  if (Version >= 3)
+    putU8(B, R.Engine);
+  putU32(B, R.NumWorkers);
+  putU64(B, R.CheckpointPeriod);
+  putU64(B, R.MaxSlotsPerEpoch);
+  putF64(B, R.InjectMisspecRate);
+  putU64(B, R.InjectSeed);
+  putU8(B, R.EagerCommit ? 1 : 0);
+  putF64(B, R.StallTimeoutSec);
+  putF64(B, R.DeadlineSec);
+  putStr(B, R.TracePath);
+  putU64(B, R.IdempotencyKey);
+  putU64(B, R.MaxMemoryBytes);
+  putU32(B, R.MaxCpuSec);
+  putU32(B, R.MaxOpenFiles);
+  putU8(B, R.FaultKillSupervisor ? 1 : 0);
+  putU32(B, R.FaultKillWorker);
+  putU64(B, R.FaultKillAtIter);
+  putU32(B, R.FaultStallWorker);
+  putU64(B, R.FaultStallAtIter);
+  putF64(B, R.FaultStallSeconds);
+  putF64(B, R.FaultKillRate);
+  putU64(B, R.FaultSeed);
+  putU32(B, R.FaultSupervisorSignal);
+  putU32(B, R.FaultSupervisorExit);
+  putU32(B, R.FaultOomAttempts);
+  putU64(B, R.FaultAllocBytes);
+  putF64(B, R.FaultBurnCpuSec);
+  return B;
+}
+
+TEST(ServiceProtocol, CrossVersionRequestsDecode) {
+  JobRequest In = sampleRequest();
+  In.Engine = 1;
+
+  // v2: Engine defaults to the bytecode VM, tenancy to anonymous in-band.
+  {
+    JobRequest Out;
+    std::string Err;
+    ASSERT_TRUE(decodeJobRequest(encodeLegacyRequest(In, 2), Out, Err))
+        << Err;
+    EXPECT_EQ(Out.ModuleText, In.ModuleText);
+    EXPECT_EQ(Out.Mode, In.Mode);
+    EXPECT_EQ(Out.Engine, 0) << "v2 has no Engine byte";
+    EXPECT_EQ(Out.NumWorkers, In.NumWorkers);
+    EXPECT_EQ(Out.IdempotencyKey, In.IdempotencyKey);
+    EXPECT_DOUBLE_EQ(Out.FaultBurnCpuSec, In.FaultBurnCpuSec);
+    EXPECT_TRUE(Out.TenantId.empty());
+    EXPECT_EQ(Out.Submit, static_cast<uint8_t>(SubmitMode::InBand));
+  }
+
+  // v3: Engine travels, tenancy still defaults.
+  {
+    JobRequest Out;
+    std::string Err;
+    ASSERT_TRUE(decodeJobRequest(encodeLegacyRequest(In, 3), Out, Err))
+        << Err;
+    EXPECT_EQ(Out.Engine, In.Engine);
+    EXPECT_TRUE(Out.TenantId.empty());
+    EXPECT_EQ(Out.Submit, static_cast<uint8_t>(SubmitMode::InBand));
+  }
+
+  // Versions outside the supported window are rejected outright.
+  for (uint8_t V : {uint8_t(0), uint8_t(1), uint8_t(kProtocolVersion + 1)}) {
+    std::string Body = encodeJobRequest(In);
+    Body[0] = static_cast<char>(V);
+    JobRequest Out;
+    std::string Err;
+    EXPECT_FALSE(decodeJobRequest(Body, Out, Err)) << "version " << int(V);
+    EXPECT_NE(Err.find("version"), std::string::npos) << Err;
+  }
+}
+
+// A byte-exact v2 client frame against a live v4 daemon: served in-band,
+// reply decodable, output correct.
+TEST(ServiceProtocol, LegacyV2ClientIsServed) {
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath();
+  ForkedDaemon D(Opts);
+  ASSERT_TRUE(D.forked());
+  {
+    service::Client Ready;
+    std::string Err;
+    ASSERT_TRUE(Ready.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+  }
+
+  JobRequest Req;
+  Req.ModuleText = reductionSumIrText(250);
+  Req.NumWorkers = 2;
+  std::string Body = encodeLegacyRequest(Req, 2);
+
+  int Fd = rawConnect(D.socket());
+  ASSERT_GE(Fd, 0);
+  std::string Err;
+  ASSERT_TRUE(writeFrame(Fd, MsgType::SubmitJob, Body, Err)) << Err;
+  MsgType Type;
+  std::string ReplyBody;
+  ASSERT_EQ(readFrame(Fd, Type, ReplyBody, Err, 300 * timeoutScale()),
+            ReadStatus::Ok)
+      << Err;
+  ::close(Fd);
+  ASSERT_EQ(Type, MsgType::JobResult);
+  JobReply R;
+  ASSERT_TRUE(decodeJobReply(ReplyBody, R, Err)) << Err;
+  EXPECT_EQ(R.Status, JobStatus::Ok) << R.Error;
+  EXPECT_NE(R.Output.find("acc"), std::string::npos);
+}
+
+// --- Zero-copy submission edge cases -------------------------------------
+
+TEST(ServiceProtocol, HelloNegotiatesTenantAndMemfd) {
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath();
+  ForkedDaemon D(Opts);
+  ASSERT_TRUE(D.forked());
+
+  service::Client C;
+  C.Tenant = "hello-test";
+  C.UseMemfd = true;
+  std::string Err;
+  ASSERT_TRUE(C.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+  EXPECT_TRUE(C.memfdNegotiated());
+
+  // A client that never asked keeps the in-band default.
+  service::Client Plain;
+  ASSERT_TRUE(Plain.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+  EXPECT_FALSE(Plain.memfdNegotiated());
+}
+
+// A Memfd-mode submission whose SCM_RIGHTS payload is absent must be
+// rejected with a typed ParseError — and must not wedge the connection.
+TEST(ServiceProtocol, MemfdSubmissionWithoutFdRejected) {
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath();
+  ForkedDaemon D(Opts);
+  ASSERT_TRUE(D.forked());
+  {
+    service::Client Ready;
+    std::string Err;
+    ASSERT_TRUE(Ready.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+  }
+
+  JobRequest Req;
+  Req.Submit = static_cast<uint8_t>(SubmitMode::Memfd);
+  int Fd = rawConnect(D.socket());
+  ASSERT_GE(Fd, 0);
+  std::string Err;
+  ASSERT_TRUE(writeFrame(Fd, MsgType::SubmitJob, encodeJobRequest(Req), Err))
+      << Err;
+  MsgType Type;
+  std::string ReplyBody;
+  ASSERT_EQ(readFrame(Fd, Type, ReplyBody, Err, 60 * timeoutScale()),
+            ReadStatus::Ok)
+      << Err;
+  ASSERT_EQ(Type, MsgType::JobResult);
+  JobReply R;
+  ASSERT_TRUE(decodeJobReply(ReplyBody, R, Err)) << Err;
+  EXPECT_EQ(R.Status, JobStatus::ParseError);
+  EXPECT_NE(R.Error.find("file descriptor"), std::string::npos) << R.Error;
+
+  // Same connection still serves an honest in-band job.
+  JobRequest Ok;
+  Ok.ModuleText = reductionSumIrText(260);
+  Ok.NumWorkers = 2;
+  ASSERT_TRUE(writeFrame(Fd, MsgType::SubmitJob, encodeJobRequest(Ok), Err))
+      << Err;
+  ASSERT_EQ(readFrame(Fd, Type, ReplyBody, Err, 300 * timeoutScale()),
+            ReadStatus::Ok)
+      << Err;
+  ::close(Fd);
+  JobReply R2;
+  ASSERT_TRUE(decodeJobReply(ReplyBody, R2, Err)) << Err;
+  EXPECT_EQ(R2.Status, JobStatus::Ok) << R2.Error;
+  ASSERT_TRUE(D.alive());
+}
+
+// An unsealed memfd is untrusted input — the submitter could mutate it
+// after the daemon's size check — and must be rejected.
+TEST(ServiceProtocol, UnsealedMemfdRejected) {
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath();
+  ForkedDaemon D(Opts);
+  ASSERT_TRUE(D.forked());
+  {
+    service::Client Ready;
+    std::string Err;
+    ASSERT_TRUE(Ready.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+  }
+
+  std::string Text = reductionSumIrText(270);
+  int MemFd = static_cast<int>(
+      ::syscall(SYS_memfd_create, "unsealed-module", MFD_CLOEXEC));
+  if (MemFd < 0)
+    GTEST_SKIP() << "memfd_create unavailable";
+  ASSERT_EQ(::write(MemFd, Text.data(), Text.size()),
+            static_cast<ssize_t>(Text.size()));
+
+  JobRequest Req;
+  Req.Submit = static_cast<uint8_t>(SubmitMode::Memfd);
+  int Fd = rawConnect(D.socket());
+  ASSERT_GE(Fd, 0);
+  std::string Err;
+  ASSERT_TRUE(writeFrameWithFds(Fd, MsgType::SubmitJob,
+                                encodeJobRequest(Req), &MemFd, 1, Err))
+      << Err;
+  ::close(MemFd);
+  MsgType Type;
+  std::string ReplyBody;
+  ASSERT_EQ(readFrame(Fd, Type, ReplyBody, Err, 60 * timeoutScale()),
+            ReadStatus::Ok)
+      << Err;
+  ::close(Fd);
+  ASSERT_EQ(Type, MsgType::JobResult);
+  JobReply R;
+  ASSERT_TRUE(decodeJobReply(ReplyBody, R, Err)) << Err;
+  EXPECT_EQ(R.Status, JobStatus::ParseError);
+  EXPECT_NE(R.Error.find("sealed"), std::string::npos) << R.Error;
+
+  // A properly sealed memfd on a fresh connection is accepted.
+  std::string MErr;
+  int Sealed = sealedMemfd("sealed-module", Text.data(), Text.size(), MErr);
+  ASSERT_GE(Sealed, 0) << MErr;
+  int Fd2 = rawConnect(D.socket());
+  ASSERT_GE(Fd2, 0);
+  JobRequest Req2;
+  Req2.Submit = static_cast<uint8_t>(SubmitMode::Memfd);
+  Req2.NumWorkers = 2;
+  ASSERT_TRUE(writeFrameWithFds(Fd2, MsgType::SubmitJob,
+                                encodeJobRequest(Req2), &Sealed, 1, Err))
+      << Err;
+  ::close(Sealed);
+  ASSERT_EQ(readFrame(Fd2, Type, ReplyBody, Err, 300 * timeoutScale()),
+            ReadStatus::Ok)
+      << Err;
+  ::close(Fd2);
+  JobReply R2;
+  ASSERT_TRUE(decodeJobReply(ReplyBody, R2, Err)) << Err;
+  EXPECT_EQ(R2.Status, JobStatus::Ok) << R2.Error;
+  ASSERT_TRUE(D.alive());
 }
 
 } // namespace

@@ -45,6 +45,11 @@ int usage(const char *Argv0) {
       "                    never raise, the daemon's configured limit)\n"
       "  --cpu-sec <n>     per-job RLIMIT_CPU ceiling in seconds\n"
       "  --no-retry        disable transparent reconnect + resubmit\n"
+      "  --tenant <id>     multi-tenant identity for fair queuing (the\n"
+      "                    daemon meters and weighs each tenant apart)\n"
+      "  --memfd           zero-copy submission: module text travels in a\n"
+      "                    sealed memfd via SCM_RIGHTS when the daemon\n"
+      "                    grants it (falls back in-band otherwise)\n"
       "  --jobs <n>        submit the job n times over this connection\n"
       "  --status          print the daemon's status JSON and exit\n"
       "  --drain           ask the daemon to finish its queue and exit\n"
@@ -58,9 +63,9 @@ int usage(const char *Argv0) {
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string Socket, Path, Demo;
+  std::string Socket, Path, Demo, Tenant;
   bool Status = false, Drain = false, Shutdown = false, Quiet = false;
-  bool NoRetry = false;
+  bool NoRetry = false, UseMemfd = false;
   unsigned JobsToRun = 1;
   JobRequest Req;
 
@@ -90,6 +95,10 @@ int main(int Argc, char **Argv) {
       Req.MaxCpuSec = static_cast<uint32_t>(std::atoi(Argv[++I]));
     else if (A == "--no-retry")
       NoRetry = true;
+    else if (A == "--tenant" && I + 1 < Argc)
+      Tenant = Argv[++I];
+    else if (A == "--memfd")
+      UseMemfd = true;
     else if (A == "--jobs" && I + 1 < Argc)
       JobsToRun = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (A == "--status")
@@ -112,6 +121,8 @@ int main(int Argc, char **Argv) {
 
   Client C;
   C.Retry.Enabled = !NoRetry;
+  C.Tenant = Tenant;
+  C.UseMemfd = UseMemfd;
   std::string Err;
   if (!C.connect(Socket, Err)) {
     std::fprintf(stderr, "privateer-client: %s\n", Err.c_str());
