@@ -720,11 +720,167 @@ int runJitReport(const std::string &Path) {
   return Pass ? 0 : 1;
 }
 
+// ---- --doacross-report: staged pipeline speedup over sequential --------
+//
+// The DOACROSS / pipeline acceptance bench: an S-stage dependence chain
+// per iteration, each stage sleeping ~400 us (so the win is scheduling,
+// not core count — the same trick the overlap report uses), the carried
+// value forwarded stage-to-stage through the shared-memory token rings.
+// Sequential execution pays S x sleep per iteration; the staged pipeline
+// streams one iteration per stage-time.  CI runs this mode; the exit
+// code enforces the acceptance criterion that 4 workers (one per stage)
+// reach at least a 1.5x speedup, with zero misspeculations and
+// byte-identical results.
+
+constexpr uint64_t kDoIters = 64;
+constexpr long kStageSleepUs = 400;
+
+/// The carried computation of one stage: cheap, nonlinear, and dependent
+/// on everything upstream so a scheduling bug cannot cancel out.
+uint64_t doStageValue(uint64_t In, uint64_t I, uint32_t St) {
+  return (In * 2862933555777941757ULL + I * 3 + St + 1) ^ (In >> 7);
+}
+
+int runDoacrossReport(const std::string &Path) {
+  RuntimeConfig C;
+  C.PrivateBytes = 1u << 20;
+  C.ReadOnlyBytes = 1u << 16;
+  C.ReduxBytes = 1u << 16;
+  C.ShortLivedBytes = 1u << 16;
+  C.UnrestrictedBytes = 1u << 16;
+  Runtime::get().initialize(C);
+  auto *Out = static_cast<uint64_t *>(
+      h_alloc(kDoIters * sizeof(uint64_t), HeapKind::Private));
+
+  struct Point {
+    unsigned Stages;
+    double SeqSec;
+    double PipeSec;
+    uint64_t DepPosts;
+    uint64_t DepWaits;
+  };
+  const unsigned StageList[] = {2, 4};
+  const int Reps = 3;
+  std::vector<Point> Points;
+  double KeySpeedup = 0;
+  for (unsigned S : StageList) {
+    // Sequential baseline: the same S-stage chain, run inline.  Also the
+    // ground truth the pipeline's committed output must match.
+    std::vector<uint64_t> Expected(kDoIters);
+    std::vector<double> SeqSecs;
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      uint64_t T0 = monotonicNanos();
+      for (uint64_t I = 0; I < kDoIters; ++I) {
+        uint64_t Tok = 0;
+        for (unsigned St = 0; St < S; ++St) {
+          timespec Ts{0, kStageSleepUs * 1000};
+          nanosleep(&Ts, nullptr);
+          Tok = doStageValue(Tok, I, St);
+        }
+        Expected[I] = Tok;
+      }
+      SeqSecs.push_back(static_cast<double>(monotonicNanos() - T0) * 1e-9);
+    }
+
+    ParallelOptions Opt;
+    Opt.NumWorkers = S;
+    Opt.NumStages = S;
+    Opt.CheckpointPeriod = 8;
+    auto Body = [Out, S](uint64_t I, uint32_t St, uint64_t In) -> uint64_t {
+      timespec Ts{0, kStageSleepUs * 1000};
+      nanosleep(&Ts, nullptr);
+      uint64_t Tok = doStageValue(In, I, St);
+      if (St + 1 == S) {
+        private_write(&Out[I], sizeof(uint64_t));
+        Out[I] = Tok;
+      }
+      return Tok;
+    };
+    std::vector<double> PipeSecs;
+    InvocationStats Best;
+    double PipeMin = 1e18;
+    // One untimed warm-up run faults in the heaps and control block.
+    Runtime::get().runParallelStaged(kDoIters, Opt, Body);
+    for (int Rep = 0; Rep < Reps; ++Rep) {
+      uint64_t T0 = monotonicNanos();
+      InvocationStats St = Runtime::get().runParallelStaged(kDoIters, Opt,
+                                                            Body);
+      double Sec = static_cast<double>(monotonicNanos() - T0) * 1e-9;
+      if (St.Misspecs != 0) {
+        std::fprintf(stderr, "doacross bench misspeculated (%u stages): %s\n",
+                     S, St.FirstMisspecReason.c_str());
+        return 1;
+      }
+      for (uint64_t I = 0; I < kDoIters; ++I)
+        if (Out[I] != Expected[I]) {
+          std::fprintf(stderr,
+                       "doacross bench diverged at iteration %llu "
+                       "(%u stages)\n",
+                       static_cast<unsigned long long>(I), S);
+          return 1;
+        }
+      if (Sec < PipeMin) {
+        PipeMin = Sec;
+        Best = St;
+      }
+      PipeSecs.push_back(Sec);
+    }
+    auto median = [](std::vector<double> &V) {
+      std::sort(V.begin(), V.end());
+      return V[V.size() / 2];
+    };
+    double SeqSec = median(SeqSecs), PipeSec = median(PipeSecs);
+    double Speedup = SeqSec / PipeSec;
+    if (S == 4)
+      KeySpeedup = Speedup;
+    std::printf("%u stages/workers: sequential %7.2f ms, pipeline %7.2f ms, "
+                "speedup %.2fx (%llu posts, %llu waits)\n",
+                S, SeqSec * 1e3, PipeSec * 1e3, Speedup,
+                static_cast<unsigned long long>(Best.DepPosts),
+                static_cast<unsigned long long>(Best.DepWaits));
+    Points.push_back({S, SeqSec, PipeSec, Best.DepPosts, Best.DepWaits});
+  }
+  Runtime::get().shutdown();
+
+  bool Pass = KeySpeedup >= 1.5;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "cannot write %s\n", Path.c_str());
+    return 1;
+  }
+  std::fprintf(F,
+               "{\n  \"iterations\": %llu,\n  \"stage_sleep_us\": %ld,\n"
+               "  \"points\": [\n",
+               static_cast<unsigned long long>(kDoIters), kStageSleepUs);
+  for (size_t I = 0; I < Points.size(); ++I) {
+    const Point &P = Points[I];
+    std::fprintf(F,
+                 "    {\"stages\": %u, \"workers\": %u, \"seq_sec\": %.6f, "
+                 "\"pipeline_sec\": %.6f, \"speedup\": %.3f, "
+                 "\"dep_posts\": %llu, \"dep_waits\": %llu}%s\n",
+                 P.Stages, P.Stages, P.SeqSec, P.PipeSec, P.SeqSec / P.PipeSec,
+                 static_cast<unsigned long long>(P.DepPosts),
+                 static_cast<unsigned long long>(P.DepWaits),
+                 I + 1 < Points.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n  \"check_4worker_speedup_ge_1_5\": %s\n}\n",
+               Pass ? "true" : "false");
+  std::fclose(F);
+  std::printf("doacross report written to %s; 4-worker pipeline speedup "
+              "%.2fx (need >=1.5x): %s\n",
+              Path.c_str(), KeySpeedup, Pass ? "PASS" : "FAIL");
+  return Pass ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string A(argv[I]);
+    if (A == "--doacross-report")
+      return runDoacrossReport("BENCH_doacross.json");
+    if (A.rfind("--doacross-report=", 0) == 0)
+      return runDoacrossReport(A.substr(sizeof("--doacross-report=") - 1));
     if (A == "--checkpoint-report")
       return runCheckpointReport("BENCH_checkpoint.json");
     if (A.rfind("--checkpoint-report=", 0) == 0)

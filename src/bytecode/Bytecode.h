@@ -113,7 +113,11 @@ namespace bytecode {
   X(AddLoad8)     /* r[Imm] = r[B] + r[C]; r[A] = 8-byte load r[Imm] */       \
   X(AddImmLoad8)  /* r[C] = r[B] + Imm;   r[A] = 8-byte load r[C] */          \
   X(AddStore8)    /* r[Imm] = r[B] + r[C]; 8-byte store r[A] to r[Imm] */     \
-  X(AddImmStore8) /* r[C] = r[B] + Imm;   8-byte store r[A] to r[C] */
+  X(AddImmStore8) /* r[C] = r[B] + Imm;   8-byte store r[A] to r[C] */        \
+  /* DOACROSS / pipeline token forwarding (appended: keeps the fused       */\
+  /* compare-family contiguity asserts valid)                              */\
+  X(PostDep)      /* post token (iter r[A], value r[B]) on channel Imm */     \
+  X(WaitDep)      /* r[A] = wait for iter r[B]'s token on channel Imm */
 
 enum class BcOp : uint16_t {
 #define PRIVATEER_BC_ENUM(N) N,
@@ -216,6 +220,10 @@ struct BytecodeProgram {
   /// invocation (baked in by lowerForPrivatized from the HeapAssignment,
   /// so executing a prelowered program needs no classification results).
   std::vector<BcReduxGlobal> ReduxGlobals;
+  /// Dependence-token channels the DOACROSS transform allocated; baked in
+  /// so executing a prelowered program (e.g. in a warm executive) can size
+  /// the runtime's token rings without the classification results.
+  uint32_t NumDepChannels = 0;
   /// Total instructions across functions (Statistic fodder).
   uint64_t totalCode() const {
     uint64_t N = 0;

@@ -10,7 +10,7 @@ using namespace privateer::bytecode;
 namespace {
 
 constexpr uint64_t kImageMagic = 0x5052495642434947ull; // "PRIVBCIG"
-constexpr uint32_t kImageVersion = 1;
+constexpr uint32_t kImageVersion = 2; // v2: + NumDepChannels
 
 // Hard ceilings on embedded counts: an image is at most tens of MB, so a
 // count beyond these is corruption, not a big program.
@@ -272,6 +272,7 @@ std::string bytecode::serializeProgram(const BytecodeProgram &Prog) {
   std::string B;
   putU64(B, kImageMagic);
   putU32(B, kImageVersion);
+  putU32(B, Prog.NumDepChannels);
   putU64(B, Prog.Globals.size());
   for (const BcGlobal &G : Prog.Globals) {
     putStr(B, G.Name);
@@ -305,6 +306,7 @@ bytecode::deserializeProgram(const void *Image, size_t Bytes,
     return Bad("unsupported image version");
 
   auto Prog = std::make_unique<BytecodeProgram>();
+  Prog->NumDepChannels = C.getU32();
   uint64_t NumGlobals = C.getCount(10);
   if (C.Fail)
     return Bad(C.Why);

@@ -617,6 +617,14 @@ private:
     case Opcode::SpeculateEq:
       emit(BcOp::SpecEq, regFor(I.operand(0)), regFor(I.operand(1)));
       return;
+    case Opcode::PostDep:
+      emit(BcOp::PostDep, regFor(I.operand(0)), regFor(I.operand(1)), 0,
+           static_cast<int64_t>(I.accessBytes()));
+      return;
+    case Opcode::WaitDep:
+      emit(BcOp::WaitDep, Regs[&I], regFor(I.operand(0)), 0,
+           static_cast<int64_t>(I.accessBytes()));
+      return;
     case Opcode::Phi:
     case Opcode::Br:
     case Opcode::CondBr:

@@ -128,8 +128,17 @@ uint32_t VM::runPlannedLoop(const BcFunction &Fn, Frame &Frm,
   uint64_t N = Bound > Begin ? static_cast<uint64_t>(Bound - Begin) : 0;
 
   if (N > 0) {
+    // Dependence tokens are posted in IV space; any iteration below the
+    // loop's first IV value was produced before the loop and must not be
+    // waited for.
+    Runtime::get().setDepFloor(Begin);
+    // The planned body is one monolithic iteration; stage-split scheduling
+    // (runParallelStaged) needs a per-stage body.  Pipeline strategy over
+    // IR loops degrades to DOACROSS token scheduling.
+    ParallelOptions POpt = Plan->Options;
+    POpt.NumStages = 0;
     InvocationStats S = Runtime::get().runParallel(
-        N, Plan->Options, [&](uint64_t It) {
+        N, POpt, [&](uint64_t It) {
           Frm.R[Site.IvReg] = uI(Begin + static_cast<int64_t>(It));
           InParallelBody = true;
           uint64_t Dummy = 0;
@@ -149,6 +158,10 @@ uint32_t VM::runPlannedLoop(const BcFunction &Fn, Frame &Frm,
     Plan->Stats.PrivateWriteCalls += S.PrivateWriteCalls;
     Plan->Stats.PrivateWriteBytes += S.PrivateWriteBytes;
     Plan->Stats.SeparationChecks += S.SeparationChecks;
+    Plan->Stats.DepPosts += S.DepPosts;
+    Plan->Stats.DepWaits += S.DepWaits;
+    Plan->Stats.DepWaitSpins += S.DepWaitSpins;
+    Plan->Stats.DepWaitTimeouts += S.DepWaitTimeouts;
     if (Plan->Stats.FirstMisspecReason.empty())
       Plan->Stats.FirstMisspecReason = S.FirstMisspecReason;
   }
@@ -553,6 +566,15 @@ dispatch:
     std::memcpy(reinterpret_cast<void *>(P), &R[I->A], 8);
   }
   BC_SKIP2();
+
+  BC_HANDLER(PostDep) {
+    Rt.postDep(R[I->A], static_cast<uint32_t>(I->Imm), R[I->B]);
+  }
+  BC_NEXT();
+  BC_HANDLER(WaitDep) {
+    R[I->A] = Rt.waitDep(R[I->B], static_cast<uint32_t>(I->Imm));
+  }
+  BC_NEXT();
 
 #if !PRIVATEER_BC_THREADED
   }

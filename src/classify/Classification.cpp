@@ -137,7 +137,8 @@ Footprint classify::getFootprint(const Loop &L, const FunctionAnalyses &FA,
 
 HeapAssignment classify::classifyLoop(const Loop &L,
                                       const FunctionAnalyses &FA,
-                                      const Profile &P) {
+                                      const Profile &P,
+                                      const std::set<FlowDep> *CoveredDeps) {
   HeapAssignment HA;
   HA.TheLoop = &L;
   HA.Fp = getFootprint(L, FA, P);
@@ -170,6 +171,14 @@ HeapAssignment classify::classifyLoop(const Loop &L,
   std::map<std::pair<const GlobalVariable *, uint64_t>, ValuePrediction>
       Preds;
   for (const FlowDep &D : P.crossIterationFlowDeps(&L)) {
+    // DOACROSS carve-out: dependences the token-forwarding rewrite covers
+    // are satisfied by the rings, not by memory; their objects privatize
+    // normally (the store still merges by timestamp at commit).
+    if (CoveredDeps && CoveredDeps->count(D)) {
+      HA.Notes.push_back("flow dep %" + D.Src->name() + " -> %" +
+                         D.Dst->name() + " forwarded by doacross tokens");
+      continue;
+    }
     InstFootprint A = instFootprint(D.Src, Fp, P);
     InstFootprint B = instFootprint(D.Dst, Fp, P);
     std::set<ObjectKey> F = setIntersect(setUnion(A.W, A.X),

@@ -61,6 +61,16 @@ struct HeapAssignment {
   bool Parallelizable = false;
   std::vector<std::string> Notes;
 
+  /// Set by the pipeline when the DOACROSS pre-pass rewrote this loop:
+  /// token channels the runtime must map, the smallest forwarded
+  /// distance (the loop's pipeline slack), and loads whose privacy
+  /// checks the privatizer must elide (the pre-loop fallback arm of a
+  /// forwarding select reads private-heap bytes that are deliberately
+  /// discarded, and must not be validated).
+  uint32_t DoacrossChannels = 0;
+  uint64_t DoacrossMinDistance = 0;
+  std::set<const ir::Instruction *> PrivacyElides;
+
   std::set<profiling::ObjectKey> objectsIn(HeapKind K) const {
     std::set<profiling::ObjectKey> Out;
     for (const auto &[O, H] : ObjectHeaps)
@@ -75,10 +85,14 @@ Footprint getFootprint(const analysis::Loop &L,
                        const analysis::FunctionAnalyses &FA,
                        const profiling::Profile &P);
 
-/// Algorithm 1 plus value-prediction refinement.
+/// Algorithm 1 plus value-prediction refinement.  \p CoveredDeps names
+/// profiled flow dependences the DOACROSS pre-pass forwards through token
+/// rings; they are carved out of the unrestricted set.
 HeapAssignment classifyLoop(const analysis::Loop &L,
                             const analysis::FunctionAnalyses &FA,
-                            const profiling::Profile &P);
+                            const profiling::Profile &P,
+                            const std::set<profiling::FlowDep> *CoveredDeps =
+                                nullptr);
 
 /// §4.3 selection: among \p Candidates, keep parallelizable canonical
 /// loops, drop loops incompatible with a heavier selection (simultaneously

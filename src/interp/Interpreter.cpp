@@ -352,6 +352,17 @@ Cell Interpreter::execute(const Instruction &I, Frame &F) {
     Rt.speculateTrue(eval(I.operand(0), F).Raw == eval(I.operand(1), F).Raw,
                      "value prediction failed");
     return Cell();
+  case Opcode::PostDep:
+    Rt.postDep(static_cast<uint64_t>(eval(I.operand(0), F).asInt()),
+               static_cast<uint32_t>(I.accessBytes()),
+               eval(I.operand(1), F).Raw);
+    return Cell();
+  case Opcode::WaitDep: {
+    Cell R;
+    R.Raw = Rt.waitDep(static_cast<uint64_t>(eval(I.operand(0), F).asInt()),
+                       static_cast<uint32_t>(I.accessBytes()));
+    return R;
+  }
   case Opcode::Phi:
   case Opcode::Br:
   case Opcode::CondBr:
@@ -370,8 +381,16 @@ BasicBlock *Interpreter::runPlannedLoop(Frame &F) {
   uint64_t N = Bound > Begin ? static_cast<uint64_t>(Bound - Begin) : 0;
 
   if (N > 0) {
+    // Speculative waits on a pre-loop iteration must return immediately
+    // (the rewritten IR discards the value via select) instead of spinning
+    // for a token nobody will post.
+    Runtime::get().setDepFloor(Begin);
+    // Monolithic iteration body: pipeline strategy degrades to DOACROSS
+    // token scheduling (stage-split bodies go through runParallelStaged).
+    ParallelOptions POpt = Plan->Options;
+    POpt.NumStages = 0;
     InvocationStats S = Runtime::get().runParallel(
-        N, Plan->Options, [&](uint64_t I) {
+        N, POpt, [&](uint64_t I) {
           F.Values[Iv.Phi] = Cell::fromInt(Begin + static_cast<int64_t>(I));
           InParallelBody = true;
           Cell Ret;
@@ -391,6 +410,10 @@ BasicBlock *Interpreter::runPlannedLoop(Frame &F) {
     Plan->Stats.PrivateWriteCalls += S.PrivateWriteCalls;
     Plan->Stats.PrivateWriteBytes += S.PrivateWriteBytes;
     Plan->Stats.SeparationChecks += S.SeparationChecks;
+    Plan->Stats.DepPosts += S.DepPosts;
+    Plan->Stats.DepWaits += S.DepWaits;
+    Plan->Stats.DepWaitSpins += S.DepWaitSpins;
+    Plan->Stats.DepWaitTimeouts += S.DepWaitTimeouts;
     if (Plan->Stats.FirstMisspecReason.empty())
       Plan->Stats.FirstMisspecReason = S.FirstMisspecReason;
   }

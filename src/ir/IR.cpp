@@ -93,6 +93,10 @@ const char *ir::opcodeName(Opcode Op) {
     return "privwrite";
   case Opcode::SpeculateEq:
     return "speculate_eq";
+  case Opcode::PostDep:
+    return "postdep";
+  case Opcode::WaitDep:
+    return "waitdep";
   }
   return "<bad-opcode>";
 }

@@ -155,6 +155,10 @@ enum class Opcode : uint8_t {
   PrivateRead, // Operand 0: pointer; payload: bytes.
   PrivateWrite,
   SpeculateEq, // Operands 0, 1: values; misspec when unequal.
+  // Cross-iteration dependence forwarding (DOACROSS / pipeline).  The
+  // channel id travels in the access-bytes payload slot.
+  PostDep, // Operands 0, 1: iteration, value; payload: channel.
+  WaitDep, // Operand 0: target iteration; payload: channel; yields i64.
 };
 
 const char *opcodeName(Opcode Op);
@@ -292,6 +296,14 @@ public:
 
   /// Index of \p I within this block; asserts if absent.
   size_t indexOf(const Instruction *I) const;
+
+  /// Removes and destroys the instruction at \p Pos.  The caller must have
+  /// replaced every use first (the DOACROSS pre-pass deletes rewritten
+  /// loop-carried phis this way).
+  void removeAt(size_t Pos) {
+    assert(Pos < Insts.size() && "removal position out of range");
+    Insts.erase(Insts.begin() + Pos);
+  }
 
   /// Successor blocks, derived from the terminator.
   std::vector<BasicBlock *> successors() const;

@@ -534,6 +534,26 @@ private:
       I->setAccessBytes(std::stoull(Args[1]));
       return true;
     }
+    if (Mn == "postdep") {
+      auto Args = splitArgs(Tail);
+      if (Args.size() != 3)
+        return failB("postdep wants: <iter>, <value>, <chan>");
+      Instruction *I = Create(Opcode::PostDep, Type::Void);
+      if (!addValueOperand(I, Args[0]) || !addValueOperand(I, Args[1]))
+        return false;
+      I->setAccessBytes(std::stoull(Args[2]));
+      return true;
+    }
+    if (Mn == "waitdep") {
+      auto Args = splitArgs(Tail);
+      if (Args.size() != 2)
+        return failB("waitdep wants: <iter>, <chan>");
+      Instruction *I = Create(Opcode::WaitDep, Type::I64);
+      if (!addValueOperand(I, Args[0]))
+        return false;
+      I->setAccessBytes(std::stoull(Args[1]));
+      return true;
+    }
     if (Mn == "speculate_eq") {
       auto Args = splitArgs(Tail);
       if (Args.size() != 2)

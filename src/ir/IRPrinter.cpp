@@ -173,6 +173,14 @@ void printInstruction(const Instruction &I, std::string &Out) {
     Out += "speculate_eq " + valueRef(I.operand(0)) + ", " +
            valueRef(I.operand(1));
     break;
+  case Opcode::PostDep:
+    Out += "postdep " + valueRef(I.operand(0)) + ", " +
+           valueRef(I.operand(1)) + ", " + std::to_string(I.accessBytes());
+    break;
+  case Opcode::WaitDep:
+    Out += "waitdep " + valueRef(I.operand(0)) + ", " +
+           std::to_string(I.accessBytes());
+    break;
   }
   Out += "\n";
 }

@@ -185,6 +185,12 @@ private:
     case Opcode::Select:
       WantOperands(3);
       break;
+    case Opcode::PostDep:
+      WantOperands(2);
+      break;
+    case Opcode::WaitDep:
+      WantOperands(1);
+      break;
     case Opcode::Phi:
     case Opcode::Print:
       break;

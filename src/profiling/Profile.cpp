@@ -28,6 +28,12 @@ Profile::crossIterationFlowDeps(const Loop *L) const {
   return It == FlowDeps.end() ? Empty : It->second;
 }
 
+const DepDistance *Profile::flowDepDistance(const Loop *L,
+                                            const FlowDep &D) const {
+  auto It = DepDistances.find({L, D});
+  return It == DepDistances.end() ? nullptr : &It->second;
+}
+
 const PredictableLoad *
 Profile::predictableFirstRead(const Instruction *Load, const Loop *L) const {
   auto It = Predictables.find({Load, L});

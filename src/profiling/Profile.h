@@ -75,6 +75,18 @@ struct FlowDep {
   }
 };
 
+/// Observed iteration-distance statistics of one profiled flow dependence
+/// (distance = reader's iteration - writer's iteration).  The DOACROSS
+/// planner consumes these: a dependence whose every observed instance had
+/// the same distance is a candidate for token forwarding, and the minimum
+/// distance bounds how much pipeline slack the loop offers.
+struct DepDistance {
+  uint64_t Min = UINT64_MAX;
+  uint64_t Max = 0;
+  uint64_t Samples = 0;
+  bool fixed() const { return Samples > 0 && Min == Max; }
+};
+
 /// Value-prediction candidate: the first read a load makes in each
 /// iteration of a loop always returned the same value from the same
 /// address.
@@ -105,6 +117,12 @@ public:
 
   const std::set<FlowDep> &
   crossIterationFlowDeps(const analysis::Loop *L) const;
+
+  /// Distance statistics for one profiled flow dependence of \p L, or
+  /// nullptr when the dependence was never observed (e.g. a profile
+  /// deserialized from a pre-distance text).
+  const DepDistance *flowDepDistance(const analysis::Loop *L,
+                                     const FlowDep &D) const;
 
   /// Was every first-read-per-iteration of \p Load in \p L the same value
   /// at the same address?
@@ -143,6 +161,8 @@ private:
            std::pair<uint64_t, uint64_t>>
       Lifetime;
   std::map<const analysis::Loop *, std::set<FlowDep>> FlowDeps;
+  std::map<std::pair<const analysis::Loop *, FlowDep>, DepDistance>
+      DepDistances;
   std::map<std::pair<const ir::Instruction *, const analysis::Loop *>,
            PredictableLoad>
       Predictables;

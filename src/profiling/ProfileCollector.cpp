@@ -104,8 +104,15 @@ void ProfileCollector::onLoad(const Instruction *I, uint64_t Addr,
       continue;
     for (const auto &[L, Act, Iter] : It->second.At) {
       const Activation *Cur = currentActivation(L);
-      if (Cur && Cur->ActivationId == Act && Cur->Iteration > Iter)
-        P.FlowDeps[L].insert(FlowDep{It->second.Store, I});
+      if (Cur && Cur->ActivationId == Act && Cur->Iteration > Iter) {
+        FlowDep D{It->second.Store, I};
+        P.FlowDeps[L].insert(D);
+        DepDistance &DS = P.DepDistances[{L, D}];
+        uint64_t Dist = Cur->Iteration - Iter;
+        DS.Min = std::min(DS.Min, Dist);
+        DS.Max = std::max(DS.Max, Dist);
+        ++DS.Samples;
+      }
     }
   }
 

@@ -118,6 +118,12 @@ std::string profiling::serializeProfile(const Profile &P, const Module &M) {
     for (const FlowDep &D : Deps)
       Lines.push_back("flowdep " + loopRef(L) + " " + instRef(D.Src) +
                       " " + instRef(D.Dst));
+  for (const auto &[Key, DS] : P.DepDistances)
+    Lines.push_back("depdist " + loopRef(Key.first) + " " +
+                    instRef(Key.second.Src) + " " + instRef(Key.second.Dst) +
+                    " " + std::to_string(DS.Min) + " " +
+                    std::to_string(DS.Max) + " " +
+                    std::to_string(DS.Samples));
   for (const auto &[Key, PL] : P.Predictables)
     Lines.push_back("pred " + instRef(Key.first) + " " +
                     loopRef(Key.second) + " " + std::to_string(PL.Address) +
@@ -213,6 +219,16 @@ profiling::deserializeProfile(const std::string &Text, const Module &M,
       if (!L || !Src || !Dst)
         return Fail("unresolved flow dep");
       P.FlowDeps[L].insert(FlowDep{Src, Dst});
+    } else if (Kw == "depdist") {
+      std::string LRef, SRef, DRef;
+      DepDistance DS;
+      S >> LRef >> SRef >> DRef >> DS.Min >> DS.Max >> DS.Samples;
+      const Loop *L = resolveLoop(M, FA, LRef);
+      const Instruction *Src = resolveInst(M, SRef);
+      const Instruction *Dst = resolveInst(M, DRef);
+      if (!L || !Src || !Dst)
+        return Fail("unresolved dep distance");
+      P.DepDistances[{L, FlowDep{Src, Dst}}] = DS;
     } else if (Kw == "pred") {
       std::string IRef, LRef;
       uint64_t Addr, Bytes;

@@ -101,6 +101,11 @@ struct WorkerStats {
   uint64_t CheckpointDirtyChunks = 0;
   uint64_t CheckpointBytesScanned = 0;
   uint64_t CheckpointBytesSkipped = 0;
+  /// DOACROSS / pipeline token traffic (postDep/waitDep).
+  uint64_t DepPosts = 0;
+  uint64_t DepWaits = 0;
+  uint64_t DepWaitSpins = 0;
+  uint64_t DepWaitTimeouts = 0;
   double UsefulSec = 0;
   double PrivateReadSec = 0;
   double PrivateWriteSec = 0;

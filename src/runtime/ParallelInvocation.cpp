@@ -163,6 +163,164 @@ void Runtime::runDegraded(uint64_t Begin, uint64_t End,
     Stats.FirstDegradeReason = Reason;
 }
 
+//===----------------------------------------------------------------------===//
+// Dependence-token channels (DOACROSS / pipeline, ROADMAP item 3)
+//===----------------------------------------------------------------------===//
+
+void Runtime::ensureLocalDepRings(uint32_t Chan) {
+  if (Chan < LocalDepChanCount && LocalDepRings) {
+    if (!DepRingsShared) {
+      DepRings = LocalDepRings;
+      DepChanCount = LocalDepChanCount;
+    }
+    return;
+  }
+  uint32_t NewCount =
+      std::max<uint32_t>({Chan + 1, LocalDepChanCount * 2, 4});
+  // Value-initialization zeroes the atomics: tag 0 means "never posted".
+  auto *Grown = new depchan::DepSlot[static_cast<size_t>(NewCount) *
+                                     depchan::kRingSlots]();
+  for (size_t I = 0,
+              E = static_cast<size_t>(LocalDepChanCount) * depchan::kRingSlots;
+       I < E; ++I) {
+    Grown[I].Tag.store(LocalDepRings[I].Tag.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+    Grown[I].Value.store(
+        LocalDepRings[I].Value.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  delete[] LocalDepRings;
+  LocalDepRings = Grown;
+  LocalDepChanCount = NewCount;
+  if (!DepRingsShared) {
+    DepRings = LocalDepRings;
+    DepChanCount = LocalDepChanCount;
+  }
+}
+
+void Runtime::postDep(uint64_t Iter, uint32_t Chan, uint64_t Value) {
+  if (Chan >= DepChanCount) {
+    if (DepRingsShared) {
+      // The invocation mapped fewer channels than the program uses; the
+      // plan is inconsistent with the code.  A worker converts that into
+      // misspeculation, the main process must not scribble blindly.
+      if (Mode != ExecMode::Sequential)
+        misspecAbort("dep channel beyond the invocation's ring region");
+      reportFatalError("postDep: channel beyond the invocation's rings");
+    }
+    ensureLocalDepRings(Chan);
+  }
+  depchan::post(DepRings, Chan, Iter, Value);
+  ++LocalStats.DepPosts;
+  // Ring push only when this invocation armed tracing (TraceRing stays
+  // null otherwise): the disabled path pays one branch, nothing else.
+  if (TraceRing)
+    TraceRing->push(trace::makeEvent(trace::Kind::DepPost,
+                                     static_cast<uint16_t>(1 + WorkerId),
+                                     monotonicNanos(), Iter, Value, Chan));
+}
+
+uint64_t Runtime::waitDep(uint64_t Iter, uint32_t Chan) {
+  ++LocalStats.DepWaits;
+  // Below the loop's first iteration nobody will ever post: the rewritten
+  // IR discards this value through a select, so 0 works in every mode and
+  // a speculative worker must not spin for it.
+  if (static_cast<int64_t>(Iter) < DepFloor)
+    return 0;
+  if (Chan >= DepChanCount) {
+    if (DepRingsShared) {
+      if (Mode != ExecMode::Sequential)
+        misspecAbort("dep channel beyond the invocation's ring region");
+      return 0;
+    }
+    ensureLocalDepRings(Chan);
+  }
+  uint64_t V;
+  if (depchan::probe(DepRings, Chan, Iter, &V))
+    return V;
+  if (Mode == ExecMode::Sequential)
+    return 0; // Sequential misses are pre-loop targets by construction.
+
+  // Worker slow path: spin until the producer posts, refreshing our
+  // heartbeat (a patient consumer is not a hung worker) and watching the
+  // misspeculation flag — once an iteration at or before ours is doomed,
+  // the token may never arrive and our own period can no longer commit.
+  // A bounded wait converts producer loss the flag cannot explain (e.g. a
+  // worker wedged before the watchdog notices) into misspeculation.
+  const uint64_t StartNs = monotonicNanos();
+  uint64_t SleepNs = 1000; // 1us, doubling to 100us.
+  for (;;) {
+    for (int K = 0; K < 256; ++K)
+      if (depchan::probe(DepRings, Chan, Iter, &V)) {
+        // Only waits that left the fast path get a span: the token was
+        // genuinely late and the stall is worth seeing on the timeline.
+        if (TraceRing)
+          TraceRing->push(trace::makeEvent(
+              trace::Kind::DepWait, static_cast<uint16_t>(1 + WorkerId),
+              monotonicNanos(), StartNs, Iter, Chan));
+        return V;
+      }
+    ++LocalStats.DepWaitSpins;
+    uint64_t Now = monotonicNanos();
+    if (Cb) {
+      Cb->WorkerHeartbeat[WorkerId].store(Now, std::memory_order_relaxed);
+      if (Cb->MisspecFlag.load(std::memory_order_acquire) &&
+          CurIter >=
+              Cb->EarliestMisspecIter.load(std::memory_order_relaxed)) {
+        if (Mode == ExecMode::SpeculativeWorker)
+          misspecAbort("dependence producer misspeculated");
+        _exit(kMisspecExit); // Non-speculative worker: same classification.
+      }
+    }
+    if (DepWaitNs && Now - StartNs > DepWaitNs) {
+      ++LocalStats.DepWaitTimeouts;
+      if (Mode == ExecMode::SpeculativeWorker)
+        misspecAbort("dependence wait timed out");
+      _exit(kMisspecExit);
+    }
+    timespec Ts{0, static_cast<long>(SleepNs)};
+    nanosleep(&Ts, nullptr);
+    if (SleepNs < 100000)
+      SleepNs *= 2;
+  }
+}
+
+InvocationStats Runtime::runParallelStaged(uint64_t NumIterations,
+                                           const ParallelOptions &Options,
+                                           const StagedIterationFn &Body) {
+  ParallelOptions Opt = Options;
+  uint32_t S = Opt.NumStages ? Opt.NumStages : Opt.NumWorkers;
+  S = std::max<uint32_t>(1, std::min<uint32_t>(S, Opt.NumWorkers));
+  Opt.Strat = Strategy::Pipeline;
+  Opt.NumStages = S;
+  Opt.NumWorkers = S; // One worker per stage.
+  Opt.NumDepChannels = std::max(Opt.NumDepChannels, S);
+  StageCount = S;
+  int64_t SavedFloor = DepFloor;
+  DepFloor = 0;
+  // In a worker, run this worker's stage of iteration I: wait on the
+  // previous stage's token for the same iteration, compute, post ours.
+  // Sequentially (recovery, degradation, the baseline), run the whole
+  // stage chain of I in order — the token value flows directly, so the
+  // re-execution is a legal linearization of the pipeline's two orders
+  // (stage order within an iteration, iteration order within a stage).
+  IterationFn Wrapper = [this, &Body, S](uint64_t I) {
+    if (Mode == ExecMode::Sequential) {
+      uint64_t In = 0;
+      for (uint32_t St = 0; St < S; ++St)
+        In = Body(I, St, In);
+      return;
+    }
+    uint32_t St = CurStage;
+    uint64_t In = St == 0 ? 0 : waitDep(I, St - 1);
+    postDep(I, St, Body(I, St, In));
+  };
+  InvocationStats Stats = runParallel(NumIterations, Opt, Wrapper);
+  StageCount = 0;
+  DepFloor = SavedFloor;
+  return Stats;
+}
+
 InvocationStats Runtime::runParallel(uint64_t NumIterations,
                                      const ParallelOptions &Options,
                                      const IterationFn &Body) {
@@ -204,6 +362,39 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   FaultInjector Fi(Options.Faults);
   Injector = Fi.enabled() ? &Fi : nullptr;
 
+  // Dependence-token channels (DOACROSS / pipeline): one MAP_SHARED ring
+  // region for the whole invocation.  It must outlive individual epochs —
+  // a token committed in epoch k feeds the first iterations of epoch k+1 —
+  // and forked workers inherit the mapping, which is how forwarded values
+  // cross the copy-on-write isolation boundary.
+  depchan::DepSlot *SavedRings = DepRings;
+  uint32_t SavedChanCount = DepChanCount;
+  bool SavedShared = DepRingsShared;
+  void *DepMem = nullptr;
+  size_t DepBytes = 0;
+  bool DepMapFailed = false;
+  if (Options.NumDepChannels > 0) {
+    DepBytes = depchan::ringBytes(Options.NumDepChannels);
+    DepMem = mmap(nullptr, DepBytes, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    if (DepMem == MAP_FAILED) {
+      DepMem = nullptr;
+      DepMapFailed = true;
+      ++Stats.ResourceFailures;
+    } else {
+      DepRings = static_cast<depchan::DepSlot *>(DepMem);
+      DepChanCount = Options.NumDepChannels;
+      DepRingsShared = true;
+    }
+  }
+  DepWaitNs = Options.StallTimeoutSec > 0
+                  ? static_cast<uint64_t>(Options.StallTimeoutSec * 1e9)
+                  : 0;
+  uint64_t DepPosts0 = LocalStats.DepPosts;
+  uint64_t DepWaits0 = LocalStats.DepWaits;
+  uint64_t DepSpins0 = LocalStats.DepWaitSpins;
+  uint64_t DepTimeouts0 = LocalStats.DepWaitTimeouts;
+
   // Adaptive degradation state: after K consecutive misspeculating epochs,
   // run M periods sequentially before retrying speculation; M backs off
   // exponentially while hostility persists, bounding worst-case slowdown
@@ -214,6 +405,14 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   uint64_t BackoffPeriods = BasePeriods;
 
   uint64_t Next = 0;
+  if (DepMapFailed) {
+    // Without shared rings the workers cannot forward dependences; run the
+    // whole invocation sequentially (local fallback rings serve the
+    // post/wait calls).
+    runDegraded(0, NumIterations, Options, Body, Stats,
+                "out of memory: mmap dep-token rings");
+    Next = NumIterations;
+  }
   while (Next < NumIterations) {
     if (Options.DegradeAfterMisspecEpochs != 0 &&
         ConsecMisspecEpochs >= Options.DegradeAfterMisspecEpochs) {
@@ -273,6 +472,17 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   }
 
   Injector = nullptr;
+  if (DepMem)
+    munmap(DepMem, DepBytes);
+  DepRings = SavedRings;
+  DepChanCount = SavedChanCount;
+  DepRingsShared = SavedShared;
+  // Token traffic from the main process (sequential recovery and degraded
+  // windows re-post in order); the workers' share is aggregated per epoch.
+  Stats.DepPosts += LocalStats.DepPosts - DepPosts0;
+  Stats.DepWaits += LocalStats.DepWaits - DepWaits0;
+  Stats.DepWaitSpins += LocalStats.DepWaitSpins - DepSpins0;
+  Stats.DepWaitTimeouts += LocalStats.DepWaitTimeouts - DepTimeouts0;
   Stats.Iterations = NumIterations;
   Stats.WallSec = wallSeconds() - WallStart;
 
@@ -293,6 +503,12 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
   Reg.counter("commit", "early_cutoff_iters_saved") +=
       Stats.EarlyCutoffItersSaved;
   Reg.real("commit", "overlap_sec") += Stats.OverlapSec;
+  if (Stats.DepPosts || Stats.DepWaits) {
+    Reg.counter("dep", "posts") += Stats.DepPosts;
+    Reg.counter("dep", "waits") += Stats.DepWaits;
+    Reg.counter("dep", "wait-spins") += Stats.DepWaitSpins;
+    Reg.counter("dep", "wait-timeouts") += Stats.DepWaitTimeouts;
+  }
 
   if (TraceOn) {
     Tc.record(trace::Kind::Invocation, 0, monotonicNanos(), InvStartNs,
@@ -697,6 +913,10 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Stats.CheckpointDirtyChunks += S.CheckpointDirtyChunks;
     Stats.CheckpointBytesScanned += S.CheckpointBytesScanned;
     Stats.CheckpointBytesSkipped += S.CheckpointBytesSkipped;
+    Stats.DepPosts += S.DepPosts;
+    Stats.DepWaits += S.DepWaits;
+    Stats.DepWaitSpins += S.DepWaitSpins;
+    Stats.DepWaitTimeouts += S.DepWaitTimeouts;
     Stats.UsefulSec += S.UsefulSec;
     Stats.PrivateReadSec += S.PrivateReadSec;
     Stats.PrivateWriteSec += S.PrivateWriteSec;
@@ -844,6 +1064,10 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
   bool Spec = !Options.NonSpeculative;
   WorkerId = Id;
   NumWorkers = Options.NumWorkers;
+  // Pipeline: this worker IS one stage and visits every iteration in
+  // order; the cyclic-scheduling arithmetic below is bypassed.
+  bool Staged = Options.Strat == Strategy::Pipeline && Options.NumStages > 0;
+  CurStage = Staged ? Id : 0;
   EpochBase = Plan.BaseIter;
   PeriodLen = Plan.Period;
   LocalStats = WorkerStats();
@@ -940,12 +1164,20 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
     uint64_t PeriodEnd = std::min(EpochEnd, PeriodStart + Plan.Period);
     bool Executed = false;
 
-    // This worker's iterations of period P under cyclic scheduling.
+    // This worker's iterations of period P: its cyclic share for DOALL /
+    // DOACROSS, every iteration for a pipeline stage.
     uint64_t First = PeriodStart;
-    uint64_t Phase = (First - Plan.BaseIter) % NumWorkers;
-    if (Phase != Id)
-      First += (Id + NumWorkers - Phase) % NumWorkers;
-    for (uint64_t I = First; I < PeriodEnd; I += NumWorkers) {
+    uint64_t Step = Staged ? 1 : NumWorkers;
+    if (!Staged) {
+      uint64_t Phase = (First - Plan.BaseIter) % NumWorkers;
+      if (Phase != Id)
+        First += (Id + NumWorkers - Phase) % NumWorkers;
+    }
+    // One span per stage per period: the stage boundaries (not individual
+    // iterations) are what a pipeline timeline needs to show skew and
+    // fill/drain.  Zero cost when tracing is off.
+    uint64_t StagePassStartNs = Staged && TraceRing ? monotonicNanos() : 0;
+    for (uint64_t I = First; I < PeriodEnd; I += Step) {
       CurIter = I;
       Cb->WorkerIter[Id].store(I, std::memory_order_relaxed);
       if (++SinceBeat >= BeatEvery) {
@@ -997,6 +1229,10 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
         break;
       }
     }
+    if (StagePassStartNs)
+      TraceRing->push(trace::makeEvent(
+          trace::Kind::StagePass, TraceRow, monotonicNanos(),
+          StagePassStartNs, P, CurStage));
 
     if (Stopped)
       break;

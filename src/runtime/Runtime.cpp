@@ -19,7 +19,14 @@ Runtime &Runtime::get() {
   return TheRuntime;
 }
 
-Runtime::~Runtime() { shutdown(); }
+Runtime::~Runtime() {
+  shutdown();
+  delete[] LocalDepRings;
+  LocalDepRings = nullptr;
+  LocalDepChanCount = 0;
+  DepRings = nullptr;
+  DepChanCount = 0;
+}
 
 void Runtime::initialize(const RuntimeConfig &C) {
   assert(!Initialized && "runtime already initialized");

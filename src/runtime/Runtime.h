@@ -26,6 +26,7 @@
 
 #include "runtime/Checkpoint.h"
 #include "runtime/ControlBlock.h"
+#include "runtime/DepChannel.h"
 #include "runtime/FaultInjection.h"
 #include "runtime/HeapKind.h"
 #include "runtime/Reduction.h"
@@ -47,6 +48,46 @@ struct RuntimeConfig {
   size_t ShortLivedBytes = 8u << 20;
   size_t UnrestrictedBytes = 4u << 20;
 };
+
+/// How a parallel invocation schedules its iterations (ROADMAP item 3).
+enum class Strategy : uint8_t {
+  /// Independent iterations, the paper's model: cross-iteration
+  /// dependences must be speculated away entirely.
+  Doall = 0,
+  /// The DOALL scheduler plus explicit value forwarding: cross-iteration
+  /// dependences flow through post/wait token channels (postDep/waitDep)
+  /// at their analyzed dependence distance.
+  Doacross = 1,
+  /// Staged pipeline: the body is split into NumStages stages, one per
+  /// worker; every stage visits every iteration in order and tokens flow
+  /// between consecutive stages (runParallelStaged).
+  Pipeline = 2,
+};
+
+inline const char *strategyName(Strategy S) {
+  switch (S) {
+  case Strategy::Doall:
+    return "doall";
+  case Strategy::Doacross:
+    return "doacross";
+  case Strategy::Pipeline:
+    return "pipeline";
+  }
+  return "?";
+}
+
+/// Parses a --strategy value; returns false on an unknown name.
+inline bool strategyFromName(const std::string &Name, Strategy &Out) {
+  if (Name == "doall")
+    Out = Strategy::Doall;
+  else if (Name == "doacross")
+    Out = Strategy::Doacross;
+  else if (Name == "pipeline")
+    Out = Strategy::Pipeline;
+  else
+    return false;
+  return true;
+}
 
 /// Execution context of the current process.
 enum class ExecMode : uint8_t {
@@ -88,6 +129,22 @@ struct ParallelOptions {
   bool EagerCommit = true;
   /// Deferred-output sink; nullptr means stdout.
   std::FILE *Out = nullptr;
+
+  // --- Execution strategy (DOACROSS / pipeline, ROADMAP item 3) ----------
+
+  /// Scheduling strategy.  Doacross and Pipeline need NumDepChannels > 0
+  /// to map the shared token rings.
+  Strategy Strat = Strategy::Doall;
+  /// Dep-token channels the invocation uses: one per forwarded dependence
+  /// (DOACROSS) or per stage boundary (pipeline).  >0 maps a MAP_SHARED
+  /// ring region inherited by workers; 0 keeps DOALL behavior.
+  uint32_t NumDepChannels = 0;
+  /// Minimum analyzed/proved dependence distance.  Informational: bounds
+  /// the attainable DOACROSS overlap (distance >= workers keeps every
+  /// worker busy).
+  uint32_t DepDistance = 0;
+  /// Pipeline stage count for runParallelStaged; clamped to NumWorkers.
+  uint32_t NumStages = 0;
 
   // --- Fault tolerance ---------------------------------------------------
 
@@ -164,6 +221,12 @@ struct InvocationStats {
   uint64_t DegradedEpochs = 0; ///< Windows run sequentially by fallback.
   uint64_t DegradedIterations = 0;
   std::string FirstDegradeReason;
+
+  // --- DOACROSS / pipeline counters (StatisticRegistry group "dep") ------
+  uint64_t DepPosts = 0;        ///< Tokens published by postDep.
+  uint64_t DepWaits = 0;        ///< Tokens consumed by waitDep.
+  uint64_t DepWaitSpins = 0;    ///< Spin rounds spent blocked on a token.
+  uint64_t DepWaitTimeouts = 0; ///< Waits that gave up and misspeculated.
 };
 
 using IterationFn = std::function<void(uint64_t)>;
@@ -268,6 +331,48 @@ public:
   /// recovery engine.
   void runSequential(uint64_t Begin, uint64_t End, const IterationFn &Body);
 
+  // --- Dependence forwarding (DOACROSS / pipeline, ROADMAP item 3) -------
+
+  /// post: publishes the cross-iteration value produced by iteration
+  /// \p Iter on channel \p Chan.  Inside an invocation the token lands in
+  /// the shared ring every worker inherits; sequential execution
+  /// (including recovery, which re-posts in order, overwriting doomed
+  /// speculative tokens) uses the same ring, and plain sequential runs
+  /// outside any invocation fall back to process-local rings so a
+  /// rewritten module keeps its original semantics.
+  void postDep(uint64_t Iter, uint32_t Chan, uint64_t Value);
+
+  /// wait: returns the token iteration \p Iter posted on \p Chan.  A
+  /// speculative worker spins — refreshing its heartbeat, polling the
+  /// misspeculation flag, bounded by StallTimeoutSec — and converts a
+  /// hopeless wait into misspeculation.  Everywhere else a missing token
+  /// returns 0 immediately; by construction that only happens for
+  /// pre-loop targets, whose value the rewritten IR discards via select.
+  uint64_t waitDep(uint64_t Iter, uint32_t Chan);
+
+  /// Lowest iteration number that will ever post a token (the loop's
+  /// begin): speculative waits below the floor return 0 instead of
+  /// spinning.  The execution engines set it right before entering the
+  /// planned loop.
+  void setDepFloor(int64_t Floor) { DepFloor = Floor; }
+
+  /// Stage body for runParallelStaged: (iteration, stage, token from the
+  /// previous stage) -> token for the next stage.  Stage 0 receives 0.
+  using StagedIterationFn =
+      std::function<uint64_t(uint64_t, uint32_t, uint64_t)>;
+
+  /// Pipeline driver: stage s (one per worker, NumStages clamped to
+  /// NumWorkers) processes every iteration in order, waiting on stage
+  /// s-1's token for the same iteration and posting its own on channel s.
+  /// Shares the DOALL epoch/checkpoint machinery — checkpoint slots act
+  /// as stage-commit points (a slot commits only once every stage has
+  /// merged its period) — so misspeculation rolls back the stage suffix
+  /// past the committed frontier and re-runs the remaining (iteration,
+  /// stage) pairs sequentially in order.
+  InvocationStats runParallelStaged(uint64_t NumIterations,
+                                    const ParallelOptions &Options,
+                                    const StagedIterationFn &Body);
+
   ExecMode mode() const { return Mode; }
 
 private:
@@ -342,6 +447,27 @@ private:
   bool TraceOn = false;
   trace::Ring *TraceRing = nullptr;
   std::FILE *SeqOut = nullptr; ///< Sink for immediate (sequential) output.
+
+  // --- Dependence-token channels (DOACROSS / pipeline) -------------------
+  /// Base of the channel rings.  During an invocation this is the
+  /// MAP_SHARED region created by runParallel (workers inherit the
+  /// mapping); outside invocations it may point at lazily grown
+  /// process-local rings for plain sequential execution.
+  depchan::DepSlot *DepRings = nullptr;
+  uint32_t DepChanCount = 0;
+  bool DepRingsShared = false; ///< True while runParallel owns the region.
+  /// Process-local fallback rings for sequential execution outside an
+  /// invocation; grown lazily, freed at shutdown.
+  depchan::DepSlot *LocalDepRings = nullptr;
+  uint32_t LocalDepChanCount = 0;
+  int64_t DepFloor = INT64_MIN;
+  uint64_t DepWaitNs = 0; ///< Spin bound for speculative waits (0 = none).
+  /// Staged-pipeline state, live only inside runParallelStaged.
+  const StagedIterationFn *StagedBody = nullptr;
+  uint32_t StageCount = 0;
+  uint32_t CurStage = 0; ///< This worker's stage.
+  /// Grows the process-local fallback rings to cover \p Chan.
+  void ensureLocalDepRings(uint32_t Chan);
 };
 
 } // namespace privateer

@@ -123,8 +123,12 @@ JobReply runAssignment(const ExecAssignment &A,
   Par.Faults.StallAtIter = Req.FaultStallAtIter;
   Par.Faults.StallSeconds = Req.FaultStallSeconds;
   Par.Faults.KillRate = Req.FaultKillRate;
+  Par.Strat = static_cast<Strategy>(Req.Strat);
+  Par.NumStages = Req.NumStages;
 
   transform::PipelineOptions PO;
+  PO.Strat = static_cast<Strategy>(Req.Strat);
+  PO.NumStages = Req.NumStages;
 
   double T0 = wallSeconds();
   try {

@@ -22,10 +22,16 @@ CachedProgram::~CachedProgram() {
 }
 
 std::shared_ptr<CachedProgram>
-ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
-  uint64_t Key = fnv1a(Text);
+ProgramCache::lookup(const std::string &Text, Strategy Strat, std::string &Err,
+                     bool &Hit) {
+  // The strategy is part of the program's identity: the doacross pre-pass
+  // rewrites the module, so the same text compiles to different programs
+  // under different strategies and they must not alias in the cache.
+  uint64_t Key = fnv1a(Text) ^
+                 (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(Strat) + 1));
   auto It = Entries.find(Key);
-  if (It != Entries.end() && It->second.Prog->Text == Text) {
+  if (It != Entries.end() && It->second.Prog->Text == Text &&
+      It->second.Prog->Strat == Strat) {
     Hit = true;
     ++Hits;
     // LRU: a hit renews the entry's lease.
@@ -65,6 +71,7 @@ ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
   Entry->Key = Key;
   Entry->Generation = NextGeneration++;
   Entry->Text = Text;
+  Entry->Strat = Strat;
   Entry->M = ir::parseModule(Text, Err);
   if (!Entry->M) {
     Err = "parse error: " + Err;
@@ -87,8 +94,10 @@ ProgramCache::lookup(const std::string &Text, std::string &Err, bool &Hit) {
   // leak into the daemon's stdout.
   std::FILE *TrainSink = std::tmpfile();
   Runtime::get().setSequentialOutput(TrainSink);
-  Entry->Pipeline = transform::runPrivateerPipeline(
-      *Entry->M, *Entry->FA, transform::PipelineOptions());
+  transform::PipelineOptions PipeOpts;
+  PipeOpts.Strat = Strat;
+  Entry->Pipeline =
+      transform::runPrivateerPipeline(*Entry->M, *Entry->FA, PipeOpts);
   Runtime::get().setSequentialOutput(nullptr);
   if (TrainSink)
     std::fclose(TrainSink);

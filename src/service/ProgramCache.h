@@ -47,6 +47,10 @@ namespace service {
 struct CachedProgram {
   uint64_t Key = 0;
   std::string Text; ///< verbatim module text (collision check)
+  /// Strategy the pipeline ran under.  A doacross-rewritten module is a
+  /// different program from the doall compilation of the same text, so the
+  /// strategy participates in both the key and the collision check.
+  Strategy Strat = Strategy::Doall;
   std::unique_ptr<ir::Module> M;
   std::unique_ptr<analysis::FunctionAnalyses> FA;
   transform::PipelineResult Pipeline;
@@ -86,14 +90,15 @@ class ProgramCache {
 public:
   explicit ProgramCache(size_t MaxEntries = 32) : MaxEntries(MaxEntries) {}
 
-  /// Looks up (or builds) the prepared program for \p Text.  On a miss
-  /// this runs the full pipeline in the calling process — the training
-  /// run's output is swallowed.  Returns nullptr with \p Err set when the
-  /// text does not parse or verify; a program whose pipeline finds no
-  /// parallelizable loop is still cached (Pipeline.Transformed == false)
-  /// so repeated submits stay cheap.
+  /// Looks up (or builds) the prepared program for \p Text compiled under
+  /// \p Strat.  On a miss this runs the full pipeline in the calling
+  /// process — the training run's output is swallowed.  Returns nullptr
+  /// with \p Err set when the text does not parse or verify; a program
+  /// whose pipeline finds no parallelizable loop is still cached
+  /// (Pipeline.Transformed == false) so repeated submits stay cheap.
   std::shared_ptr<CachedProgram> lookup(const std::string &Text,
-                                        std::string &Err, bool &Hit);
+                                        Strategy Strat, std::string &Err,
+                                        bool &Hit);
 
   size_t size() const { return Entries.size(); }
   uint64_t hits() const { return Hits; }

@@ -2,6 +2,7 @@
 
 #include "service/Protocol.h"
 
+#include "runtime/Runtime.h"
 #include "support/Timing.h"
 
 #include <algorithm>
@@ -192,6 +193,8 @@ std::string service::encodeJobRequest(const JobRequest &R) {
   putF64(B, R.FaultBurnCpuSec);
   putStr(B, R.TenantId); // v4+
   putU8(B, R.Submit);    // v4+
+  putU8(B, R.Strat);     // v5+
+  putU32(B, R.NumStages); // v5+
   return B;
 }
 
@@ -229,6 +232,8 @@ bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
        C.getF64(R.FaultBurnCpuSec);
   if (Ok && Version >= 4)
     Ok = C.getStr(R.TenantId) && C.getU8(R.Submit);
+  if (Ok && Version >= 5)
+    Ok = C.getU8(R.Strat) && C.getU32(R.NumStages);
   if (!Ok) {
     Err = "truncated SubmitJob body";
     return false;
@@ -243,6 +248,10 @@ bool service::decodeJobRequest(const std::string &Body, JobRequest &R,
   }
   if (R.Submit > static_cast<uint8_t>(SubmitMode::Memfd)) {
     Err = "bad submit mode " + std::to_string(R.Submit);
+    return false;
+  }
+  if (R.Strat > static_cast<uint8_t>(Strategy::Pipeline)) {
+    Err = "bad strategy " + std::to_string(R.Strat);
     return false;
   }
   R.Mode = static_cast<JobMode>(Mode);

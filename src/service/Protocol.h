@@ -41,11 +41,12 @@
 namespace privateer {
 namespace service {
 
-inline constexpr uint8_t kProtocolVersion = 4;
+inline constexpr uint8_t kProtocolVersion = 5;
 /// Oldest SubmitJob/JobResult body version still decoded.  v2 (PR 6)
 /// predates the Engine byte; v3 (PR 7) added it; v4 adds the tenant id
-/// and the submission mode.  Fields missing from old bodies keep their
-/// defaults, so v2/v3 clients ride the in-band path as anonymous tenants.
+/// and the submission mode; v5 adds the scheduling strategy and pipeline
+/// stage count.  Fields missing from old bodies keep their defaults, so
+/// v2-v4 clients ride the in-band DOALL path as anonymous tenants.
 inline constexpr uint8_t kMinProtocolVersion = 2;
 /// Default ceiling on one frame (module texts and job output both ride in
 /// frames; 64 MiB is far above any bundled program).
@@ -143,6 +144,13 @@ struct JobRequest {
   /// oracle).  Bytecode silently falls back to the interpreter for
   /// constructs the lowerer declines.
   uint8_t Engine = 0;
+  /// Scheduling strategy (mirrors privateer::Strategy): 0 = doall (the
+  /// pre-v5 behavior), 1 = doacross, 2 = pipeline.  Non-doall strategies
+  /// let the pipeline's dependence-distance pre-pass rewrite provable
+  /// carried dependences into token forwarding (v5).
+  uint8_t Strat = 0;
+  /// Pipeline stage count hint, 0 = derive from the worker count (v5).
+  uint32_t NumStages = 0;
   uint32_t NumWorkers = 4;
   uint64_t CheckpointPeriod = 64;
   uint64_t MaxSlotsPerEpoch = 32;

@@ -1116,7 +1116,8 @@ void Server::handleSubmit(Conn &C, const std::string &Body) {
 
   // Warm program cache: parse + pipeline happen at most once per program.
   bool Hit = false;
-  std::shared_ptr<CachedProgram> Prog = Cache.lookup(Req.ModuleText, Err, Hit);
+  std::shared_ptr<CachedProgram> Prog = Cache.lookup(
+      Req.ModuleText, static_cast<Strategy>(Req.Strat), Err, Hit);
   stat("cache_hits") = Cache.hits();
   stat("cache_misses") = Cache.misses();
   stat("cache_evictions") = Cache.evictions();
@@ -1397,10 +1398,14 @@ void Server::runSupervisor(const Job &J) {
   Par.Faults.StallAtIter = J.Req.FaultStallAtIter;
   Par.Faults.StallSeconds = J.Req.FaultStallSeconds;
   Par.Faults.KillRate = J.Req.FaultKillRate;
+  Par.Strat = static_cast<Strategy>(J.Req.Strat);
+  Par.NumStages = J.Req.NumStages;
 
   transform::PipelineOptions PO;
   PO.Engine = J.Req.Engine == 1 ? transform::ExecEngine::Interp
                                 : transform::ExecEngine::Bytecode;
+  PO.Strat = static_cast<Strategy>(J.Req.Strat);
+  PO.NumStages = J.Req.NumStages;
 
   double T0 = wallSeconds();
   try {

@@ -1,0 +1,66 @@
+//===- transform/Doacross.h - DOACROSS token-forwarding rewrite -*- C++ -*-===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DOACROSS pre-pass: rewrites the carried dependences a DoacrossPlan
+/// proved (analysis/DepDistance.h) into explicit postdep/waitdep token
+/// traffic, leaving a DOALL-shaped loop for classification and the
+/// privatizing transformation to handle unchanged.
+///
+/// A scalar recurrence  x = phi [pre: init], [latch: next]  becomes
+///
+///   %first = icmp eq %i, Begin
+///   %prev  = sub %i, 1
+///   %tok   = waitdep %prev, chan
+///   %x     = select %first, init, %tok        ; phi deleted
+///   ...
+///   postdep %i, %next, chan                   ; in the latch
+///
+/// An array recurrence  v = load A[j], j = i - x  keeps the load as the
+/// pre-loop fallback and forwards in-loop values through the ring:
+///
+///   %pre = icmp lt %j, Begin
+///   %v0  = load A[j]                          ; original, checks elided
+///   %tok = waitdep %j, chan
+///   %v   = select %pre, %v0, %tok
+///   ...
+///   store %s, A[i]
+///   postdep %i, %s, chan
+///
+/// The rewrite is unconditionally semantics-preserving: under sequential
+/// execution (and misspeculation recovery) iterations run in order, so
+/// every waitdep's token was already posted — the runtime keeps
+/// process-local rings for exactly this case — and pre-loop targets
+/// select the memory value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef PRIVATEER_TRANSFORM_DOACROSS_H
+#define PRIVATEER_TRANSFORM_DOACROSS_H
+
+#include "analysis/DepDistance.h"
+
+namespace privateer {
+namespace transform {
+
+struct DoacrossStats {
+  unsigned ScalarCarries = 0;
+  unsigned ArrayCarries = 0;
+  unsigned Channels = 0;
+  std::vector<std::string> Errors;
+  bool ok() const { return Errors.empty(); }
+};
+
+/// Applies \p Plan to the module in place.  Only touches straight-line
+/// instructions (no CFG edges), so cached analyses stay valid.
+DoacrossStats applyDoacross(ir::Module &M,
+                            const analysis::DoacrossPlan &Plan);
+
+} // namespace transform
+} // namespace privateer
+
+#endif // PRIVATEER_TRANSFORM_DOACROSS_H

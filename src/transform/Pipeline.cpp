@@ -2,10 +2,12 @@
 
 #include "transform/Pipeline.h"
 
+#include "analysis/DepDistance.h"
 #include "bytecode/Lower.h"
 #include "bytecode/VM.h"
 #include "profiling/ProfileCollector.h"
 #include "support/ErrorHandling.h"
+#include "transform/Doacross.h"
 
 #include <algorithm>
 
@@ -48,12 +50,56 @@ PipelineResult transform::runPrivateerPipeline(Module &M,
     if (S.Iterations == 0)
       continue;
     std::vector<std::string> WhyNot;
-    if (!isDoallReady(*L, FA, WhyNot)) {
+    bool Ready = isDoallReady(*L, FA, WhyNot);
+    HeapAssignment HA;
+    if (Ready)
+      HA = classifyLoop(*L, FA, R.TrainingProfile);
+
+    // DOACROSS pre-pass: when the strategy allows it and plain DOALL is
+    // off the table, try to rewrite the loop's carried dependences into
+    // token forwarding.  The trial classification (with the covered deps
+    // carved out) runs before the IR is touched, so a loop the tokens
+    // cannot fully cover is left unmodified.
+    if (Opt.Strat != Strategy::Doall && (!Ready || !HA.Parallelizable)) {
+      analysis::DoacrossPlan DP =
+          analysis::planDoacross(*L, FA, R.TrainingProfile);
+      if (!DP.viable()) {
+        R.Log.push_back("loop@" + L->header()->name() + ": no doacross (" +
+                        (DP.WhyNot.empty() ? "?" : DP.WhyNot.front()) + ")");
+      } else {
+        HeapAssignment Trial =
+            classifyLoop(*L, FA, R.TrainingProfile, &DP.Covered);
+        if (!Trial.Parallelizable) {
+          R.Log.push_back("loop@" + L->header()->name() +
+                          ": doacross tokens cover too little");
+        } else {
+          DoacrossStats DS = applyDoacross(M, DP);
+          for (const std::string &E : DS.Errors)
+            R.Log.push_back("doacross error: " + E);
+          WhyNot.clear();
+          if (DS.ok() && isDoallReady(*L, FA, WhyNot)) {
+            HA = std::move(Trial);
+            HA.DoacrossChannels = DP.NumChannels;
+            HA.DoacrossMinDistance = DP.MinDistance;
+            for (const analysis::ArrayCarry &AC : DP.Arrays)
+              HA.PrivacyElides.insert(AC.Load);
+            Ready = true;
+            R.Log.push_back(
+                "loop@" + L->header()->name() + ": doacross rewrite, " +
+                std::to_string(DS.ScalarCarries) + " scalar + " +
+                std::to_string(DS.ArrayCarries) + " array carries over " +
+                std::to_string(DP.NumChannels) + " channels, min distance " +
+                std::to_string(DP.MinDistance));
+          }
+        }
+      }
+    }
+
+    if (!Ready) {
       R.Log.push_back("loop@" + L->header()->name() + ": not DOALL (" +
                       (WhyNot.empty() ? "?" : WhyNot.front()) + ")");
       continue;
     }
-    HeapAssignment HA = classifyLoop(*L, FA, R.TrainingProfile);
     R.Log.push_back("loop@" + L->header()->name() + ": " +
                     (HA.Parallelizable ? "parallelizable"
                                        : "NOT parallelizable") +
@@ -125,6 +171,9 @@ transform::lowerForPrivatized(const Module &M, const FunctionAnalyses &FA,
     RG.Op = ElemOp.second;
     Prog->ReduxGlobals.push_back(RG);
   }
+  // Same self-containment for token rings: a warm executive sizes them
+  // from the image alone.
+  Prog->NumDepChannels = HA.DoacrossChannels;
   return Prog;
 }
 
@@ -170,6 +219,11 @@ ExecutionResult transform::executePrivatized(
     bytecode::VM::ParallelPlan Plan;
     Plan.Options = ParOpts;
     Plan.Options.Out = Out;
+    Plan.Options.NumDepChannels =
+        std::max(Plan.Options.NumDepChannels, BP->NumDepChannels);
+    Plan.Options.DepDistance = std::max<uint32_t>(
+        Plan.Options.DepDistance,
+        static_cast<uint32_t>(HA.DoacrossMinDistance));
     Vm.setParallelPlan(&Plan);
     Vm.initializeGlobals();
     for (const bytecode::BcReduxGlobal &RG : BP->ReduxGlobals)
@@ -189,6 +243,11 @@ ExecutionResult transform::executePrivatized(
     Plan.Iv = *Iv;
     Plan.Options = ParOpts;
     Plan.Options.Out = Out;
+    Plan.Options.NumDepChannels =
+        std::max(Plan.Options.NumDepChannels, HA.DoacrossChannels);
+    Plan.Options.DepDistance = std::max<uint32_t>(
+        Plan.Options.DepDistance,
+        static_cast<uint32_t>(HA.DoacrossMinDistance));
     Interp.setParallelPlan(&Plan);
     Interp.initializeGlobals();
 
@@ -227,6 +286,8 @@ ExecutionResult transform::executeLoadedParallel(
     bytecode::VM::ParallelPlan Plan;
     Plan.Options = ParOpts;
     Plan.Options.Out = Out;
+    Plan.Options.NumDepChannels =
+        std::max(Plan.Options.NumDepChannels, BP.NumDepChannels);
     Vm.setParallelPlan(&Plan);
     Vm.initializeGlobals();
     for (const bytecode::BcReduxGlobal &RG : BP.ReduxGlobals)

@@ -52,6 +52,15 @@ struct PipelineOptions {
   /// when lowering declines (ExecutionResult::EngineUsed reports which
   /// engine actually ran).
   ExecEngine Engine = ExecEngine::Bytecode;
+  /// Scheduling strategy.  Doall admits only dependence-free loops (the
+  /// seed behavior).  Doacross and Pipeline additionally run the
+  /// dependence-distance pre-pass (analysis/DepDistance.h), rewriting
+  /// provable carried dependences into token forwarding before
+  /// classification judges the loop.
+  Strategy Strat = Strategy::Doall;
+  /// Stage count hint for Strategy::Pipeline (0 = pick from the worker
+  /// count at execution time).
+  uint32_t NumStages = 0;
 };
 
 struct PipelineResult {

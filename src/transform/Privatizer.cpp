@@ -168,6 +168,13 @@ TransformStats transform::applyPrivatization(Module &M,
     Value *Ptr = I->operand(IsLoad ? 0 : 1);
 
     if (K == HeapKind::Private) {
+      // DOACROSS fallback loads read private-heap bytes that the
+      // forwarding select discards for in-loop targets; validating them
+      // would misspeculate on garbage that is never used.
+      if (HA.PrivacyElides.count(I)) {
+        ++Stats.PrivacyChecksElided;
+        continue;
+      }
       // private_read / private_write validate the heap tag themselves, so
       // no separate separation check is needed (§5.1: the privacy check's
       // tag test doubles as the separation check).

@@ -36,6 +36,7 @@ struct TransformStats {
   unsigned SeparationChecks = 0;
   unsigned SeparationChecksElided = 0;
   unsigned PrivacyChecks = 0;
+  unsigned PrivacyChecksElided = 0;
   unsigned PredictionsInstalled = 0;
   std::vector<std::string> Errors;
   bool ok() const { return Errors.empty(); }

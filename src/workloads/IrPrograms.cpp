@@ -379,3 +379,93 @@ std::string privateer::fpPricingIrText(uint64_t N) {
       static_cast<unsigned long long>(N));
   return Buf;
 }
+
+std::string privateer::arrayRecurrenceIrText(uint64_t N, uint64_t Dist) {
+  // a[k] = 10 + k for k < Dist, then a[i] = (33*a[i-Dist] + i) mod p.
+  std::string S = "global @a " + std::to_string(N * 8) +
+                  "\n"
+                  "\n"
+                  "define void @kernel(i64 %n) {\n"
+                  "entry:\n";
+  for (uint64_t K = 0; K < Dist; ++K) {
+    std::string P = "@a";
+    if (K != 0) {
+      P = "%p" + std::to_string(K);
+      S += "  " + P + " = gep @a, " + std::to_string(K * 8) + "\n";
+    }
+    S += "  store " + std::to_string(10 + K) + ", " + P + ", 8\n";
+  }
+  std::string D = std::to_string(Dist);
+  S += "  br loop\n"
+       "loop:\n"
+       "  %i = phi [entry: " + D + "], [latch: %inext]\n"
+       "  %c = icmp lt, %i, %n\n"
+       "  condbr %c, body, exit\n"
+       "body:\n"
+       "  %j = sub %i, " + D + "\n"
+       "  %offj = mul %j, 8\n"
+       "  %pj = gep @a, %offj\n"
+       "  %prev = load i64, %pj, 8\n"
+       "  %t0 = mul %prev, 33\n"
+       "  %t1 = add %t0, %i\n"
+       "  %v = srem %t1, 1000003\n"
+       "  %offi = mul %i, 8\n"
+       "  %pi = gep @a, %offi\n"
+       "  store %v, %pi, 8\n"
+       "  br latch\n"
+       "latch:\n"
+       "  %inext = add %i, 1\n"
+       "  br loop\n"
+       "exit:\n"
+       "  ret\n"
+       "}\n"
+       "\n"
+       "define i64 @main() {\n"
+       "entry:\n"
+       "  call @kernel(" + std::to_string(N) + ")\n"
+       "  %p = gep @a, " + std::to_string((N - 1) * 8) + "\n"
+       "  %r = load i64, %p, 8\n"
+       "  print \"last %d\\n\", %r\n"
+       "  ret %r\n"
+       "}\n";
+  return S;
+}
+
+std::string privateer::scalarCarryIrText(uint64_t N) {
+  // acc' = (33*acc + i) mod p, stored to b[i] each iteration.
+  std::string S = "global @b " + std::to_string(N * 8) +
+                  "\n"
+                  "\n"
+                  "define void @kernel(i64 %n) {\n"
+                  "entry:\n"
+                  "  br loop\n"
+                  "loop:\n"
+                  "  %i = phi [entry: 0], [latch: %inext]\n"
+                  "  %acc = phi [entry: 5], [latch: %accn]\n"
+                  "  %c = icmp lt, %i, %n\n"
+                  "  condbr %c, body, exit\n"
+                  "body:\n"
+                  "  %t0 = mul %acc, 33\n"
+                  "  %t1 = add %t0, %i\n"
+                  "  %accn = srem %t1, 1000003\n"
+                  "  %off = mul %i, 8\n"
+                  "  %p = gep @b, %off\n"
+                  "  store %accn, %p, 8\n"
+                  "  br latch\n"
+                  "latch:\n"
+                  "  %inext = add %i, 1\n"
+                  "  br loop\n"
+                  "exit:\n"
+                  "  ret\n"
+                  "}\n"
+                  "\n"
+                  "define i64 @main() {\n"
+                  "entry:\n"
+                  "  call @kernel(" + std::to_string(N) + ")\n"
+                  "  %p = gep @b, " + std::to_string((N - 1) * 8) + "\n"
+                  "  %r = load i64, %p, 8\n"
+                  "  print \"last %d\\n\", %r\n"
+                  "  ret %r\n"
+                  "}\n";
+  return S;
+}

@@ -41,6 +41,18 @@ std::string recurrenceIrText(uint64_t N);
 /// through the whole pipeline.
 std::string fpPricingIrText(uint64_t N);
 
+/// An array recurrence a[i] = f(a[i - Dist], i) over N elements, with the
+/// first Dist elements seeded before the loop.  Not DOALL-parallelizable;
+/// the DOACROSS pre-pass proves the fixed distance and forwards the
+/// carried values through token rings.  Requires 1 <= Dist < N.
+std::string arrayRecurrenceIrText(uint64_t N, uint64_t Dist);
+
+/// A loop-carried scalar recurrence acc = f(acc, i) whose running value
+/// is stored to b[i] each iteration.  The extra header phi defeats plain
+/// DOALL readiness; DOACROSS rewrites it into distance-one token
+/// forwarding.
+std::string scalarCarryIrText(uint64_t N);
+
 } // namespace privateer
 
 #endif // PRIVATEER_WORKLOADS_IRPROGRAMS_H

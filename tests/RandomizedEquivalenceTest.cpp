@@ -525,6 +525,243 @@ TEST(RandomizedIrSweep, ParallelRuntimeMatchesSequentialAcrossMatrix) {
   }
 }
 
+// --- Randomized dependence-loop sweep (DOACROSS / pipeline) -------------
+//
+// Each seed generates a loop that is deliberately NOT DOALL-parallelizable:
+// a loop-carried i64 scalar recurrence, an array recurrence a[i] =
+// f(a[i - x], i) at a fixed or variable (mask-bounded) distance, or both —
+// exactly the dependence shapes the DOACROSS pre-pass must prove and
+// rewrite into token forwarding.  The transformed loop then runs across a
+// {workers x stages x period x faults x engine x strategy} matrix,
+// byte-compared against plain sequential interpretation of the pristine
+// program.  PRIVATEER_RANDOM_SWEEP_SEEDS scales the sweep for nightly CI.
+
+/// Seeded generator of a dependence-carrying kernel.  Always emits @a
+/// (array recurrence storage), @b (per-iteration live-outs), and @acc
+/// (sum reduction) so @main can digest every observable identically
+/// across shapes; the seed decides which dependences actually exist.
+std::string randomDepLoopProgram(uint64_t Seed, uint64_t &IterationsOut) {
+  DeterministicRng Rng(Seed * 0x9e3779b97f4a7c15ULL + 41);
+  uint64_t N = 96 + Rng.nextBelow(160);
+  bool HasArray = (Rng.next() & 1) != 0;
+  bool Variable = HasArray && (Rng.next() & 1) != 0;
+  bool HasScalar = !HasArray || (Rng.next() & 1) != 0;
+  bool HasRedux = (Rng.next() & 1) != 0;
+  bool Print = (Rng.next() & 1) != 0;
+  uint64_t Mask = (1ull << (1 + Rng.nextBelow(3))) - 1; // 1, 3, or 7.
+  uint64_t Dist = 1 + Rng.nextBelow(6);
+  uint64_t Begin = HasArray ? (Variable ? Mask + 1 : Dist) : 0;
+  uint64_t C1 = 3 + Rng.nextBelow(97);
+  uint64_t C2 = 7 + Rng.nextBelow(1000003);
+  uint64_t C3 = 3 + Rng.nextBelow(89);
+  uint64_t C4 = 11 + Rng.nextBelow(99991);
+  uint64_t PrintMod = 3 + Rng.nextBelow(9);
+  IterationsOut = N - Begin;
+
+  std::string S;
+  char Buf[512];
+  auto Emit = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    S += Buf;
+  };
+  auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
+
+  Emit("global @a %llu\n", U(N * 8));
+  Emit("global @b %llu\n", U(N * 8));
+  S += "global @acc 8\n\n";
+
+  // Seed the recurrence's pre-loop elements (straight-line; Begin <= 8).
+  S += "define void @seedfn() {\nentry:\n";
+  for (uint64_t K = 0; K < Begin; ++K) {
+    if (K == 0) {
+      Emit("  store %llu, @a, 8\n", U(10 + C1));
+    } else {
+      Emit("  %%sp%llu = gep @a, %llu\n", U(K), U(K * 8));
+      Emit("  store %llu, %%sp%llu, 8\n", U(10 + C1 + K * C3), U(K));
+    }
+  }
+  S += "  ret\n}\n\n";
+
+  S += "define void @kernel(i64 %n) {\n"
+       "entry:\n  br loop\n"
+       "loop:\n";
+  Emit("  %%i = phi [entry: %llu], [latch: %%inext]\n", U(Begin));
+  if (HasScalar)
+    S += "  %s = phi [entry: 5], [latch: %sn]\n";
+  S += "  %c = icmp lt, %i, %n\n  condbr %c, body, exit\n"
+       "body:\n"
+       "  %ioff = mul %i, 8\n";
+  std::string Mix = "%i";
+  if (HasArray) {
+    // Back-index: fixed IV - Dist, or IV - x with x = (i & Mask) + 1 —
+    // the interval analysis proves x in [1, Mask + 1].
+    if (Variable) {
+      Emit("  %%hx = and %%i, %llu\n", U(Mask));
+      S += "  %x = add %hx, 1\n"
+           "  %j = sub %i, %x\n";
+    } else {
+      Emit("  %%j = sub %%i, %llu\n", U(Dist));
+    }
+    S += "  %joff = mul %j, 8\n"
+         "  %jp = gep @a, %joff\n"
+         "  %prev = load i64, %jp, 8\n";
+    Emit("  %%av0 = mul %%prev, %llu\n", U(C1));
+    S += "  %av1 = add %av0, %i\n";
+    Emit("  %%av = srem %%av1, %llu\n", U(C2));
+    S += "  %ip = gep @a, %ioff\n"
+         "  store %av, %ip, 8\n";
+    Mix = "%av";
+  }
+  if (HasScalar) {
+    Emit("  %%sm = mul %%s, %llu\n", U(C3));
+    Emit("  %%sa = add %%sm, %s\n", Mix.c_str());
+    Emit("  %%sn = srem %%sa, %llu\n", U(C4));
+    Mix = "%sn";
+  }
+  Emit("  %%mix = xor %s, %%i\n", Mix.c_str());
+  S += "  %bp = gep @b, %ioff\n"
+       "  store %mix, %bp, 8\n";
+  if (HasRedux)
+    S += "  %old = load i64, @acc, 8\n"
+         "  %new = add %old, %mix\n"
+         "  store %new, @acc, 8\n";
+  if (Print) {
+    Emit("  %%pm = srem %%mix, %llu\n", U(PrintMod));
+    S += "  %pc = icmp eq, %pm, 0\n"
+         "  condbr %pc, doprint, latch\n"
+         "doprint:\n"
+         "  print \"it %d v %d\\n\", %i, %mix\n"
+         "  br latch\n";
+  } else {
+    S += "  br latch\n";
+  }
+  S += "latch:\n  %inext = add %i, 1\n  br loop\n"
+       "exit:\n  ret\n}\n\n";
+
+  // @main digests every observable: all of @b, the recurrence's last
+  // element, and the reduction cell.
+  S += "define i64 @main() {\n"
+       "entry:\n"
+       "  call @seedfn()\n";
+  Emit("  call @kernel(%llu)\n", U(N));
+  S += "  br sumloop\n"
+       "sumloop:\n"
+       "  %i = phi [entry: 0], [slatch: %inext]\n"
+       "  %acc = phi [entry: 0], [slatch: %acc2]\n";
+  Emit("  %%c = icmp lt, %%i, %llu\n", U(N));
+  S += "  condbr %c, slatch, done\n"
+       "slatch:\n"
+       "  %off = mul %i, 8\n  %p = gep @b, %off\n"
+       "  %v = load i64, %p, 8\n"
+       "  %acc2 = add %acc, %v\n"
+       "  %inext = add %i, 1\n  br sumloop\n"
+       "done:\n";
+  Emit("  %%ap = gep @a, %llu\n", U((N - 1) * 8));
+  S += "  %alast = load i64, %ap, 8\n"
+       "  %red = load i64, @acc, 8\n"
+       "  print \"bsum %d alast %d red %d\\n\", %acc, %alast, %red\n"
+       "  %r0 = add %acc, %alast\n"
+       "  %r = add %r0, %red\n"
+       "  ret %r\n}\n";
+  return S;
+}
+
+TEST(RandomizedIrSweep, DoacrossPipelineMatchesSequentialAcrossMatrix) {
+  unsigned Seeds = 25;
+  if (const char *Env = std::getenv("PRIVATEER_RANDOM_SWEEP_SEEDS"))
+    Seeds = static_cast<unsigned>(std::max(1, std::atoi(Env)));
+  const char *TraceEnv = std::getenv("PRIVATEER_TRACE");
+  const unsigned WorkerChoices[] = {2, 3, 4, 6, 8};
+
+  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    uint64_t N = 0;
+    std::string Text = randomDepLoopProgram(Seed, N);
+
+    std::string Err;
+    auto MRef = ir::parseModule(Text, Err);
+    ASSERT_NE(MRef, nullptr) << Err << "\n" << Text;
+    ASSERT_TRUE(ir::verifyModule(*MRef).empty()) << Text;
+
+    transform::PipelineOptions RefOpt;
+    RefOpt.Engine = transform::ExecEngine::Interp;
+    std::FILE *RefOut = std::tmpfile();
+    interp::Cell RefRet = transform::executeSequential(*MRef, RefOpt, RefOut);
+    std::string Expected = readAllFile(RefOut);
+    std::fclose(RefOut);
+
+    // Pipeline under Strategy::Doacross (the Pipeline strategy's pre-pass
+    // is identical; only the runtime schedule differs, and that is swept
+    // per configuration below).
+    auto M = ir::parseModule(Text, Err);
+    ASSERT_NE(M, nullptr) << Err;
+    analysis::FunctionAnalyses FA(*M);
+    transform::PipelineOptions Opt;
+    Opt.Strat = Strategy::Doacross;
+    std::FILE *TrainSink = std::tmpfile();
+    Runtime::get().setSequentialOutput(TrainSink);
+    transform::PipelineResult R = transform::runPrivateerPipeline(*M, FA, Opt);
+    Runtime::get().setSequentialOutput(nullptr);
+    std::fclose(TrainSink);
+    ASSERT_TRUE(R.Transformed)
+        << "pipeline rejected generated dependence loop:\n"
+        << (R.Log.empty() ? "" : R.Log.back()) << "\n" << Text;
+    // Every generated loop carries a real dependence: the run below is
+    // only a DOACROSS test if tokens were actually installed.
+    ASSERT_GE(R.Assignment.DoacrossChannels, 1u) << Text;
+
+    DeterministicRng Cfg(Seed ^ 0xD0ACC05ULL);
+    for (unsigned Conf = 0; Conf < 4; ++Conf) {
+      ParallelOptions Par;
+      Par.NumWorkers = WorkerChoices[Cfg.nextBelow(5)];
+      Par.CheckpointPeriod = 4 + Cfg.nextBelow(29);
+      Par.MaxSlotsPerEpoch = 2 + Cfg.nextBelow(15);
+      Par.EagerCommit = (Conf & 1) != 0;
+      bool Faults = (Conf & 2) != 0;
+      if (Faults) {
+        Par.InjectMisspecRate = 0.03;
+        Par.InjectSeed = Seed;
+        Par.Faults.Seed = Seed;
+        Par.Faults.KillRate = 0.01;
+      }
+      if (TraceEnv)
+        Par.TracePath = TraceEnv;
+      transform::PipelineOptions RunOpt = Opt;
+      RunOpt.Engine = (Cfg.next() & 1) != 0 ? transform::ExecEngine::Interp
+                                            : transform::ExecEngine::Bytecode;
+      // Half the configurations request the pipeline strategy with a
+      // random stage count; over a monolithic planned loop it degrades to
+      // the same token schedule, and the knob path itself is under test.
+      bool Piped = (Cfg.next() & 1) != 0;
+      Par.Strat = Piped ? Strategy::Pipeline : Strategy::Doacross;
+      Par.NumStages = Piped ? 2 + static_cast<uint32_t>(Cfg.nextBelow(3)) : 0;
+      RunOpt.Strat = Par.Strat;
+      RunOpt.NumStages = Par.NumStages;
+      std::FILE *Out = std::tmpfile();
+      transform::ExecutionResult E = transform::executePrivatized(
+          *M, FA, R.Assignment, RunOpt, Par, RuntimeConfig(), Out);
+      std::string Got = readAllFile(Out);
+      std::fclose(Out);
+      std::string Where =
+          "seed " + std::to_string(Seed) + " conf " + std::to_string(Conf) +
+          " w" + std::to_string(Par.NumWorkers) + " k" +
+          std::to_string(Par.CheckpointPeriod) + " s" +
+          std::to_string(Par.MaxSlotsPerEpoch) +
+          (Par.EagerCommit ? " eager" : " postjoin") +
+          (Faults ? " faults" : "") + " strat=" + strategyName(Par.Strat) +
+          " stages=" + std::to_string(Par.NumStages) + " engine=" +
+          transform::execEngineName(E.EngineUsed);
+      EXPECT_EQ(Got, Expected) << Where;
+      EXPECT_EQ(E.ReturnValue.asInt(), RefRet.asInt()) << Where;
+      if (!Faults) {
+        EXPECT_EQ(E.Stats.Misspecs, 0u)
+            << Where << ": " << E.Stats.FirstMisspecReason;
+        EXPECT_GT(E.Stats.DepPosts, 0u) << Where;
+      }
+    }
+  }
+}
+
 TEST(ParallelEdgeCases, ManyEpochsWhenLoopExceedsSlotBudget) {
   Runtime &Rt = Runtime::get();
   Rt.initialize();

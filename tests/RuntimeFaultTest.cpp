@@ -521,4 +521,121 @@ TEST_F(RuntimeFaultTest, RandomizedWorkerKillsConvergeDeterministically) {
   expectSequentialResult(Out, N);
 }
 
+// --- Staged pipeline (runParallelStaged) rollback ----------------------
+//
+// Three stages: stage 0 produces I*I+7, stage 1 transforms it, stage 2
+// stores the result.  The value crosses stages only through dependence
+// tokens, so losing any (iteration, stage) pair without a correct
+// stage-suffix rollback would surface as a wrong or missing Out[I].
+
+namespace staged {
+
+long expected(uint64_t I) {
+  return static_cast<long>(I) * static_cast<long>(I) * 3 + 22; // (I*I+7)*3+1
+}
+
+Runtime::StagedIterationFn makeBody(long *Out) {
+  return [Out](uint64_t I, uint32_t St, uint64_t In) -> uint64_t {
+    switch (St) {
+    case 0:
+      return I * I + 7;
+    case 1:
+      return In * 3 + 1;
+    default:
+      private_write(&Out[I], sizeof(long));
+      Out[I] = static_cast<long>(In);
+      return In;
+    }
+  };
+}
+
+} // namespace staged
+
+TEST_F(RuntimeFaultTest, HealthyStagedPipelineMatchesSequential) {
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 3;
+  Opt.NumStages = 3;
+  Opt.CheckpointPeriod = 8;
+
+  InvocationStats Stats =
+      Runtime::get().runParallelStaged(N, Opt, staged::makeBody(Out));
+
+  EXPECT_EQ(Stats.Misspecs, 0u) << Stats.FirstMisspecReason;
+  EXPECT_GT(Stats.DepPosts, 0u);
+  EXPECT_GT(Stats.DepWaits, 0u);
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], staged::expected(I)) << "iteration " << I;
+}
+
+TEST_F(RuntimeFaultTest, StageWorkerKilledMidPipelineRecovers) {
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 3;
+  Opt.NumStages = 3;
+  Opt.CheckpointPeriod = 8;
+  // The middle stage dies at iteration 17: its committed prefix stays,
+  // the stage suffix past the frontier rolls back, and recovery re-runs
+  // the remaining (iteration, stage) pairs sequentially in order.
+  Opt.Faults.KillWorker = 1;
+  Opt.Faults.KillAtIter = 17;
+
+  InvocationStats Stats =
+      Runtime::get().runParallelStaged(N, Opt, staged::makeBody(Out));
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_GT(Stats.RecoveredIterations, 0u);
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], staged::expected(I)) << "iteration " << I;
+}
+
+TEST_F(RuntimeFaultTest, CorruptStageCommitSlotRollsBackToFrontier) {
+  constexpr uint64_t N = 200;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 3;
+  Opt.NumStages = 3;
+  Opt.CheckpointPeriod = 8;
+  Opt.Faults.CorruptSlot = 1; // Tear a stage-commit slot header mid-epoch.
+
+  InvocationStats Stats =
+      Runtime::get().runParallelStaged(N, Opt, staged::makeBody(Out));
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  EXPECT_NE(Stats.FirstMisspecReason.find("corrupt"), std::string::npos)
+      << Stats.FirstMisspecReason;
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], staged::expected(I)) << "iteration " << I;
+}
+
+TEST_F(RuntimeFaultTest, StalledStageProducerIsReclaimedNotDeadlocked) {
+  constexpr uint64_t N = 120;
+  long *Out = makeOut(N);
+
+  ParallelOptions Opt;
+  Opt.NumWorkers = 3;
+  Opt.NumStages = 3;
+  Opt.CheckpointPeriod = 8;
+  Opt.StallTimeoutSec = 0.3 * timeoutScale();
+  // Stage 0 — the pipeline's only producer — hangs forever at iteration
+  // 5.  Stages 1 and 2 block in waitDep for tokens that will never come;
+  // without the watchdog (or the bounded dependence wait) the join would
+  // deadlock and this test would never finish.
+  Opt.Faults.StallWorker = 0;
+  Opt.Faults.StallAtIter = 5;
+  Opt.Faults.StallSeconds = 3600.0;
+
+  InvocationStats Stats =
+      Runtime::get().runParallelStaged(N, Opt, staged::makeBody(Out));
+
+  EXPECT_GE(Stats.Misspecs, 1u);
+  for (uint64_t I = 0; I < N; ++I)
+    ASSERT_EQ(Out[I], staged::expected(I)) << "iteration " << I;
+}
+
 } // namespace

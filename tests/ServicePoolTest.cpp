@@ -10,8 +10,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "ServiceTestUtil.h"
+#include "ir/IRParser.h"
 #include "service/Client.h"
 #include "service/Protocol.h"
+#include "transform/Pipeline.h"
 #include "workloads/IrPrograms.h"
 
 #include <gtest/gtest.h>
@@ -77,6 +79,63 @@ TEST(ServicePool, WarmHitsSkipForkAndParse) {
   EXPECT_EQ(jsonInt(Json, "pool_dispatches"), 1 + WarmJobs) << Json;
   EXPECT_EQ(jsonInt(Json, "memfd_submissions"), 1 + WarmJobs) << Json;
   EXPECT_EQ(jsonInt(Json, "executives"), 2) << Json;
+}
+
+// A DOACROSS job rides the same warm path: the lowered image carries the
+// dependence-channel metadata, so warm resubmissions replay it from a
+// pre-warmed executive with zero supervisor forks and one compile — and
+// every token-scheduled run is byte-identical to sequential execution.
+TEST(ServicePool, DoacrossWarmHitsReplayImage) {
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath();
+  Opts.Executives = 2;
+  ForkedDaemon D(Opts);
+  ASSERT_TRUE(D.forked());
+
+  const std::string Text = scalarCarryIrText(300);
+  std::string Expected;
+  {
+    std::string PErr;
+    auto M = ir::parseModule(Text, PErr);
+    ASSERT_NE(M, nullptr) << PErr;
+    char *Buf = nullptr;
+    size_t Len = 0;
+    std::FILE *Out = open_memstream(&Buf, &Len);
+    transform::executeSequential(*M, transform::PipelineOptions(), Out);
+    std::fclose(Out);
+    Expected.assign(Buf, Len);
+    std::free(Buf);
+  }
+  ASSERT_FALSE(Expected.empty());
+
+  service::Client C;
+  C.Tenant = "pool-doacross";
+  C.UseMemfd = true;
+  std::string Err;
+  ASSERT_TRUE(C.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+  ASSERT_TRUE(C.memfdNegotiated()) << "daemon did not grant memfd";
+
+  JobRequest Req;
+  Req.ModuleText = Text;
+  Req.NumWorkers = 2;
+  Req.Strat = static_cast<uint8_t>(Strategy::Doacross);
+
+  constexpr int WarmJobs = 4;
+  for (int I = 0; I < 1 + WarmJobs; ++I) {
+    JobReply R;
+    ASSERT_TRUE(C.submit(Req, R, Err, 300 * timeoutScale())) << Err;
+    ASSERT_EQ(R.Status, JobStatus::Ok) << R.Error;
+    EXPECT_EQ(R.CacheHit, I > 0);
+    EXPECT_EQ(R.Output, Expected) << "job " << I << " diverged";
+    EXPECT_GT(R.Iterations, 0u);
+  }
+
+  std::string Json;
+  ASSERT_TRUE(C.status(Json, Err)) << Err;
+  EXPECT_EQ(jsonInt(Json, "supervisor_forks"), 0) << Json;
+  EXPECT_EQ(jsonInt(Json, "cache_misses"), 1) << Json;
+  EXPECT_EQ(jsonInt(Json, "pool_dispatches"), 1 + WarmJobs) << Json;
+  ASSERT_TRUE(D.alive());
 }
 
 // An executive SIGKILLed mid-job gets the PR 6 supervisor triage — a

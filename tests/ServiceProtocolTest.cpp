@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "ServiceTestUtil.h"
+#include "runtime/Runtime.h"
 #include "service/Client.h"
 #include "service/Protocol.h"
 #include "service/Server.h"
@@ -63,6 +64,8 @@ JobRequest sampleRequest() {
   R.FaultBurnCpuSec = 0.75;
   R.TenantId = "tenant-42";
   R.Submit = static_cast<uint8_t>(SubmitMode::InBand);
+  R.Strat = static_cast<uint8_t>(Strategy::Pipeline);
+  R.NumStages = 5;
   return R;
 }
 
@@ -127,6 +130,19 @@ TEST(ServiceProtocol, JobRequestRoundTrip) {
   EXPECT_DOUBLE_EQ(Out.FaultBurnCpuSec, In.FaultBurnCpuSec);
   EXPECT_EQ(Out.TenantId, In.TenantId);
   EXPECT_EQ(Out.Submit, In.Submit);
+  EXPECT_EQ(Out.Strat, In.Strat);
+  EXPECT_EQ(Out.NumStages, In.NumStages);
+}
+
+// A strategy byte beyond the defined enum must not pass validation.
+TEST(ServiceProtocol, BadStrategyByteRejected) {
+  JobRequest In = sampleRequest();
+  In.Strat = static_cast<uint8_t>(Strategy::Pipeline) + 1;
+  std::string Body = encodeJobRequest(In);
+  JobRequest Out;
+  std::string Err;
+  EXPECT_FALSE(decodeJobRequest(Body, Out, Err));
+  EXPECT_NE(Err.find("strategy"), std::string::npos) << Err;
 }
 
 TEST(ServiceProtocol, JobReplyRoundTrip) {
@@ -395,6 +411,10 @@ std::string encodeLegacyRequest(const JobRequest &R, uint8_t Version) {
   putU32(B, R.FaultOomAttempts);
   putU64(B, R.FaultAllocBytes);
   putF64(B, R.FaultBurnCpuSec);
+  if (Version >= 4) {
+    putStr(B, R.TenantId);
+    putU8(B, R.Submit);
+  }
   return B;
 }
 
@@ -427,6 +447,19 @@ TEST(ServiceProtocol, CrossVersionRequestsDecode) {
     EXPECT_EQ(Out.Engine, In.Engine);
     EXPECT_TRUE(Out.TenantId.empty());
     EXPECT_EQ(Out.Submit, static_cast<uint8_t>(SubmitMode::InBand));
+  }
+
+  // v4: tenancy travels, scheduling strategy defaults to DOALL.
+  {
+    JobRequest Out;
+    std::string Err;
+    ASSERT_TRUE(decodeJobRequest(encodeLegacyRequest(In, 4), Out, Err))
+        << Err;
+    EXPECT_EQ(Out.TenantId, In.TenantId);
+    EXPECT_EQ(Out.Submit, In.Submit);
+    EXPECT_EQ(Out.Strat, static_cast<uint8_t>(Strategy::Doall))
+        << "v4 has no strategy byte";
+    EXPECT_EQ(Out.NumStages, 0u);
   }
 
   // Versions outside the supported window are rejected outright.

@@ -404,4 +404,67 @@ TEST(Service, SequentialFallbackAndNegativeCache) {
   EXPECT_GE(jsonInt(Json, "cache_hits"), 2);
 }
 
+// The scheduling strategy is part of a program's identity: the same
+// module text is refused under DOALL (the scalar carry defeats it),
+// served under DOACROSS and pipeline — and each strategy compiles its
+// own cache entry, so the cached doall verdict never shadows the
+// doacross rewrite (or vice versa).
+TEST(Service, DoacrossStrategyServedAndCachedPerStrategy) {
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath();
+  Opts.WorkerBudget = 8;
+  ForkedDaemon D(Opts);
+  ASSERT_TRUE(D.forked());
+
+  const std::string Text = scalarCarryIrText(400);
+  const std::string Expected = sequentialOutput(Text);
+  ASSERT_FALSE(Expected.empty());
+
+  service::Client C;
+  std::string Err;
+  ASSERT_TRUE(C.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+
+  // Under the default DOALL strategy the loop-carried phi is a refusal.
+  JobRequest Doall;
+  Doall.ModuleText = Text;
+  Doall.NumWorkers = 3;
+  JobReply R0;
+  ASSERT_TRUE(C.submit(Doall, R0, Err, 300 * timeoutScale())) << Err;
+  EXPECT_EQ(R0.Status, JobStatus::NotParallelizable) << R0.Error;
+
+  // DOACROSS rewrites the carry into token forwarding: a fresh cache
+  // entry (the doall verdict must not be replayed), correct output.
+  JobRequest Doac = Doall;
+  Doac.Strat = static_cast<uint8_t>(Strategy::Doacross);
+  JobReply R1;
+  ASSERT_TRUE(C.submit(Doac, R1, Err, 300 * timeoutScale())) << Err;
+  ASSERT_EQ(R1.Status, JobStatus::Ok) << R1.Error;
+  EXPECT_EQ(R1.Output, Expected);
+  EXPECT_FALSE(R1.CacheHit);
+  EXPECT_GT(R1.Iterations, 0u);
+
+  JobReply R2;
+  ASSERT_TRUE(C.submit(Doac, R2, Err, 300 * timeoutScale())) << Err;
+  ASSERT_EQ(R2.Status, JobStatus::Ok) << R2.Error;
+  EXPECT_EQ(R2.Output, Expected);
+  EXPECT_TRUE(R2.CacheHit);
+
+  // The pipeline strategy keys its own entry too, and over a monolithic
+  // loop degrades to the same token schedule — byte-identical output.
+  JobRequest Pipe = Doall;
+  Pipe.Strat = static_cast<uint8_t>(Strategy::Pipeline);
+  Pipe.NumStages = 3;
+  JobReply R3;
+  ASSERT_TRUE(C.submit(Pipe, R3, Err, 300 * timeoutScale())) << Err;
+  ASSERT_EQ(R3.Status, JobStatus::Ok) << R3.Error;
+  EXPECT_EQ(R3.Output, Expected);
+  EXPECT_FALSE(R3.CacheHit) << "pipeline job replayed a doacross entry";
+
+  std::string Json;
+  ASSERT_TRUE(C.status(Json, Err)) << Err;
+  EXPECT_EQ(jsonInt(Json, "cache_misses"), 3) << Json;
+  EXPECT_GE(jsonInt(Json, "cache_hits"), 1) << Json;
+  ASSERT_TRUE(D.alive());
+}
+
 } // namespace

@@ -41,6 +41,11 @@ int usage(const char *Argv0) {
                "  --engine <e>      execution engine: bytecode (default,\n"
                "                    direct-threaded VM) or interp (the\n"
                "                    tree-walking oracle)\n"
+               "  --strategy <s>    scheduling strategy: doall (default),\n"
+               "                    doacross (token-forward provable carried\n"
+               "                    dependences), or pipeline (staged)\n"
+               "  --stages <n>      pipeline stage count hint (default: one\n"
+               "                    per worker)\n"
                "  --workers <n>     speculative workers (default 4)\n"
                "  --period <k>      checkpoint period (default 64)\n"
                "  --inject <rate>   inject misspeculation (fraction)\n"
@@ -88,6 +93,22 @@ int main(int Argc, char **Argv) {
         return 2;
       }
     }
+    else if (A == "--strategy" && I + 1 < Argc) {
+      std::string S = Argv[++I];
+      if (!strategyFromName(S, Par.Strat)) {
+        std::fprintf(stderr, "error: unknown strategy '%s'\n", S.c_str());
+        return 2;
+      }
+    }
+    else if (A.rfind("--strategy=", 0) == 0) {
+      std::string S = A.substr(std::strlen("--strategy="));
+      if (!strategyFromName(S, Par.Strat)) {
+        std::fprintf(stderr, "error: unknown strategy '%s'\n", S.c_str());
+        return 2;
+      }
+    }
+    else if (A == "--stages" && I + 1 < Argc)
+      Par.NumStages = static_cast<uint32_t>(std::atoi(Argv[++I]));
     else if (A == "--workers" && I + 1 < Argc)
       Par.NumWorkers = static_cast<unsigned>(std::atoi(Argv[++I]));
     else if (A == "--period" && I + 1 < Argc)
@@ -151,6 +172,8 @@ int main(int Argc, char **Argv) {
     Req.Mode = Seq ? service::JobMode::Sequential
                    : service::JobMode::Speculative;
     Req.Engine = Engine == ExecEngine::Interp ? 1 : 0;
+    Req.Strat = static_cast<uint8_t>(Par.Strat);
+    Req.NumStages = Par.NumStages;
     Req.NumWorkers = Par.NumWorkers;
     Req.CheckpointPeriod = Par.CheckpointPeriod;
     Req.InjectMisspecRate = Par.InjectMisspecRate;
@@ -201,6 +224,8 @@ int main(int Argc, char **Argv) {
   analysis::FunctionAnalyses FA(*M);
   PipelineOptions Opt;
   Opt.Engine = Engine;
+  Opt.Strat = Par.Strat;
+  Opt.NumStages = Par.NumStages;
   std::FILE *TrainSink = std::tmpfile();
   Runtime::get().setSequentialOutput(TrainSink); // Swallow training IO.
   PipelineResult R = runPrivateerPipeline(*M, FA, Opt);
