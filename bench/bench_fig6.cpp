@@ -43,6 +43,24 @@ int main() {
   T.addRow(Geo);
   T.print();
 
+  // Beyond-paper irregular workloads: the commutative heap parallelizes
+  // them too, but they stay out of the paper-figure geomean above.
+  std::printf("\nCommutative-update workloads (beyond the paper set)\n\n");
+  TableWriter TC(Header);
+  for (auto &W : commutativeWorkloads(Workload::Scale::Full)) {
+    std::fprintf(stderr, "measuring cost model: %s...\n", W->name());
+    WorkloadModel WM = WorkloadModel::measure(*W);
+    std::vector<std::string> Row{WM.Name};
+    for (unsigned Count : Counts) {
+      SimOptions Opt;
+      Opt.Workers = Count;
+      Row.push_back(TableWriter::cell(privateerSpeedup(Models.Machine, WM,
+                                                       Opt)));
+    }
+    TC.addRow(Row);
+  }
+  TC.print();
+
   double Geo24 = geomean(PerCount.back());
   std::printf("\ngeomean at 24 workers: %.2fx (paper: 11.4x)\n", Geo24);
   std::printf("shape check: geomean scales with workers and lands in "

@@ -58,7 +58,10 @@ int main() {
   std::printf("\nreal-runtime recovery spot check (4 workers, 1%% "
               "injection):\n");
   bool AllExact = true;
-  for (auto &W : allWorkloads(Workload::Scale::Small)) {
+  auto SpotCheck = allWorkloads(Workload::Scale::Small);
+  for (auto &W : commutativeWorkloads(Workload::Scale::Small))
+    SpotCheck.push_back(std::move(W));
+  for (auto &W : SpotCheck) {
     Runtime &Rt = Runtime::get();
     Rt.initialize(W->runtimeConfig());
     W->setUp();

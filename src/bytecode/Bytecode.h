@@ -42,6 +42,7 @@
 #ifndef PRIVATEER_BYTECODE_BYTECODE_H
 #define PRIVATEER_BYTECODE_BYTECODE_H
 
+#include "runtime/CommutativeLog.h"
 #include "runtime/HeapKind.h"
 #include "runtime/Reduction.h"
 
@@ -117,7 +118,11 @@ namespace bytecode {
   /* DOACROSS / pipeline token forwarding (appended: keeps the fused       */\
   /* compare-family contiguity asserts valid)                              */\
   X(PostDep)      /* post token (iter r[A], value r[B]) on channel Imm */     \
-  X(WaitDep)      /* r[A] = wait for iter r[B]'s token on channel Imm */
+  X(WaitDep)      /* r[A] = wait for iter r[B]'s token on channel Imm */      \
+  /* commutative-update heap (appended, keeping prior opcode values) */       \
+  X(CheckHeapCommutative) /* same contract as the other CheckHeap* */         \
+  X(ComUpdate)    /* deferred update at r[A] with r[B]; C = bytes|op<<4, */   \
+                  /* Imm = expected tag bits (check fused in) */
 
 enum class BcOp : uint16_t {
 #define PRIVATEER_BC_ENUM(N) N,
@@ -190,6 +195,15 @@ struct BcReduxGlobal {
   ReduxOp Op = ReduxOp::Add;
 };
 
+/// A commutative-heap global the runtime is told about before the planned
+/// loop runs (observability and bounds metadata; the deferred records carry
+/// their own addresses).
+struct BcComGlobal {
+  uint32_t GlobalIdx = 0;
+  ComOp Op = ComOp::Add;
+  uint8_t ElemBytes = 8;
+};
+
 struct BcFunction {
   std::string Name;
   uint16_t NumArgs = 0;
@@ -220,6 +234,8 @@ struct BytecodeProgram {
   /// invocation (baked in by lowerForPrivatized from the HeapAssignment,
   /// so executing a prelowered program needs no classification results).
   std::vector<BcReduxGlobal> ReduxGlobals;
+  /// Commutative-heap globals, likewise baked in by lowerForPrivatized.
+  std::vector<BcComGlobal> ComGlobals;
   /// Dependence-token channels the DOACROSS transform allocated; baked in
   /// so executing a prelowered program (e.g. in a warm executive) can size
   /// the runtime's token rings without the classification results.

@@ -158,6 +158,10 @@ uint32_t VM::runPlannedLoop(const BcFunction &Fn, Frame &Frm,
     Plan->Stats.PrivateWriteCalls += S.PrivateWriteCalls;
     Plan->Stats.PrivateWriteBytes += S.PrivateWriteBytes;
     Plan->Stats.SeparationChecks += S.SeparationChecks;
+    Plan->Stats.ComUpdates += S.ComUpdates;
+    Plan->Stats.ComRecordsMerged += S.ComRecordsMerged;
+    Plan->Stats.ComRecordsCommitted += S.ComRecordsCommitted;
+    Plan->Stats.ComOverflows += S.ComOverflows;
     Plan->Stats.DepPosts += S.DepPosts;
     Plan->Stats.DepWaits += S.DepWaits;
     Plan->Stats.DepWaitSpins += S.DepWaitSpins;
@@ -469,6 +473,8 @@ dispatch:
   BC_NEXT();
   BC_HANDLER(CheckHeapUnrestricted) { BC_CHECKHEAP_BODY(); }
   BC_NEXT();
+  BC_HANDLER(CheckHeapCommutative) { BC_CHECKHEAP_BODY(); }
+  BC_NEXT();
 #undef BC_CHECKHEAP_BODY
 
   BC_HANDLER(PrivRead) {
@@ -573,6 +579,23 @@ dispatch:
   BC_NEXT();
   BC_HANDLER(WaitDep) {
     R[I->A] = Rt.waitDep(R[I->B], static_cast<uint32_t>(I->Imm));
+  }
+  BC_NEXT();
+
+  BC_HANDLER(ComUpdate) {
+    // C packs width (low nibble) and combining operator (high bits); Imm
+    // holds the commutative heap's tag bits so the separation check is one
+    // mask-AND+compare, same as the CheckHeap* family.
+    unsigned Bytes = I->C & 0xF;
+    ComOp Op = static_cast<ComOp>(I->C >> 4);
+    if (Spec) {
+      Rt.countSeparationCheck();
+      if ((R[I->A] & kHeapTagMask) != static_cast<uint64_t>(I->Imm))
+        Rt.misspecAbort("comupdate of a pointer outside the commutative heap");
+      Rt.comUpdateTagged(R[I->A], Op, Bytes, sI(R[I->B]));
+    } else {
+      applyComUpdate(R[I->A], Op, Bytes, sI(R[I->B]));
+    }
   }
   BC_NEXT();
 

@@ -3,6 +3,7 @@
 #include "classify/Classification.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace privateer;
 using namespace privateer::classify;
@@ -59,6 +60,151 @@ bool isReductionPair(const Instruction *Store, const Instruction **LoadOut) {
   return false;
 }
 
+/// Structural address equality: the same SSA value, or geps recomputing
+/// the same address (equal bases, equal offsets).  The reduction
+/// recognizer insists on pointer *identity*; recomputed geps are one of
+/// the shapes that push an update to the commutative class instead.
+bool sameAddress(const Value *A, const Value *B) {
+  if (A == B)
+    return true;
+  if (A->kind() == ValueKind::ConstInt && B->kind() == ValueKind::ConstInt)
+    return static_cast<const ConstantInt *>(A)->value() ==
+           static_cast<const ConstantInt *>(B)->value();
+  if (A->kind() != ValueKind::Instruction ||
+      B->kind() != ValueKind::Instruction)
+    return false;
+  auto *IA = static_cast<const Instruction *>(A);
+  auto *IB = static_cast<const Instruction *>(B);
+  if (IA->opcode() != Opcode::Gep || IB->opcode() != Opcode::Gep)
+    return false;
+  return sameAddress(IA->operand(0), IB->operand(0)) &&
+         sameAddress(IA->operand(1), IB->operand(1));
+}
+
+/// Number of operand slots referencing each value, across the whole
+/// module.  Cluster recognition needs single-use guarantees: the loaded
+/// value must feed only the combine, and the combine only the store —
+/// otherwise the old cell value escapes and the update is not a pure fold.
+std::map<const Value *, unsigned> countUses(const ir::Module &M) {
+  std::map<const Value *, unsigned> Uses;
+  for (const auto &F : M.functions())
+    for (const auto &B : F->blocks())
+      for (const auto &I : B->instructions())
+        for (const Value *Op : I->operands())
+          ++Uses[Op];
+  return Uses;
+}
+
+std::optional<ComOp> comOpForOpcode(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return ComOp::Add;
+  case Opcode::Mul:
+    return ComOp::Mul;
+  case Opcode::And:
+    return ComOp::And;
+  case Opcode::Or:
+    return ComOp::Or;
+  case Opcode::Xor:
+    return ComOp::Xor;
+  default:
+    return std::nullopt;
+  }
+}
+
+/// Recognizes the commutative-update cluster ending at \p Store.
+///
+/// Pattern A (integer fold):   r = load p; v = op(r, x); store v, q
+/// with op in {add, mul, and, or, xor} and p, q the same address.
+///
+/// Pattern B (min/max map):    r = load p; c = icmp pred, a, b;
+///                             v = select c, t, f; store v, q
+/// where {a,b} = {t,f} = {r,x} and pred is an ordering, so v is exactly
+/// min(r,x) or max(r,x).
+///
+/// Both demand: i64-typed sign-extending loads (floats are not byte-exact
+/// under reassociation), matching access widths, and single-use chains so
+/// the old value cannot escape.  x must be independent of r — guaranteed
+/// by the use counts: r's only uses are inside the cluster.
+bool matchComCluster(const Instruction *Store,
+                     const std::map<const Value *, unsigned> &Uses,
+                     const std::set<const Instruction *> &InLoop,
+                     ComCluster &Out) {
+  auto UseCount = [&](const Value *V) {
+    auto It = Uses.find(V);
+    return It == Uses.end() ? 0u : It->second;
+  };
+  auto IsClusterLoad = [&](const Value *V, unsigned WantUses,
+                           const Instruction **LdOut) {
+    if (V->kind() != ValueKind::Instruction)
+      return false;
+    auto *Ld = static_cast<const Instruction *>(V);
+    if (Ld->opcode() != Opcode::Load || Ld->type() != Type::I64 ||
+        !InLoop.count(Ld) || UseCount(Ld) != WantUses ||
+        Ld->accessBytes() != Store->accessBytes() ||
+        !sameAddress(Ld->operand(0), Store->operand(1)))
+      return false;
+    *LdOut = Ld;
+    return true;
+  };
+
+  Value *V = Store->operand(0);
+  if (V->kind() != ValueKind::Instruction)
+    return false;
+  auto *Comb = static_cast<Instruction *>(V);
+  if (!InLoop.count(Comb) || UseCount(Comb) != 1)
+    return false;
+
+  if (auto COp = comOpForOpcode(Comb->opcode())) {
+    // Pattern A.  The load feeds only the combine.
+    for (unsigned A = 0; A < 2; ++A) {
+      const Instruction *Ld = nullptr;
+      if (IsClusterLoad(Comb->operand(A), 1, &Ld)) {
+        Out = ComCluster{Ld, Store, Comb, nullptr, Comb->operand(1 - A),
+                         *COp};
+        return true;
+      }
+    }
+    return false;
+  }
+
+  if (Comb->opcode() != Opcode::Select)
+    return false;
+  Value *CondV = Comb->operand(0);
+  if (CondV->kind() != ValueKind::Instruction)
+    return false;
+  auto *Cmp = static_cast<Instruction *>(CondV);
+  if (Cmp->opcode() != Opcode::ICmp || !InLoop.count(Cmp) ||
+      UseCount(Cmp) != 1)
+    return false;
+  CmpPred Pred = Cmp->cmpPred();
+  if (Pred != CmpPred::Lt && Pred != CmpPred::Le && Pred != CmpPred::Gt &&
+      Pred != CmpPred::Ge)
+    return false;
+  Value *A = Cmp->operand(0), *B = Cmp->operand(1);
+  Value *T = Comb->operand(1), *F = Comb->operand(2);
+  bool Straight = T == A && F == B; // select picks the compare's lhs.
+  bool Swapped = T == B && F == A;
+  if (!Straight && !Swapped)
+    return false;
+  // "a < b ? a : b" is min; swapping either the predicate direction or
+  // the select arms flips it.
+  bool PredIsLess = Pred == CmpPred::Lt || Pred == CmpPred::Le;
+  ComOp MinMax = (PredIsLess == Straight) ? ComOp::Min : ComOp::Max;
+  // One compare operand is the cluster load (used by compare + select),
+  // the other is the folded-in value.
+  const Instruction *Ld = nullptr;
+  if (IsClusterLoad(A, 2, &Ld) && UseCount(A) == 2) {
+    Out = ComCluster{Ld, Store, Comb, Cmp, B, MinMax};
+    return true;
+  }
+  if (IsClusterLoad(B, 2, &Ld) && UseCount(B) == 2) {
+    Out = ComCluster{Ld, Store, Comb, Cmp, A, MinMax};
+    return true;
+  }
+  return false;
+}
+
 /// Instruction-level footprint for the dependence-refinement loop of
 /// Algorithm 1: (Ra, Wa, Xa) of one instruction.
 struct InstFootprint {
@@ -69,7 +215,7 @@ InstFootprint instFootprint(const Instruction *I, const Footprint &Fp,
                             const Profile &P) {
   InstFootprint Out;
   const std::set<ObjectKey> &Objs = P.objectsAccessedBy(I);
-  if (Fp.ReduxAccesses.count(I)) {
+  if (Fp.ReduxAccesses.count(I) || Fp.ComAccesses.count(I)) {
     Out.X = Objs;
     return Out;
   }
@@ -122,9 +268,28 @@ Footprint classify::getFootprint(const Loop &L, const FunctionAnalyses &FA,
       Out.Redux.insert(LdObjs.begin(), LdObjs.end());
     }
   }
+  // Then commutative-update clusters among the stores the reduction
+  // recognizer passed over (recomputed pointers, bitwise ops, min/max).
+  std::map<const Value *, unsigned> Uses =
+      countUses(*L.header()->parent()->parent());
+  for (const Instruction *I : Insts) {
+    if (I->opcode() != Opcode::Store || Out.ReduxAccesses.count(I))
+      continue;
+    ComCluster C;
+    if (matchComCluster(I, Uses, InLoop, C) &&
+        !Out.ReduxAccesses.count(C.Load)) {
+      Out.ComClusters.push_back(C);
+      Out.ComAccesses.insert(C.Store);
+      Out.ComAccesses.insert(C.Load);
+      const auto &StObjs = P.objectsAccessedBy(C.Store);
+      Out.Com.insert(StObjs.begin(), StObjs.end());
+      const auto &LdObjs = P.objectsAccessedBy(C.Load);
+      Out.Com.insert(LdObjs.begin(), LdObjs.end());
+    }
+  }
   // Remaining accesses populate the read and write footprints.
   for (const Instruction *I : Insts) {
-    if (Out.ReduxAccesses.count(I))
+    if (Out.ReduxAccesses.count(I) || Out.ComAccesses.count(I))
       continue;
     const auto &Objs = P.objectsAccessedBy(I);
     if (I->opcode() == Opcode::Load)
@@ -138,7 +303,8 @@ Footprint classify::getFootprint(const Loop &L, const FunctionAnalyses &FA,
 HeapAssignment classify::classifyLoop(const Loop &L,
                                       const FunctionAnalyses &FA,
                                       const Profile &P,
-                                      const std::set<FlowDep> *CoveredDeps) {
+                                      const std::set<FlowDep> *CoveredDeps,
+                                      bool EnableCommutative) {
   HeapAssignment HA;
   HA.TheLoop = &L;
   HA.Fp = getFootprint(L, FA, P);
@@ -161,8 +327,46 @@ HeapAssignment classify::classifyLoop(const Loop &L,
   // conference text's condition appears to have lost a negation.)
   std::set<ObjectKey> Redux;
   for (const ObjectKey &O : Fp.Redux)
-    if (!Fp.Read.count(O) && !Fp.Write.count(O) && !ShortLived.count(O))
+    if (!Fp.Read.count(O) && !Fp.Write.count(O) && !Fp.Com.count(O) &&
+        !ShortLived.count(O))
       Redux.insert(O);
+
+  // Commutative heap: objects accessed *only* through recognized
+  // commutative-update clusters, all agreeing on operator and width (a
+  // cell folded with add here and max there is order-sensitive across
+  // the two operators, so mixed objects are rejected).
+  std::set<ObjectKey> Com;
+  if (EnableCommutative) {
+    std::map<ObjectKey, std::pair<ComOp, uint8_t>> Want;
+    std::set<ObjectKey> Mixed;
+    for (const ComCluster &C : Fp.ComClusters) {
+      std::pair<ComOp, uint8_t> OpW{
+          C.Op, static_cast<uint8_t>(C.Store->accessBytes())};
+      for (const Instruction *Acc : {C.Store, C.Load})
+        for (const ObjectKey &O : P.objectsAccessedBy(Acc)) {
+          auto [It, New] = Want.try_emplace(O, OpW);
+          if (!New && It->second != OpW)
+            Mixed.insert(O);
+        }
+    }
+    for (const ObjectKey &O : Fp.Com)
+      if (!Fp.Read.count(O) && !Fp.Write.count(O) && !Fp.Redux.count(O) &&
+          !ShortLived.count(O) && !Mixed.count(O)) {
+        Com.insert(O);
+        HA.ComOps[O] = Want[O];
+      }
+  }
+  // Rejected cluster objects (or all of them when commutative
+  // classification is off) fall back into the ordinary footprints and
+  // classify as the paper's five classes would — typically private, where
+  // cross-worker bumps of one cell surface as benign misspeculation.
+  std::set<ObjectKey> ReadFp = Fp.Read;
+  std::set<ObjectKey> WriteFp = Fp.Write;
+  for (const ObjectKey &O : Fp.Com)
+    if (!Com.count(O)) {
+      ReadFp.insert(O);
+      WriteFp.insert(O);
+    }
 
   // Cross-iteration flow dependences: privatization cannot remove them;
   // value prediction sometimes can (§4.3 refinement, used by dijkstra's
@@ -185,6 +389,7 @@ HeapAssignment classify::classifyLoop(const Loop &L,
                                          setUnion(B.R, B.X));
     setSubtract(F, ShortLived);
     setSubtract(F, Redux);
+    setSubtract(F, Com);
     if (F.empty())
       continue;
 
@@ -218,12 +423,18 @@ HeapAssignment classify::classifyLoop(const Loop &L,
     Unrestricted.insert(F.begin(), F.end());
   }
 
+  // Com objects with a profiled (uncovered) cross-iteration dep through
+  // their clusters keep commutative semantics — the fold is
+  // order-independent, which is the whole point — so Com was subtracted
+  // above; anything else that surfaced a dep is unrestricted.
+  setSubtract(Unrestricted, Com);
+
   // Private: everything else written.  Read-only: everything else read.
-  std::set<ObjectKey> Private = Fp.Write;
+  std::set<ObjectKey> Private = WriteFp;
   setSubtract(Private, ShortLived);
   setSubtract(Private, Unrestricted);
   setSubtract(Private, Redux);
-  std::set<ObjectKey> ReadOnly = Fp.Read;
+  std::set<ObjectKey> ReadOnly = ReadFp;
   setSubtract(ReadOnly, ShortLived);
   setSubtract(ReadOnly, Unrestricted);
   setSubtract(ReadOnly, Redux);
@@ -233,6 +444,8 @@ HeapAssignment classify::classifyLoop(const Loop &L,
     HA.ObjectHeaps[O] = HeapKind::ShortLived;
   for (const ObjectKey &O : Redux)
     HA.ObjectHeaps[O] = HeapKind::Redux;
+  for (const ObjectKey &O : Com)
+    HA.ObjectHeaps[O] = HeapKind::Commutative;
   for (const ObjectKey &O : Unrestricted)
     HA.ObjectHeaps[O] = HeapKind::Unrestricted;
   for (const ObjectKey &O : Private)
@@ -263,6 +476,24 @@ HeapAssignment classify::classifyLoop(const Loop &L,
       if (Redux.count(O))
         HA.ReduxOps[O] = {Elem, ROp};
   }
+
+  // Keep only the clusters whose every touched object classified
+  // Commutative: those the privatizer folds into ComUpdate.  The rest
+  // stay plain load-op-store and get ordinary privacy checks.
+  for (const ComCluster &C : Fp.ComClusters) {
+    bool AllCom = true;
+    for (const Instruction *Acc : {C.Store, C.Load})
+      for (const ObjectKey &O : P.objectsAccessedBy(Acc))
+        AllCom &= Com.count(O) != 0;
+    if (AllCom)
+      HA.ComClusters.push_back(C);
+  }
+  for (const ObjectKey &O : Com)
+    HA.Notes.push_back(
+        std::string("commutative ") + O.str() + ": " +
+        comOpName(HA.ComOps[O].first) + "/" +
+        std::to_string(HA.ComOps[O].second) + "B, deferred combine");
+
   HA.Parallelizable = Unrestricted.empty();
   if (!HA.Parallelizable)
     HA.Notes.push_back("unrestricted objects remain: " +

@@ -352,6 +352,11 @@ Cell Interpreter::execute(const Instruction &I, Frame &F) {
     Rt.speculateTrue(eval(I.operand(0), F).Raw == eval(I.operand(1), F).Raw,
                      "value prediction failed");
     return Cell();
+  case Opcode::ComUpdate:
+    Rt.comUpdate(reinterpret_cast<void *>(eval(I.operand(1), F).asPtr()),
+                 I.comOp(), static_cast<unsigned>(I.accessBytes()),
+                 eval(I.operand(0), F).asInt());
+    return Cell();
   case Opcode::PostDep:
     Rt.postDep(static_cast<uint64_t>(eval(I.operand(0), F).asInt()),
                static_cast<uint32_t>(I.accessBytes()),
@@ -410,6 +415,10 @@ BasicBlock *Interpreter::runPlannedLoop(Frame &F) {
     Plan->Stats.PrivateWriteCalls += S.PrivateWriteCalls;
     Plan->Stats.PrivateWriteBytes += S.PrivateWriteBytes;
     Plan->Stats.SeparationChecks += S.SeparationChecks;
+    Plan->Stats.ComUpdates += S.ComUpdates;
+    Plan->Stats.ComRecordsMerged += S.ComRecordsMerged;
+    Plan->Stats.ComRecordsCommitted += S.ComRecordsCommitted;
+    Plan->Stats.ComOverflows += S.ComOverflows;
     Plan->Stats.DepPosts += S.DepPosts;
     Plan->Stats.DepWaits += S.DepWaits;
     Plan->Stats.DepWaitSpins += S.DepWaitSpins;

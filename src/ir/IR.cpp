@@ -97,6 +97,8 @@ const char *ir::opcodeName(Opcode Op) {
     return "postdep";
   case Opcode::WaitDep:
     return "waitdep";
+  case Opcode::ComUpdate:
+    return "comupdate";
   }
   return "<bad-opcode>";
 }

@@ -25,6 +25,7 @@
 #ifndef PRIVATEER_IR_IR_H
 #define PRIVATEER_IR_IR_H
 
+#include "runtime/CommutativeLog.h"
 #include "runtime/HeapKind.h"
 
 #include <cassert>
@@ -159,6 +160,12 @@ enum class Opcode : uint8_t {
   // channel id travels in the access-bytes payload slot.
   PostDep, // Operands 0, 1: iteration, value; payload: channel.
   WaitDep, // Operand 0: target iteration; payload: channel; yields i64.
+  // Deferred commutative update: a recognized load-op-store cluster on a
+  // Commutative-classified object folded into one instruction.  In
+  // speculative workers the update is appended to the per-worker log and
+  // combined at commit; everywhere else it applies immediately.
+  ComUpdate, // Operand 0: value (i64), operand 1: pointer; payload:
+             // commutative op + access bytes.
 };
 
 const char *opcodeName(Opcode Op);
@@ -208,11 +215,17 @@ public:
   uint64_t accessBytes() const {
     assert((Op == Opcode::Load || Op == Opcode::Store ||
             Op == Opcode::Alloca || Op == Opcode::PrivateRead ||
-            Op == Opcode::PrivateWrite) &&
+            Op == Opcode::PrivateWrite || Op == Opcode::ComUpdate) &&
            "opcode carries no byte count");
     return Bytes;
   }
   void setAccessBytes(uint64_t B) { Bytes = B; }
+
+  ComOp comOp() const {
+    assert(Op == Opcode::ComUpdate && "not a commutative update");
+    return COp;
+  }
+  void setComOp(ComOp O) { COp = O; }
 
   CmpPred cmpPred() const {
     assert((Op == Opcode::ICmp || Op == Opcode::FCmp) && "not a compare");
@@ -257,6 +270,7 @@ private:
   std::vector<BasicBlock *> Blocks;
   uint64_t Bytes = 0;
   CmpPred Pred = CmpPred::Eq;
+  ComOp COp = ComOp::Add;
   Function *Callee = nullptr;
   std::string Format;
   HeapKind Heap = HeapKind::Unrestricted;

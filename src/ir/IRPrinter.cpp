@@ -181,6 +181,11 @@ void printInstruction(const Instruction &I, std::string &Out) {
     Out += "waitdep " + valueRef(I.operand(0)) + ", " +
            std::to_string(I.accessBytes());
     break;
+  case Opcode::ComUpdate:
+    Out += std::string("comupdate ") + comOpName(I.comOp()) + ", " +
+           valueRef(I.operand(0)) + ", " + valueRef(I.operand(1)) + ", " +
+           std::to_string(I.accessBytes());
+    break;
   }
   Out += "\n";
 }

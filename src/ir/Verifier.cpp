@@ -191,6 +191,12 @@ private:
     case Opcode::WaitDep:
       WantOperands(1);
       break;
+    case Opcode::ComUpdate:
+      WantOperands(2);
+      WantAccessSize();
+      if (I.numOperands() == 2 && I.operand(1)->type() != Type::Ptr)
+        error(F, &B, "comupdate pointer operand is not ptr-typed");
+      break;
     case Opcode::Phi:
     case Opcode::Print:
       break;

@@ -129,11 +129,12 @@ MachineModel MachineModel::calibrate() {
             if (!R.create(C))
               return;
             std::vector<IoRecord> Io;
+            std::vector<ComRecord> Com;
             std::string Why;
             R.workerMerge(0, LocalShadow.data(), LocalPriv.data(),
-                          Mask.data(), NoRedux, 0, Io, true, Ctx);
+                          Mask.data(), NoRedux, 0, Io, Com, true, Ctx);
             R.commitSlot(0, MasterShadow.data(), MasterPriv.data(), NoRedux,
-                         0, Io, Why);
+                         0, 0, 0, Io, Why);
             R.destroy();
           },
           Calls);

@@ -45,7 +45,8 @@ bool CheckpointRegion::create(const Config &C) {
   OffEntries = OffDir + alignUp(NumChunks * sizeof(uint32_t));
   OffRedux = OffEntries + ChunkCap * (2 * kDirtyChunkBytes);
   OffIo = OffRedux + alignUp(C.ReduxBytes);
-  SlotStride = OffIo + alignUp(C.IoCapacity);
+  OffCom = OffIo + alignUp(C.IoCapacity);
+  SlotStride = OffCom + alignUp(C.ComCapacity);
   RegionBytes = (SlotStride * C.NumSlots + 4095) & ~uint64_t(4095);
   void *P = mmap(nullptr, RegionBytes, PROT_READ | PROT_WRITE,
                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
@@ -107,6 +108,10 @@ uint8_t *CheckpointRegion::slotIo(uint64_t P) const {
   return Region + P * SlotStride + OffIo;
 }
 
+uint8_t *CheckpointRegion::slotCom(uint64_t P) const {
+  return Region + P * SlotStride + OffCom;
+}
+
 uint64_t CheckpointRegion::chunkSpan(uint64_t C) const {
   uint64_t Base = C << kDirtyChunkShift;
   return std::min(kDirtyChunkBytes, Cfg.PrivateBytes - Base);
@@ -128,6 +133,7 @@ bool CheckpointRegion::slotHeaderSane(uint64_t P) const {
   const SlotHeader *H = slot(P);
   uint32_t Merged = H->WorkersMerged.load(std::memory_order_acquire);
   return slotStableSane(P) && H->IoBytes <= Cfg.IoCapacity &&
+         H->ComBytes <= Cfg.ComCapacity &&
          Merged <= Cfg.NumWorkers && H->ExecutedMerges <= Merged &&
          H->ChunksUsed <= ChunkCap;
 }
@@ -138,6 +144,7 @@ void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
                                    const ReductionRegistry &Redux,
                                    uint64_t ReduxBase,
                                    std::vector<IoRecord> &PendingIo,
+                                   std::vector<ComRecord> &PendingCom,
                                    bool Executed, const MergeContext &Ctx) {
   SlotHeader *H = slot(P);
   bool Broke = H->Lock.lockOrBreak(Ctx.SelfPid, [&Ctx] {
@@ -266,6 +273,25 @@ void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
       else
         H->IoOverflow = 1;
     }
+
+    // Deferred commutative updates: append this worker's typed records to
+    // the slot's com log (mergers already serialize under the slot lock).
+    // Overflowed records stay with the worker for the same reason as
+    // overflowed output: the sequential recovery re-executes the period
+    // and applies the updates directly.
+    if (!PendingCom.empty()) {
+      uint64_t Appended = 0;
+      if (Cfg.ComCapacity >= H->ComBytes &&
+          serializeComRecords(PendingCom, slotCom(P) + H->ComBytes,
+                              Cfg.ComCapacity - H->ComBytes, Appended)) {
+        H->ComBytes += Appended;
+        if (Ctx.Scan)
+          Ctx.Scan->ComRecords += PendingCom.size();
+        PendingCom.clear();
+      } else {
+        H->ComOverflow = 1;
+      }
+    }
     ++H->ExecutedMerges;
   }
 
@@ -281,6 +307,7 @@ void CheckpointRegion::workerMerge(uint64_t P, const uint8_t *LocalShadow,
 CheckpointRegion::CommitStatus CheckpointRegion::commitSlot(
     uint64_t P, uint8_t *MasterShadow, uint8_t *MasterPrivate,
     const ReductionRegistry &Redux, uint64_t ReduxBase,
+    uint64_t ComHeapBase, uint64_t ComHeapSpan,
     std::vector<IoRecord> &OutIo, std::string &MisspecWhy,
     CheckpointScanStats *Scan) const {
   SlotHeader *H = slot(P);
@@ -290,6 +317,10 @@ CheckpointRegion::CommitStatus CheckpointRegion::commitSlot(
   }
   if (H->IoOverflow) {
     MisspecWhy = "deferred-output buffer overflow";
+    return CommitStatus::Misspec;
+  }
+  if (H->ComOverflow) {
+    MisspecWhy = "commutative-log capacity exhausted";
     return CommitStatus::Misspec;
   }
 
@@ -425,6 +456,23 @@ CheckpointRegion::CommitStatus CheckpointRegion::commitSlot(
     int64_t SlotBias = reinterpret_cast<int64_t>(slotRedux(P)) -
                        static_cast<int64_t>(ReduxBase);
     Redux.combine(0, SlotBias);
+  }
+
+  // Fold the slot's commutative log into the master heap.  The operators
+  // are associative and commutative over wrapping integers, so the order
+  // records were appended in (and the order workers merged in) does not
+  // matter; every interleaving yields the sequential bytes.  Validation
+  // happens wholesale before the first store.
+  if (H->ComBytes > 0) {
+    uint64_t Applied = 0;
+    if (ComHeapSpan == 0 ||
+        !applyComRecords(slotCom(P), H->ComBytes, ComHeapBase, ComHeapSpan,
+                         Applied)) {
+      MisspecWhy = "corrupted commutative log record";
+      return CommitStatus::Misspec;
+    }
+    if (Scan)
+      Scan->ComRecords += Applied;
   }
 
   deserializeIoRecords(slotIo(P), H->IoBytes, OutIo);

@@ -46,6 +46,7 @@
 #ifndef PRIVATEER_RUNTIME_CHECKPOINT_H
 #define PRIVATEER_RUNTIME_CHECKPOINT_H
 
+#include "runtime/CommutativeLog.h"
 #include "runtime/ControlBlock.h"
 #include "runtime/DeferredIO.h"
 #include "runtime/DirtyChunks.h"
@@ -89,6 +90,11 @@ struct SlotHeader {
   uint64_t NumIters = 0;
   uint64_t IoBytes = 0;
   uint32_t IoOverflow = 0;
+  /// Serialized commutative-update records appended by mergers, applied in
+  /// one fold by the committer.  Overflow marks the slot unrepresentable,
+  /// exactly like ChunkOverflow.
+  uint64_t ComBytes = 0;
+  uint32_t ComOverflow = 0;
 };
 
 /// Byte-walk accounting for one merge or commit: how many dirty chunks
@@ -99,6 +105,8 @@ struct CheckpointScanStats {
   uint64_t DirtyChunks = 0;
   uint64_t BytesScanned = 0;
   uint64_t BytesSkipped = 0;
+  /// Commutative-update records serialized (merge) or folded (commit).
+  uint64_t ComRecords = 0;
 };
 
 /// Identity and plumbing a worker carries into workerMerge so the slot lock
@@ -121,6 +129,9 @@ public:
     uint64_t PrivateBytes = 0; ///< Bytes of private heap covered (high water).
     uint64_t ReduxBytes = 0;   ///< Bytes of redux heap covered.
     uint64_t IoCapacity = 0;   ///< Per-slot deferred-output capacity.
+    /// Per-slot commutative-log capacity in bytes (a multiple of
+    /// kComRecordBytes); 0 when the invocation uses no commutative heap.
+    uint64_t ComCapacity = 0;
     uint64_t BaseIter = 0;     ///< First iteration of the epoch.
     uint64_t Period = 0;       ///< Checkpoint period k.
     uint64_t EpochIters = 0;   ///< Iterations in this epoch.
@@ -178,10 +189,14 @@ public:
   /// misspec recovery re-executes (and re-emits) the period.  When
   /// \p Executed is false the worker ran no iterations of P and only
   /// registers presence.
+  /// \p PendingCom is consumed the same way as \p PendingIo: serialized
+  /// into the slot's com-log section, or left with the worker (slot marked
+  /// overflowed) when it does not fit.
   void workerMerge(uint64_t P, const uint8_t *LocalShadow,
                    const uint8_t *LocalPrivate, const uint64_t *DirtyMask,
                    const ReductionRegistry &Redux, uint64_t ReduxBase,
-                   std::vector<IoRecord> &PendingIo, bool Executed,
+                   std::vector<IoRecord> &PendingIo,
+                   std::vector<ComRecord> &PendingCom, bool Executed,
                    const MergeContext &Ctx);
 
   enum class CommitStatus { Ok, Misspec };
@@ -192,10 +207,16 @@ public:
   /// into the master redux heap; deferred output is appended to \p OutIo.
   /// Detects phase-2 privacy violations, reported through \p MisspecWhy.
   /// Walks only the slot's dirty chunks; \p Scan, when non-null, receives
-  /// the walk accounting.
+  /// the walk accounting.  \p ComHeapBase / \p ComHeapSpan bound the
+  /// commutative heap: every logged record is validated against them
+  /// before the slot's com section is folded into the master heap (a
+  /// record outside the heap means the shared log was corrupted — treated
+  /// as misspeculation before anything is applied).  Span 0 disables the
+  /// com fold.
   CommitStatus commitSlot(uint64_t P, uint8_t *MasterShadow,
                           uint8_t *MasterPrivate,
                           const ReductionRegistry &Redux, uint64_t ReduxBase,
+                          uint64_t ComHeapBase, uint64_t ComHeapSpan,
                           std::vector<IoRecord> &OutIo, std::string &MisspecWhy,
                           CheckpointScanStats *Scan = nullptr) const;
 
@@ -206,6 +227,7 @@ private:
   uint8_t *entryValues(uint64_t P, uint32_t Entry) const;
   uint8_t *slotRedux(uint64_t P) const;
   uint8_t *slotIo(uint64_t P) const;
+  uint8_t *slotCom(uint64_t P) const;
 
   /// Bytes of chunk \p C that lie inside the covered footprint.
   uint64_t chunkSpan(uint64_t C) const;
@@ -220,6 +242,7 @@ private:
   uint64_t OffEntries = 0;
   uint64_t OffRedux = 0;
   uint64_t OffIo = 0;
+  uint64_t OffCom = 0;
   uint64_t SlotStride = 0;
   uint64_t RegionBytes = 0;
 };

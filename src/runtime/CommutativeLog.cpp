@@ -1,0 +1,126 @@
+//===- runtime/CommutativeLog.cpp - Deferred commutative updates ----------===//
+//
+// Part of the Privateer reproduction of "Speculative Separation for
+// Privatization and Reductions" (PLDI 2012).
+//
+//===----------------------------------------------------------------------===//
+
+#include "CommutativeLog.h"
+
+#include <cstring>
+
+namespace privateer {
+
+const char *comOpName(ComOp Op) {
+  switch (Op) {
+  case ComOp::Add:
+    return "add";
+  case ComOp::Mul:
+    return "mul";
+  case ComOp::And:
+    return "and";
+  case ComOp::Or:
+    return "or";
+  case ComOp::Xor:
+    return "xor";
+  case ComOp::Min:
+    return "min";
+  case ComOp::Max:
+    return "max";
+  }
+  return "<invalid>";
+}
+
+int64_t combineComValues(ComOp Op, int64_t Cur, int64_t Value) {
+  // Arithmetic in uint64_t so overflow wraps (two's complement) instead of
+  // being UB; wrapping add/mul are what make the fold order-independent
+  // bit for bit.
+  uint64_t A = static_cast<uint64_t>(Cur);
+  uint64_t B = static_cast<uint64_t>(Value);
+  switch (Op) {
+  case ComOp::Add:
+    return static_cast<int64_t>(A + B);
+  case ComOp::Mul:
+    return static_cast<int64_t>(A * B);
+  case ComOp::And:
+    return static_cast<int64_t>(A & B);
+  case ComOp::Or:
+    return static_cast<int64_t>(A | B);
+  case ComOp::Xor:
+    return static_cast<int64_t>(A ^ B);
+  case ComOp::Min:
+    return Cur < Value ? Cur : Value;
+  case ComOp::Max:
+    return Cur > Value ? Cur : Value;
+  }
+  return Cur;
+}
+
+/// Sign-extending sub-word load — the IR's i64 load semantics, which is
+/// what the recognized load-op-store cluster did before rewriting.
+static int64_t loadComCell(uint64_t Addr, unsigned Bytes) {
+  uint64_t Raw = 0;
+  std::memcpy(&Raw, reinterpret_cast<const void *>(Addr), Bytes);
+  if (Bytes < 8) {
+    unsigned Shift = 64 - 8 * Bytes;
+    return static_cast<int64_t>(Raw << Shift) >> Shift;
+  }
+  return static_cast<int64_t>(Raw);
+}
+
+void applyComUpdate(uint64_t Addr, ComOp Op, unsigned Bytes, int64_t Value) {
+  int64_t Next = combineComValues(Op, loadComCell(Addr, Bytes), Value);
+  std::memcpy(reinterpret_cast<void *>(Addr), &Next, Bytes);
+}
+
+bool serializeComRecords(const std::vector<ComRecord> &Records, uint8_t *Buf,
+                         uint64_t Cap, uint64_t &Used) {
+  Used = 0;
+  uint64_t Need = Records.size() * kComRecordBytes;
+  if (Need > Cap)
+    return false;
+  for (const ComRecord &R : Records) {
+    uint64_t Word0 = (R.Addr & 0xFFFFFFFFFFFFULL) |
+                     (static_cast<uint64_t>(R.Op) << 48) |
+                     (static_cast<uint64_t>(R.Bytes) << 56);
+    std::memcpy(Buf + Used, &Word0, 8);
+    std::memcpy(Buf + Used + 8, &R.Value, 8);
+    Used += kComRecordBytes;
+  }
+  return true;
+}
+
+bool applyComRecords(const uint8_t *Buf, uint64_t Used, uint64_t HeapLo,
+                     uint64_t HeapSpan, uint64_t &Applied) {
+  Applied = 0;
+  if (Used % kComRecordBytes != 0)
+    return false;
+  // Two passes: validate the whole log, then apply.  A corrupted record
+  // must surface as misspeculation with the master heap untouched, never
+  // as a wild store or a half-applied log.
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (uint64_t Off = 0; Off < Used; Off += kComRecordBytes) {
+      uint64_t Word0;
+      int64_t Value;
+      std::memcpy(&Word0, Buf + Off, 8);
+      std::memcpy(&Value, Buf + Off + 8, 8);
+      uint64_t Addr = Word0 & 0xFFFFFFFFFFFFULL;
+      unsigned OpByte = (Word0 >> 48) & 0xFF;
+      unsigned Bytes = (Word0 >> 56) & 0xFF;
+      if (Pass == 0) {
+        if (OpByte >= kNumComOps)
+          return false;
+        if (Bytes != 1 && Bytes != 2 && Bytes != 4 && Bytes != 8)
+          return false;
+        if (Addr < HeapLo || Addr + Bytes > HeapLo + HeapSpan)
+          return false;
+      } else {
+        applyComUpdate(Addr, static_cast<ComOp>(OpByte), Bytes, Value);
+        ++Applied;
+      }
+    }
+  }
+  return true;
+}
+
+} // namespace privateer

@@ -106,6 +106,10 @@ struct WorkerStats {
   uint64_t DepWaits = 0;
   uint64_t DepWaitSpins = 0;
   uint64_t DepWaitTimeouts = 0;
+  /// Commutative-update traffic: deferred updates this worker logged and
+  /// records it serialized into checkpoint slots.
+  uint64_t ComUpdates = 0;
+  uint64_t ComRecordsMerged = 0;
   double UsefulSec = 0;
   double PrivateReadSec = 0;
   double PrivateWriteSec = 0;

@@ -509,6 +509,23 @@ InvocationStats Runtime::runParallel(uint64_t NumIterations,
     Reg.counter("dep", "wait-spins") += Stats.DepWaitSpins;
     Reg.counter("dep", "wait-timeouts") += Stats.DepWaitTimeouts;
   }
+  if (Stats.ComUpdates || Stats.ComRecordsCommitted || Stats.ComOverflows) {
+    Reg.counter("com", "updates") += Stats.ComUpdates;
+    Reg.counter("com", "records-merged") += Stats.ComRecordsMerged;
+    Reg.counter("com", "records-committed") += Stats.ComRecordsCommitted;
+    Reg.counter("com", "overflows") += Stats.ComOverflows;
+  }
+  // Per-heap-class footprint snapshot: live allocations and allocator high
+  // water of every logical heap, both in the stats and as registry gauges.
+  for (unsigned I = 0; I < kNumHeapKinds; ++I) {
+    HeapKind K = static_cast<HeapKind>(I);
+    Stats.HeapLiveObjects[I] = heap(K).liveCount();
+    Stats.HeapHighWaterBytes[I] = heap(K).highWater();
+    Reg.counter("footprint", std::string(heapKindName(K)) + "-live") =
+        Stats.HeapLiveObjects[I];
+    Reg.counter("footprint", std::string(heapKindName(K)) + "-highwater") =
+        Stats.HeapHighWaterBytes[I];
+  }
 
   if (TraceOn) {
     Tc.record(trace::Kind::Invocation, 0, monotonicNanos(), InvStartNs,
@@ -570,6 +587,9 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
   PrivateHighWater = heap(HeapKind::Private).highWater();
   uint64_t ReduxCovered =
       Redux.spanEnd(heap(HeapKind::Redux).base());
+  // Commutative-heap span covered by commit-time record validation; the
+  // slot com-log sections are only paid for when the heap is in use.
+  uint64_t ComCovered = heap(HeapKind::Commutative).highWater();
   if (Spec) {
     // Per-worker dirty-chunk bitmap, sized before fork so every worker's
     // COW copy covers the footprint; workers set bits from the
@@ -583,6 +603,7 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     C.PrivateBytes = PrivateHighWater;
     C.ReduxBytes = ReduxCovered;
     C.IoCapacity = Options.IoCapacityPerSlot;
+    C.ComCapacity = ComCovered > 0 ? Options.ComCapacityPerSlot : 0;
     C.BaseIter = Plan.BaseIter;
     C.Period = Plan.Period;
     C.EpochIters = Plan.EpochIters;
@@ -791,8 +812,9 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       {
         ScopedIdlePriority IdleWhileWorkersRun(Overlapped);
         St = TheRegion.commitSlot(P, MasterShadow, MasterPrivate, Redux,
-                                  heap(HeapKind::Redux).base(), CommittedIo,
-                                  Why, &CommitScan);
+                                  heap(HeapKind::Redux).base(),
+                                  heap(HeapKind::Commutative).base(),
+                                  ComCovered, CommittedIo, Why, &CommitScan);
       }
       if (Overlapped) {
         Stats.OverlapSec += wallSeconds() - T0;
@@ -917,6 +939,8 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Stats.DepWaits += S.DepWaits;
     Stats.DepWaitSpins += S.DepWaitSpins;
     Stats.DepWaitTimeouts += S.DepWaitTimeouts;
+    Stats.ComUpdates += S.ComUpdates;
+    Stats.ComRecordsMerged += S.ComRecordsMerged;
     Stats.UsefulSec += S.UsefulSec;
     Stats.PrivateReadSec += S.PrivateReadSec;
     Stats.PrivateWriteSec += S.PrivateWriteSec;
@@ -984,7 +1008,8 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
       uint64_t ScanBefore = CommitScan.BytesScanned;
       CheckpointRegion::CommitStatus St = TheRegion.commitSlot(
           P, MasterShadow, MasterPrivate, Redux,
-          heap(HeapKind::Redux).base(), CommittedIo, Why, &CommitScan);
+          heap(HeapKind::Redux).base(), heap(HeapKind::Commutative).base(),
+          ComCovered, CommittedIo, Why, &CommitScan);
       if (St == CheckpointRegion::CommitStatus::Misspec) {
         Res.Misspec = true;
         Res.Reason = Why;
@@ -1001,6 +1026,10 @@ Runtime::EpochResult Runtime::runEpoch(const EpochPlan &Plan,
     Stats.CheckpointDirtyChunks += CommitScan.DirtyChunks;
     Stats.CheckpointBytesScanned += CommitScan.BytesScanned;
     Stats.CheckpointBytesSkipped += CommitScan.BytesSkipped;
+    Stats.ComRecordsCommitted += CommitScan.ComRecords;
+    for (uint64_t P = 0; P < Plan.NumSlots; ++P)
+      if (TheRegion.slot(P)->ComOverflow)
+        ++Stats.ComOverflows;
     // "take effect only when the checkpoint is marked non-speculative":
     // only output from committed checkpoints is emitted.
     flushIo(CommittedIo, Options.Out);
@@ -1073,6 +1102,7 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
   LocalStats = WorkerStats();
   LocalStats.StartWall = wallSeconds();
   PendingIo.clear();
+  PendingCom.clear();
   IoSequence = 0;
 
   // This worker's SPSC trace ring in the shared control block; row 1 + Id
@@ -1094,6 +1124,7 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
         !heap(HeapKind::ShortLived).tryRemapCopyOnWrite() ||
         !heap(HeapKind::Redux).tryRemapCopyOnWrite() ||
         !heap(HeapKind::Unrestricted).tryRemapCopyOnWrite() ||
+        !heap(HeapKind::Commutative).tryRemapCopyOnWrite() ||
         !Shadow.tryRemapCopyOnWrite())
       misspecAbort("copy-on-write remap failed in worker");
     if (Options.ProtectReadOnly) {
@@ -1244,7 +1275,7 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       uint64_t SkipBefore = MergeScan.BytesSkipped;
       Region->workerMerge(P, LocalShadow, LocalPrivate, DirtyMask.data(),
                           Redux, heap(HeapKind::Redux).base(), PendingIo,
-                          Executed, MergeCtx);
+                          PendingCom, Executed, MergeCtx);
       if (TraceRing) {
         uint64_t MergeEndNs = monotonicNanos();
         TraceRing->push(trace::makeEvent(trace::Kind::SlotMerge, TraceRow,
@@ -1261,6 +1292,7 @@ void Runtime::workerMain(unsigned Id, const EpochPlan &Plan,
       LocalStats.CheckpointDirtyChunks = MergeScan.DirtyChunks;
       LocalStats.CheckpointBytesScanned = MergeScan.BytesScanned;
       LocalStats.CheckpointBytesSkipped = MergeScan.BytesSkipped;
+      LocalStats.ComRecordsMerged = MergeScan.ComRecords;
       if (Executed) {
         // Local post-checkpoint reset (§5.1): writes age into old-write,
         // validated live-in reads revert to live-in.  Codes >= 2 can only

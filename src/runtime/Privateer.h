@@ -59,6 +59,13 @@ inline void speculate(bool Cond, const char *What) {
   Runtime::get().speculateTrue(Cond, What);
 }
 
+/// Deferred commutative update (com_update): the separation check is fused
+/// in, the store is logged and folded at commit, never validated for
+/// privacy.
+inline void com_update(void *P, ComOp Op, unsigned Bytes, int64_t Value) {
+  Runtime::get().comUpdate(P, Op, Bytes, Value);
+}
+
 } // namespace privateer
 
 #endif // PRIVATEER_RUNTIME_PRIVATEER_H

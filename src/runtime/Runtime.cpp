@@ -31,7 +31,9 @@ Runtime::~Runtime() {
 void Runtime::initialize(const RuntimeConfig &C) {
   assert(!Initialized && "runtime already initialized");
   Config = C;
-  auto SizeOf = [&](HeapKind K) {
+  // Covering switch, no default: adding a HeapKind without a size here is
+  // a compile error (-Wswitch), not a silently zero-byte heap.
+  auto SizeOf = [&](HeapKind K) -> size_t {
     switch (K) {
     case HeapKind::ReadOnly:
       return C.ReadOnlyBytes;
@@ -43,8 +45,10 @@ void Runtime::initialize(const RuntimeConfig &C) {
       return C.ShortLivedBytes;
     case HeapKind::Unrestricted:
       return C.UnrestrictedBytes;
+    case HeapKind::Commutative:
+      return C.CommutativeBytes;
     }
-    return size_t(0);
+    reportFatalError("unknown heap kind in initialize()");
   };
   for (unsigned I = 0; I < kNumHeapKinds; ++I) {
     HeapKind K = static_cast<HeapKind>(I);
@@ -70,6 +74,7 @@ void Runtime::shutdown() {
     H.destroy();
   Shadow.destroy();
   Redux.clear();
+  Com.clear();
   Initialized = false;
 }
 
@@ -101,6 +106,29 @@ void Runtime::registerReduction(void *P, size_t Bytes, ReduxElem Elem,
   assert(heap(HeapKind::Redux).contains(P) &&
          "reduction object must live in the redux heap");
   Redux.registerObject(P, Bytes, Elem, Op);
+}
+
+void Runtime::registerCommutative(void *P, size_t Bytes, ComOp Op,
+                                  uint8_t ElemBytes) {
+  assert(heap(HeapKind::Commutative).contains(P) &&
+         "commutative object must live in the commutative heap");
+  Com.registerObject(P, Bytes, Op, ElemBytes);
+}
+
+void Runtime::comUpdate(void *P, ComOp Op, unsigned Bytes, int64_t Value) {
+  uint64_t Addr = reinterpret_cast<uint64_t>(P);
+  if (Mode != ExecMode::SpeculativeWorker) {
+    // Sequential execution, recovery, and non-speculative workers apply
+    // the fold immediately; the heaps behave as ordinary memory (§3.2).
+    applyComUpdate(Addr, Op, Bytes, Value);
+    return;
+  }
+  // The separation check is fused into the update: one tag compare, then
+  // append to the pending log instead of touching the heap.
+  ++LocalStats.SeparationChecks;
+  if (!addressInHeap(Addr, HeapKind::Commutative))
+    misspecAbort("comupdate of a pointer outside the commutative heap");
+  comUpdateTagged(Addr, Op, Bytes, Value);
 }
 
 void Runtime::checkHeap(const void *P, HeapKind Expected) {

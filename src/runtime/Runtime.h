@@ -25,6 +25,7 @@
 #define PRIVATEER_RUNTIME_RUNTIME_H
 
 #include "runtime/Checkpoint.h"
+#include "runtime/CommutativeLog.h"
 #include "runtime/ControlBlock.h"
 #include "runtime/DepChannel.h"
 #include "runtime/FaultInjection.h"
@@ -47,6 +48,7 @@ struct RuntimeConfig {
   size_t ReduxBytes = 1u << 20;
   size_t ShortLivedBytes = 8u << 20;
   size_t UnrestrictedBytes = 4u << 20;
+  size_t CommutativeBytes = 1u << 20;
 };
 
 /// How a parallel invocation schedules its iterations (ROADMAP item 3).
@@ -114,6 +116,10 @@ struct ParallelOptions {
   /// SIGSEGV which the worker converts into misspeculation.
   bool ProtectReadOnly = true;
   size_t IoCapacityPerSlot = 1u << 20;
+  /// Per-slot commutative-log capacity in bytes (65536 records by
+  /// default); only charged when the invocation's commutative heap holds
+  /// allocations.  Overflow is a conservative misspeculation.
+  size_t ComCapacityPerSlot = 1u << 20;
   /// Distinct dirty 4 KiB chunks one checkpoint slot can hold.  0 (the
   /// default) sizes slots for the whole private footprint, so merges can
   /// never overflow; a smaller bound shrinks the checkpoint region for
@@ -227,6 +233,18 @@ struct InvocationStats {
   uint64_t DepWaits = 0;        ///< Tokens consumed by waitDep.
   uint64_t DepWaitSpins = 0;    ///< Spin rounds spent blocked on a token.
   uint64_t DepWaitTimeouts = 0; ///< Waits that gave up and misspeculated.
+
+  // --- Commutative-update heap (StatisticRegistry group "com") -----------
+  uint64_t ComUpdates = 0;          ///< Deferred updates logged by workers.
+  uint64_t ComRecordsMerged = 0;    ///< Records serialized into slots.
+  uint64_t ComRecordsCommitted = 0; ///< Records folded into the master heap.
+  uint64_t ComOverflows = 0;        ///< Slot com-log sections that overflowed.
+
+  // --- Per-heap-class footprint (observability satellite) ----------------
+  /// Live allocations and allocator high water of each logical heap at the
+  /// end of the invocation, indexed by HeapKind.
+  uint64_t HeapLiveObjects[kNumHeapKinds] = {};
+  uint64_t HeapHighWaterBytes[kNumHeapKinds] = {};
 };
 
 using IterationFn = std::function<void(uint64_t)>;
@@ -263,6 +281,14 @@ public:
   void registerReduction(void *P, size_t Bytes, ReduxElem Elem, ReduxOp Op);
   ReductionRegistry &reductions() { return Redux; }
 
+  /// Declares a commutative-update object (must lie in the commutative
+  /// heap) with its agreed operator and element width.  Pure observability
+  /// metadata: the deferred records carry their own addresses, so unlike
+  /// reductions no identity fill or registry-driven combine is needed.
+  void registerCommutative(void *P, size_t Bytes, ComOp Op,
+                           uint8_t ElemBytes);
+  CommutativeRegistry &commutatives() { return Com; }
+
   // --- Speculation interface (inserted by the compiler, §4.5-4.6) --------
 
   /// check_heap: separation check.  In a speculative worker, a tag
@@ -284,6 +310,15 @@ public:
 
   /// Unconditional misspeculation report from a speculative worker.
   [[noreturn]] void misspecAbort(const char *Reason);
+
+  /// com_update: deferred commutative update of \p Bytes at \p P with
+  /// operator \p Op and operand \p Value.  The separation check is fused
+  /// in: a speculative worker verifies the commutative-heap tag (misspec on
+  /// mismatch) and appends a typed record to its pending log — the store
+  /// itself is deferred until commit, so no privacy validation runs.
+  /// Everywhere else (sequential, recovery, non-speculative workers) the
+  /// update applies immediately with the same load-combine-store fold.
+  void comUpdate(void *P, ComOp Op, unsigned Bytes, int64_t Value);
 
   // --- Fast-path speculation entry points (bytecode VM) ------------------
   //
@@ -307,6 +342,16 @@ public:
 
   /// privateWrite counterpart of privateReadTagged.
   void privateWriteTagged(uint64_t Addr, size_t Bytes);
+
+  /// comUpdate with the mode test and commutative-heap tag check already
+  /// done by the caller: counts the update and appends the record to the
+  /// worker's pending log.
+  void comUpdateTagged(uint64_t Addr, ComOp Op, unsigned Bytes,
+                       int64_t Value) {
+    ++LocalStats.ComUpdates;
+    PendingCom.push_back(
+        ComRecord{Addr, Value, Op, static_cast<uint8_t>(Bytes)});
+  }
 
   /// Deferred printf (I/O deferral): buffered and committed in iteration
   /// order with the enclosing checkpoint; immediate elsewhere.
@@ -416,6 +461,7 @@ private:
   SharedHeap Heaps[kNumHeapKinds];
   SharedHeap Shadow;
   ReductionRegistry Redux;
+  CommutativeRegistry Com;
 
   // Invocation-scoped state (valid between runEpoch set-up and tear-down).
   ExecMode Mode = ExecMode::Sequential;
@@ -439,6 +485,9 @@ private:
   uint64_t DirtyChunkLimit = 0;
   std::vector<IoRecord> PendingIo;
   uint32_t IoSequence = 0;
+  /// Deferred commutative updates of the current checkpoint period;
+  /// serialized into the slot's com-log section at merge time.
+  std::vector<ComRecord> PendingCom;
   WorkerStats LocalStats;
   /// Tracing, armed per invocation by ParallelOptions::TracePath.  In a
   /// worker process TraceRing points at this worker's SPSC ring inside the

@@ -140,6 +140,8 @@ JobReply runAssignment(const ExecAssignment &A,
       R.Checkpoints = E.Stats.Checkpoints;
       R.Misspecs = E.Stats.Misspecs;
       R.RecoveredIterations = E.Stats.RecoveredIterations;
+      R.ComUpdates = E.Stats.ComUpdates;
+      R.ComRecordsCommitted = E.Stats.ComRecordsCommitted;
       R.MisspecReason = E.Stats.FirstMisspecReason;
       R.Status = JobStatus::Ok;
     } else {

@@ -282,6 +282,8 @@ std::string service::encodeJobReply(const JobReply &R) {
   putF64(B, R.ExecSec);
   putF64(B, R.QueueSec);
   putF64(B, R.WallSec);
+  putU64(B, R.ComUpdates);
+  putU64(B, R.ComRecordsCommitted);
   return B;
 }
 
@@ -307,7 +309,8 @@ bool service::decodeJobReply(const std::string &Body, JobReply &R,
       !C.getU64(R.Checkpoints) || !C.getU64(R.Misspecs) ||
       !C.getU64(R.RecoveredIterations) || !C.getStr(R.MisspecReason) ||
       !C.getF64(R.PipelineSec) || !C.getF64(R.ExecSec) ||
-      !C.getF64(R.QueueSec) || !C.getF64(R.WallSec)) {
+      !C.getF64(R.QueueSec) || !C.getF64(R.WallSec) ||
+      !C.getU64(R.ComUpdates) || !C.getU64(R.ComRecordsCommitted)) {
     Err = "truncated JobResult body";
     return false;
   }

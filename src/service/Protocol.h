@@ -229,6 +229,10 @@ struct JobReply {
   uint64_t Checkpoints = 0;
   uint64_t Misspecs = 0;
   uint64_t RecoveredIterations = 0;
+  /// Commutative-heap activity (sixth heap): deferred updates logged and
+  /// records folded at commit.
+  uint64_t ComUpdates = 0;
+  uint64_t ComRecordsCommitted = 0;
   std::string MisspecReason;
   double PipelineSec = 0; ///< parse+profile+classify+transform (cache miss)
   double ExecSec = 0;     ///< supervisor wall time

@@ -153,6 +153,8 @@ Server::Server(ServerOptions O)
         "executives_spawned", "executives_respawned", "memfd_submissions",
         "token_deferrals"})
     stat(Name);
+  for (const char *Name : {"updates", "records-committed"})
+    StatisticRegistry::instance().counter("com", Name);
   for (const TenantConfig &TC : Opts.Tenants)
     tenantState(TC.Id).Cfg = TC;
 }
@@ -1423,6 +1425,8 @@ void Server::runSupervisor(const Job &J) {
       R.Checkpoints = E.Stats.Checkpoints;
       R.Misspecs = E.Stats.Misspecs;
       R.RecoveredIterations = E.Stats.RecoveredIterations;
+      R.ComUpdates = E.Stats.ComUpdates;
+      R.ComRecordsCommitted = E.Stats.ComRecordsCommitted;
       R.MisspecReason = E.Stats.FirstMisspecReason;
       R.Status = JobStatus::Ok;
     }
@@ -1749,6 +1753,12 @@ void Server::finishJob(Job &J) {
     R.PipelineSec = J.CacheHit || !J.Prog ? 0 : J.Prog->PipelineSec;
   if (Decoded && R.Status == JobStatus::Ok) {
     ++stat("jobs_completed");
+    // Jobs execute in supervisor/executive processes, so their runtime
+    // registries die with them; fold the reply's commutative-heap stats
+    // into the daemon registry so the status JSON aggregates them.
+    StatisticRegistry::instance().counter("com", "updates") += R.ComUpdates;
+    StatisticRegistry::instance().counter("com", "records-committed") +=
+        R.ComRecordsCommitted;
     if (J.Attempt > 0)
       ++stat("retry_success");
     if (Opts.Verbose)

@@ -30,9 +30,14 @@ PipelineResult transform::runPrivateerPipeline(Module &M,
     Interpreter Interp(M, MM, &Collector);
     Interp.setInstructionBudget(Opt.ProfileBudget);
     Interp.initializeGlobals();
-    Interp.run(Opt.EntryFunction, Opt.EntryArgs);
+    const std::string &TrainEntry = Opt.TrainingEntryFunction.empty()
+                                        ? Opt.EntryFunction
+                                        : Opt.TrainingEntryFunction;
+    Interp.run(TrainEntry, TrainEntry == Opt.EntryFunction
+                               ? Opt.EntryArgs
+                               : std::vector<interp::Cell>());
     R.TrainingProfile = Collector.finish();
-    R.Log.push_back("profiled " +
+    R.Log.push_back("profiled @" + TrainEntry + ": " +
                     std::to_string(Interp.instructionsExecuted()) +
                     " instructions");
   }
@@ -53,7 +58,8 @@ PipelineResult transform::runPrivateerPipeline(Module &M,
     bool Ready = isDoallReady(*L, FA, WhyNot);
     HeapAssignment HA;
     if (Ready)
-      HA = classifyLoop(*L, FA, R.TrainingProfile);
+      HA = classifyLoop(*L, FA, R.TrainingProfile, nullptr,
+                        Opt.EnableCommutative);
 
     // DOACROSS pre-pass: when the strategy allows it and plain DOALL is
     // off the table, try to rewrite the loop's carried dependences into
@@ -67,8 +73,8 @@ PipelineResult transform::runPrivateerPipeline(Module &M,
         R.Log.push_back("loop@" + L->header()->name() + ": no doacross (" +
                         (DP.WhyNot.empty() ? "?" : DP.WhyNot.front()) + ")");
       } else {
-        HeapAssignment Trial =
-            classifyLoop(*L, FA, R.TrainingProfile, &DP.Covered);
+        HeapAssignment Trial = classifyLoop(*L, FA, R.TrainingProfile,
+                                            &DP.Covered, Opt.EnableCommutative);
         if (!Trial.Parallelizable) {
           R.Log.push_back("loop@" + L->header()->name() +
                           ": doacross tokens cover too little");
@@ -171,6 +177,24 @@ transform::lowerForPrivatized(const Module &M, const FunctionAnalyses &FA,
     RG.Op = ElemOp.second;
     Prog->ReduxGlobals.push_back(RG);
   }
+  // Commutative-heap registrations ride along for the same reason: a warm
+  // executive folding com logs at commit needs the object bounds with no
+  // classification state in the process.
+  for (const auto &[O, OpBytes] : HA.ComOps) {
+    if (!O.Global)
+      continue;
+    auto It = Prog->GlobalIdx.find(O.Global->name());
+    if (It == Prog->GlobalIdx.end()) {
+      WhyNot = "commutative global '" + O.Global->name() +
+               "' missing from lowered program";
+      return nullptr;
+    }
+    bytecode::BcComGlobal CG;
+    CG.GlobalIdx = It->second;
+    CG.Op = OpBytes.first;
+    CG.ElemBytes = OpBytes.second;
+    Prog->ComGlobals.push_back(CG);
+  }
   // Same self-containment for token rings: a warm executive sizes them
   // from the image alone.
   Prog->NumDepChannels = HA.DoacrossChannels;
@@ -230,6 +254,10 @@ ExecutionResult transform::executePrivatized(
       Rt.registerReduction(
           reinterpret_cast<void *>(Vm.globalAddress(RG.GlobalIdx)),
           BP->Globals[RG.GlobalIdx].SizeBytes, RG.Elem, RG.Op);
+    for (const bytecode::BcComGlobal &CG : BP->ComGlobals)
+      Rt.registerCommutative(
+          reinterpret_cast<void *>(Vm.globalAddress(CG.GlobalIdx)),
+          BP->Globals[CG.GlobalIdx].SizeBytes, CG.Op, CG.ElemBytes);
     R.ReturnValue = Vm.run(Opt.EntryFunction, Opt.EntryArgs);
     R.Stats = Plan.Stats;
   } else {
@@ -259,6 +287,15 @@ ExecutionResult transform::executePrivatized(
       Rt.registerReduction(
           reinterpret_cast<void *>(Interp.globalAddress(O.Global)),
           O.Global->sizeBytes(), ElemOp.first, ElemOp.second);
+    }
+    // Commutative-heap globals: registration is bounds metadata for
+    // observability; the deferred records themselves carry addresses.
+    for (const auto &[O, OpBytes] : HA.ComOps) {
+      if (!O.Global)
+        continue;
+      Rt.registerCommutative(
+          reinterpret_cast<void *>(Interp.globalAddress(O.Global)),
+          O.Global->sizeBytes(), OpBytes.first, OpBytes.second);
     }
 
     R.ReturnValue = Interp.run(Opt.EntryFunction, Opt.EntryArgs);
@@ -294,6 +331,10 @@ ExecutionResult transform::executeLoadedParallel(
       Rt.registerReduction(
           reinterpret_cast<void *>(Vm.globalAddress(RG.GlobalIdx)),
           BP.Globals[RG.GlobalIdx].SizeBytes, RG.Elem, RG.Op);
+    for (const bytecode::BcComGlobal &CG : BP.ComGlobals)
+      Rt.registerCommutative(
+          reinterpret_cast<void *>(Vm.globalAddress(CG.GlobalIdx)),
+          BP.Globals[CG.GlobalIdx].SizeBytes, CG.Op, CG.ElemBytes);
     R.ReturnValue = Vm.run(Opt.EntryFunction, Opt.EntryArgs);
     R.Stats = Plan.Stats;
   }

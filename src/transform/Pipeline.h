@@ -46,6 +46,13 @@ inline const char *execEngineName(ExecEngine E) {
 struct PipelineOptions {
   std::string EntryFunction = "main";
   std::vector<interp::Cell> EntryArgs;
+  /// Entry point for the profiling run (empty = EntryFunction).  The
+  /// paper profiles on a *train* input and evaluates on *ref*; programs
+  /// model that with a separate entry that feeds the hot loop a training
+  /// workload.  When the training input under-approximates production
+  /// behavior, classification optimistically picks cheaper heaps and the
+  /// runtime's validation pays the difference as misspeculation.
+  std::string TrainingEntryFunction;
   /// Training-run instruction budget.
   uint64_t ProfileBudget = 500'000'000;
   /// Requested execution engine; Bytecode silently falls back to Interp
@@ -61,6 +68,10 @@ struct PipelineOptions {
   /// Stage count hint for Strategy::Pipeline (0 = pick from the worker
   /// count at execution time).
   uint32_t NumStages = 0;
+  /// When false, recognized commutative clusters are ignored and their
+  /// objects classify as the paper's five heaps would (the fallback arm of
+  /// the commutative bench gate).
+  bool EnableCommutative = true;
 };
 
 struct PipelineResult {

@@ -3,6 +3,7 @@
 #include "transform/Privatizer.h"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 
 using namespace privateer;
@@ -138,6 +139,19 @@ TransformStats transform::applyPrivatization(Module &M,
     return Stats;
 
   // --- §4.5 / §4.6: separation and privacy checks. ------------------------
+  // Commutative-cluster members are rewritten below, not instrumented: the
+  // ComUpdate that replaces them fuses its own separation check, and the
+  // cluster's load/store must not be privacy-validated (deferred updates
+  // make cross-worker writes to one cell legal by construction).
+  std::set<const Instruction *> ComMembers;
+  for (const ComCluster &C : HA.ComClusters) {
+    ComMembers.insert(C.Load);
+    ComMembers.insert(C.Store);
+    ComMembers.insert(C.Combine);
+    if (C.Cmp)
+      ComMembers.insert(C.Cmp);
+  }
+
   Inserter Ins;
   for (Instruction *I : instrumentationScope(L, FA)) {
     bool IsLoad = I->opcode() == Opcode::Load;
@@ -167,6 +181,13 @@ TransformStats transform::applyPrivatization(Module &M,
     HeapKind K = *Kinds.begin();
     Value *Ptr = I->operand(IsLoad ? 0 : 1);
 
+    if (K == HeapKind::Commutative) {
+      if (!ComMembers.count(I))
+        Stats.Errors.push_back(
+            "access %" + I->name() +
+            " touches a commutative object outside a recognized cluster");
+      continue;
+    }
     if (K == HeapKind::Private) {
       // DOACROSS fallback loads read private-heap bytes that the
       // forwarding select discards for in-loop targets; validating them
@@ -188,6 +209,23 @@ TransformStats transform::applyPrivatization(Module &M,
     }
     Ins.before(I, makeHeapCheck(Ptr, K));
     ++Stats.SeparationChecks;
+  }
+  if (!Stats.ok())
+    return Stats;
+
+  // --- Commutative-cluster rewrite: load-op-store -> comupdate. -----------
+  // The update's operands (the folded-in value and the pointer) dominate
+  // the store by SSA dominance through the single-use chain, so inserting
+  // at the store's position is always legal.
+  for (const ComCluster &C : HA.ComClusters) {
+    auto *Store = const_cast<Instruction *>(C.Store);
+    auto CU = std::make_unique<Instruction>(Opcode::ComUpdate, Type::Void);
+    CU->setComOp(C.Op);
+    CU->addOperand(C.X);
+    CU->addOperand(Store->operand(1));
+    CU->setAccessBytes(Store->accessBytes());
+    Ins.before(Store, std::move(CU));
+    ++Stats.ComUpdatesInstalled;
   }
 
   // --- Value prediction (§4.3 refinement; Figure 2b lines 78-80). --------
@@ -251,6 +289,24 @@ TransformStats transform::applyPrivatization(Module &M,
   }
 
   Ins.apply();
+
+  // Delete the replaced cluster instructions (back-to-front per block so
+  // recorded indices stay valid).  Their only uses were inside the
+  // cluster, so nothing dangles.
+  std::map<BasicBlock *, std::vector<size_t>> Removals;
+  for (const ComCluster &C : HA.ComClusters)
+    for (const Instruction *Dead :
+         {C.Store, C.Combine, C.Cmp, C.Load}) {
+      if (!Dead)
+        continue;
+      BasicBlock *B = Dead->parent();
+      Removals[B].push_back(B->indexOf(Dead));
+    }
+  for (auto &[B, Idxs] : Removals) {
+    std::sort(Idxs.begin(), Idxs.end(), std::greater<size_t>());
+    for (size_t Idx : Idxs)
+      B->removeAt(Idx);
+  }
   return Stats;
 }
 

@@ -38,6 +38,9 @@ struct TransformStats {
   unsigned PrivacyChecks = 0;
   unsigned PrivacyChecksElided = 0;
   unsigned PredictionsInstalled = 0;
+  /// Recognized load-op-store clusters folded into ComUpdate instructions
+  /// (the separation check is fused into the update itself).
+  unsigned ComUpdatesInstalled = 0;
   std::vector<std::string> Errors;
   bool ok() const { return Errors.empty(); }
 };

@@ -431,6 +431,303 @@ std::string privateer::arrayRecurrenceIrText(uint64_t N, uint64_t Dist) {
   return S;
 }
 
+namespace {
+
+/// Shared inner mixing loop: %h = mix^Rounds(%i) starting from the hot
+/// loop's IV, heavy enough that the hot loop dominates the profile and a
+/// 4-worker run amortizes fork/merge cost.
+std::string mixRounds(uint64_t Rounds) {
+  std::string R = std::to_string(Rounds);
+  return "  br hloop\n"
+         "hloop:\n"
+         "  %r = phi [body: 0], [hlatch: %rnext]\n"
+         "  %h = phi [body: %i], [hlatch: %hnext]\n"
+         "  %rc = icmp lt, %r, " + R + "\n"
+         "  condbr %rc, hbody, update\n"
+         "hbody:\n"
+         "  %t0 = mul %h, 1103515245\n"
+         "  %t1 = add %t0, 12345\n"
+         "  %hnext = srem %t1, 1000003\n"
+         "  br hlatch\n"
+         "hlatch:\n"
+         "  %rnext = add %r, 1\n"
+         "  br hloop\n";
+}
+
+} // namespace
+
+std::string privateer::histogramIrText(uint64_t N, uint64_t Buckets,
+                                       uint64_t Rounds) {
+  std::string B = std::to_string(Buckets);
+  // The key stream drifts: the first Buckets iterations touch each bucket
+  // exactly once (the warmup @train profiles), then the stream
+  // concentrates on a hot quarter of the table, colliding across
+  // iterations the way production inputs do and training inputs don't.
+  std::string Hot = std::to_string(Buckets >= 4 ? Buckets / 4 : 1);
+  std::string S = "global @hist " + std::to_string(Buckets * 8) +
+                  "\nglobal @hmin " + std::to_string(Buckets * 8) +
+                  "\n"
+                  "\n"
+                  "define void @init() {\n"
+                  "entry:\n"
+                  "  br loop\n"
+                  "loop:\n"
+                  "  %k = phi [entry: 0], [latch: %knext]\n"
+                  "  %c = icmp lt, %k, " + B + "\n"
+                  "  condbr %c, latch, exit\n"
+                  "latch:\n"
+                  "  %off = mul %k, 8\n"
+                  "  %p = gep @hmin, %off\n"
+                  "  store 1000000000, %p, 8\n"
+                  "  %knext = add %k, 1\n"
+                  "  br loop\n"
+                  "exit:\n"
+                  "  ret\n"
+                  "}\n"
+                  "\n"
+                  "define void @kernel(i64 %n) {\n"
+                  "entry:\n"
+                  "  br loop\n"
+                  "loop:\n"
+                  "  %i = phi [entry: 0], [latch: %inext]\n"
+                  "  %c = icmp lt, %i, %n\n"
+                  "  condbr %c, body, exit\n"
+                  "body:\n" +
+                  mixRounds(Rounds) +
+                  "update:\n"
+                  "  %warm = icmp lt, %i, " + B + "\n"
+                  "  %bw = srem %i, " + B + "\n"
+                  "  %bh = srem %h, " + Hot + "\n"
+                  "  %b = select %warm, %bw, %bh\n"
+                  "  %off = mul %b, 8\n"
+                  "  %p = gep @hist, %off\n"
+                  "  %old = load i64, %p, 8\n"
+                  "  %new = add %old, 1\n"
+                  "  %q = gep @hist, %off\n"
+                  "  store %new, %q, 8\n"
+                  "  %v = srem %h, 4096\n"
+                  "  %mp = gep @hmin, %off\n"
+                  "  %mold = load i64, %mp, 8\n"
+                  "  %mc = icmp lt, %mold, %v\n"
+                  "  %mnew = select %mc, %mold, %v\n"
+                  "  %mq = gep @hmin, %off\n"
+                  "  store %mnew, %mq, 8\n"
+                  "  br latch\n"
+                  "latch:\n"
+                  "  %inext = add %i, 1\n"
+                  "  br loop\n"
+                  "exit:\n"
+                  "  ret\n"
+                  "}\n"
+                  "\n"
+                  "define i64 @train() {\n"
+                  "entry:\n"
+                  "  call @init()\n"
+                  "  call @kernel(" + B + ")\n"
+                  "  ret 0\n"
+                  "}\n"
+                  "\n"
+                  "define i64 @main() {\n"
+                  "entry:\n"
+                  "  call @init()\n"
+                  "  call @kernel(" + std::to_string(N) + ")\n"
+                  "  br sumloop\n"
+                  "sumloop:\n"
+                  "  %k = phi [entry: 0], [slatch: %knext]\n"
+                  "  %acc = phi [entry: 0], [slatch: %acc3]\n"
+                  "  %c = icmp lt, %k, " + B + "\n"
+                  "  condbr %c, slatch, done\n"
+                  "slatch:\n"
+                  "  %off = mul %k, 8\n"
+                  "  %p = gep @hist, %off\n"
+                  "  %hv = load i64, %p, 8\n"
+                  "  %mp = gep @hmin, %off\n"
+                  "  %mv = load i64, %mp, 8\n"
+                  "  %acc0 = mul %acc, 31\n"
+                  "  %acc1 = add %acc0, %hv\n"
+                  "  %acc2 = add %acc1, %mv\n"
+                  "  %acc3 = srem %acc2, 1000000007\n"
+                  "  %knext = add %k, 1\n"
+                  "  br sumloop\n"
+                  "done:\n"
+                  "  print \"hist %d\\n\", %acc\n"
+                  "  ret %acc\n"
+                  "}\n";
+  return S;
+}
+
+std::string privateer::degreeCountIrText(uint64_t Nodes, uint64_t Edges,
+                                         uint64_t Rounds) {
+  std::string V = std::to_string(Nodes);
+  // Edge stream with drift: the first Nodes/2 edges pair up distinct
+  // endpoints (2e, 2e+1) — the warmup slice @train profiles — and the
+  // rest hash into a hot quarter of the nodes, like hubs in a power-law
+  // graph.  Requires an even node count.
+  std::string Half = std::to_string(Nodes / 2);
+  std::string HotV = std::to_string(Nodes >= 4 ? Nodes / 4 : 1);
+  std::string S = "global @src " + std::to_string(Edges * 8) +
+                  "\nglobal @dst " + std::to_string(Edges * 8) +
+                  "\nglobal @deg " + std::to_string(Nodes * 8) +
+                  "\n"
+                  "\n"
+                  "define void @fill(i64 %m) {\n"
+                  "entry:\n"
+                  "  br loop\n"
+                  "loop:\n"
+                  "  %e = phi [entry: 0], [latch: %enext]\n"
+                  "  %c = icmp lt, %e, %m\n"
+                  "  condbr %c, latch, exit\n"
+                  "latch:\n"
+                  "  %warm = icmp lt, %e, " + Half + "\n"
+                  "  %ws = mul %e, 2\n"
+                  "  %wd = add %ws, 1\n"
+                  "  %h0 = mul %e, 2654435761\n"
+                  "  %hs = srem %h0, " + HotV + "\n"
+                  "  %h1 = mul %e, 40503\n"
+                  "  %h2 = add %h1, 17\n"
+                  "  %hd = srem %h2, " + HotV + "\n"
+                  "  %s = select %warm, %ws, %hs\n"
+                  "  %d = select %warm, %wd, %hd\n"
+                  "  %off = mul %e, 8\n"
+                  "  %sp = gep @src, %off\n"
+                  "  store %s, %sp, 8\n"
+                  "  %dp = gep @dst, %off\n"
+                  "  store %d, %dp, 8\n"
+                  "  %enext = add %e, 1\n"
+                  "  br loop\n"
+                  "exit:\n"
+                  "  ret\n"
+                  "}\n"
+                  "\n"
+                  "define void @kernel(i64 %m) {\n"
+                  "entry:\n"
+                  "  br loop\n"
+                  "loop:\n"
+                  "  %i = phi [entry: 0], [latch: %inext]\n"
+                  "  %c = icmp lt, %i, %m\n"
+                  "  condbr %c, body, exit\n"
+                  "body:\n" +
+                  mixRounds(Rounds) +
+                  "update:\n"
+                  "  %eoff = mul %i, 8\n"
+                  "  %srcp = gep @src, %eoff\n"
+                  "  %s = load i64, %srcp, 8\n"
+                  "  %dstp = gep @dst, %eoff\n"
+                  "  %d = load i64, %dstp, 8\n"
+                  "  %soff = mul %s, 8\n"
+                  "  %p1 = gep @deg, %soff\n"
+                  "  %o1 = load i64, %p1, 8\n"
+                  "  %n1 = add %o1, 1\n"
+                  "  %q1 = gep @deg, %soff\n"
+                  "  store %n1, %q1, 8\n"
+                  "  %doff = mul %d, 8\n"
+                  "  %p2 = gep @deg, %doff\n"
+                  "  %o2 = load i64, %p2, 8\n"
+                  "  %n2 = add %o2, 1\n"
+                  "  %q2 = gep @deg, %doff\n"
+                  "  store %n2, %q2, 8\n"
+                  "  br latch\n"
+                  "latch:\n"
+                  "  %inext = add %i, 1\n"
+                  "  br loop\n"
+                  "exit:\n"
+                  "  ret\n"
+                  "}\n"
+                  "\n"
+                  "define i64 @train() {\n"
+                  "entry:\n"
+                  "  call @fill(" + Half + ")\n"
+                  "  call @kernel(" + Half + ")\n"
+                  "  ret 0\n"
+                  "}\n"
+                  "\n"
+                  "define i64 @main() {\n"
+                  "entry:\n"
+                  "  call @fill(" + std::to_string(Edges) + ")\n"
+                  "  call @kernel(" + std::to_string(Edges) + ")\n"
+                  "  br sumloop\n"
+                  "sumloop:\n"
+                  "  %k = phi [entry: 0], [slatch: %knext]\n"
+                  "  %acc = phi [entry: 0], [slatch: %acc2]\n"
+                  "  %c = icmp lt, %k, " + V + "\n"
+                  "  condbr %c, slatch, done\n"
+                  "slatch:\n"
+                  "  %off = mul %k, 8\n"
+                  "  %p = gep @deg, %off\n"
+                  "  %dv = load i64, %p, 8\n"
+                  "  %acc0 = mul %acc, 31\n"
+                  "  %acc1 = add %acc0, %dv\n"
+                  "  %acc2 = srem %acc1, 1000000007\n"
+                  "  %knext = add %k, 1\n"
+                  "  br sumloop\n"
+                  "done:\n"
+                  "  print \"deg %d\\n\", %acc\n"
+                  "  ret %acc\n"
+                  "}\n";
+  return S;
+}
+
+std::string privateer::dedupIrText(uint64_t N, uint64_t Words,
+                                   uint64_t Rounds) {
+  std::string W = std::to_string(Words);
+  std::string Bits = std::to_string(Words * 64);
+  std::string S = "global @seen " + std::to_string(Words * 8) +
+                  "\n"
+                  "\n"
+                  "define void @kernel(i64 %n) {\n"
+                  "entry:\n"
+                  "  br loop\n"
+                  "loop:\n"
+                  "  %i = phi [entry: 0], [latch: %inext]\n"
+                  "  %c = icmp lt, %i, %n\n"
+                  "  condbr %c, body, exit\n"
+                  "body:\n" +
+                  mixRounds(Rounds) +
+                  "update:\n"
+                  "  %w = srem %h, " + Bits + "\n"
+                  "  %word = sdiv %w, 64\n"
+                  "  %bit = srem %w, 64\n"
+                  "  %mask = shl 1, %bit\n"
+                  "  %woff = mul %word, 8\n"
+                  "  %p = gep @seen, %woff\n"
+                  "  %old = load i64, %p, 8\n"
+                  "  %new = or %old, %mask\n"
+                  "  %q = gep @seen, %woff\n"
+                  "  store %new, %q, 8\n"
+                  "  br latch\n"
+                  "latch:\n"
+                  "  %inext = add %i, 1\n"
+                  "  br loop\n"
+                  "exit:\n"
+                  "  ret\n"
+                  "}\n"
+                  "\n"
+                  "define i64 @main() {\n"
+                  "entry:\n"
+                  "  call @kernel(" + std::to_string(N) + ")\n"
+                  "  br sumloop\n"
+                  "sumloop:\n"
+                  "  %k = phi [entry: 0], [slatch: %knext]\n"
+                  "  %acc = phi [entry: 0], [slatch: %acc2]\n"
+                  "  %c = icmp lt, %k, " + W + "\n"
+                  "  condbr %c, slatch, done\n"
+                  "slatch:\n"
+                  "  %off = mul %k, 8\n"
+                  "  %p = gep @seen, %off\n"
+                  "  %sv = load i64, %p, 8\n"
+                  "  %m = srem %sv, 1000000007\n"
+                  "  %acc0 = mul %acc, 31\n"
+                  "  %acc1 = add %acc0, %m\n"
+                  "  %acc2 = srem %acc1, 1000000007\n"
+                  "  %knext = add %k, 1\n"
+                  "  br sumloop\n"
+                  "done:\n"
+                  "  print \"dedup %d\\n\", %acc\n"
+                  "  ret %acc\n"
+                  "}\n";
+  return S;
+}
+
 std::string privateer::scalarCarryIrText(uint64_t N) {
   // acc' = (33*acc + i) mod p, stored to b[i] each iteration.
   std::string S = "global @b " + std::to_string(N * 8) +

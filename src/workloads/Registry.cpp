@@ -2,6 +2,7 @@
 
 #include "workloads/Alvinn.h"
 #include "workloads/BlackScholes.h"
+#include "workloads/Commutative.h"
 #include "workloads/Dijkstra.h"
 #include "workloads/EncMd5.h"
 #include "workloads/Swaptions.h"
@@ -19,6 +20,18 @@ privateer::allWorkloads(Workload::Scale S) {
   return Out;
 }
 
+std::vector<std::unique_ptr<Workload>>
+privateer::commutativeWorkloads(Workload::Scale S) {
+  std::vector<std::unique_ptr<Workload>> Out;
+  Out.push_back(std::make_unique<CommutativeWorkload>(
+      CommutativeWorkload::Kind::Histogram, S));
+  Out.push_back(std::make_unique<CommutativeWorkload>(
+      CommutativeWorkload::Kind::Degree, S));
+  Out.push_back(std::make_unique<CommutativeWorkload>(
+      CommutativeWorkload::Kind::Dedup, S));
+  return Out;
+}
+
 std::unique_ptr<Workload> privateer::makeWorkload(const std::string &Name,
                                                   Workload::Scale S) {
   if (Name == "alvinn" || Name == "052.alvinn")
@@ -31,5 +44,14 @@ std::unique_ptr<Workload> privateer::makeWorkload(const std::string &Name,
     return std::make_unique<SwaptionsWorkload>(S);
   if (Name == "enc-md5" || Name == "md5")
     return std::make_unique<EncMd5Workload>(S);
+  if (Name == "histogram")
+    return std::make_unique<CommutativeWorkload>(
+        CommutativeWorkload::Kind::Histogram, S);
+  if (Name == "degree-count" || Name == "degree")
+    return std::make_unique<CommutativeWorkload>(
+        CommutativeWorkload::Kind::Degree, S);
+  if (Name == "dedup")
+    return std::make_unique<CommutativeWorkload>(
+        CommutativeWorkload::Kind::Dedup, S);
   return nullptr;
 }

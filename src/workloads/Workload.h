@@ -32,13 +32,15 @@
 
 namespace privateer {
 
-/// Static allocation-site counts per logical heap (Table 3 columns).
+/// Static allocation-site counts per logical heap (Table 3 columns, plus
+/// the commutative heap this reproduction adds beyond the paper's five).
 struct HeapSites {
   unsigned Private = 0;
   unsigned ShortLived = 0;
   unsigned ReadOnly = 0;
   unsigned Redux = 0;
   unsigned Unrestricted = 0;
+  unsigned Commutative = 0;
 };
 
 /// The paper's Table 3 row for side-by-side reporting.
@@ -118,8 +120,14 @@ std::string combineDigest(const std::string &LiveOut, const std::string &Io);
 /// All five paper workloads at the given scale.
 std::vector<std::unique_ptr<Workload>> allWorkloads(Workload::Scale S);
 
+/// The irregular commutative-update workloads (histogram, degree-count,
+/// dedup) — beyond the paper's evaluation set, so kept out of
+/// allWorkloads() and the paper-figure geomeans.
+std::vector<std::unique_ptr<Workload>> commutativeWorkloads(Workload::Scale S);
+
 /// One workload by name ("dijkstra", "blackscholes", "swaptions",
-/// "alvinn", "enc-md5"); null if unknown.
+/// "alvinn", "enc-md5", "histogram", "degree-count", "dedup"); null if
+/// unknown.
 std::unique_ptr<Workload> makeWorkload(const std::string &Name,
                                        Workload::Scale S);
 

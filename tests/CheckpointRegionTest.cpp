@@ -28,12 +28,13 @@ protected:
 
   void makeRegion(uint64_t NumSlots, uint64_t Period, uint64_t EpochIters,
                   uint64_t SlotChunkCapacity = 0, uint64_t IoCapacity = 4096,
-                  uint64_t BaseIter = 0) {
+                  uint64_t BaseIter = 0, uint64_t ComCapacity = 0) {
     CheckpointRegion::Config C;
     C.NumSlots = NumSlots;
     C.PrivateBytes = kFootprint;
     C.ReduxBytes = 0;
     C.IoCapacity = IoCapacity;
+    C.ComCapacity = ComCapacity;
     C.BaseIter = BaseIter;
     C.Period = Period;
     C.EpochIters = EpochIters;
@@ -74,6 +75,7 @@ protected:
   std::vector<uint8_t> LocalShadow, LocalPrivate, MasterShadow, MasterPrivate;
   std::vector<uint64_t> Mask;
   std::vector<IoRecord> Io, OutIo;
+  std::vector<ComRecord> Com;
   std::string Why;
 };
 
@@ -86,7 +88,7 @@ TEST_F(CheckpointRegionTest, SparseMergeAndCommitApplyOnlyDirtyChunks) {
 
   CheckpointScanStats MergeScan;
   Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
-                     NoRedux, 0, Io, /*Executed=*/true, ctx(&MergeScan));
+                     NoRedux, 0, Io, Com, /*Executed=*/true, ctx(&MergeScan));
   EXPECT_EQ(MergeScan.DirtyChunks, 2u);
   // Only the two dirty chunks were walked at all; everything outside them
   // cost nothing.
@@ -102,7 +104,7 @@ TEST_F(CheckpointRegionTest, SparseMergeAndCommitApplyOnlyDirtyChunks) {
 
   CheckpointScanStats CommitScan;
   ASSERT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
-                              NoRedux, 0, OutIo, Why, &CommitScan),
+                              NoRedux, 0, 0, 0, OutIo, Why, &CommitScan),
             CheckpointRegion::CommitStatus::Ok)
       << Why;
   EXPECT_EQ(CommitScan.DirtyChunks, 2u);
@@ -119,7 +121,7 @@ TEST_F(CheckpointRegionTest, DirtyMasksUnionAcrossWorkers) {
   makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8);
   workerWrite(2 * kDirtyChunkBytes + 8, 0x11);
   Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
-                     NoRedux, 0, Io, true, ctx());
+                     NoRedux, 0, Io, Com, true, ctx());
 
   // Second worker: fresh view, different chunk.
   LocalShadow.assign(kFootprint, shadow::kLiveIn);
@@ -127,12 +129,12 @@ TEST_F(CheckpointRegionTest, DirtyMasksUnionAcrossWorkers) {
   workerWrite(14 * kDirtyChunkBytes + 8, 0x22,
               shadow::kFirstTimestamp + 1);
   Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
-                     NoRedux, 0, Io, true, ctx());
+                     NoRedux, 0, Io, Com, true, ctx());
 
   EXPECT_EQ(Region.slotDirtyMask(0)[0], (1ULL << 2) | (1ULL << 14));
   EXPECT_EQ(Region.slot(0)->ChunksUsed, 2u);
   ASSERT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
-                              NoRedux, 0, OutIo, Why),
+                              NoRedux, 0, 0, 0, OutIo, Why),
             CheckpointRegion::CommitStatus::Ok)
       << Why;
   EXPECT_EQ(MasterPrivate[2 * kDirtyChunkBytes + 8], 0x11);
@@ -143,11 +145,11 @@ TEST_F(CheckpointRegionTest, CommitDetectsFlowDependenceInsideDirtyChunk) {
   makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8);
   workerReadLiveIn(3 * kDirtyChunkBytes + 77);
   Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
-                     NoRedux, 0, Io, true, ctx());
+                     NoRedux, 0, Io, Com, true, ctx());
   // An earlier committed period wrote the byte: phase-2 must reject.
   MasterShadow[3 * kDirtyChunkBytes + 77] = shadow::kOldWrite;
   EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
-                              NoRedux, 0, OutIo, Why),
+                              NoRedux, 0, 0, 0, OutIo, Why),
             CheckpointRegion::CommitStatus::Misspec);
   EXPECT_NE(Why.find("flow dependence"), std::string::npos) << Why;
 }
@@ -181,11 +183,11 @@ TEST_F(CheckpointRegionTest, ChunkCapacityOverflowBecomesMisspec) {
   workerWrite(0 * kDirtyChunkBytes + 5, 0x33);
   workerWrite(7 * kDirtyChunkBytes + 5, 0x44);
   Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
-                     NoRedux, 0, Io, true, ctx());
+                     NoRedux, 0, Io, Com, true, ctx());
   EXPECT_EQ(Region.slot(0)->ChunkOverflow, 1u);
   EXPECT_TRUE(Region.slotHeaderSane(0));
   EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
-                              NoRedux, 0, OutIo, Why),
+                              NoRedux, 0, 0, 0, OutIo, Why),
             CheckpointRegion::CommitStatus::Misspec);
   EXPECT_NE(Why.find("chunk capacity"), std::string::npos) << Why;
   // Nothing from the overflowed slot reached the master image.
@@ -200,10 +202,10 @@ TEST_F(CheckpointRegionTest, DefaultCapacityCoversWholeFootprintLosslessly) {
   for (uint64_t C = 0; C < dirtyChunkCount(kFootprint); ++C)
     workerWrite(C * kDirtyChunkBytes, static_cast<uint8_t>(C + 1));
   Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
-                     NoRedux, 0, Io, true, ctx());
+                     NoRedux, 0, Io, Com, true, ctx());
   EXPECT_EQ(Region.slot(0)->ChunkOverflow, 0u);
   ASSERT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
-                              NoRedux, 0, OutIo, Why),
+                              NoRedux, 0, 0, 0, OutIo, Why),
             CheckpointRegion::CommitStatus::Ok)
       << Why;
   for (uint64_t C = 0; C < dirtyChunkCount(kFootprint); ++C)
@@ -211,19 +213,98 @@ TEST_F(CheckpointRegionTest, DefaultCapacityCoversWholeFootprintLosslessly) {
               static_cast<uint8_t>(C + 1));
 }
 
+TEST_F(CheckpointRegionTest, CommutativeRecordsFromBothWorkersFoldAtCommit) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8,
+             /*SlotChunkCapacity=*/0, /*IoCapacity=*/4096, /*BaseIter=*/0,
+             /*ComCapacity=*/4096);
+  std::vector<int64_t> Heap(4, 0);
+  uint64_t Base = reinterpret_cast<uint64_t>(Heap.data());
+  uint64_t Span = Heap.size() * sizeof(int64_t);
+
+  Com.push_back(ComRecord{Base, 5, ComOp::Add, 8});
+  Com.push_back(ComRecord{Base + 8, 100, ComOp::Max, 8});
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, Com, true, ctx());
+  EXPECT_TRUE(Com.empty()) << "merged records must leave the worker";
+
+  // Second worker appends to the same slot's com-log section.
+  Com.push_back(ComRecord{Base, 7, ComOp::Add, 8});
+  Com.push_back(ComRecord{Base + 8, 42, ComOp::Max, 8});
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, Com, true, ctx());
+
+  CheckpointScanStats CommitScan;
+  ASSERT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, Base, Span, OutIo, Why,
+                              &CommitScan),
+            CheckpointRegion::CommitStatus::Ok)
+      << Why;
+  EXPECT_EQ(CommitScan.ComRecords, 4u);
+  EXPECT_EQ(Heap[0], 12) << "adds from both workers must combine";
+  EXPECT_EQ(Heap[1], 100) << "max keeps the larger contribution";
+}
+
+TEST_F(CheckpointRegionTest, CommutativeLogOverflowBecomesMisspec) {
+  // One 16-byte record fits; the second append must overflow, keep the
+  // records with the worker, and poison the slot.
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8,
+             /*SlotChunkCapacity=*/0, /*IoCapacity=*/4096, /*BaseIter=*/0,
+             /*ComCapacity=*/kComRecordBytes);
+  std::vector<int64_t> Heap(1, 0);
+  uint64_t Base = reinterpret_cast<uint64_t>(Heap.data());
+
+  Com.push_back(ComRecord{Base, 1, ComOp::Add, 8});
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, Com, true, ctx());
+  EXPECT_TRUE(Com.empty());
+  Com.push_back(ComRecord{Base, 2, ComOp::Add, 8});
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, Com, true, ctx());
+  EXPECT_EQ(Region.slot(0)->ComOverflow, 1u);
+  ASSERT_EQ(Com.size(), 1u) << "overflowed records stay with the worker";
+
+  EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, Base, sizeof(int64_t), OutIo, Why),
+            CheckpointRegion::CommitStatus::Misspec);
+  EXPECT_NE(Why.find("capacity"), std::string::npos) << Why;
+  EXPECT_EQ(Heap[0], 0) << "nothing from the poisoned slot may commit";
+}
+
+TEST_F(CheckpointRegionTest, OutOfHeapComRecordRejectsWholeLogUntouched) {
+  makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8,
+             /*SlotChunkCapacity=*/0, /*IoCapacity=*/4096, /*BaseIter=*/0,
+             /*ComCapacity=*/4096);
+  std::vector<int64_t> Heap(2, 0);
+  uint64_t Base = reinterpret_cast<uint64_t>(Heap.data());
+  uint64_t Span = Heap.size() * sizeof(int64_t);
+
+  // A good record followed by one pointing outside the heap: validation
+  // must reject the log before applying anything, so the good record's
+  // effect never reaches the master heap.
+  Com.push_back(ComRecord{Base, 9, ComOp::Add, 8});
+  Com.push_back(ComRecord{Base + Span, 1, ComOp::Add, 8});
+  Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
+                     NoRedux, 0, Io, Com, true, ctx());
+  EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
+                              NoRedux, 0, Base, Span, OutIo, Why),
+            CheckpointRegion::CommitStatus::Misspec);
+  EXPECT_NE(Why.find("corrupted commutative"), std::string::npos) << Why;
+  EXPECT_EQ(Heap[0], 0) << "validation precedes every application";
+}
+
 TEST_F(CheckpointRegionTest, IoOverflowKeepsWorkerRecordsForRecovery) {
   makeRegion(/*NumSlots=*/1, /*Period=*/8, /*EpochIters=*/8,
              /*SlotChunkCapacity=*/0, /*IoCapacity=*/32);
   Io.push_back(IoRecord{0, 0, std::string(128, 'x')}); // Can't fit in 32 B.
   Region.workerMerge(0, LocalShadow.data(), LocalPrivate.data(), Mask.data(),
-                     NoRedux, 0, Io, true, ctx());
+                     NoRedux, 0, Io, Com, true, ctx());
   EXPECT_EQ(Region.slot(0)->IoOverflow, 1u);
   // The records must stay with the worker: dropping them before the
   // misspec recovery re-executes the period would lose the output.
   ASSERT_EQ(Io.size(), 1u);
   EXPECT_EQ(Io[0].Text.size(), 128u);
   EXPECT_EQ(Region.commitSlot(0, MasterShadow.data(), MasterPrivate.data(),
-                              NoRedux, 0, OutIo, Why),
+                              NoRedux, 0, 0, 0, OutIo, Why),
             CheckpointRegion::CommitStatus::Misspec);
   EXPECT_NE(Why.find("overflow"), std::string::npos) << Why;
 }

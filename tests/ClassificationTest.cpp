@@ -174,6 +174,173 @@ TEST(Classification, MixedReductionAndPlainAccessIsNotRedux) {
       << "the accumulator's true recurrence must block DOALL";
 }
 
+// --- Commutative-update recognizer (sixth heap) -------------------------
+
+/// Wraps a table-update snippet in the canonical irregular kernel: a
+/// hashed cell index (collides across iterations), the update, and a
+/// driver @main.  The snippet sees %off (byte offset) and %v (value).
+std::string comKernel(const std::string &Update) {
+  return "global @tab 64\n"
+         "define void @kernel(i64 %n) {\n"
+         "entry:\n  br loop\n"
+         "loop:\n  %i = phi [entry: 0], [latch: %inext]\n"
+         "  %c = icmp lt, %i, %n\n  condbr %c, body, exit\n"
+         "body:\n"
+         "  %h = mul %i, 2654435761\n"
+         "  %b = srem %h, 8\n"
+         "  %off = mul %b, 8\n"
+         "  %v = srem %h, 1000\n" +
+         Update +
+         "  br latch\n"
+         "latch:\n  %inext = add %i, 1\n  br loop\n"
+         "exit:\n  ret\n}\n"
+         "define i64 @main() {\nentry:\n  call @kernel(64)\n  ret 0\n}\n";
+}
+
+TEST(Classification, CommutativePatternAOpsClassifyToComHeap) {
+  struct {
+    const char *Inst;
+    ComOp Op;
+  } Cases[] = {{"add", ComOp::Add},
+               {"mul", ComOp::Mul},
+               {"and", ComOp::And},
+               {"or", ComOp::Or},
+               {"xor", ComOp::Xor}};
+  for (const auto &C : Cases) {
+    SCOPED_TRACE(C.Inst);
+    auto R = prepare(comKernel(std::string("  %p = gep @tab, %off\n"
+                                           "  %old = load i64, %p, 8\n"
+                                           "  %new = ") +
+                               C.Inst +
+                               " %old, %v\n"
+                               "  %q = gep @tab, %off\n"
+                               "  store %new, %q, 8\n"));
+    const Loop *L = loopNamed(*R.FA, *R.M, "kernel", "loop");
+    ASSERT_NE(L, nullptr);
+    HeapAssignment HA = classifyLoop(*L, *R.FA, R.P);
+    EXPECT_TRUE(HA.Parallelizable)
+        << "benign commutative collisions must not block DOALL";
+    EXPECT_EQ(kindOfGlobal(HA, *R.M, "tab"), HeapKind::Commutative);
+    ObjectKey K;
+    K.Global = R.M->globalByName("tab");
+    auto It = HA.ComOps.find(K);
+    ASSERT_NE(It, HA.ComOps.end());
+    EXPECT_EQ(It->second.first, C.Op);
+    EXPECT_EQ(It->second.second, 8);
+    EXPECT_EQ(HA.ComClusters.size(), 1u);
+  }
+}
+
+TEST(Classification, CommutativeMinMaxOrientationVariants) {
+  // "a < b ? a : b" is min; flipping either the predicate direction or
+  // the select arm order flips the recognized operator, and flipping both
+  // flips it back.
+  struct {
+    const char *Cmp;
+    const char *Sel;
+    ComOp Op;
+  } Cases[] = {
+      {"lt", "  %new = select %cc, %old, %v\n", ComOp::Min},
+      {"gt", "  %new = select %cc, %old, %v\n", ComOp::Max},
+      {"lt", "  %new = select %cc, %v, %old\n", ComOp::Max},
+      {"ge", "  %new = select %cc, %v, %old\n", ComOp::Min},
+  };
+  for (const auto &C : Cases) {
+    SCOPED_TRACE(std::string(C.Cmp) + " / " + C.Sel);
+    auto R = prepare(comKernel(std::string("  %p = gep @tab, %off\n"
+                                           "  %old = load i64, %p, 8\n"
+                                           "  %cc = icmp ") +
+                               C.Cmp + ", %old, %v\n" + C.Sel +
+                               "  %q = gep @tab, %off\n"
+                               "  store %new, %q, 8\n"));
+    const Loop *L = loopNamed(*R.FA, *R.M, "kernel", "loop");
+    ASSERT_NE(L, nullptr);
+    HeapAssignment HA = classifyLoop(*L, *R.FA, R.P);
+    EXPECT_EQ(kindOfGlobal(HA, *R.M, "tab"), HeapKind::Commutative);
+    ObjectKey K;
+    K.Global = R.M->globalByName("tab");
+    auto It = HA.ComOps.find(K);
+    ASSERT_NE(It, HA.ComOps.end());
+    EXPECT_EQ(It->second.first, C.Op);
+  }
+}
+
+TEST(Classification, CommutativeRejectsMixedOperatorsOnOneObject) {
+  // One cell updated with add, a second cell of the same object with xor:
+  // no single combine operator exists, so the object must not classify
+  // commutative (and the collisions then block DOALL).
+  auto R = prepare(comKernel("  %p = gep @tab, %off\n"
+                             "  %old = load i64, %p, 8\n"
+                             "  %new = add %old, %v\n"
+                             "  %q = gep @tab, %off\n"
+                             "  store %new, %q, 8\n"
+                             "  %b2 = srem %v, 8\n"
+                             "  %off2 = mul %b2, 8\n"
+                             "  %p2 = gep @tab, %off2\n"
+                             "  %old2 = load i64, %p2, 8\n"
+                             "  %new2 = xor %old2, %i\n"
+                             "  %q2 = gep @tab, %off2\n"
+                             "  store %new2, %q2, 8\n"));
+  const Loop *L = loopNamed(*R.FA, *R.M, "kernel", "loop");
+  ASSERT_NE(L, nullptr);
+  HeapAssignment HA = classifyLoop(*L, *R.FA, R.P);
+  EXPECT_NE(kindOfGlobal(HA, *R.M, "tab"), HeapKind::Commutative);
+  EXPECT_TRUE(HA.ComOps.empty());
+}
+
+TEST(Classification, CommutativeRejectsObservedIntermediate) {
+  // The cell is re-read outside the cluster after the update: deferring
+  // the store would change what that load observes, so the object must
+  // fall back to the ordinary footprints.
+  const std::string T = "global @trace 512\n" +
+                        comKernel("  %p = gep @tab, %off\n"
+                                  "  %old = load i64, %p, 8\n"
+                                  "  %new = add %old, %v\n"
+                                  "  %q = gep @tab, %off\n"
+                                  "  store %new, %q, 8\n"
+                                  "  %p3 = gep @tab, %off\n"
+                                  "  %snap = load i64, %p3, 8\n"
+                                  "  %toff = mul %i, 8\n"
+                                  "  %tp = gep @trace, %toff\n"
+                                  "  store %snap, %tp, 8\n");
+  auto R = prepare(T);
+  const Loop *L = loopNamed(*R.FA, *R.M, "kernel", "loop");
+  ASSERT_NE(L, nullptr);
+  HeapAssignment HA = classifyLoop(*L, *R.FA, R.P);
+  EXPECT_NE(kindOfGlobal(HA, *R.M, "tab"), HeapKind::Commutative);
+}
+
+TEST(Classification, CommutativeRejectsAccessWidthMismatch) {
+  // An 8-byte load folded into a 4-byte store cannot be replayed as one
+  // typed record; the cluster must be rejected.
+  auto R = prepare(comKernel("  %p = gep @tab, %off\n"
+                             "  %old = load i64, %p, 8\n"
+                             "  %new = add %old, %v\n"
+                             "  %q = gep @tab, %off\n"
+                             "  store %new, %q, 4\n"));
+  const Loop *L = loopNamed(*R.FA, *R.M, "kernel", "loop");
+  ASSERT_NE(L, nullptr);
+  HeapAssignment HA = classifyLoop(*L, *R.FA, R.P);
+  EXPECT_NE(kindOfGlobal(HA, *R.M, "tab"), HeapKind::Commutative);
+  EXPECT_TRUE(HA.ComOps.empty());
+}
+
+TEST(Classification, ReductionRecognizerTakesPrecedenceOverCommutative) {
+  // Load and store through the SAME gep register: the reduction pair's
+  // pointer-identity requirement holds, so the object is claimed by the
+  // redux heap, not the commutative one.
+  auto R = prepare(comKernel("  %p = gep @tab, %off\n"
+                             "  %old = load i64, %p, 8\n"
+                             "  %new = add %old, %v\n"
+                             "  store %new, %p, 8\n"));
+  const Loop *L = loopNamed(*R.FA, *R.M, "kernel", "loop");
+  ASSERT_NE(L, nullptr);
+  HeapAssignment HA = classifyLoop(*L, *R.FA, R.P);
+  EXPECT_EQ(kindOfGlobal(HA, *R.M, "tab"), HeapKind::Redux);
+  EXPECT_TRUE(HA.ComOps.empty());
+  EXPECT_TRUE(HA.ComClusters.empty());
+}
+
 TEST(Classification, WriteOnlyObjectIsPrivateReadOnlyObjectIsReadOnly) {
   const char *T = "global @in 400\n"
                   "global @out 400\n"

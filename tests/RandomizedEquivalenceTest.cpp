@@ -762,6 +762,305 @@ TEST(RandomizedIrSweep, DoacrossPipelineMatchesSequentialAcrossMatrix) {
   }
 }
 
+// --- Randomized commutative-update loop sweep ---------------------------
+//
+// Each seed generates an irregular loop whose cross-iteration flow
+// dependences are all benign commutative read-modify-writes on hashed
+// table cells — with recomputed store addresses, the shape the reduction
+// recognizer rejects (it demands pointer identity) and the commutative
+// recognizer claims.  The pipeline must classify the tables into the
+// sixth heap, and the parallel run must be byte-identical to sequential
+// interpretation across a {workers x period x faults x engine} matrix,
+// with zero misspeculation and nonzero folded records in the fault-free
+// configurations.
+
+/// Seeded generator of a commutative-update kernel: one or two hashed
+/// tables, each updated through a randomly chosen ComOp (pattern A folds
+/// or pattern B min/max with randomized predicate direction and select
+/// arm order), plus per-iteration live-out stores and optional deferred
+/// output.
+std::string randomComLoopProgram(uint64_t Seed, uint64_t &IterationsOut) {
+  DeterministicRng Rng(Seed * 0x9e3779b97f4a7c15ULL + 73);
+  uint64_t N = 96 + Rng.nextBelow(128);
+  uint64_t TabSlots = 8 + Rng.nextBelow(24);
+  uint64_t Tab2Slots = 8 + Rng.nextBelow(24);
+  uint64_t OutSlots = 16 + Rng.nextBelow(48);
+  uint64_t C1 = 3 + Rng.nextBelow(1000003);
+  uint64_t C2 = 7 + Rng.nextBelow(99991);
+  uint64_t C3 = 11 + Rng.nextBelow(997);
+  uint64_t C4 = 5 + Rng.nextBelow(9973);
+  uint64_t PrintMod = 3 + Rng.nextBelow(9);
+  unsigned Op1 = static_cast<unsigned>(Rng.nextBelow(7));
+  unsigned Op2 = static_cast<unsigned>(Rng.nextBelow(7));
+  bool Second = (Rng.next() & 1) != 0;
+  bool Print = (Rng.next() & 1) != 0;
+  IterationsOut = N;
+
+  std::string S;
+  char Buf[512];
+  auto Emit = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    S += Buf;
+  };
+  auto U = [](uint64_t V) { return static_cast<unsigned long long>(V); };
+
+  // Op encoding: 0 add, 1 mul, 2 and, 3 or, 4 xor, 5 min, 6 max.  The
+  // identity each table is filled with before the kernel runs.
+  auto InitFor = [](unsigned Op) -> long long {
+    switch (Op) {
+    case 1:
+      return 1; // mul
+    case 2:
+      return -1; // and: all ones
+    case 5:
+      return 4611686018427387903LL; // min: large sentinel
+    default:
+      return 0; // add/or/xor/max (values are nonnegative)
+    }
+  };
+
+  // The RMW cluster: load through one gep, combine, store through a
+  // *recomputed* gep of the same offset.
+  auto EmitRmw = [&](const char *Pfx, const char *Tab, unsigned Op,
+                     const char *Val, const char *Off) {
+    Emit("  %%%sp = gep @%s, %%%s\n", Pfx, Tab, Off);
+    Emit("  %%%sold = load i64, %%%sp, 8\n", Pfx, Pfx);
+    switch (Op) {
+    case 0:
+      Emit("  %%%snew = add %%%sold, %%%s\n", Pfx, Pfx, Val);
+      break;
+    case 1:
+      // Odd multiplier keeps the product chain nontrivial; i64
+      // wraparound multiply is still fully commutative/associative.
+      Emit("  %%%sodd = or %%%s, 1\n", Pfx, Val);
+      Emit("  %%%snew = mul %%%sold, %%%sodd\n", Pfx, Pfx, Pfx);
+      break;
+    case 2:
+      Emit("  %%%snew = and %%%sold, %%%s\n", Pfx, Pfx, Val);
+      break;
+    case 3:
+      Emit("  %%%snew = or %%%sold, %%%s\n", Pfx, Pfx, Val);
+      break;
+    case 4:
+      Emit("  %%%snew = xor %%%sold, %%%s\n", Pfx, Pfx, Val);
+      break;
+    default: {
+      // Pattern B with a random orientation: the recognizer accepts
+      // either predicate direction and either select arm order.
+      bool WantMin = Op == 5;
+      bool SwapArms = (Rng.next() & 1) != 0;
+      // Straight arms (select c, old, v): min iff the predicate is an
+      // ordering-less-than; swapped arms flip it.
+      bool PredLt = WantMin == !SwapArms;
+      Emit("  %%%sc = icmp %s, %%%sold, %%%s\n", Pfx, PredLt ? "lt" : "gt",
+           Pfx, Val);
+      if (SwapArms)
+        Emit("  %%%snew = select %%%sc, %%%s, %%%sold\n", Pfx, Pfx, Val, Pfx);
+      else
+        Emit("  %%%snew = select %%%sc, %%%sold, %%%s\n", Pfx, Pfx, Pfx, Val);
+      break;
+    }
+    }
+    Emit("  %%%sq = gep @%s, %%%s\n", Pfx, Tab, Off);
+    Emit("  store %%%snew, %%%sq, 8\n", Pfx, Pfx);
+  };
+
+  Emit("global @tab %llu\n", U(TabSlots * 8));
+  if (Second)
+    Emit("global @tab2 %llu\n", U(Tab2Slots * 8));
+  Emit("global @out %llu\n\n", U(OutSlots * 8));
+
+  // Fill both tables with their operator identities.
+  S += "define void @init() {\n"
+       "entry:\n  br loop\n"
+       "loop:\n  %i = phi [entry: 0], [cont: %inext]\n";
+  Emit("  %%c = icmp lt, %%i, %llu\n", U(TabSlots > Tab2Slots || !Second
+                                             ? TabSlots
+                                             : Tab2Slots));
+  S += "  condbr %c, latch, exit\n"
+       "latch:\n  %off = mul %i, 8\n";
+  Emit("  %%bc = icmp lt, %%i, %llu\n", U(TabSlots));
+  S += "  condbr %bc, store1, next1\n"
+       "store1:\n  %p = gep @tab, %off\n";
+  Emit("  store %lld, %%p, 8\n", InitFor(Op1));
+  S += "  br next1\nnext1:\n";
+  if (Second) {
+    Emit("  %%bc2 = icmp lt, %%i, %llu\n", U(Tab2Slots));
+    S += "  condbr %bc2, store2, cont\n"
+         "store2:\n  %p2 = gep @tab2, %off\n";
+    Emit("  store %lld, %%p2, 8\n", InitFor(Op2));
+    S += "  br cont\n";
+  } else {
+    S += "  br cont\n";
+  }
+  S += "cont:\n  %inext = add %i, 1\n  br loop\n"
+       "exit:\n  ret\n}\n\n";
+
+  S += "define void @kernel(i64 %n) {\n"
+       "entry:\n  br loop\n"
+       "loop:\n  %i = phi [entry: 0], [latch: %inext]\n"
+       "  %c = icmp lt, %i, %n\n  condbr %c, body, exit\n"
+       "body:\n";
+  Emit("  %%h = mul %%i, %llu\n", U(C1));
+  Emit("  %%v = srem %%h, %llu\n", U(C2));
+  Emit("  %%bmod = srem %%h, %llu\n", U(TabSlots));
+  S += "  %boff = mul %bmod, 8\n";
+  EmitRmw("t", "tab", Op1, "v", "boff");
+  if (Second) {
+    Emit("  %%h2 = add %%h, %llu\n", U(C3));
+    Emit("  %%v2 = srem %%h2, %llu\n", U(C4));
+    Emit("  %%bmod2 = srem %%h2, %llu\n", U(Tab2Slots));
+    S += "  %boff2 = mul %bmod2, 8\n";
+    EmitRmw("u", "tab2", Op2, "v2", "boff2");
+  }
+  // Per-iteration live-out (last writer of the slot wins).
+  Emit("  %%omod = srem %%i, %llu\n", U(OutSlots));
+  S += "  %ooff = mul %omod, 8\n  %lp = gep @out, %ooff\n"
+       "  %lv = xor %h, %i\n"
+       "  store %lv, %lp, 8\n";
+  if (Print) {
+    Emit("  %%pm = srem %%i, %llu\n", U(PrintMod));
+    S += "  %pc = icmp eq, %pm, 0\n"
+         "  condbr %pc, doprint, latch\n"
+         "doprint:\n"
+         "  print \"it %d v %d\\n\", %i, %lv\n"
+         "  br latch\n";
+  } else {
+    S += "  br latch\n";
+  }
+  S += "latch:\n  %inext = add %i, 1\n  br loop\n"
+       "exit:\n  ret\n}\n\n";
+
+  // @main digests every table cell and live-out slot.
+  S += "define i64 @main() {\n"
+       "entry:\n  call @init()\n";
+  Emit("  call @kernel(%llu)\n", U(N));
+  S += "  br tloop\n"
+       "tloop:\n"
+       "  %i = phi [entry: 0], [tlatch: %inext]\n"
+       "  %acc = phi [entry: 0], [tlatch: %acc2]\n";
+  Emit("  %%c = icmp lt, %%i, %llu\n", U(TabSlots));
+  S += "  condbr %c, tlatch, t2\n"
+       "tlatch:\n"
+       "  %off = mul %i, 8\n  %p = gep @tab, %off\n"
+       "  %v = load i64, %p, 8\n"
+       "  %acc2 = add %acc, %v\n"
+       "  %inext = add %i, 1\n  br tloop\n"
+       "t2:\n";
+  if (Second) {
+    S += "  br t2loop\n"
+         "t2loop:\n"
+         "  %i2 = phi [t2: 0], [t2latch: %i2next]\n"
+         "  %bacc = phi [t2: %acc], [t2latch: %bacc2]\n";
+    Emit("  %%c2 = icmp lt, %%i2, %llu\n", U(Tab2Slots));
+    S += "  condbr %c2, t2latch, oloop0\n"
+         "t2latch:\n"
+         "  %off2 = mul %i2, 8\n  %p2 = gep @tab2, %off2\n"
+         "  %v2 = load i64, %p2, 8\n"
+         "  %bacc2 = add %bacc, %v2\n"
+         "  %i2next = add %i2, 1\n  br t2loop\n"
+         "oloop0:\n  br oloop\n";
+  } else {
+    S += "  br oloop\n";
+  }
+  S += "oloop:\n";
+  Emit("  %%j = phi [%s: 0], [olatch: %%jnext]\n", Second ? "oloop0" : "t2");
+  Emit("  %%oacc = phi [%s: %s], [olatch: %%oacc2]\n",
+       Second ? "oloop0" : "t2", Second ? "%bacc" : "%acc");
+  Emit("  %%oc = icmp lt, %%j, %llu\n", U(OutSlots));
+  S += "  condbr %oc, olatch, done\n"
+       "olatch:\n"
+       "  %joff = mul %j, 8\n  %jp = gep @out, %joff\n"
+       "  %jv = load i64, %jp, 8\n"
+       "  %oacc2 = add %oacc, %jv\n"
+       "  %jnext = add %j, 1\n  br oloop\n"
+       "done:\n"
+       "  print \"digest %d\\n\", %oacc\n"
+       "  ret %oacc\n}\n";
+  return S;
+}
+
+TEST(RandomizedIrSweep, CommutativeLoopsMatchSequentialAcrossMatrix) {
+  unsigned Seeds = 25;
+  if (const char *Env = std::getenv("PRIVATEER_RANDOM_SWEEP_SEEDS"))
+    Seeds = static_cast<unsigned>(std::max(1, std::atoi(Env)));
+  const char *TraceEnv = std::getenv("PRIVATEER_TRACE");
+  const unsigned WorkerChoices[] = {2, 3, 4, 6, 8};
+
+  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+    SCOPED_TRACE("seed " + std::to_string(Seed));
+    uint64_t N = 0;
+    std::string Text = randomComLoopProgram(Seed, N);
+
+    std::string Err;
+    auto MRef = ir::parseModule(Text, Err);
+    ASSERT_NE(MRef, nullptr) << Err << "\n" << Text;
+    ASSERT_TRUE(ir::verifyModule(*MRef).empty()) << Text;
+
+    transform::PipelineOptions RefOpt;
+    RefOpt.Engine = transform::ExecEngine::Interp;
+    std::FILE *RefOut = std::tmpfile();
+    interp::Cell RefRet = transform::executeSequential(*MRef, RefOpt, RefOut);
+    std::string Expected = readAllFile(RefOut);
+    std::fclose(RefOut);
+
+    auto M = ir::parseModule(Text, Err);
+    ASSERT_NE(M, nullptr) << Err;
+    analysis::FunctionAnalyses FA(*M);
+    transform::PipelineOptions Opt;
+    std::FILE *TrainSink = std::tmpfile();
+    Runtime::get().setSequentialOutput(TrainSink);
+    transform::PipelineResult R = transform::runPrivateerPipeline(*M, FA, Opt);
+    Runtime::get().setSequentialOutput(nullptr);
+    std::fclose(TrainSink);
+    ASSERT_TRUE(R.Transformed)
+        << "pipeline rejected generated commutative loop:\n"
+        << (R.Log.empty() ? "" : R.Log.back()) << "\n" << Text;
+
+    DeterministicRng Cfg(Seed ^ 0xC0771ULL);
+    for (unsigned Conf = 0; Conf < 4; ++Conf) {
+      ParallelOptions Par;
+      Par.NumWorkers = WorkerChoices[Cfg.nextBelow(5)];
+      Par.CheckpointPeriod = 4 + Cfg.nextBelow(29);
+      Par.MaxSlotsPerEpoch = 2 + Cfg.nextBelow(15);
+      Par.EagerCommit = (Conf & 1) != 0;
+      bool Faults = (Conf & 2) != 0;
+      if (Faults) {
+        Par.InjectMisspecRate = 0.03;
+        Par.InjectSeed = Seed;
+        Par.Faults.Seed = Seed;
+        Par.Faults.KillRate = 0.01;
+      }
+      if (TraceEnv)
+        Par.TracePath = TraceEnv;
+      transform::PipelineOptions RunOpt = Opt;
+      RunOpt.Engine = (Cfg.next() & 1) != 0 ? transform::ExecEngine::Interp
+                                            : transform::ExecEngine::Bytecode;
+      std::FILE *Out = std::tmpfile();
+      transform::ExecutionResult E = transform::executePrivatized(
+          *M, FA, R.Assignment, RunOpt, Par, RuntimeConfig(), Out);
+      std::string Got = readAllFile(Out);
+      std::fclose(Out);
+      std::string Where = "seed " + std::to_string(Seed) + " conf " +
+                          std::to_string(Conf) + " w" +
+                          std::to_string(Par.NumWorkers) + " k" +
+                          std::to_string(Par.CheckpointPeriod) + " s" +
+                          std::to_string(Par.MaxSlotsPerEpoch) +
+                          (Par.EagerCommit ? " eager" : " postjoin") +
+                          (Faults ? " faults" : "") + " engine=" +
+                          transform::execEngineName(E.EngineUsed);
+      EXPECT_EQ(Got, Expected) << Where;
+      EXPECT_EQ(E.ReturnValue.asInt(), RefRet.asInt()) << Where;
+      if (!Faults) {
+        EXPECT_EQ(E.Stats.Misspecs, 0u)
+            << Where << ": " << E.Stats.FirstMisspecReason;
+        EXPECT_GT(E.Stats.ComUpdates, 0u) << Where;
+        EXPECT_GT(E.Stats.ComRecordsCommitted, 0u) << Where;
+      }
+    }
+  }
+}
+
 TEST(ParallelEdgeCases, ManyEpochsWhenLoopExceedsSlotBudget) {
   Runtime &Rt = Runtime::get();
   Rt.initialize();

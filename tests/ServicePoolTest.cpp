@@ -138,6 +138,67 @@ TEST(ServicePool, DoacrossWarmHitsReplayImage) {
   ASSERT_TRUE(D.alive());
 }
 
+// A commutative-heap job (sixth heap) rides the warm path too: the v3
+// image carries the com-global registration table, so pre-warmed
+// executives replay deferred-update loops byte-exactly with zero
+// misspeculation, and the daemon folds the reply's com stats into its
+// status JSON ("com" counter group).
+TEST(ServicePool, CommutativeWarmHitsReplayImage) {
+  ServerOptions Opts;
+  Opts.SocketPath = uniqueSocketPath();
+  Opts.Executives = 2;
+  ForkedDaemon D(Opts);
+  ASSERT_TRUE(D.forked());
+
+  const std::string Text = histogramIrText(600, 128, 4);
+  std::string Expected;
+  {
+    std::string PErr;
+    auto M = ir::parseModule(Text, PErr);
+    ASSERT_NE(M, nullptr) << PErr;
+    char *Buf = nullptr;
+    size_t Len = 0;
+    std::FILE *Out = open_memstream(&Buf, &Len);
+    transform::executeSequential(*M, transform::PipelineOptions(), Out);
+    std::fclose(Out);
+    Expected.assign(Buf, Len);
+    std::free(Buf);
+  }
+  ASSERT_FALSE(Expected.empty());
+
+  service::Client C;
+  C.Tenant = "pool-com";
+  C.UseMemfd = true;
+  std::string Err;
+  ASSERT_TRUE(C.connect(D.socket(), Err, 10 * timeoutScale())) << Err;
+  ASSERT_TRUE(C.memfdNegotiated()) << "daemon did not grant memfd";
+
+  JobRequest Req;
+  Req.ModuleText = Text;
+  Req.NumWorkers = 4;
+
+  constexpr int WarmJobs = 4;
+  for (int I = 0; I < 1 + WarmJobs; ++I) {
+    JobReply R;
+    ASSERT_TRUE(C.submit(Req, R, Err, 300 * timeoutScale())) << Err;
+    ASSERT_EQ(R.Status, JobStatus::Ok) << R.Error;
+    EXPECT_EQ(R.CacheHit, I > 0);
+    EXPECT_EQ(R.Output, Expected) << "job " << I << " diverged";
+    EXPECT_EQ(R.Misspecs, 0u)
+        << "job " << I << " misspeculated: " << R.MisspecReason;
+    EXPECT_GT(R.ComUpdates, 0u) << "job " << I;
+    EXPECT_GT(R.ComRecordsCommitted, 0u) << "job " << I;
+  }
+
+  std::string Json;
+  ASSERT_TRUE(C.status(Json, Err)) << Err;
+  EXPECT_EQ(jsonInt(Json, "supervisor_forks"), 0) << Json;
+  EXPECT_EQ(jsonInt(Json, "cache_misses"), 1) << Json;
+  EXPECT_GT(jsonInt(Json, "updates"), 0) << Json;
+  EXPECT_GT(jsonInt(Json, "records-committed"), 0) << Json;
+  ASSERT_TRUE(D.alive());
+}
+
 // An executive SIGKILLed mid-job gets the PR 6 supervisor triage — a
 // typed Crashed/Signal verdict on that job only — and a replacement
 // executive, with the next job served from the pool as usual.
